@@ -1,0 +1,55 @@
+//! Criterion micro-benchmarks of the Bloom-filter substrate: the
+//! CPU-side costs behind every BF-leaf probe (§8 notes BF probing was
+//! never the bottleneck in the paper's experiments — this measures
+//! the margin).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::hint::black_box;
+
+use bftree_bloom::{BloomFilter, BloomGroup};
+
+fn filter_ops(c: &mut Criterion) {
+    let n = 10_000u64;
+    let mut filter = BloomFilter::with_capacity(n, 1e-3, 42);
+    for key in 0..n {
+        filter.insert(&key);
+    }
+
+    let mut g = c.benchmark_group("bloom_filter");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("insert", |b| {
+        b.iter_batched_ref(
+            || BloomFilter::with_capacity(n, 1e-3, 42),
+            |f| f.insert(black_box(&12_345u64)),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("contains_hit", |b| b.iter(|| filter.contains(black_box(&5_000u64))));
+    g.bench_function("contains_miss", |b| b.iter(|| filter.contains(black_box(&999_999u64))));
+    g.finish();
+}
+
+fn group_sweep(c: &mut Criterion) {
+    // The Algorithm-1 inner loop: test one key against every per-page
+    // filter of a leaf. S = pages per leaf grows as fpp loosens.
+    let mut g = c.benchmark_group("bloom_group_sweep");
+    for s in [64usize, 512, 2048] {
+        let mut group = BloomGroup::new(4096 * 8, s, 3, 7);
+        for key in 0..(2 * s as u64) {
+            group.insert((key % s as u64) as usize, &key);
+        }
+        let mut out = Vec::with_capacity(s);
+        g.throughput(Throughput::Elements(s as u64));
+        g.bench_function(format!("S={s}"), |b| {
+            b.iter(|| {
+                out.clear();
+                group.matching_buckets_into(black_box(&77_777u64), &mut out);
+                black_box(out.len())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, filter_ops, group_sweep);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion: CPU cost of a point probe per index structure (no
+//! simulated devices — this is the in-memory work that rides on top of
+//! the I/O the figure binaries account).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use bftree_bench::{build_bftree, build_btree, build_fdtree, build_hashindex};
+use bftree_storage::tuple::PK_OFFSET;
+use bftree_storage::{HeapFile, TupleLayout};
+
+fn heap() -> HeapFile {
+    let mut h = HeapFile::new(TupleLayout::new(256));
+    for pk in 0..100_000u64 {
+        h.append_record(pk, pk / 11);
+    }
+    h
+}
+
+fn point_probe(c: &mut Criterion) {
+    let h = heap();
+    let bf_tight = build_bftree(&h, PK_OFFSET, 1e-6);
+    let bf_loose = build_bftree(&h, PK_OFFSET, 1e-2);
+    let bp = build_btree(&h, PK_OFFSET);
+    let hash = build_hashindex(&h, PK_OFFSET);
+    let fd = build_fdtree(&h, PK_OFFSET);
+
+    let mut g = c.benchmark_group("point_probe_pk");
+    g.bench_function("bftree_fpp1e-6", |b| {
+        b.iter(|| bf_tight.probe_first(black_box(54_321), &h, PK_OFFSET, None, None).found())
+    });
+    g.bench_function("bftree_fpp1e-2", |b| {
+        b.iter(|| bf_loose.probe_first(black_box(54_321), &h, PK_OFFSET, None, None).found())
+    });
+    g.bench_function("bftree_miss", |b| {
+        b.iter(|| bf_tight.probe_first(black_box(1 << 40), &h, PK_OFFSET, None, None).found())
+    });
+    g.bench_function("btree", |b| b.iter(|| bp.search(black_box(54_321), None).is_some()));
+    g.bench_function("hashindex", |b| b.iter(|| hash.get(black_box(54_321)).is_some()));
+    g.bench_function("fdtree", |b| b.iter(|| fd.search(black_box(54_321), None).is_some()));
+    g.finish();
+}
+
+criterion_group!(benches, point_probe);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Figure 10: ATT1 index with warm caches. The paper's finding: the
+//! B+-Tree improves more than the BF-Tree (it is taller, so caching
+//! its upper levels saves more I/O), and on SSD/SSD the overhead of
+//! false positives can make the B+-Tree outright faster; with data on
+//! HDD the BF-Tree stays ahead because the extra work hides behind the
+//! data fetch.
+
+use bftree_bench::scale::{n_probes, paper_fpp_sweep, relation_mb};
+use bftree_bench::{att1_probes, relation_r_att1, warm_caches_figure};
+
+fn main() {
+    println!("relation R: {} MB ({} probes, 14% hit)\n", relation_mb(), n_probes());
+    let ds = relation_r_att1();
+    let probes = att1_probes(&ds);
+    warm_caches_figure(
+        &ds,
+        &probes,
+        &paper_fpp_sweep(),
+        "Figure 10: warm caches, ATT1 index (best BF-Tree vs B+-Tree)",
+    )
+    .print();
+}

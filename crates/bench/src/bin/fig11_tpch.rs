@@ -1,0 +1,82 @@
+//! Figure 11: point queries on the TPCH lineitem `shipdate` index as
+//! the hit rate varies (0 %, 5 %, 10 %, 50 %, 100 %) — optimal
+//! BF-Tree response time normalized to the B+-Tree, five storage
+//! configurations. The paper's shape: the BF-Tree wins big at 0 %
+//! (shorter tree, no data fetched), keeps a small edge at 5 %, and
+//! loses for 10 %+ where the per-hit data volume (avg. cardinality
+//! ~2 400 at SF 1) dominates.
+
+use bftree_bench::scale::{n_probes, paper_fpp_sweep, tpch_sf};
+use bftree_bench::{
+    baseline_btree, best_per_config, fmt_f, sweep_bftree, Dataset, Report, StorageConfig,
+};
+use bftree_workloads::tpch::{self, TpchConfig};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Draw probes at an exact hit rate. Hits come from the realized
+/// shipdate domain; misses come from absent in-window dates when the
+/// domain has gaps, otherwise from the year after the window (dates no
+/// shipment can carry — "requesting data that do not exist").
+fn tpch_probes(domain: &[u64], n: usize, hit_rate: f64, seed: u64) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let gaps: Vec<u64> =
+        domain.windows(2).filter(|w| w[1] > w[0] + 1).map(|w| w[0] + 1).collect();
+    let max = *domain.last().expect("non-empty domain");
+    let miss_pool: Vec<u64> =
+        if gaps.is_empty() { (max + 1..=max + 365).collect() } else { gaps };
+    (0..n)
+        .map(|i| {
+            let want_hit =
+                (((i + 1) as f64) * hit_rate).floor() > ((i as f64) * hit_rate).floor();
+            if want_hit {
+                domain[rng.random_range(0..domain.len())]
+            } else {
+                miss_pool[rng.random_range(0..miss_pool.len())]
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    let sf = tpch_sf();
+    let config = TpchConfig::scaled(sf);
+    println!("TPCH lineitem SF {sf} ({} rows), index on shipdate\n", config.n_lineitems());
+    let heap = tpch::build_heap_by_shipdate(&config);
+    let rows = tpch::generate_lineitem_dates(&config);
+    let domain = tpch::shipdate_domain(&rows);
+
+    let ds = Dataset { heap, attr: tpch::SHIPDATE, unique: false, label: "shipdate" };
+    let fpps = paper_fpp_sweep();
+
+    let mut report = Report::new(
+        "Figure 11: optimal BF-Tree / B+-Tree response time by hit rate",
+        &["hit_rate_%", "Mem/HDD", "SSD/HDD", "HDD/HDD", "Mem/SSD", "SSD/SSD", "best_fpp"],
+    );
+    for hit_rate in [0.0, 0.05, 0.10, 0.50, 1.00] {
+        let probes = tpch_probes(&domain, n_probes(), hit_rate, 0xF1611);
+        let sweep = sweep_bftree(&ds, &probes, &fpps, &StorageConfig::ALL, false);
+        let best = best_per_config(&sweep);
+        let baselines = baseline_btree(&ds, &probes, &StorageConfig::ALL, false);
+        let at = |c: StorageConfig| {
+            let (_, _, bf) = best.iter().find(|(cc, _, _)| *cc == c).expect("bf");
+            let (_, bp) = baselines.iter().find(|(cc, _)| *cc == c).expect("bp");
+            fmt_f(bf.mean_us / bp.mean_us)
+        };
+        let modal_fpp = best
+            .iter()
+            .map(|(_, fpp, _)| *fpp)
+            .fold(f64::MAX, f64::min);
+        report.row(&[
+            format!("{:.0}", hit_rate * 100.0),
+            at(StorageConfig::MemHdd),
+            at(StorageConfig::SsdHdd),
+            at(StorageConfig::HddHdd),
+            at(StorageConfig::MemSsd),
+            at(StorageConfig::SsdSsd),
+            format!("{modal_fpp:.0e}"),
+        ]);
+    }
+    report.print();
+    println!("values < 1.0: BF-Tree faster; > 1.0: B+-Tree faster (paper, Fig. 11: log y-axis)");
+}

@@ -1,0 +1,38 @@
+//! Figure 2: the capacity/performance storage trade-off — the
+//! end-of-2013 device survey (GB per $ on x, advertised random-read
+//! IOPS on y) showing HDD and SSD as two distinct clusters.
+
+use bftree_bench::{fmt_f, Report};
+use bftree_storage::device::figure2_survey;
+
+fn main() {
+    let mut report = Report::new(
+        "Figure 2: capacity (GB/$) vs random-read IOPS, 2013 device survey",
+        &["device", "class", "gb_per_dollar", "iops"],
+    );
+    let survey = figure2_survey();
+    for d in &survey {
+        report.row(&[
+            d.name.to_string(),
+            d.class.to_string(),
+            fmt_f(d.gb_per_dollar),
+            d.iops.to_string(),
+        ]);
+    }
+    report.print();
+
+    // The figure's message: every HDD offers cheaper capacity than
+    // every SSD, and every SSD offers more IOPS than every HDD.
+    let (ssds, hdds): (Vec<&bftree_storage::device::SurveyDevice>, Vec<_>) =
+        survey.iter().partition(|d| d.class.contains("SSD"));
+    let max_hdd_iops = hdds.iter().map(|d| d.iops).fold(0.0f64, f64::max);
+    let min_ssd_iops = ssds.iter().map(|d| d.iops).fold(f64::MAX, f64::min);
+    let best_ssd_cap = ssds.iter().map(|d| d.gb_per_dollar).fold(0.0f64, f64::max);
+    let worst_hdd_cap = hdds.iter().map(|d| d.gb_per_dollar).fold(f64::MAX, f64::min);
+    println!(
+        "distinct clusters: min SSD IOPS {min_ssd_iops} > max HDD IOPS {max_hdd_iops}; \
+         min HDD GB/$ {} > max SSD GB/$ {}",
+        fmt_f(worst_hdd_cap),
+        fmt_f(best_ssd_cap)
+    );
+}

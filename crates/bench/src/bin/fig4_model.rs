@@ -1,0 +1,54 @@
+//! Figure 4: analytical comparison of BF-Tree vs. B+-Tree, compressed
+//! B+-Tree, FD-Tree, and SILT — (a) response time and (b) index size,
+//! both normalized to the vanilla B+-Tree, as the BF-Tree's fpp sweeps
+//! 10⁻⁸ … 10⁻¹ (1 GB relation, 256 B tuples, 32 B keys, 8 B pointers,
+//! idxIO = 1, dataIO = 50, seqDtIO = 5).
+
+use bftree_bench::{fmt_f, fmt_fpp, Report};
+use bftree_model::{default_fpp_sweep, figure4_series, ModelParams};
+
+fn main() {
+    let params = ModelParams::figure4();
+    let series = figure4_series(params, &default_fpp_sweep());
+
+    let mut a = Report::new(
+        "Figure 4(a): response time normalized to B+-Tree",
+        &["fpp", "BF-Tree", "FD-Tree(opt k)", "SILT cached", "SILT uncached", "B+-Tree"],
+    );
+    for p in &series {
+        a.row(&[
+            fmt_fpp(p.fpp),
+            fmt_f(p.bf_cost),
+            fmt_f(p.fd_cost),
+            fmt_f(p.silt_cost_cached),
+            fmt_f(p.silt_cost_uncached),
+            "1.00".into(),
+        ]);
+    }
+    a.print();
+
+    let mut b = Report::new(
+        "Figure 4(b): index size normalized to B+-Tree",
+        &["fpp", "BF-Tree", "compressed B+", "FD-Tree", "SILT", "B+-Tree"],
+    );
+    for p in &series {
+        b.row(&[
+            fmt_fpp(p.fpp),
+            fmt_f(p.bf_size),
+            fmt_f(p.compressed_size),
+            fmt_f(p.fd_size),
+            fmt_f(p.silt_size),
+            "1.00".into(),
+        ]);
+    }
+    b.print();
+
+    let crossover = series.iter().rev().find(|p| p.bf_cost <= 1.0);
+    match crossover {
+        Some(p) => println!(
+            "BF-Tree beats the B+-Tree on response time for fpp <= {} (paper: fpp <= 0.001)",
+            fmt_fpp(p.fpp)
+        ),
+        None => println!("no response-time crossover found in the sweep"),
+    }
+}

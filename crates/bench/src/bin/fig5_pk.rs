@@ -1,0 +1,95 @@
+//! Figure 5: mean probe response time for the PK index of relation R,
+//! (a) BF-Tree as fpp sweeps 0.2 → 10⁻¹⁵ and (b) the B+-Tree and
+//! in-memory hash-index baselines, across the five storage
+//! configurations.
+
+use bftree_bench::{
+    baseline_btree, build_hashindex, fmt_f, fmt_fpp, pk_probes, relation_r_pk, run_hashindex,
+    sweep_bftree, DevicePair, Report, StorageConfig,
+};
+use bftree_bench::scale::{n_probes, paper_fpp_sweep, relation_mb};
+
+fn main() {
+    println!(
+        "relation R: {} MB ({} probes, 100% hit rate)\n",
+        relation_mb(),
+        n_probes()
+    );
+    let ds = relation_r_pk();
+    let probes = pk_probes(&ds);
+    let fpps = paper_fpp_sweep();
+
+    // (a) BF-Tree sweep.
+    let sweep = sweep_bftree(&ds, &probes, &fpps, &StorageConfig::ALL, false);
+    let mut a = Report::new(
+        "Figure 5(a): BF-Tree mean response time (us) vs fpp, PK index",
+        &["fpp", "Mem/HDD", "SSD/HDD", "HDD/HDD", "Mem/SSD", "SSD/SSD", "false_reads"],
+    );
+    for &fpp in &fpps {
+        let row: Vec<&_> = sweep
+            .iter()
+            .filter(|p| p.fpp == fpp)
+            .collect();
+        let at = |c: StorageConfig| {
+            row.iter()
+                .find(|p| p.config == c)
+                .map(|p| fmt_f(p.result.mean_us))
+                .unwrap_or_default()
+        };
+        a.row(&[
+            fmt_fpp(fpp),
+            at(StorageConfig::MemHdd),
+            at(StorageConfig::SsdHdd),
+            at(StorageConfig::HddHdd),
+            at(StorageConfig::MemSsd),
+            at(StorageConfig::SsdSsd),
+            fmt_f(row[0].result.false_reads),
+        ]);
+    }
+    a.print();
+
+    // (b) baselines.
+    let bp = baseline_btree(&ds, &probes, &StorageConfig::ALL, false);
+    let hash = build_hashindex(&ds.heap, ds.attr);
+    let mut b = Report::new(
+        "Figure 5(b): baselines mean response time (us), PK index",
+        &["index", "Mem/HDD", "SSD/HDD", "HDD/HDD", "Mem/SSD", "SSD/SSD"],
+    );
+    let at = |c: StorageConfig| {
+        bp.iter()
+            .find(|(cc, _)| *cc == c)
+            .map(|(_, r)| fmt_f(r.mean_us))
+            .unwrap_or_default()
+    };
+    b.row(&[
+        "B+-Tree".into(),
+        at(StorageConfig::MemHdd),
+        at(StorageConfig::SsdHdd),
+        at(StorageConfig::HddHdd),
+        at(StorageConfig::MemSsd),
+        at(StorageConfig::SsdSsd),
+    ]);
+    // The hash index always resides in memory; only the data device
+    // varies (HDD columns share one number, SSD columns the other).
+    let hash_hdd = run_hashindex(
+        &hash,
+        &probes,
+        &DevicePair::cold(StorageConfig::MemHdd),
+        true,
+    );
+    let hash_ssd = run_hashindex(
+        &hash,
+        &probes,
+        &DevicePair::cold(StorageConfig::MemSsd),
+        true,
+    );
+    b.row(&[
+        "Hash (mem)".into(),
+        fmt_f(hash_hdd.mean_us),
+        fmt_f(hash_hdd.mean_us),
+        fmt_f(hash_hdd.mean_us),
+        fmt_f(hash_ssd.mean_us),
+        fmt_f(hash_ssd.mean_us),
+    ]);
+    b.print();
+}

@@ -1,0 +1,21 @@
+//! Figure 6: break-even points for the PK index — normalized
+//! performance (B+-Tree time / BF-Tree time) vs capacity gain
+//! (B+-Tree pages / BF-Tree pages), five storage configurations.
+//! Values above 1.0 mean the BF-Tree outperforms the B+-Tree; the
+//! crossing of each series with 1.0 is its break-even point.
+
+use bftree_bench::scale::{n_probes, paper_fpp_sweep, relation_mb};
+use bftree_bench::{breakeven_figure, pk_probes, relation_r_pk};
+
+fn main() {
+    println!("relation R: {} MB ({} probes, 100% hit)\n", relation_mb(), n_probes());
+    let ds = relation_r_pk();
+    let probes = pk_probes(&ds);
+    breakeven_figure(
+        &ds,
+        &probes,
+        &paper_fpp_sweep(),
+        "Figure 6: break-even points, PK index (norm perf > 1 => BF-Tree wins)",
+    )
+    .print();
+}

@@ -1,0 +1,21 @@
+//! Figure 7: PK index with warm caches — every index level above the
+//! leaves is cached, so "only accessing the leaf node would cause an
+//! I/O operation". Three device-resident-index configurations; the
+//! B+-Tree (taller) improves more than the BF-Tree, but the BF-Tree
+//! stays ahead in each.
+
+use bftree_bench::scale::{n_probes, paper_fpp_sweep, relation_mb};
+use bftree_bench::{pk_probes, relation_r_pk, warm_caches_figure};
+
+fn main() {
+    println!("relation R: {} MB ({} probes, 100% hit)\n", relation_mb(), n_probes());
+    let ds = relation_r_pk();
+    let probes = pk_probes(&ds);
+    warm_caches_figure(
+        &ds,
+        &probes,
+        &paper_fpp_sweep(),
+        "Figure 7: warm caches, PK index (best BF-Tree vs B+-Tree)",
+    )
+    .print();
+}

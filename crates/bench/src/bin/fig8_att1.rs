@@ -1,0 +1,84 @@
+//! Figure 8: mean probe response time for the non-unique ATT1 index
+//! of relation R (avg. cardinality 11, 14 % of probes match), (a) the
+//! BF-Tree fpp sweep and (b) the B+-Tree and hash baselines, across
+//! the five storage configurations.
+
+use bftree_bench::scale::{n_probes, paper_fpp_sweep, relation_mb};
+use bftree_bench::{
+    att1_probes, baseline_btree, build_bftree, build_hashindex, fmt_f, fmt_fpp,
+    relation_r_att1, run_hashindex, sweep_bftree, DevicePair, Report, StorageConfig,
+};
+
+fn main() {
+    println!(
+        "relation R: {} MB ({} probes, 14% hit rate, ATT1 avg cardinality ~11)\n",
+        relation_mb(),
+        n_probes()
+    );
+    let ds = relation_r_att1();
+    let probes = att1_probes(&ds);
+    let fpps = paper_fpp_sweep();
+
+    let sweep = sweep_bftree(&ds, &probes, &fpps, &StorageConfig::ALL, false);
+    let mut a = Report::new(
+        "Figure 8(a): BF-Tree mean response time (us) vs fpp, ATT1 index",
+        &["fpp", "Mem/HDD", "SSD/HDD", "HDD/HDD", "Mem/SSD", "SSD/SSD", "false_reads", "height"],
+    );
+    for &fpp in &fpps {
+        let row: Vec<&_> = sweep.iter().filter(|p| p.fpp == fpp).collect();
+        let at = |c: StorageConfig| {
+            row.iter()
+                .find(|p| p.config == c)
+                .map(|p| fmt_f(p.result.mean_us))
+                .unwrap_or_default()
+        };
+        // Record the height transition the paper calls out ("2 levels
+        // for fpp > 1.41e-8 and 3 levels for fpp <= 1.41e-8").
+        let height = build_bftree(&ds.heap, ds.attr, fpp).height();
+        a.row(&[
+            fmt_fpp(fpp),
+            at(StorageConfig::MemHdd),
+            at(StorageConfig::SsdHdd),
+            at(StorageConfig::HddHdd),
+            at(StorageConfig::MemSsd),
+            at(StorageConfig::SsdSsd),
+            fmt_f(row[0].result.false_reads),
+            height.to_string(),
+        ]);
+    }
+    a.print();
+
+    let bp = baseline_btree(&ds, &probes, &StorageConfig::ALL, false);
+    let hash = build_hashindex(&ds.heap, ds.attr);
+    let mut b = Report::new(
+        "Figure 8(b): baselines mean response time (us), ATT1 index",
+        &["index", "Mem/HDD", "SSD/HDD", "HDD/HDD", "Mem/SSD", "SSD/SSD"],
+    );
+    let at = |c: StorageConfig| {
+        bp.iter()
+            .find(|(cc, _)| *cc == c)
+            .map(|(_, r)| fmt_f(r.mean_us))
+            .unwrap_or_default()
+    };
+    b.row(&[
+        "B+-Tree".into(),
+        at(StorageConfig::MemHdd),
+        at(StorageConfig::SsdHdd),
+        at(StorageConfig::HddHdd),
+        at(StorageConfig::MemSsd),
+        at(StorageConfig::SsdSsd),
+    ]);
+    let hash_hdd =
+        run_hashindex(&hash, &probes, &DevicePair::cold(StorageConfig::MemHdd), false);
+    let hash_ssd =
+        run_hashindex(&hash, &probes, &DevicePair::cold(StorageConfig::MemSsd), false);
+    b.row(&[
+        "Hash (mem)".into(),
+        fmt_f(hash_hdd.mean_us),
+        fmt_f(hash_hdd.mean_us),
+        fmt_f(hash_hdd.mean_us),
+        fmt_f(hash_ssd.mean_us),
+        fmt_f(hash_ssd.mean_us),
+    ]);
+    b.print();
+}

@@ -1,0 +1,20 @@
+//! Figure 9: break-even points for the ATT1 index (non-unique,
+//! 14 %-hit workload). Same axes as Figure 6; the paper's observation
+//! is that the break-even points shift toward *smaller* capacity gains
+//! than in the PK case because of the higher false-positive exposure.
+
+use bftree_bench::scale::{n_probes, paper_fpp_sweep, relation_mb};
+use bftree_bench::{att1_probes, breakeven_figure, relation_r_att1};
+
+fn main() {
+    println!("relation R: {} MB ({} probes, 14% hit)\n", relation_mb(), n_probes());
+    let ds = relation_r_att1();
+    let probes = att1_probes(&ds);
+    breakeven_figure(
+        &ds,
+        &probes,
+        &paper_fpp_sweep(),
+        "Figure 9: break-even points, ATT1 index (norm perf > 1 => BF-Tree wins)",
+    )
+    .print();
+}

@@ -1,0 +1,59 @@
+//! Table 2: index size in pages for the 1 GB (scaled) relation R —
+//! B+-Tree vs BF-Tree at fpp ∈ {0.2, 0.1, 1.5·10⁻⁷, 10⁻¹⁵}, for both
+//! the PK and the ATT1 index. Also reports build time and the
+//! capacity-gain ratio (§6.2: 48×–2.25×).
+
+use std::time::Instant;
+
+use bftree_bench::scale::relation_mb;
+use bftree_bench::{build_bftree, build_btree, build_btree_with_mode, fmt_f, fmt_fpp, relation_r_att1, relation_r_pk, Report};
+use bftree_btree::DuplicateMode;
+
+fn main() {
+    println!("relation R: {} MB\n", relation_mb());
+    let pk = relation_r_pk();
+    let att1 = relation_r_att1();
+
+    let t0 = Instant::now();
+    let bp_pk = build_btree(&pk.heap, pk.attr);
+    let bp_pk_build = t0.elapsed();
+    let t0 = Instant::now();
+    let bp_att1 = build_btree_with_mode(&att1.heap, att1.attr, DuplicateMode::FirstRef);
+    let bp_att1_build = t0.elapsed();
+
+    let mut report = Report::new(
+        "Table 2: B+-Tree & BF-Tree size (pages)",
+        &["variation", "fpp", "size PK", "size ATT1", "gain PK", "gain ATT1", "build PK (ms)"],
+    );
+    report.row(&[
+        "B+-Tree".into(),
+        "-".into(),
+        bp_pk.total_pages().to_string(),
+        bp_att1.total_pages().to_string(),
+        "1.00".into(),
+        "1.00".into(),
+        fmt_f(bp_pk_build.as_secs_f64() * 1e3),
+    ]);
+
+    for fpp in [0.2, 0.1, 1.5e-7, 1e-15] {
+        let t0 = Instant::now();
+        let bf_pk = build_bftree(&pk.heap, pk.attr, fpp);
+        let build = t0.elapsed();
+        let bf_att1 = build_bftree(&att1.heap, att1.attr, fpp);
+        report.row(&[
+            "BF-Tree".into(),
+            fmt_fpp(fpp),
+            bf_pk.total_pages().to_string(),
+            bf_att1.total_pages().to_string(),
+            fmt_f(bp_pk.total_pages() as f64 / bf_pk.total_pages() as f64),
+            fmt_f(bp_att1.total_pages() as f64 / bf_att1.total_pages() as f64),
+            fmt_f(build.as_secs_f64() * 1e3),
+        ]);
+    }
+    report.print();
+    println!(
+        "B+-Tree build: PK {} ms, ATT1 {} ms (paper: BF-Tree builds ~an order of magnitude faster)",
+        fmt_f(bp_pk_build.as_secs_f64() * 1e3),
+        fmt_f(bp_att1_build.as_secs_f64() * 1e3),
+    );
+}

@@ -1,0 +1,48 @@
+//! Table 3: falsely-read data pages per search for the PK and ATT1
+//! indexes of relation R, at fpp ∈ {0.2, 0.1, 1.9·10⁻², 1.8·10⁻³,
+//! 1.72·10⁻⁴}. Uses the paper's workloads: 100 %-hit PK probes and
+//! 14 %-hit ATT1 probes; devices are irrelevant (counting, not
+//! timing).
+
+use bftree_bench::scale::{n_probes, relation_mb};
+use bftree_bench::{
+    att1_probes, build_bftree, fmt_f, fmt_fpp, pk_probes, relation_r_att1, relation_r_pk,
+    Report,
+};
+use bftree::ProbeStats;
+
+fn main() {
+    println!("relation R: {} MB, {} probes per cell\n", relation_mb(), n_probes());
+    let pk = relation_r_pk();
+    let att1 = relation_r_att1();
+    let pk_keys = pk_probes(&pk);
+    let att1_keys = att1_probes(&att1);
+
+    let mut report = Report::new(
+        "Table 3: false reads per search",
+        &["fpp", "false reads PK", "false reads ATT1"],
+    );
+    for fpp in [0.2, 0.1, 1.9e-2, 1.8e-3, 1.72e-4] {
+        let tree_pk = build_bftree(&pk.heap, pk.attr, fpp);
+        let mut s_pk = ProbeStats::default();
+        for &k in &pk_keys {
+            // No early-out: Table 3 counts every page the filters
+            // implicate, like the paper's full-probe accounting.
+            s_pk.add(&tree_pk.probe(k, &pk.heap, pk.attr, None, None));
+        }
+
+        let tree_att1 = build_bftree(&att1.heap, att1.attr, fpp);
+        let mut s_att1 = ProbeStats::default();
+        for &k in &att1_keys {
+            s_att1.add(&tree_att1.probe(k, &att1.heap, att1.attr, None, None));
+        }
+
+        report.row(&[
+            fmt_fpp(fpp),
+            fmt_f(s_pk.false_reads_per_search()),
+            fmt_f(s_att1.false_reads_per_search()),
+        ]);
+    }
+    report.print();
+    println!("paper: PK 13.58 / 1.23 / 0.11 / 0 / 0.01; ATT1 701.15 / 80.93 / 4.75 / 0.36 / 0.04");
+}

@@ -1,0 +1,108 @@
+//! Report builders shared by figure pairs: break-even plots
+//! (Figures 6 and 9) and warm-cache bar charts (Figures 7 and 10).
+
+use crate::configs::StorageConfig;
+use crate::experiments::{baseline_btree, best_per_config, sweep_bftree, Dataset};
+use crate::report::{fmt_f, fmt_fpp, Report};
+
+/// Break-even figure (6/9): normalized performance (B+-Tree time /
+/// BF-Tree time, >1 means the BF-Tree wins) as a function of capacity
+/// gain (B+-Tree pages / BF-Tree pages), one series per storage
+/// configuration; the fpp sweep moves along each series.
+pub fn breakeven_figure(ds: &Dataset, probes: &[u64], fpps: &[f64], title: &str) -> Report {
+    let sweep = sweep_bftree(ds, probes, fpps, &StorageConfig::ALL, false);
+    let baselines = baseline_btree(ds, probes, &StorageConfig::ALL, false);
+
+    let mut report = Report::new(
+        title,
+        &["config", "fpp", "capacity_gain", "normalized_perf"],
+    );
+    for &config in &StorageConfig::ALL {
+        let (_, bp) = baselines.iter().find(|(c, _)| *c == config).expect("baseline");
+        for p in sweep.iter().filter(|p| p.config == config) {
+            let gain = bp.index_pages as f64 / p.result.index_pages as f64;
+            let norm = bp.mean_us / p.result.mean_us;
+            report.row(&[
+                config.label().into(),
+                fmt_fpp(p.fpp),
+                fmt_f(gain),
+                fmt_f(norm),
+            ]);
+        }
+    }
+    report
+}
+
+/// Warm-cache figure (7/10): for each device-resident-index
+/// configuration, the B+-Tree and the best BF-Tree with everything
+/// above the leaf level cached, next to their cold-cache numbers.
+pub fn warm_caches_figure(ds: &Dataset, probes: &[u64], fpps: &[f64], title: &str) -> Report {
+    let mut report = Report::new(
+        title,
+        &[
+            "config",
+            "B+ cold (us)",
+            "B+ warm (us)",
+            "BF cold (us)",
+            "BF warm (us)",
+            "BF fpp",
+            "BF/B+ warm",
+        ],
+    );
+    let warm_sweep = sweep_bftree(ds, probes, fpps, StorageConfig::WARMABLE.as_ref(), true);
+    let cold_sweep = sweep_bftree(ds, probes, fpps, StorageConfig::WARMABLE.as_ref(), false);
+    let bp_warm = baseline_btree(ds, probes, &StorageConfig::WARMABLE, true);
+    let bp_cold = baseline_btree(ds, probes, &StorageConfig::WARMABLE, false);
+    let best_warm = best_per_config(&warm_sweep);
+    let best_cold = best_per_config(&cold_sweep);
+
+    for &config in &StorageConfig::WARMABLE {
+        let (_, _, bfw) = best_warm.iter().find(|(c, _, _)| *c == config).expect("warm");
+        let (_, fpp, bfc) = best_cold.iter().find(|(c, _, _)| *c == config).expect("cold");
+        let (_, bpw) = bp_warm.iter().find(|(c, _)| *c == config).expect("bp warm");
+        let (_, bpc) = bp_cold.iter().find(|(c, _)| *c == config).expect("bp cold");
+        report.row(&[
+            config.label().into(),
+            fmt_f(bpc.mean_us),
+            fmt_f(bpw.mean_us),
+            fmt_f(bfc.mean_us),
+            fmt_f(bfw.mean_us),
+            fmt_fpp(*fpp),
+            fmt_f(bfw.mean_us / bpw.mean_us),
+        ]);
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bftree_storage::tuple::PK_OFFSET;
+    use bftree_workloads::{build_relation_r, SyntheticConfig};
+
+    fn tiny() -> Dataset {
+        let config = SyntheticConfig { n_tuples: 10_000, ..SyntheticConfig::scaled_mb(4) };
+        Dataset {
+            heap: build_relation_r(&config),
+            attr: PK_OFFSET,
+            unique: true,
+            label: "PK",
+        }
+    }
+
+    #[test]
+    fn breakeven_emits_full_grid() {
+        let ds = tiny();
+        let probes: Vec<u64> = (0..40u64).map(|i| i * 249).collect();
+        let r = breakeven_figure(&ds, &probes, &[1e-2, 1e-6], "t");
+        assert_eq!(r.len(), 10); // 5 configs x 2 fpps
+    }
+
+    #[test]
+    fn warm_figure_has_three_rows() {
+        let ds = tiny();
+        let probes: Vec<u64> = (0..40u64).map(|i| i * 249).collect();
+        let r = warm_caches_figure(&ds, &probes, &[1e-2, 1e-6], "t");
+        assert_eq!(r.len(), 3);
+    }
+}

@@ -1,0 +1,37 @@
+//! # Experiment harness for the BF-Tree reproduction
+//!
+//! Everything needed to regenerate the paper's tables and figures:
+//!
+//! * [`configs`] — the five index/data storage configurations
+//!   (Mem/HDD, SSD/HDD, HDD/HDD, Mem/SSD, SSD/SSD) as simulated device
+//!   pairs, cold or warm.
+//! * [`indexes`] — builders and probe runners for each competitor
+//!   (BF-Tree, B+-Tree, hash index, FD-Tree).
+//! * [`report`] — aligned-table and CSV output.
+//! * [`scale`] — experiment sizing (env-overridable; defaults preserve
+//!   every ratio the figures are about at laptop scale).
+//!
+//! One binary per table/figure lives in `src/bin/`; run them as
+//! `cargo run --release -p bftree-bench --bin fig5_pk`. Criterion
+//! micro-benchmarks live in `benches/`.
+
+#![warn(missing_docs)]
+
+pub mod configs;
+pub mod experiments;
+pub mod figures;
+pub mod indexes;
+pub mod report;
+pub mod scale;
+
+pub use configs::{DevicePair, StorageConfig};
+pub use experiments::{
+    att1_probes, att1_probes_in_range_misses, baseline_btree, best_per_config, pk_probes, relation_r_att1, relation_r_pk,
+    sweep_bftree, Dataset, SweepPoint,
+};
+pub use indexes::{
+    build_bftree, build_bftree_with_config, build_btree, build_btree_with_mode, build_fdtree, build_hashindex,
+    run_bftree, run_btree, run_fdtree, run_hashindex, RunResult,
+};
+pub use figures::{breakeven_figure, warm_caches_figure};
+pub use report::{fmt_f, fmt_fpp, Report};

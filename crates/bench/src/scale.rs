@@ -1,0 +1,75 @@
+//! Experiment scale control.
+//!
+//! The paper's relations are 1 GB; every experiment here defaults to a
+//! scaled-down relation that preserves all the ratios the figures are
+//! about (index-to-data size, height transitions, false-read rates)
+//! while finishing in seconds. Set `BFTREE_SCALE_MB` to run closer to
+//! paper scale (e.g. `BFTREE_SCALE_MB=1024` for the full 1 GB).
+
+/// Relation size in MB for the synthetic-R experiments: the
+/// `BFTREE_SCALE_MB` environment variable, defaulting to 64.
+pub fn relation_mb() -> u64 {
+    std::env::var("BFTREE_SCALE_MB")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&v| v > 0)
+        .unwrap_or(64)
+}
+
+/// Number of probes per experiment point (the paper uses 1 000); the
+/// `BFTREE_PROBES` environment variable overrides.
+pub fn n_probes() -> usize {
+    std::env::var("BFTREE_PROBES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&v| v > 0)
+        .unwrap_or(1_000)
+}
+
+/// TPCH scale factor for the Figure-11 experiment (paper: SF 1);
+/// `BFTREE_TPCH_SF` overrides, defaulting to 0.05.
+pub fn tpch_sf() -> f64 {
+    std::env::var("BFTREE_TPCH_SF")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&v| v > 0.0)
+        .unwrap_or(0.05)
+}
+
+/// Distinct SHD timestamps for the Figure-12 experiment;
+/// `BFTREE_SHD_TIMESTAMPS` overrides, defaulting to 4 000 (~208 k
+/// readings at mean cardinality 52).
+pub fn shd_timestamps() -> u64 {
+    std::env::var("BFTREE_SHD_TIMESTAMPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&v| v > 0)
+        .unwrap_or(4_000)
+}
+
+/// The paper's fpp sweep for Figures 5/8 and Tables 2/3: 0.2 down to
+/// 10⁻¹⁵ (union of the values the tables call out).
+pub fn paper_fpp_sweep() -> Vec<f64> {
+    vec![0.2, 0.1, 1.9e-2, 1.8e-3, 1.72e-4, 1.5e-7, 1e-11, 1e-15]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        assert!(relation_mb() >= 1);
+        assert!(n_probes() >= 1);
+        assert!(tpch_sf() > 0.0);
+        assert!(shd_timestamps() > 0);
+    }
+
+    #[test]
+    fn sweep_is_strictly_decreasing() {
+        let s = paper_fpp_sweep();
+        assert!(s.windows(2).all(|w| w[1] < w[0]));
+        assert_eq!(s[0], 0.2);
+        assert_eq!(*s.last().unwrap(), 1e-15);
+    }
+}

@@ -1,0 +1,216 @@
+//! Counting Bloom filter: 4-bit counters instead of bits, supporting
+//! deletes — one of the delete-capable variants Section 7 of the paper
+//! points at for keeping the fpp stable under deletions.
+
+use crate::hash::{BloomKey, KeyFingerprint};
+use crate::math;
+
+/// A counting Bloom filter with saturating 4-bit counters.
+///
+/// `insert` increments the `k` counters of a key, `remove` decrements
+/// them, `contains` tests that all are non-zero. A counter that reaches
+/// 15 saturates and is never decremented again (the standard soundness
+/// rule: decrementing a saturated counter could create false
+/// negatives).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CountingBloomFilter {
+    /// Two counters per byte, low nibble = even slot.
+    counters: Vec<u8>,
+    m: u64,
+    k: u32,
+    seed: u64,
+    n_items: u64,
+}
+
+const SATURATED: u8 = 0xF;
+
+impl CountingBloomFilter {
+    /// Create a filter with `m_slots` counters and `k` hash functions.
+    pub fn new(m_slots: u64, k: u32, seed: u64) -> Self {
+        assert!(m_slots > 0 && k > 0);
+        let m = m_slots.next_multiple_of(2);
+        Self {
+            counters: vec![0u8; (m / 2) as usize],
+            m,
+            k,
+            seed,
+            n_items: 0,
+        }
+    }
+
+    /// Size the filter for `n` keys at false-positive probability `p`
+    /// (same slot count as a plain filter's bit count; 4x the bytes).
+    pub fn with_capacity(n: u64, p: f64, seed: u64) -> Self {
+        let m = math::bits_for(n.max(1), p).max(64);
+        let k = math::optimal_k(m, n.max(1));
+        Self::new(m, k, seed)
+    }
+
+    /// Number of counter slots.
+    #[inline]
+    pub fn m_slots(&self) -> u64 {
+        self.m
+    }
+
+    /// Number of hash functions.
+    #[inline]
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// Net number of items (inserts minus successful removes).
+    #[inline]
+    pub fn n_items(&self) -> u64 {
+        self.n_items
+    }
+
+    #[inline]
+    fn get(&self, slot: u64) -> u8 {
+        let byte = self.counters[(slot / 2) as usize];
+        if slot.is_multiple_of(2) {
+            byte & 0x0F
+        } else {
+            byte >> 4
+        }
+    }
+
+    #[inline]
+    fn set(&mut self, slot: u64, value: u8) {
+        debug_assert!(value <= SATURATED);
+        let byte = &mut self.counters[(slot / 2) as usize];
+        if slot.is_multiple_of(2) {
+            *byte = (*byte & 0xF0) | value;
+        } else {
+            *byte = (*byte & 0x0F) | (value << 4);
+        }
+    }
+
+    /// Insert `key`, incrementing its `k` counters (saturating at 15).
+    pub fn insert<K: BloomKey>(&mut self, key: &K) {
+        let fp = KeyFingerprint::new(key, self.seed);
+        for i in 0..self.k {
+            let slot = fp.probe(i, self.m);
+            let c = self.get(slot);
+            if c < SATURATED {
+                self.set(slot, c + 1);
+            }
+        }
+        self.n_items += 1;
+    }
+
+    /// Membership test.
+    pub fn contains<K: BloomKey>(&self, key: &K) -> bool {
+        let fp = KeyFingerprint::new(key, self.seed);
+        (0..self.k).all(|i| self.get(fp.probe(i, self.m)) > 0)
+    }
+
+    /// Remove `key`. Returns `false` (and does nothing) if the key is
+    /// definitely absent. Saturated counters are left untouched.
+    pub fn remove<K: BloomKey>(&mut self, key: &K) -> bool {
+        if !self.contains(key) {
+            return false;
+        }
+        let fp = KeyFingerprint::new(key, self.seed);
+        for i in 0..self.k {
+            let slot = fp.probe(i, self.m);
+            let c = self.get(slot);
+            if c > 0 && c < SATURATED {
+                self.set(slot, c - 1);
+            }
+        }
+        self.n_items = self.n_items.saturating_sub(1);
+        true
+    }
+
+    /// Fraction of non-zero counters.
+    pub fn fill_ratio(&self) -> f64 {
+        let nonzero: u64 = (0..self.m).filter(|&s| self.get(s) > 0).count() as u64;
+        nonzero as f64 / self.m as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_then_contains() {
+        let mut cbf = CountingBloomFilter::with_capacity(1_000, 0.01, 0);
+        for key in 0u64..1_000 {
+            cbf.insert(&key);
+        }
+        for key in 0u64..1_000 {
+            assert!(cbf.contains(&key));
+        }
+    }
+
+    #[test]
+    fn remove_restores_absence() {
+        let mut cbf = CountingBloomFilter::with_capacity(1_000, 1e-4, 1);
+        for key in 0u64..100 {
+            cbf.insert(&key);
+        }
+        for key in 0u64..50 {
+            assert!(cbf.remove(&key));
+        }
+        // Removed keys should now (almost always, at fpp 1e-4) be absent;
+        // retained keys must still be present.
+        let still_present = (0u64..50).filter(|k| cbf.contains(k)).count();
+        assert!(still_present <= 2, "{still_present} ghosts after remove");
+        for key in 50u64..100 {
+            assert!(cbf.contains(&key), "false negative for retained {key}");
+        }
+    }
+
+    #[test]
+    fn remove_absent_key_is_noop() {
+        let mut cbf = CountingBloomFilter::with_capacity(100, 1e-6, 2);
+        cbf.insert(&1u64);
+        assert!(!cbf.remove(&999_999u64));
+        assert!(cbf.contains(&1u64));
+        assert_eq!(cbf.n_items(), 1);
+    }
+
+    #[test]
+    fn duplicate_inserts_need_matching_removes() {
+        let mut cbf = CountingBloomFilter::with_capacity(100, 1e-6, 3);
+        cbf.insert(&7u64);
+        cbf.insert(&7u64);
+        assert!(cbf.remove(&7u64));
+        // Still present: one copy remains.
+        assert!(cbf.contains(&7u64));
+        assert!(cbf.remove(&7u64));
+        assert!(!cbf.contains(&7u64));
+    }
+
+    #[test]
+    fn counters_saturate_without_false_negatives() {
+        let mut cbf = CountingBloomFilter::new(64, 2, 0);
+        // Hammer one key far past the 4-bit max.
+        for _ in 0..100 {
+            cbf.insert(&42u64);
+        }
+        assert!(cbf.contains(&42u64));
+        // Removing many times must not produce a false negative for a
+        // saturated counter.
+        for _ in 0..100 {
+            cbf.remove(&42u64);
+        }
+        assert!(
+            cbf.contains(&42u64),
+            "saturated counters must never be decremented"
+        );
+    }
+
+    #[test]
+    fn nibble_packing_is_isolated() {
+        let mut cbf = CountingBloomFilter::new(16, 1, 0);
+        // Directly exercise set/get on adjacent slots.
+        cbf.set(4, 9);
+        cbf.set(5, 3);
+        assert_eq!(cbf.get(4), 9);
+        assert_eq!(cbf.get(5), 3);
+        cbf.set(4, 0);
+        assert_eq!(cbf.get(5), 3);
+    }
+}

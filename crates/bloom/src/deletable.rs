@@ -1,0 +1,188 @@
+//! Deletable Bloom filter (Rothenberg et al., 2010) — the `[39]` of the
+//! paper's Section 7: a plain bit-array filter that can *sometimes*
+//! delete, by remembering which regions of the bit array are
+//! collision-free.
+//!
+//! The bit array is split into `r` regions. A small auxiliary bitmap
+//! marks regions where some bit was set by two different insertions.
+//! A key may be deleted iff at least one of its `k` bits falls in a
+//! collision-free region — resetting that bit cannot create a false
+//! negative for any other key.
+
+use crate::hash::{BloomKey, KeyFingerprint};
+use crate::math;
+
+/// A deletable Bloom filter with `r` collision-tracking regions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeletableBloomFilter {
+    bits: Vec<u64>,
+    collided: Vec<bool>,
+    m: u64,
+    k: u32,
+    r: u32,
+    seed: u64,
+}
+
+impl DeletableBloomFilter {
+    /// Create a filter with `m_bits` bits, `k` hashes and `r` regions.
+    pub fn new(m_bits: u64, k: u32, r: u32, seed: u64) -> Self {
+        assert!(m_bits > 0 && k > 0 && r > 0);
+        let words = m_bits.div_ceil(64) as usize;
+        let m = words as u64 * 64;
+        Self {
+            bits: vec![0u64; words],
+            collided: vec![false; r as usize],
+            m,
+            k,
+            r,
+            seed,
+        }
+    }
+
+    /// Size for `n` keys at fpp `p`, defaulting to `r = 64` regions.
+    pub fn with_capacity(n: u64, p: f64, seed: u64) -> Self {
+        let m = math::bits_for(n.max(1), p).max(64);
+        let k = math::optimal_k(m, n.max(1));
+        Self::new(m, k, 64, seed)
+    }
+
+    #[inline]
+    fn region_of(&self, bit: u64) -> usize {
+        ((bit as u128 * self.r as u128) / self.m as u128) as usize
+    }
+
+    #[inline]
+    fn get_bit(&self, bit: u64) -> bool {
+        self.bits[(bit / 64) as usize] & (1u64 << (bit % 64)) != 0
+    }
+
+    #[inline]
+    fn set_bit(&mut self, bit: u64) {
+        self.bits[(bit / 64) as usize] |= 1u64 << (bit % 64);
+    }
+
+    #[inline]
+    fn clear_bit(&mut self, bit: u64) {
+        self.bits[(bit / 64) as usize] &= !(1u64 << (bit % 64));
+    }
+
+    /// Insert `key`, recording collisions per region.
+    pub fn insert<K: BloomKey>(&mut self, key: &K) {
+        let fp = KeyFingerprint::new(key, self.seed);
+        for i in 0..self.k {
+            let bit = fp.probe(i, self.m);
+            if self.get_bit(bit) {
+                // Bit already set by some earlier insertion (possibly of
+                // this same key): the region is no longer collision-free.
+                let region = self.region_of(bit);
+                self.collided[region] = true;
+            } else {
+                self.set_bit(bit);
+            }
+        }
+    }
+
+    /// Membership test (standard Bloom semantics).
+    pub fn contains<K: BloomKey>(&self, key: &K) -> bool {
+        let fp = KeyFingerprint::new(key, self.seed);
+        (0..self.k).all(|i| self.get_bit(fp.probe(i, self.m)))
+    }
+
+    /// Attempt to delete `key`. Returns `true` if at least one of its
+    /// bits lay in a collision-free region and was reset (so subsequent
+    /// `contains` returns `false`); `false` if the key is not deletable.
+    pub fn remove<K: BloomKey>(&mut self, key: &K) -> bool {
+        if !self.contains(key) {
+            return false;
+        }
+        let fp = KeyFingerprint::new(key, self.seed);
+        let mut deleted = false;
+        for i in 0..self.k {
+            let bit = fp.probe(i, self.m);
+            if !self.collided[self.region_of(bit)] {
+                self.clear_bit(bit);
+                deleted = true;
+            }
+        }
+        deleted
+    }
+
+    /// Fraction of regions still collision-free (the filter's remaining
+    /// delete capacity).
+    pub fn deletable_fraction(&self) -> f64 {
+        let free = self.collided.iter().filter(|c| !**c).count();
+        free as f64 / self.r as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparse_filter_supports_deletes() {
+        // Far below capacity almost every region is collision-free.
+        let mut dbf = DeletableBloomFilter::new(1 << 16, 3, 128, 0);
+        for key in 0u64..50 {
+            dbf.insert(&key);
+        }
+        let mut deleted = 0;
+        for key in 0u64..50 {
+            if dbf.remove(&key) {
+                deleted += 1;
+                assert!(!dbf.contains(&key), "deleted key {key} still present");
+            }
+        }
+        assert!(deleted >= 45, "only {deleted}/50 deletable in sparse filter");
+    }
+
+    #[test]
+    fn deletes_never_create_false_negatives_for_others() {
+        let mut dbf = DeletableBloomFilter::new(1 << 12, 3, 64, 1);
+        for key in 0u64..300 {
+            dbf.insert(&key);
+        }
+        // Delete even keys where possible.
+        for key in (0u64..300).step_by(2) {
+            dbf.remove(&key);
+        }
+        // Odd keys must all still be present.
+        for key in (1u64..300).step_by(2) {
+            assert!(dbf.contains(&key), "false negative for surviving key {key}");
+        }
+    }
+
+    #[test]
+    fn deletable_fraction_decreases_with_load() {
+        let mut dbf = DeletableBloomFilter::new(1 << 12, 3, 64, 2);
+        let f0 = dbf.deletable_fraction();
+        assert_eq!(f0, 1.0);
+        for key in 0u64..2_000 {
+            dbf.insert(&key);
+        }
+        assert!(dbf.deletable_fraction() < 0.5);
+    }
+
+    #[test]
+    fn remove_absent_returns_false() {
+        let mut dbf = DeletableBloomFilter::new(1 << 12, 3, 64, 3);
+        dbf.insert(&5u64);
+        assert!(!dbf.remove(&1_000_000u64));
+    }
+
+    #[test]
+    fn regions_partition_bits() {
+        let dbf = DeletableBloomFilter::new(1 << 10, 3, 7, 0);
+        let mut counts = vec![0u64; 7];
+        for bit in 0..dbf.m {
+            counts[dbf.region_of(bit)] += 1;
+        }
+        let total: u64 = counts.iter().sum();
+        assert_eq!(total, dbf.m);
+        // Regions are near-equal (within one rounding unit of m/r).
+        let ideal = dbf.m as f64 / 7.0;
+        for c in counts {
+            assert!((c as f64 - ideal).abs() <= 1.0, "region size {c}, ideal {ideal}");
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Scalable Bloom filter (Almeida et al., 2007) — `[2]` in the paper's
+//! Section 2: a series of plain filters with geometrically tightening
+//! false-positive probabilities, so the *compound* fpp stays below a
+//! target no matter how many keys arrive.
+
+use crate::filter::BloomFilter;
+use crate::hash::BloomKey;
+
+/// A scalable Bloom filter.
+///
+/// New keys go to the newest slice; when the slice reaches its design
+/// capacity, a new slice is opened with `growth` times the capacity and
+/// `tightening` times the fpp of the previous one. The compound fpp is
+/// bounded by `p0 / (1 - tightening)`.
+#[derive(Debug, Clone)]
+pub struct ScalableBloomFilter {
+    slices: Vec<Slice>,
+    initial_capacity: u64,
+    initial_fpp: f64,
+    growth: f64,
+    tightening: f64,
+    seed: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Slice {
+    filter: BloomFilter,
+    capacity: u64,
+}
+
+impl ScalableBloomFilter {
+    /// Standard parameters: slice growth 2x, fpp tightening 0.5x.
+    pub fn new(initial_capacity: u64, initial_fpp: f64, seed: u64) -> Self {
+        Self::with_parameters(initial_capacity, initial_fpp, 2.0, 0.5, seed)
+    }
+
+    /// Fully parameterized construction.
+    pub fn with_parameters(
+        initial_capacity: u64,
+        initial_fpp: f64,
+        growth: f64,
+        tightening: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(initial_capacity > 0);
+        assert!(initial_fpp > 0.0 && initial_fpp < 1.0);
+        assert!(growth >= 1.0);
+        assert!(tightening > 0.0 && tightening < 1.0);
+        let first = Slice {
+            filter: BloomFilter::with_capacity(initial_capacity, initial_fpp * (1.0 - tightening), seed),
+            capacity: initial_capacity,
+        };
+        Self {
+            slices: vec![first],
+            initial_capacity,
+            initial_fpp,
+            growth,
+            tightening,
+            seed,
+        }
+    }
+
+    /// Number of slices currently allocated.
+    pub fn n_slices(&self) -> usize {
+        self.slices.len()
+    }
+
+    /// Total keys inserted.
+    pub fn n_inserted(&self) -> u64 {
+        self.slices.iter().map(|s| s.filter.n_inserted()).sum()
+    }
+
+    /// Upper bound on the compound false-positive probability:
+    /// `p0 · (1-t) · Σ tⁱ  <  p0`.
+    pub fn compound_fpp_bound(&self) -> f64 {
+        self.initial_fpp
+    }
+
+    /// Total bits across all slices.
+    pub fn total_bits(&self) -> u64 {
+        self.slices.iter().map(|s| s.filter.m_bits()).sum()
+    }
+
+    /// Insert `key`, opening a new slice if the current one is full.
+    pub fn insert<K: BloomKey>(&mut self, key: &K) {
+        let need_new = {
+            let last = self.slices.last().expect("at least one slice");
+            last.filter.n_inserted() >= last.capacity
+        };
+        if need_new {
+            let i = self.slices.len() as u32;
+            let capacity =
+                (self.initial_capacity as f64 * self.growth.powi(i as i32)).ceil() as u64;
+            let fpp = self.initial_fpp
+                * (1.0 - self.tightening)
+                * self.tightening.powi(i as i32);
+            let fpp = fpp.max(1e-12);
+            // A fresh seed per slice keeps slices independent.
+            let slice_seed = self.seed.wrapping_add(u64::from(i).wrapping_mul(0x9E37_79B9));
+            self.slices.push(Slice {
+                filter: BloomFilter::with_capacity(capacity, fpp, slice_seed),
+                capacity,
+            });
+        }
+        self.slices
+            .last_mut()
+            .expect("at least one slice")
+            .filter
+            .insert(key);
+    }
+
+    /// Membership test: present if any slice contains the key.
+    pub fn contains<K: BloomKey>(&self, key: &K) -> bool {
+        self.slices.iter().any(|s| s.filter.contains(key))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grows_past_initial_capacity_without_false_negatives() {
+        let mut sbf = ScalableBloomFilter::new(1_000, 0.01, 0);
+        for key in 0u64..20_000 {
+            sbf.insert(&key);
+        }
+        assert!(sbf.n_slices() > 1, "should have grown");
+        for key in 0u64..20_000 {
+            assert!(sbf.contains(&key), "false negative for {key}");
+        }
+    }
+
+    #[test]
+    fn compound_fpp_stays_bounded_after_growth() {
+        let p0 = 0.01;
+        let mut sbf = ScalableBloomFilter::new(1_000, p0, 7);
+        for key in 0u64..16_000 {
+            sbf.insert(&key);
+        }
+        let trials = 100_000u64;
+        let fps = (1_000_000..1_000_000 + trials)
+            .filter(|k| sbf.contains(k))
+            .count();
+        let measured = fps as f64 / trials as f64;
+        assert!(
+            measured <= p0 * 1.5,
+            "compound fpp {measured} exceeds bound {p0}"
+        );
+    }
+
+    #[test]
+    fn slice_capacities_grow_geometrically() {
+        let mut sbf = ScalableBloomFilter::new(100, 0.05, 1);
+        for key in 0u64..1_000 {
+            sbf.insert(&key);
+        }
+        let caps: Vec<u64> = sbf.slices.iter().map(|s| s.capacity).collect();
+        for w in caps.windows(2) {
+            assert!(w[1] >= w[0] * 2, "capacities {caps:?} not doubling");
+        }
+    }
+
+    #[test]
+    fn empty_filter_contains_nothing_surely() {
+        let sbf = ScalableBloomFilter::new(10, 0.001, 0);
+        let hits = (0u64..10_000).filter(|k| sbf.contains(k)).count();
+        assert_eq!(hits, 0);
+    }
+}

@@ -1,0 +1,177 @@
+//! Property-based tests over the Bloom-filter substrate.
+
+use bftree_bloom::{math, BloomFilter, BloomGroup, CountingBloomFilter, ScalableBloomFilter};
+use proptest::prelude::*;
+
+proptest! {
+    /// The fundamental Bloom guarantee: zero false negatives, for any
+    /// key set, geometry and seed.
+    #[test]
+    fn no_false_negatives(
+        keys in proptest::collection::vec(any::<u64>(), 1..500),
+        m_exp in 8u32..16,
+        k in 1u32..8,
+        seed in any::<u64>(),
+    ) {
+        let mut bf = BloomFilter::new(1u64 << m_exp, k, seed);
+        for key in &keys {
+            bf.insert(key);
+        }
+        for key in &keys {
+            prop_assert!(bf.contains(key));
+        }
+    }
+
+    /// Serialization is lossless for arbitrary filters.
+    #[test]
+    fn filter_roundtrip(
+        keys in proptest::collection::vec(any::<u64>(), 0..200),
+        m_exp in 6u32..14,
+        k in 1u32..6,
+        seed in any::<u64>(),
+    ) {
+        let mut bf = BloomFilter::new(1u64 << m_exp, k, seed);
+        for key in &keys {
+            bf.insert(key);
+        }
+        let back = BloomFilter::from_bytes(&bf.to_bytes()).expect("roundtrip");
+        prop_assert_eq!(bf, back);
+    }
+
+    /// Union is an upper bound of both operands.
+    #[test]
+    fn union_superset(
+        left in proptest::collection::vec(any::<u64>(), 0..200),
+        right in proptest::collection::vec(any::<u64>(), 0..200),
+        seed in any::<u64>(),
+    ) {
+        let mut a = BloomFilter::new(1 << 12, 3, seed);
+        let mut b = BloomFilter::new(1 << 12, 3, seed);
+        for key in &left { a.insert(key); }
+        for key in &right { b.insert(key); }
+        a.union_with(&b);
+        for key in left.iter().chain(&right) {
+            prop_assert!(a.contains(key));
+        }
+    }
+
+    /// Equation 1 inverse identities hold across the whole useful range.
+    #[test]
+    fn eq1_inverses(n in 1u64..1_000_000, neg_log_p in 1u32..15) {
+        let p = 10f64.powi(-(neg_log_p as i32));
+        let m = math::bits_for(n, p);
+        let n_back = math::capacity_for(m, p);
+        // Ceil then floor: n_back >= n, within one key of exact.
+        prop_assert!(n_back >= n);
+        prop_assert!(n_back <= n + (n / 1000) + 2);
+    }
+
+    /// Equation 14 is monotone in the insert ratio and anchored at the
+    /// initial fpp.
+    #[test]
+    fn eq14_monotone(neg_log_p in 1u32..10, r1 in 0.0f64..5.0, r2 in 0.0f64..5.0) {
+        let p = 10f64.powi(-(neg_log_p as i32));
+        let (lo, hi) = if r1 <= r2 { (r1, r2) } else { (r2, r1) };
+        let f_lo = math::fpp_after_inserts(p, lo);
+        let f_hi = math::fpp_after_inserts(p, hi);
+        prop_assert!(f_lo <= f_hi + 1e-15);
+        prop_assert!(math::fpp_after_inserts(p, 0.0) >= p * 0.999);
+        prop_assert!(f_hi < 1.0);
+    }
+
+    /// BloomGroup routing: every key is found in its home bucket via
+    /// matching_buckets, regardless of distribution.
+    #[test]
+    fn group_finds_home_bucket(
+        keys in proptest::collection::vec(any::<u64>(), 1..300),
+        s in 1usize..32,
+        seed in any::<u64>(),
+    ) {
+        let mut g = BloomGroup::new(1 << 16, s, 3, seed);
+        for (i, key) in keys.iter().enumerate() {
+            g.insert(i % s, key);
+        }
+        for (i, key) in keys.iter().enumerate() {
+            let m = g.matching_buckets(key);
+            prop_assert!(m.contains(&(i % s)));
+        }
+    }
+
+    /// Counting filter: insert/remove round-trips leave other keys intact.
+    #[test]
+    fn counting_remove_is_safe(
+        keys in proptest::collection::hash_set(any::<u64>(), 2..100),
+        seed in any::<u64>(),
+    ) {
+        let keys: Vec<u64> = keys.into_iter().collect();
+        let mut cbf = CountingBloomFilter::with_capacity(keys.len() as u64, 1e-6, seed);
+        for key in &keys {
+            cbf.insert(key);
+        }
+        // Remove the first half.
+        let half = keys.len() / 2;
+        for key in &keys[..half] {
+            cbf.remove(key);
+        }
+        // Second half must remain present (no false negatives).
+        for key in &keys[half..] {
+            prop_assert!(cbf.contains(key));
+        }
+    }
+
+    /// Scalable filter never loses keys as it grows.
+    #[test]
+    fn scalable_no_false_negatives(
+        n in 1u64..3_000,
+        cap in 8u64..256,
+        seed in any::<u64>(),
+    ) {
+        let mut sbf = ScalableBloomFilter::new(cap, 0.02, seed);
+        for key in 0..n {
+            sbf.insert(&key);
+        }
+        for key in 0..n {
+            prop_assert!(sbf.contains(&key));
+        }
+    }
+}
+
+/// Deterministic check that the measured fpp tracks Equation 14 as keys
+/// are inserted beyond capacity — the empirical backbone of Figure 14.
+#[test]
+fn fpp_degradation_tracks_eq14() {
+    let p0 = 0.01;
+    let n = 20_000u64;
+    let m = math::bits_for(n, p0);
+    let k = math::optimal_k(m, n);
+    let mut bf = BloomFilter::new(m, k, 123);
+    for key in 0..n {
+        bf.insert(&key);
+    }
+
+    let measure = |bf: &BloomFilter| -> f64 {
+        let trials = 200_000u64;
+        let fp = (10_000_000..10_000_000 + trials)
+            .filter(|key| bf.contains(key))
+            .count();
+        fp as f64 / trials as f64
+    };
+
+    let baseline = measure(&bf);
+    assert!((baseline - p0).abs() < p0 * 0.5, "baseline {baseline}");
+
+    // Insert 10% more keys; Eq. 14 predicts p0^(1/1.1).
+    for key in n..(n + n / 10) {
+        bf.insert(&key);
+    }
+    let degraded = measure(&bf);
+    let predicted = math::fpp_after_inserts(p0, 0.10);
+    assert!(
+        degraded > baseline,
+        "fpp should grow: {baseline} -> {degraded}"
+    );
+    assert!(
+        (degraded - predicted).abs() < predicted,
+        "measured {degraded}, Eq.14 predicts {predicted}"
+    );
+}

@@ -1,0 +1,152 @@
+//! B+-Tree node structures and sizing configuration.
+
+use crate::tupleref::TupleRef;
+
+/// Geometry of the tree, from which node capacities are derived
+/// exactly as the paper's Equation 2 does.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BTreeConfig {
+    /// Node (page) size in bytes — 4096 throughout the paper.
+    pub page_size: usize,
+    /// Size of a key in bytes (8 for the synthetic workloads, 32 in
+    /// the Figure 4 model).
+    pub key_size: usize,
+    /// Size of a pointer in bytes (8 throughout).
+    pub ptr_size: usize,
+    /// Leaf occupancy achieved by bulk loading (1.0 = packed; the
+    /// paper's measured trees sit near 0.81).
+    pub fill_factor: f64,
+    /// How duplicate keys are stored.
+    pub duplicates: DuplicateMode,
+}
+
+/// Duplicate-key handling (see crate docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DuplicateMode {
+    /// One leaf entry per tuple (duplicates repeated).
+    PerTuple,
+    /// One leaf entry per distinct key, pointing at its first tuple;
+    /// valid when the data file is ordered/partitioned on the key so
+    /// duplicates are contiguous (the paper's ATT1 / TPCH / SHD setup).
+    FirstRef,
+}
+
+impl BTreeConfig {
+    /// Paper-default configuration: 4 KB pages, 8 B keys and pointers.
+    pub fn paper_default() -> Self {
+        Self {
+            page_size: 4096,
+            key_size: 8,
+            ptr_size: 8,
+            fill_factor: 1.0,
+            duplicates: DuplicateMode::PerTuple,
+        }
+    }
+
+    /// Equation 2: fanout of internal nodes.
+    pub fn fanout(&self) -> usize {
+        self.page_size / (self.key_size + self.ptr_size)
+    }
+
+    /// Entries per leaf page at 100 % occupancy.
+    pub fn leaf_capacity(&self) -> usize {
+        self.page_size / (self.key_size + self.ptr_size)
+    }
+
+    /// Entries per leaf targeted by bulk loading.
+    pub fn bulk_leaf_entries(&self) -> usize {
+        ((self.leaf_capacity() as f64 * self.fill_factor).floor() as usize).max(2)
+    }
+
+    /// Children per internal node targeted by bulk loading.
+    pub fn bulk_fanout(&self) -> usize {
+        ((self.fanout() as f64 * self.fill_factor).floor() as usize).max(2)
+    }
+}
+
+/// Arena index of a node ("page id" within the index file).
+pub type NodeId = u32;
+
+/// A B+-Tree node.
+#[derive(Debug, Clone)]
+pub enum Node {
+    /// Internal routing node: `children.len() == keys.len() + 1`;
+    /// subtree `i` holds keys `< keys[i]`, subtree `i+1` keys `>= keys[i]`.
+    Internal {
+        /// Separator keys.
+        keys: Vec<u64>,
+        /// Child node ids.
+        children: Vec<NodeId>,
+    },
+    /// Leaf node: sorted parallel arrays plus a next-leaf link.
+    Leaf {
+        /// Sorted keys (duplicates possible in `PerTuple` mode).
+        keys: Vec<u64>,
+        /// Tuple references, parallel to `keys`.
+        refs: Vec<TupleRef>,
+        /// Right sibling.
+        next: Option<NodeId>,
+    },
+}
+
+impl Node {
+    /// Whether this is a leaf.
+    pub fn is_leaf(&self) -> bool {
+        matches!(self, Node::Leaf { .. })
+    }
+
+    /// Number of keys stored.
+    pub fn len(&self) -> usize {
+        match self {
+            Node::Internal { keys, .. } => keys.len(),
+            Node::Leaf { keys, .. } => keys.len(),
+        }
+    }
+
+    /// Whether the node holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_fanout_is_256() {
+        let c = BTreeConfig::paper_default();
+        assert_eq!(c.fanout(), 256);
+        assert_eq!(c.leaf_capacity(), 256);
+    }
+
+    #[test]
+    fn figure4_fanout() {
+        // Fig. 4 model: 32 B keys, 8 B pointers -> fanout 102.
+        let c = BTreeConfig {
+            key_size: 32,
+            ..BTreeConfig::paper_default()
+        };
+        assert_eq!(c.fanout(), 102);
+    }
+
+    #[test]
+    fn fill_factor_shrinks_bulk_capacity() {
+        let c = BTreeConfig {
+            fill_factor: 0.81,
+            ..BTreeConfig::paper_default()
+        };
+        assert_eq!(c.bulk_leaf_entries(), 207);
+        assert_eq!(c.bulk_fanout(), 207);
+    }
+
+    #[test]
+    fn bulk_capacities_never_degenerate() {
+        let c = BTreeConfig {
+            fill_factor: 0.001,
+            ..BTreeConfig::paper_default()
+        };
+        assert!(c.bulk_leaf_entries() >= 2);
+        assert!(c.bulk_fanout() >= 2);
+    }
+}

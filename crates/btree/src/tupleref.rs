@@ -1,0 +1,70 @@
+//! Packed references to tuples in a heap file.
+
+use bftree_storage::PageId;
+
+/// A reference to one tuple: `(page id, slot)` packed into a u64
+/// (48 bits of page id, 16 bits of slot) — the paper's 8-byte pointer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TupleRef(u64);
+
+impl TupleRef {
+    /// Pack `(pid, slot)`.
+    #[inline]
+    pub fn new(pid: PageId, slot: usize) -> Self {
+        debug_assert!(pid < (1 << 48), "page id overflows 48 bits");
+        debug_assert!(slot < (1 << 16), "slot overflows 16 bits");
+        Self((pid << 16) | slot as u64)
+    }
+
+    /// Page id.
+    #[inline]
+    pub fn pid(self) -> PageId {
+        self.0 >> 16
+    }
+
+    /// Slot within the page.
+    #[inline]
+    pub fn slot(self) -> usize {
+        (self.0 & 0xFFFF) as usize
+    }
+
+    /// The packed representation.
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuild from a packed representation.
+    #[inline]
+    pub fn from_raw(raw: u64) -> Self {
+        Self(raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack() {
+        let r = TupleRef::new(123_456, 42);
+        assert_eq!(r.pid(), 123_456);
+        assert_eq!(r.slot(), 42);
+        assert_eq!(TupleRef::from_raw(r.raw()), r);
+    }
+
+    #[test]
+    fn ordering_is_by_page_then_slot() {
+        let a = TupleRef::new(1, 100);
+        let b = TupleRef::new(2, 0);
+        let c = TupleRef::new(2, 1);
+        assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn extremes() {
+        let r = TupleRef::new((1 << 48) - 1, (1 << 16) - 1);
+        assert_eq!(r.pid(), (1 << 48) - 1);
+        assert_eq!(r.slot(), (1 << 16) - 1);
+    }
+}

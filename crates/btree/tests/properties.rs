@@ -1,0 +1,142 @@
+//! Property-based tests for the B+-Tree against a BTreeMap reference
+//! model.
+
+use bftree_btree::{BPlusTree, BTreeConfig, DuplicateMode, TupleRef};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+fn tiny_config() -> BTreeConfig {
+    BTreeConfig {
+        page_size: 64, // fanout 4: every test exercises multi-level trees
+        ..BTreeConfig::paper_default()
+    }
+}
+
+proptest! {
+    /// Bulk build agrees with a sorted reference on point lookups.
+    #[test]
+    fn bulk_build_matches_reference(
+        mut keys in proptest::collection::vec(0u64..10_000, 0..600),
+        probes in proptest::collection::vec(0u64..10_000, 0..100),
+    ) {
+        keys.sort_unstable();
+        let entries: Vec<(u64, TupleRef)> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| (k, TupleRef::new(i as u64, 0)))
+            .collect();
+        let reference: BTreeMap<u64, usize> =
+            keys.iter().enumerate().map(|(i, &k)| (k, i)).collect();
+        let t = BPlusTree::bulk_build(tiny_config(), entries);
+        t.check_invariants();
+        for p in probes.iter().chain(keys.iter()) {
+            prop_assert_eq!(t.search(*p, None).is_some(), reference.contains_key(p));
+        }
+    }
+
+    /// search_all returns exactly the multiset of refs inserted per key.
+    #[test]
+    fn search_all_is_exact(
+        mut keys in proptest::collection::vec(0u64..50, 1..500),
+    ) {
+        keys.sort_unstable();
+        let entries: Vec<(u64, TupleRef)> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| (k, TupleRef::new(i as u64, 0)))
+            .collect();
+        let t = BPlusTree::bulk_build(tiny_config(), entries.clone());
+        t.check_invariants();
+        for key in 0u64..50 {
+            let expected: Vec<TupleRef> = entries
+                .iter()
+                .filter(|(k, _)| *k == key)
+                .map(|(_, r)| *r)
+                .collect();
+            let mut got = t.search_all(key, None);
+            got.sort();
+            prop_assert_eq!(got, expected, "key {}", key);
+        }
+    }
+
+    /// Range scans agree with a filter over the input.
+    #[test]
+    fn range_matches_reference(
+        mut keys in proptest::collection::vec(0u64..1_000, 0..400),
+        lo in 0u64..1_000,
+        span in 0u64..300,
+    ) {
+        keys.sort_unstable();
+        let hi = lo.saturating_add(span);
+        let entries: Vec<(u64, TupleRef)> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| (k, TupleRef::new(i as u64, 0)))
+            .collect();
+        let t = BPlusTree::bulk_build(tiny_config(), entries.clone());
+        let got: Vec<u64> = t.range(lo, hi, None).into_iter().map(|(k, _)| k).collect();
+        let expected: Vec<u64> = keys.iter().copied().filter(|&k| k >= lo && k <= hi).collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Random insert sequences preserve all invariants and lookups.
+    #[test]
+    fn inserts_maintain_invariants(
+        keys in proptest::collection::vec(0u64..5_000, 1..400),
+    ) {
+        let mut t = BPlusTree::new(tiny_config());
+        for (i, &k) in keys.iter().enumerate() {
+            t.insert(k, TupleRef::new(i as u64, 0), None);
+        }
+        t.check_invariants();
+        prop_assert_eq!(t.n_entries(), keys.len() as u64);
+        for &k in &keys {
+            prop_assert!(t.search(k, None).is_some());
+        }
+    }
+
+    /// Inserts followed by deletes drain the tree back to its pre-state
+    /// membership.
+    #[test]
+    fn insert_delete_roundtrip(
+        keys in proptest::collection::hash_set(0u64..2_000, 1..200),
+    ) {
+        let keys: Vec<u64> = keys.into_iter().collect();
+        let mut t = BPlusTree::new(tiny_config());
+        for (i, &k) in keys.iter().enumerate() {
+            t.insert(k, TupleRef::new(i as u64, 0), None);
+        }
+        // Delete the first half.
+        let half = keys.len() / 2;
+        for (i, &k) in keys[..half].iter().enumerate() {
+            prop_assert!(t.delete(k, TupleRef::new(i as u64, 0), None));
+        }
+        t.check_invariants();
+        for &k in &keys[..half] {
+            prop_assert!(t.search(k, None).is_none());
+        }
+        for &k in &keys[half..] {
+            prop_assert!(t.search(k, None).is_some());
+        }
+    }
+
+    /// FirstRef mode stores exactly the distinct-key count.
+    #[test]
+    fn firstref_dedup_count(
+        mut keys in proptest::collection::vec(0u64..300, 1..500),
+    ) {
+        keys.sort_unstable();
+        let distinct = {
+            let mut d = keys.clone();
+            d.dedup();
+            d.len() as u64
+        };
+        let config = BTreeConfig { duplicates: DuplicateMode::FirstRef, ..tiny_config() };
+        let t = BPlusTree::bulk_build(
+            config,
+            keys.iter().enumerate().map(|(i, &k)| (k, TupleRef::new(i as u64, 0))),
+        );
+        t.check_invariants();
+        prop_assert_eq!(t.n_entries(), distinct);
+    }
+}

@@ -1,0 +1,208 @@
+//! Range scans over BF-Tree partitions (§7, Figure 13).
+//!
+//! A BF-leaf corresponds to one partition of the main data. A range
+//! scan touches *middle* partitions entirely and *boundary* partitions
+//! partially; reading boundary partitions whole is the overhead
+//! Figure 13 measures. The §7 optimization — enumerate the boundary
+//! values and probe the BFs to fetch only useful pages — is
+//! implemented as [`BfTree::range_scan_probing`].
+
+use bftree_storage::tuple::AttrOffset;
+use bftree_storage::{HeapFile, PageId, SimDevice};
+
+use crate::tree::BfTree;
+
+/// Outcome of a range scan.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RangeScanResult {
+    /// Matching tuples as `(page id, slot)`, in page order.
+    pub matches: Vec<(PageId, usize)>,
+    /// Data pages read.
+    pub pages_read: u64,
+    /// Data pages read that contained no tuple in range (the boundary
+    /// overhead).
+    pub overhead_pages: u64,
+    /// Leaves (partitions) visited.
+    pub leaves_visited: u64,
+}
+
+impl BfTree {
+    /// Plain range scan: read every page of every partition overlapping
+    /// `[lo, hi]` sequentially, filtering tuples. This is the default
+    /// §7 evaluation (Figure 13's numerator).
+    pub fn range_scan(
+        &self,
+        lo: u64,
+        hi: u64,
+        heap: &HeapFile,
+        attr: AttrOffset,
+        idx_dev: Option<&SimDevice>,
+        data_dev: Option<&SimDevice>,
+    ) -> RangeScanResult {
+        assert!(lo <= hi);
+        let mut result = RangeScanResult::default();
+        let Some(start) = self.first_overlapping_leaf(lo, idx_dev) else {
+            return result;
+        };
+        let mut next_pid: Option<PageId> = None; // dedup overlapping leaf ranges
+        let mut idx = Some(start);
+        while let Some(i) = idx {
+            let leaf = self.leaf(i);
+            if leaf.n_keys > 0 && leaf.min_key > hi {
+                break;
+            }
+            if let Some(d) = idx_dev {
+                d.read_random(Self::leaf_page_id(i));
+            }
+            result.leaves_visited += 1;
+            let from = next_pid.map_or(leaf.min_pid, |n| n.max(leaf.min_pid));
+            for pid in from..=leaf.max_pid.min(heap.page_count().saturating_sub(1)) {
+                self.scan_data_page(pid, lo, hi, heap, attr, data_dev, &mut result);
+            }
+            next_pid = Some(leaf.max_pid + 1);
+            idx = leaf.next;
+        }
+        result
+    }
+
+    /// Range scan with the §7 boundary optimization: middle partitions
+    /// are read whole; for boundary partitions the values in
+    /// `[lo, hi] ∩ [leaf.min_key, leaf.max_key]` are enumerated and the
+    /// BFs probed, so only (probabilistically) useful pages are read.
+    /// Practical only for enumerable domains — the enumeration is
+    /// capped at `max_enumeration` probes per boundary leaf, falling
+    /// back to whole-partition reads beyond it.
+    #[allow(clippy::too_many_arguments)]
+    pub fn range_scan_probing(
+        &self,
+        lo: u64,
+        hi: u64,
+        heap: &HeapFile,
+        attr: AttrOffset,
+        idx_dev: Option<&SimDevice>,
+        data_dev: Option<&SimDevice>,
+        max_enumeration: u64,
+    ) -> RangeScanResult {
+        assert!(lo <= hi);
+        let mut result = RangeScanResult::default();
+        let Some(start) = self.first_overlapping_leaf(lo, idx_dev) else {
+            return result;
+        };
+        let mut next_pid: Option<PageId> = None;
+        let mut idx = Some(start);
+        while let Some(i) = idx {
+            let leaf = self.leaf(i);
+            if leaf.n_keys > 0 && leaf.min_key > hi {
+                break;
+            }
+            if let Some(d) = idx_dev {
+                d.read_random(Self::leaf_page_id(i));
+            }
+            result.leaves_visited += 1;
+
+            let is_boundary = leaf.min_key < lo || leaf.max_key > hi;
+            let enum_lo = lo.max(leaf.min_key);
+            let enum_hi = hi.min(leaf.max_key);
+            let enumerable = enum_hi.saturating_sub(enum_lo) < max_enumeration;
+
+            let last_pid = leaf.max_pid.min(heap.page_count().saturating_sub(1));
+            let from = next_pid.map_or(leaf.min_pid, |n| n.max(leaf.min_pid));
+            if is_boundary && enumerable {
+                // Probe the filters per value; union the candidate pages.
+                let mut pages: Vec<PageId> = Vec::new();
+                for key in enum_lo..=enum_hi {
+                    leaf.matching_pages(key, &mut pages);
+                }
+                pages.sort_unstable();
+                pages.dedup();
+                pages.retain(|&pid| pid >= from && pid <= last_pid);
+                // Under FirstPageOnly only a run's first page is in the
+                // filters; a page ending with an in-range key implies
+                // the run may spill into its successor, so pull that
+                // page in too.
+                let follow_runs = self.config().duplicates
+                    == crate::config::DuplicateHandling::FirstPageOnly;
+                let mut i = 0;
+                while i < pages.len() {
+                    let pid = pages[i];
+                    self.scan_data_page(pid, lo, hi, heap, attr, data_dev, &mut result);
+                    if follow_runs && pid < last_pid && pages.get(i + 1) != Some(&(pid + 1)) {
+                        let n = heap.tuples_in_page(pid);
+                        if n > 0 {
+                            let last = heap.attr(pid, n - 1, attr);
+                            if last >= lo && last <= hi {
+                                pages.insert(i + 1, pid + 1);
+                            }
+                        }
+                    }
+                    i += 1;
+                }
+            } else {
+                for pid in from..=last_pid {
+                    self.scan_data_page(pid, lo, hi, heap, attr, data_dev, &mut result);
+                }
+            }
+            next_pid = Some(leaf.max_pid + 1);
+            idx = leaf.next;
+        }
+        result
+    }
+
+    fn first_overlapping_leaf(&self, lo: u64, idx_dev: Option<&SimDevice>) -> Option<u32> {
+        let candidates = self.candidate_leaves(lo, idx_dev);
+        match candidates.first() {
+            Some(&first) => Some(first),
+            // lo precedes every leaf's min key: start at the leftmost.
+            None => {
+                let mut idx = 0u32;
+                while self.leaf(idx).prev.is_some() {
+                    idx = self.leaf(idx).prev.expect("checked");
+                }
+                Some(idx)
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn scan_data_page(
+        &self,
+        pid: PageId,
+        lo: u64,
+        hi: u64,
+        heap: &HeapFile,
+        attr: AttrOffset,
+        data_dev: Option<&SimDevice>,
+        result: &mut RangeScanResult,
+    ) {
+        if let Some(d) = data_dev {
+            d.read_seq(pid);
+        }
+        result.pages_read += 1;
+        let mut any = false;
+        for slot in 0..heap.tuples_in_page(pid) {
+            let v = heap.attr(pid, slot, attr);
+            if v >= lo && v <= hi {
+                result.matches.push((pid, slot));
+                any = true;
+            }
+        }
+        if !any {
+            result.overhead_pages += 1;
+        }
+    }
+}
+
+/// The exact number of data pages containing at least one tuple in
+/// `[lo, hi]` — the I/O a B+-Tree range scan performs, Figure 13's
+/// denominator.
+pub fn exact_range_pages(heap: &HeapFile, attr: AttrOffset, lo: u64, hi: u64) -> u64 {
+    let mut n = 0;
+    for pid in 0..heap.page_count() {
+        let has = (0..heap.tuples_in_page(pid)).any(|slot| {
+            let v = heap.attr(pid, slot, attr);
+            v >= lo && v <= hi
+        });
+        n += u64::from(has);
+    }
+    n
+}

@@ -1,0 +1,178 @@
+//! Equations 5–8, 10, 13: the BF-Tree side of the Section-5 model.
+
+use bftree_bloom::math;
+
+use crate::params::{ceil_log, ModelParams};
+
+/// Analytical BF-Tree for the Table-1 parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct BfTreeModel {
+    params: ModelParams,
+}
+
+impl BfTreeModel {
+    /// Model a BF-Tree over `params` (the fpp knob lives in
+    /// [`ModelParams::fpp`]).
+    pub fn new(params: ModelParams) -> Self {
+        params.validate();
+        Self { params }
+    }
+
+    /// The parameters being modeled.
+    pub fn params(&self) -> &ModelParams {
+        &self.params
+    }
+
+    /// Equation 5: distinct keys indexed per BF-leaf,
+    /// `BFkeysperpage = -pagesize·8·ln²2 / ln(fpp)` — Equation 1 solved
+    /// for `n` with the whole page's bits as `m`.
+    pub fn keys_per_leaf(&self) -> u64 {
+        math::capacity_for(self.params.page_size * 8, self.params.fpp).max(1)
+    }
+
+    /// Equation 6: leaf count,
+    /// `BFleaves = notuples / (avgcard · BFkeysperpage)` — duplicates
+    /// of a key cost nothing extra, hence the `avgcard` division.
+    pub fn leaves(&self) -> u64 {
+        self.params.distinct_keys().div_ceil(self.keys_per_leaf()).max(1)
+    }
+
+    /// Equation 7: height, `BFh = ceil(log_fanout(BFleaves)) + 1`.
+    pub fn height(&self) -> u64 {
+        ceil_log(self.params.fanout(), self.leaves()) + 1
+    }
+
+    /// Equation 8: data pages covered by one BF-leaf,
+    /// `BFpagesleaf = BFkeysperpage · avgcard · tuplesize / pagesize`.
+    pub fn pages_per_leaf(&self) -> f64 {
+        let p = &self.params;
+        self.keys_per_leaf() as f64 * p.avg_card as f64 * p.tuple_size as f64
+            / p.page_size as f64
+    }
+
+    /// Equation 10: size in bytes,
+    /// `BFsize = pagesize · (BFleaves + BFleaves/fanout)`.
+    pub fn size_bytes(&self) -> u64 {
+        let leaves = self.leaves();
+        self.params.page_size * (leaves + leaves / self.params.fanout())
+    }
+
+    /// Size in pages.
+    pub fn size_pages(&self) -> u64 {
+        self.size_bytes() / self.params.page_size
+    }
+
+    /// Equation 13: probe cost,
+    /// `BFcost = BFh·idxIO + mP·dataIO + fpp·BFpagesleaf·seqDtIO`.
+    ///
+    /// The false-positive term charges *sequential* data I/O: matching
+    /// pages are computed up front and handed to the device as one
+    /// sorted batch ("all these pages are calculated in search time and
+    /// will be given to the disk controller as a list of sorted disk
+    /// accesses").
+    pub fn probe_cost(&self, hit: bool) -> f64 {
+        let p = &self.params;
+        let m_p = if hit { p.matching_pages() } else { 0 };
+        self.height() as f64 * p.idx_io
+            + m_p as f64 * p.data_io
+            + self.false_positive_cost()
+    }
+
+    /// The `fpp · BFpagesleaf · seqDtIO` term of Equation 13 alone.
+    pub fn false_positive_cost(&self) -> f64 {
+        self.params.fpp * self.pages_per_leaf() * self.params.seq_dt_io
+    }
+
+    /// Expected falsely-read pages per probe (`fpp · BFpagesleaf`):
+    /// each of the leaf's page-level filters fires falsely with
+    /// probability fpp. Table 3's analytic counterpart.
+    pub fn expected_false_reads(&self) -> f64 {
+        self.params.fpp * self.pages_per_leaf()
+    }
+
+    /// Capacity gain vs. the Equation-9 B+-Tree (the x-axis of
+    /// Figures 6 and 9).
+    pub fn capacity_gain(&self) -> f64 {
+        let bp = crate::btree::BPlusTreeModel::new(self.params);
+        bp.size_bytes() as f64 / self.size_bytes() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at_fpp(fpp: f64) -> BfTreeModel {
+        BfTreeModel::new(ModelParams { fpp, ..ModelParams::synthetic_pk() })
+    }
+
+    /// Table 2 cross-check: BF-Tree sizes for the PK of 1 GB relation R.
+    #[test]
+    fn table2_pk_sizes() {
+        // fpp 0.2 -> 406 pages; fpp 0.1 -> 578; 1.5e-7 -> 3928; 1e-15 -> 8565.
+        for (fpp, lo, hi) in [
+            (0.2, 380u64, 440u64),
+            (0.1, 540, 620),
+            (1.5e-7, 3_700, 4_300),
+            (1e-15, 8_100, 9_300),
+        ] {
+            let pages = at_fpp(fpp).size_pages();
+            assert!((lo..=hi).contains(&pages), "fpp {fpp}: pages = {pages}");
+        }
+    }
+
+    /// §6.2: size gain spans 48× (fpp 0.2) down to 2.25× (fpp 1e-15).
+    #[test]
+    fn capacity_gain_range_matches_paper() {
+        let g_loose = at_fpp(0.2).capacity_gain();
+        let g_tight = at_fpp(1e-15).capacity_gain();
+        assert!(g_loose > 35.0, "gain at fpp 0.2 = {g_loose}");
+        assert!((1.7..=3.0).contains(&g_tight), "gain at fpp 1e-15 = {g_tight}");
+        assert!(g_loose > g_tight);
+    }
+
+    /// Figure 4(a): the BF-Tree beats the B+-Tree for fpp <= 1e-3.
+    #[test]
+    fn figure4_crossover_at_1e3() {
+        let bp = crate::btree::BPlusTreeModel::new(ModelParams::figure4());
+        let at = |fpp| BfTreeModel::new(ModelParams { fpp, ..ModelParams::figure4() });
+        assert!(at(1e-3).probe_cost(true) <= bp.probe_cost(true) * 1.001);
+        assert!(at(0.05).probe_cost(true) > bp.probe_cost(true));
+    }
+
+    /// Lower fpp -> more leaves, bigger tree, fewer false reads:
+    /// the monotone trade-off the whole paper rides on.
+    #[test]
+    fn fpp_monotonicity() {
+        let sweep = [0.2, 0.1, 1e-2, 1e-4, 1e-8, 1e-15];
+        for w in sweep.windows(2) {
+            let loose = at_fpp(w[0]);
+            let tight = at_fpp(w[1]);
+            assert!(loose.size_bytes() <= tight.size_bytes());
+            assert!(loose.expected_false_reads() >= tight.expected_false_reads());
+        }
+    }
+
+    /// Property 1 of §3 is what Equation 6 relies on: splitting a
+    /// leaf's bit budget across S per-page filters preserves capacity.
+    #[test]
+    fn eq5_consistent_with_bloom_math() {
+        let m = at_fpp(1e-3);
+        let bits = 4096 * 8;
+        assert_eq!(m.keys_per_leaf(), math::capacity_for(bits, 1e-3));
+        // Same capacity whether the budget backs 1 filter or 64.
+        let per = math::capacity_for(bits / 64, 1e-3);
+        let whole = math::capacity_for(bits, 1e-3);
+        assert!((whole as i64 - (per * 64) as i64).unsigned_abs() <= 64);
+    }
+
+    /// §6.3: ATT1 BF-Trees have 2 levels for fpp > 1.41e-8 and 3 levels
+    /// below (fanout 256 over 4 M/11 distinct keys).
+    #[test]
+    fn att1_height_step() {
+        let at = |fpp| BfTreeModel::new(ModelParams { fpp, ..ModelParams::synthetic_att1() });
+        assert_eq!(at(1e-3).height(), 2);
+        assert_eq!(at(1e-2).height(), 2);
+        assert_eq!(at(1e-12).height(), 3);
+    }
+}

@@ -1,0 +1,157 @@
+//! The Figure-4 series generator: response time (a) and index size (b)
+//! of every modeled structure, normalized to the vanilla B+-Tree, as
+//! the BF-Tree's fpp sweeps.
+
+use crate::bftree::BfTreeModel;
+use crate::btree::{BPlusTreeModel, CompressedBPlusTreeModel};
+use crate::fdtree::FdTreeModel;
+use crate::params::ModelParams;
+use crate::silt::{SiltModel, TrieResidency};
+
+/// One fpp sample of the Figure-4 comparison. Every field except
+/// `fpp` is normalized to the vanilla B+-Tree (value 1.0), matching
+/// the paper's y-axes.
+#[derive(Debug, Clone, Copy)]
+pub struct Figure4Point {
+    /// The BF-Tree's false-positive probability at this sample.
+    pub fpp: f64,
+    /// Figure 4(a): BF-Tree probe cost / B+-Tree probe cost.
+    pub bf_cost: f64,
+    /// Figure 4(a): FD-Tree (optimal k) cost ratio — fpp-independent.
+    pub fd_cost: f64,
+    /// Figure 4(a): SILT cost ratio with the trie cached.
+    pub silt_cost_cached: f64,
+    /// Figure 4(a): SILT cost ratio with the trie uncached.
+    pub silt_cost_uncached: f64,
+    /// Figure 4(b): BF-Tree size / B+-Tree size.
+    pub bf_size: f64,
+    /// Figure 4(b): compressed B+-Tree size ratio — fpp-independent.
+    pub compressed_size: f64,
+    /// Figure 4(b): FD-Tree size ratio.
+    pub fd_size: f64,
+    /// Figure 4(b): SILT size ratio.
+    pub silt_size: f64,
+}
+
+/// Generate the Figure-4 series for `fpps` (the paper sweeps
+/// `[10⁻⁸, 10⁻¹]` on a log axis). `params.fpp` is overridden per
+/// sample.
+pub fn figure4_series(params: ModelParams, fpps: &[f64]) -> Vec<Figure4Point> {
+    let bp = BPlusTreeModel::new(params);
+    let bp_cost = bp.probe_cost(true);
+    let bp_size = bp.size_bytes() as f64;
+
+    let fd = FdTreeModel::with_optimal_k(params);
+    let silt = SiltModel::new(params);
+    let comp = CompressedBPlusTreeModel::new(params);
+
+    fpps.iter()
+        .map(|&fpp| {
+            let bf = BfTreeModel::new(ModelParams { fpp, ..params });
+            Figure4Point {
+                fpp,
+                bf_cost: bf.probe_cost(true) / bp_cost,
+                fd_cost: fd.probe_cost(true) / bp_cost,
+                silt_cost_cached: silt.probe_cost(TrieResidency::Cached) / bp_cost,
+                silt_cost_uncached: silt.probe_cost(TrieResidency::Uncached) / bp_cost,
+                bf_size: bf.size_bytes() as f64 / bp_size,
+                compressed_size: comp.size_bytes() as f64 / bp_size,
+                fd_size: fd.size_bytes() as f64 / bp_size,
+                silt_size: silt.size_bytes() as f64 / bp_size,
+            }
+        })
+        .collect()
+}
+
+/// The paper's log-spaced fpp sweep for Figure 4: `10⁻⁸ … 10⁻¹`.
+pub fn default_fpp_sweep() -> Vec<f64> {
+    (1..=8).rev().map(|e| 10f64.powi(-e)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_sweep_spans_the_paper_axis() {
+        let s = default_fpp_sweep();
+        assert_eq!(s.len(), 8);
+        assert!((s[0] - 1e-8).abs() < 1e-20);
+        assert!((s[7] - 1e-1).abs() < 1e-9);
+    }
+
+    /// §5's bottom line: "if we maintain the fpp ∈ [10⁻⁸, 10⁻³],
+    /// BF-Tree offers the smallest size and performance within 5 % of
+    /// the fastest configuration."
+    #[test]
+    fn bf_tree_smallest_and_within_5_percent_in_the_sweet_spot() {
+        let series = figure4_series(ModelParams::figure4(), &default_fpp_sweep());
+        for p in series.iter().filter(|p| p.fpp <= 1e-3) {
+            // Smallest: below SILT and FD-Tree everywhere, and at worst
+            // even with the compressed B+-Tree at the tight end of the
+            // sweep ("the same size as the compressed B+-Tree for
+            // fpp = 10⁻⁸").
+            assert!(
+                p.bf_size <= p.compressed_size * 1.25
+                    && p.bf_size < p.silt_size
+                    && p.bf_size < p.fd_size,
+                "fpp {}: bf_size {} not smallest",
+                p.fpp,
+                p.bf_size
+            );
+            // Within 5 % of the fastest realizable configuration
+            // (cached-SILT is the paper's explicitly optimistic bound,
+            // so the comparison uses SILT's average residency).
+            let silt_avg = (p.silt_cost_cached + p.silt_cost_uncached) / 2.0;
+            let fastest = p.fd_cost.min(silt_avg).min(1.0);
+            assert!(
+                p.bf_cost <= fastest * 1.05,
+                "fpp {}: bf_cost {} vs fastest {}",
+                p.fpp,
+                p.bf_cost,
+                fastest
+            );
+        }
+    }
+
+    /// The straight lines of Figure 4 are fpp-invariant.
+    #[test]
+    fn baselines_are_flat_across_the_sweep() {
+        let series = figure4_series(ModelParams::figure4(), &default_fpp_sweep());
+        for w in series.windows(2) {
+            assert_eq!(w[0].fd_cost, w[1].fd_cost);
+            assert_eq!(w[0].silt_size, w[1].silt_size);
+            assert_eq!(w[0].compressed_size, w[1].compressed_size);
+        }
+    }
+
+    /// Figure 4(a): BF-Tree cost ratio crosses 1.0 somewhere between
+    /// fpp 10⁻³ and 10⁻¹ (it "can offer better search time for
+    /// fpp ≤ 0.001").
+    #[test]
+    fn cost_crossover_location() {
+        let series = figure4_series(ModelParams::figure4(), &default_fpp_sweep());
+        let at = |fpp: f64| {
+            series
+                .iter()
+                .find(|p| (p.fpp - fpp).abs() / fpp < 1e-9)
+                .unwrap()
+        };
+        assert!(at(1e-3).bf_cost <= 1.001);
+        assert!(at(1e-1).bf_cost > 1.0);
+    }
+
+    /// Figure 4(b): BF-Tree size matches the compressed B+-Tree around
+    /// fpp = 10⁻⁸ and shrinks as fpp loosens.
+    #[test]
+    fn size_meets_compressed_btree_at_1e8() {
+        let series = figure4_series(ModelParams::figure4(), &default_fpp_sweep());
+        let tightest = &series[0];
+        assert!((tightest.fpp - 1e-8).abs() < 1e-20);
+        let ratio = tightest.bf_size / tightest.compressed_size;
+        assert!((0.5..=1.3).contains(&ratio), "ratio = {ratio}");
+        for w in series.windows(2) {
+            assert!(w[1].bf_size <= w[0].bf_size + 1e-12);
+        }
+    }
+}

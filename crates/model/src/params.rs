@@ -1,0 +1,165 @@
+//! Table 1 of the paper: the parameters every Section-5 equation is
+//! written in terms of.
+
+/// Input parameters of the analytical model (Table 1).
+///
+/// All sizes are bytes, all I/O costs are *relative* unit costs — the
+/// paper's Figure 4 uses `idxIO = 1`, `dataIO = 50`, `seqDtIO = 5`,
+/// "modeling an SSD which has random accesses fifty times faster than
+/// random accesses on HDD and five times faster than sequential
+/// accesses on HDD".
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelParams {
+    /// Page size for both data and index (`pagesize`).
+    pub page_size: u64,
+    /// Fixed tuple size (`tuplesize`).
+    pub tuple_size: u64,
+    /// Relation size in tuples (`notuples`).
+    pub no_tuples: u64,
+    /// Average occurrences of each indexed value (`avgcard`).
+    pub avg_card: u64,
+    /// Indexed-value size in bytes (`keysize`).
+    pub key_size: u64,
+    /// Pointer size in bytes (`ptrsize`).
+    pub ptr_size: u64,
+    /// Target false-positive probability (`fpp`), BF-Tree only.
+    pub fpp: f64,
+    /// Cost of one random index-structure read (`idxIO`).
+    pub idx_io: f64,
+    /// Cost of one random data read (`dataIO`).
+    pub data_io: f64,
+    /// Cost of one sequential data read (`seqDtIO`).
+    pub seq_dt_io: f64,
+}
+
+impl ModelParams {
+    /// The exact Figure-4 scenario: 1 GB relation of 256 B tuples,
+    /// 32 B keys, 8 B pointers, 4 KB pages; index on SSD, data on HDD.
+    pub fn figure4() -> Self {
+        Self {
+            page_size: 4096,
+            tuple_size: 256,
+            no_tuples: (1 << 30) / 256,
+            avg_card: 1,
+            key_size: 32,
+            ptr_size: 8,
+            fpp: 1e-3,
+            idx_io: 1.0,
+            data_io: 50.0,
+            seq_dt_io: 5.0,
+        }
+    }
+
+    /// The Section-6 synthetic relation R: 1 GB of 256 B tuples with an
+    /// 8 B primary key (`avg_card = 1`).
+    pub fn synthetic_pk() -> Self {
+        Self { key_size: 8, ..Self::figure4() }
+    }
+
+    /// Relation R's second indexed attribute ATT1: 8 B values, each
+    /// repeated 11 times on average.
+    pub fn synthetic_att1() -> Self {
+        Self { key_size: 8, avg_card: 11, ..Self::figure4() }
+    }
+
+    /// Equation 2: internal-node fanout, shared by B+-Trees and
+    /// BF-Trees (`fanout = pagesize / (ptrsize + keysize)`).
+    pub fn fanout(&self) -> u64 {
+        self.page_size / (self.ptr_size + self.key_size)
+    }
+
+    /// Equation 11: matching data pages for a probe that hits
+    /// (`mP = ceil(avgcard · tuplesize / pagesize)`); 0 on a miss.
+    pub fn matching_pages(&self) -> u64 {
+        (self.avg_card * self.tuple_size).div_ceil(self.page_size)
+    }
+
+    /// Distinct indexed keys (`notuples / avgcard`).
+    pub fn distinct_keys(&self) -> u64 {
+        self.no_tuples / self.avg_card
+    }
+
+    /// Data pages of the relation itself.
+    pub fn data_pages(&self) -> u64 {
+        (self.no_tuples * self.tuple_size).div_ceil(self.page_size)
+    }
+
+    /// Sanity-check the parameters; panics on nonsense inputs so model
+    /// sweeps fail loudly rather than emit NaN series.
+    pub fn validate(&self) {
+        assert!(self.page_size > 0 && self.tuple_size > 0 && self.tuple_size <= self.page_size);
+        assert!(self.no_tuples > 0 && self.avg_card > 0);
+        assert!(self.key_size > 0 && self.ptr_size > 0);
+        assert!(self.fpp > 0.0 && self.fpp < 1.0, "fpp out of (0,1): {}", self.fpp);
+        assert!(self.idx_io >= 0.0 && self.data_io >= 0.0 && self.seq_dt_io >= 0.0);
+    }
+}
+
+/// Ceil of `log_base(x)` for integer inputs, as the height equations
+/// (4) and (7) require; returns 0 for `x <= 1`.
+pub(crate) fn ceil_log(base: u64, x: u64) -> u64 {
+    assert!(base >= 2, "fanout must be at least 2");
+    if x <= 1 {
+        return 0;
+    }
+    let mut levels = 0u64;
+    let mut reach = 1u64;
+    while reach < x {
+        reach = reach.saturating_mul(base);
+        levels += 1;
+    }
+    levels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure4_fanout_is_102() {
+        // 4096 / (32 + 8) = 102.4 -> 102 ⟨key, ptr⟩ pairs per node.
+        assert_eq!(ModelParams::figure4().fanout(), 102);
+    }
+
+    #[test]
+    fn synthetic_fanout_is_256() {
+        assert_eq!(ModelParams::synthetic_pk().fanout(), 256);
+    }
+
+    #[test]
+    fn one_gb_relation_has_4m_tuples() {
+        let p = ModelParams::figure4();
+        assert_eq!(p.no_tuples, 4_194_304);
+        assert_eq!(p.data_pages(), 262_144);
+    }
+
+    #[test]
+    fn matching_pages_eq11() {
+        // avgcard 1, 256 B tuples: one page.
+        assert_eq!(ModelParams::synthetic_pk().matching_pages(), 1);
+        // avgcard 11: 2816 B of matches -> 1 page still.
+        assert_eq!(ModelParams::synthetic_att1().matching_pages(), 1);
+        // TPCH-like avgcard 2400 of 200 B tuples: 480 KB -> 118 pages.
+        let p = ModelParams {
+            avg_card: 2400,
+            tuple_size: 200,
+            ..ModelParams::figure4()
+        };
+        assert_eq!(p.matching_pages(), 118);
+    }
+
+    #[test]
+    fn ceil_log_basics() {
+        assert_eq!(ceil_log(2, 1), 0);
+        assert_eq!(ceil_log(2, 2), 1);
+        assert_eq!(ceil_log(2, 3), 2);
+        assert_eq!(ceil_log(256, 65536), 2);
+        assert_eq!(ceil_log(256, 65537), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn validate_rejects_zero_fpp() {
+        ModelParams { fpp: 0.0, ..ModelParams::figure4() }.validate();
+    }
+}

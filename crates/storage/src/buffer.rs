@@ -1,0 +1,225 @@
+//! A strict-LRU buffer pool used for the warm-cache experiments.
+//!
+//! The pool tracks *which* pages are resident (by id) rather than
+//! owning page bytes — the byte store stays in the heap file / index —
+//! so it composes with any page-holding structure while still deciding
+//! hit vs. miss exactly like a real pool would.
+
+use std::collections::HashMap;
+
+/// A fixed-capacity LRU set of page ids.
+#[derive(Debug)]
+pub struct BufferPool {
+    capacity: usize,
+    /// page id -> slot in `entries`.
+    map: HashMap<u64, usize>,
+    entries: Vec<Entry>,
+    head: usize, // most-recently used; usize::MAX if empty
+    tail: usize, // least-recently used
+    free: Vec<usize>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    page: u64,
+    prev: usize,
+    next: usize,
+}
+
+const NIL: usize = usize::MAX;
+
+impl BufferPool {
+    /// Pool holding up to `capacity` pages. A zero capacity pool never
+    /// hits.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            map: HashMap::with_capacity(capacity.min(1 << 20)),
+            entries: Vec::with_capacity(capacity.min(1 << 20)),
+            head: NIL,
+            tail: NIL,
+            free: Vec::new(),
+        }
+    }
+
+    /// Pool capacity in pages.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of resident pages.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if no page is resident.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Touch `page`: returns `true` on hit (page was resident) and
+    /// `false` on miss, in which case the page is admitted and the LRU
+    /// victim evicted if the pool is full.
+    pub fn touch(&mut self, page: u64) -> bool {
+        if self.capacity == 0 {
+            return false;
+        }
+        if let Some(&slot) = self.map.get(&page) {
+            self.unlink(slot);
+            self.push_front(slot);
+            return true;
+        }
+        // Miss: admit.
+        if self.map.len() >= self.capacity {
+            let victim = self.tail;
+            debug_assert_ne!(victim, NIL);
+            let victim_page = self.entries[victim].page;
+            self.unlink(victim);
+            self.map.remove(&victim_page);
+            self.free.push(victim);
+        }
+        let slot = if let Some(slot) = self.free.pop() {
+            self.entries[slot] = Entry { page, prev: NIL, next: NIL };
+            slot
+        } else {
+            self.entries.push(Entry { page, prev: NIL, next: NIL });
+            self.entries.len() - 1
+        };
+        self.map.insert(page, slot);
+        self.push_front(slot);
+        false
+    }
+
+    /// Whether `page` is resident, without touching recency.
+    pub fn peek(&self, page: u64) -> bool {
+        self.map.contains_key(&page)
+    }
+
+    /// Drop everything (back to cold).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.entries.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+
+    fn unlink(&mut self, slot: usize) {
+        let Entry { prev, next, .. } = self.entries[slot];
+        if prev != NIL {
+            self.entries[prev].next = next;
+        } else if self.head == slot {
+            self.head = next;
+        }
+        if next != NIL {
+            self.entries[next].prev = prev;
+        } else if self.tail == slot {
+            self.tail = prev;
+        }
+        self.entries[slot].prev = NIL;
+        self.entries[slot].next = NIL;
+    }
+
+    fn push_front(&mut self, slot: usize) {
+        self.entries[slot].prev = NIL;
+        self.entries[slot].next = self.head;
+        if self.head != NIL {
+            self.entries[self.head].prev = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_then_hit() {
+        let mut pool = BufferPool::new(4);
+        assert!(!pool.touch(1));
+        assert!(pool.touch(1));
+        assert_eq!(pool.len(), 1);
+    }
+
+    #[test]
+    fn evicts_lru_victim() {
+        let mut pool = BufferPool::new(2);
+        pool.touch(1);
+        pool.touch(2);
+        pool.touch(1); // 1 is now MRU; 2 is LRU
+        pool.touch(3); // evicts 2
+        assert!(pool.peek(1));
+        assert!(!pool.peek(2));
+        assert!(pool.peek(3));
+        assert_eq!(pool.len(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_never_hits() {
+        let mut pool = BufferPool::new(0);
+        for p in 0..10 {
+            assert!(!pool.touch(p));
+            assert!(!pool.touch(p));
+        }
+        assert!(pool.is_empty());
+    }
+
+    #[test]
+    fn single_slot_pool() {
+        let mut pool = BufferPool::new(1);
+        assert!(!pool.touch(7));
+        assert!(pool.touch(7));
+        assert!(!pool.touch(8));
+        assert!(!pool.touch(7));
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut pool = BufferPool::new(4);
+        pool.touch(1);
+        pool.touch(2);
+        pool.clear();
+        assert!(pool.is_empty());
+        assert!(!pool.touch(1));
+    }
+
+    #[test]
+    fn lru_order_is_exact_against_reference_model() {
+        // Compare with a naive Vec-based LRU across a pseudo-random
+        // access pattern.
+        let cap = 8;
+        let mut pool = BufferPool::new(cap);
+        let mut model: Vec<u64> = Vec::new(); // front = MRU
+        let mut state = 12345u64;
+        for _ in 0..10_000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let page = (state >> 33) % 24;
+            let model_hit = model.contains(&page);
+            if model_hit {
+                model.retain(|&p| p != page);
+            } else if model.len() == cap {
+                model.pop();
+            }
+            model.insert(0, page);
+            assert_eq!(pool.touch(page), model_hit, "divergence on page {page}");
+        }
+        assert_eq!(pool.len(), model.len());
+        for p in &model {
+            assert!(pool.peek(*p));
+        }
+    }
+
+    #[test]
+    fn reuses_freed_slots() {
+        let mut pool = BufferPool::new(2);
+        for p in 0..100 {
+            pool.touch(p);
+        }
+        // Only 2 + small churn of entries should exist.
+        assert!(pool.entries.len() <= 3, "entries grew to {}", pool.entries.len());
+    }
+}

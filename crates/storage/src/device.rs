@@ -1,0 +1,178 @@
+//! Latency models for the three storage media of the paper, plus the
+//! Figure 2 device survey.
+//!
+//! The paper's testbed (§6.1): a Seagate 10 kRPM HDD with 106 MB/s
+//! sequential throughput for 4 KB pages, and an OCZ Deneva 2C SATA SSD
+//! with 550 MB/s advertised throughput and up to 80 kIOPS of random
+//! reads. We translate those into per-access latencies.
+
+/// The three media of the paper's five storage configurations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeviceKind {
+    /// Main memory (index "in memory" configurations).
+    Memory,
+    /// OCZ Deneva 2C-class SATA SSD.
+    Ssd,
+    /// Seagate 10 kRPM HDD.
+    Hdd,
+}
+
+impl DeviceKind {
+    /// Short label used by the harness ("mem", "SSD", "HDD").
+    pub fn label(self) -> &'static str {
+        match self {
+            DeviceKind::Memory => "mem",
+            DeviceKind::Ssd => "SSD",
+            DeviceKind::Hdd => "HDD",
+        }
+    }
+}
+
+impl std::fmt::Display for DeviceKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Per-access latency model of a device, in nanoseconds per 4 KB page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceProfile {
+    /// Medium this profile models.
+    pub kind: DeviceKind,
+    /// Latency of a randomly-located page read.
+    pub random_read_ns: u64,
+    /// Latency of the next page of a sequential run.
+    pub seq_read_ns: u64,
+    /// Latency of a page write (sequential, as in bulk loads).
+    pub write_ns: u64,
+}
+
+impl DeviceProfile {
+    /// Profile for `kind` with the paper-calibrated constants.
+    pub fn of(kind: DeviceKind) -> Self {
+        match kind {
+            // DRAM: ~100ns row access; a 4 KB copy is ~200 ns.
+            DeviceKind::Memory => DeviceProfile {
+                kind,
+                random_read_ns: 200,
+                seq_read_ns: 100,
+                write_ns: 200,
+            },
+            // 80 kIOPS random reads -> 12.5 us; 550 MB/s sequential ->
+            // 4096/550e6 s ≈ 7.4 us; SATA SSD page write ~ 60 us.
+            DeviceKind::Ssd => DeviceProfile {
+                kind,
+                random_read_ns: 12_500,
+                seq_read_ns: 7_400,
+                write_ns: 60_000,
+            },
+            // 10 kRPM: ~3 ms avg rotational + ~4.5 ms seek ≈ 7.5 ms
+            // random read; 106 MB/s sequential -> 4096/106e6 ≈ 38.6 us.
+            DeviceKind::Hdd => DeviceProfile {
+                kind,
+                random_read_ns: 7_500_000,
+                seq_read_ns: 38_600,
+                write_ns: 38_600,
+            },
+        }
+    }
+
+    /// Memory preset.
+    pub fn memory() -> Self {
+        Self::of(DeviceKind::Memory)
+    }
+
+    /// SSD preset.
+    pub fn ssd() -> Self {
+        Self::of(DeviceKind::Ssd)
+    }
+
+    /// HDD preset.
+    pub fn hdd() -> Self {
+        Self::of(DeviceKind::Hdd)
+    }
+}
+
+/// One row of the Figure 2 storage survey: a late-2013 device placed on
+/// the capacity-per-dollar vs. random-read-IOPS plane.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SurveyDevice {
+    /// Device name as in the figure legend.
+    pub name: &'static str,
+    /// Device class label (E-HDD / C-HDD / E-SSD / C-SSD).
+    pub class: &'static str,
+    /// Capacity per dollar, GB/$.
+    pub gb_per_dollar: f64,
+    /// Advertised random-read I/O operations per second.
+    pub iops: f64,
+}
+
+/// The Figure 2 survey: two enterprise and two consumer HDDs, four
+/// enterprise and two consumer SSDs (as of end 2013). HDDs cluster at
+/// cheap capacity / low IOPS; SSDs at expensive capacity / high IOPS.
+pub fn figure2_survey() -> Vec<SurveyDevice> {
+    vec![
+        SurveyDevice { name: "Seagate Savvio 10K.6 900GB", class: "E-HDD", gb_per_dollar: 2.2, iops: 190.0 },
+        SurveyDevice { name: "WD XE 900GB 10kRPM", class: "E-HDD", gb_per_dollar: 2.0, iops: 200.0 },
+        SurveyDevice { name: "Seagate Barracuda 3TB", class: "C-HDD", gb_per_dollar: 23.0, iops: 90.0 },
+        SurveyDevice { name: "WD Blue 1TB", class: "C-HDD", gb_per_dollar: 17.0, iops: 80.0 },
+        SurveyDevice { name: "Intel DC S3700 800GB", class: "E-SSD", gb_per_dollar: 0.42, iops: 75_000.0 },
+        SurveyDevice { name: "OCZ Deneva 2C 480GB", class: "E-SSD", gb_per_dollar: 0.80, iops: 80_000.0 },
+        SurveyDevice { name: "Samsung SM843T 480GB", class: "E-SSD", gb_per_dollar: 0.70, iops: 70_000.0 },
+        SurveyDevice { name: "Toshiba PX02SM 400GB", class: "E-SSD", gb_per_dollar: 0.25, iops: 120_000.0 },
+        SurveyDevice { name: "Samsung 840 EVO 500GB", class: "C-SSD", gb_per_dollar: 1.4, iops: 98_000.0 },
+        SurveyDevice { name: "Crucial M500 480GB", class: "C-SSD", gb_per_dollar: 1.5, iops: 80_000.0 },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hdd_random_reads_dominate_ssd_by_orders_of_magnitude() {
+        let hdd = DeviceProfile::hdd();
+        let ssd = DeviceProfile::ssd();
+        let ratio = hdd.random_read_ns as f64 / ssd.random_read_ns as f64;
+        assert!((100.0..=1_000.0).contains(&ratio), "ratio = {ratio}");
+    }
+
+    #[test]
+    fn ssd_random_close_to_sequential() {
+        // §2: "random accesses perform virtually the same as sequential".
+        let ssd = DeviceProfile::ssd();
+        let ratio = ssd.random_read_ns as f64 / ssd.seq_read_ns as f64;
+        assert!(ratio < 2.0, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn hdd_random_far_slower_than_sequential() {
+        let hdd = DeviceProfile::hdd();
+        let ratio = hdd.random_read_ns as f64 / hdd.seq_read_ns as f64;
+        assert!(ratio > 100.0, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn survey_forms_two_clusters() {
+        // HDDs: cheaper capacity than every SSD; SSDs: >= 1 order of
+        // magnitude more IOPS than every HDD (Figure 2's reading).
+        let devices = figure2_survey();
+        let (hdds, ssds): (Vec<&SurveyDevice>, Vec<&SurveyDevice>) =
+            devices.iter().partition(|d| d.class.ends_with("HDD"));
+        assert_eq!(hdds.len(), 4);
+        assert_eq!(ssds.len(), 6);
+        let min_hdd_gb = hdds.iter().map(|d| d.gb_per_dollar).fold(f64::MAX, f64::min);
+        let max_ssd_gb = ssds.iter().map(|d| d.gb_per_dollar).fold(0.0, f64::max);
+        assert!(min_hdd_gb > max_ssd_gb, "HDD capacity must be cheaper");
+        let max_hdd_iops = hdds.iter().map(|d| d.iops).fold(0.0, f64::max);
+        let min_ssd_iops = ssds.iter().map(|d| d.iops).fold(f64::MAX, f64::min);
+        assert!(min_ssd_iops / max_hdd_iops > 100.0);
+    }
+
+    #[test]
+    fn memory_is_fastest_medium() {
+        let m = DeviceProfile::memory();
+        let s = DeviceProfile::ssd();
+        assert!(m.random_read_ns < s.seq_read_ns);
+    }
+}

@@ -1,0 +1,185 @@
+//! I/O accounting: operation counters plus a simulated clock.
+//!
+//! Every device access is recorded here. Counters use relaxed atomics
+//! so a [`crate::sim::SimDevice`] can be shared across threads (§8 of
+//! the paper parallelizes BF probes).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shared, thread-safe I/O statistics for one device.
+#[derive(Debug, Default)]
+pub struct IoStats {
+    random_reads: AtomicU64,
+    seq_reads: AtomicU64,
+    writes: AtomicU64,
+    cache_hits: AtomicU64,
+    sim_ns: AtomicU64,
+}
+
+/// An immutable snapshot of [`IoStats`], also usable as a delta.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct IoSnapshot {
+    /// Randomly-located page reads that reached the device.
+    pub random_reads: u64,
+    /// Sequential page reads that reached the device.
+    pub seq_reads: u64,
+    /// Page writes.
+    pub writes: u64,
+    /// Reads absorbed by the buffer pool.
+    pub cache_hits: u64,
+    /// Accumulated simulated time, nanoseconds.
+    pub sim_ns: u64,
+}
+
+impl IoStats {
+    /// Fresh zeroed stats.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a random page read costing `ns`.
+    #[inline]
+    pub fn record_random_read(&self, ns: u64) {
+        self.random_reads.fetch_add(1, Ordering::Relaxed);
+        self.sim_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Record a sequential page read costing `ns`.
+    #[inline]
+    pub fn record_seq_read(&self, ns: u64) {
+        self.seq_reads.fetch_add(1, Ordering::Relaxed);
+        self.sim_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Record a page write costing `ns`.
+    #[inline]
+    pub fn record_write(&self, ns: u64) {
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        self.sim_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Record a buffer-pool hit costing `ns` (memory latency).
+    #[inline]
+    pub fn record_cache_hit(&self, ns: u64) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+        self.sim_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Take a snapshot of the current counters.
+    pub fn snapshot(&self) -> IoSnapshot {
+        IoSnapshot {
+            random_reads: self.random_reads.load(Ordering::Relaxed),
+            seq_reads: self.seq_reads.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            sim_ns: self.sim_ns.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reset all counters to zero.
+    pub fn reset(&self) {
+        self.random_reads.store(0, Ordering::Relaxed);
+        self.seq_reads.store(0, Ordering::Relaxed);
+        self.writes.store(0, Ordering::Relaxed);
+        self.cache_hits.store(0, Ordering::Relaxed);
+        self.sim_ns.store(0, Ordering::Relaxed);
+    }
+}
+
+impl IoSnapshot {
+    /// Difference `self - earlier`, counter-wise.
+    pub fn since(&self, earlier: &IoSnapshot) -> IoSnapshot {
+        IoSnapshot {
+            random_reads: self.random_reads - earlier.random_reads,
+            seq_reads: self.seq_reads - earlier.seq_reads,
+            writes: self.writes - earlier.writes,
+            cache_hits: self.cache_hits - earlier.cache_hits,
+            sim_ns: self.sim_ns - earlier.sim_ns,
+        }
+    }
+
+    /// Sum of the two snapshots, counter-wise.
+    pub fn plus(&self, other: &IoSnapshot) -> IoSnapshot {
+        IoSnapshot {
+            random_reads: self.random_reads + other.random_reads,
+            seq_reads: self.seq_reads + other.seq_reads,
+            writes: self.writes + other.writes,
+            cache_hits: self.cache_hits + other.cache_hits,
+            sim_ns: self.sim_ns + other.sim_ns,
+        }
+    }
+
+    /// Total reads that reached the device (random + sequential).
+    pub fn device_reads(&self) -> u64 {
+        self.random_reads + self.seq_reads
+    }
+
+    /// Simulated time in milliseconds.
+    pub fn sim_ms(&self) -> f64 {
+        self.sim_ns as f64 / 1e6
+    }
+
+    /// Simulated time in microseconds.
+    pub fn sim_us(&self) -> f64 {
+        self.sim_ns as f64 / 1e3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = IoStats::new();
+        s.record_random_read(100);
+        s.record_random_read(100);
+        s.record_seq_read(10);
+        s.record_write(50);
+        s.record_cache_hit(1);
+        let snap = s.snapshot();
+        assert_eq!(snap.random_reads, 2);
+        assert_eq!(snap.seq_reads, 1);
+        assert_eq!(snap.writes, 1);
+        assert_eq!(snap.cache_hits, 1);
+        assert_eq!(snap.sim_ns, 261);
+        assert_eq!(snap.device_reads(), 3);
+    }
+
+    #[test]
+    fn snapshot_delta() {
+        let s = IoStats::new();
+        s.record_random_read(5);
+        let a = s.snapshot();
+        s.record_seq_read(7);
+        s.record_random_read(5);
+        let b = s.snapshot();
+        let d = b.since(&a);
+        assert_eq!(d.random_reads, 1);
+        assert_eq!(d.seq_reads, 1);
+        assert_eq!(d.sim_ns, 12);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let s = IoStats::new();
+        s.record_write(1);
+        s.reset();
+        assert_eq!(s.snapshot(), IoSnapshot::default());
+    }
+
+    #[test]
+    fn stats_are_sync() {
+        fn assert_sync<T: Sync + Send>() {}
+        assert_sync::<IoStats>();
+    }
+
+    #[test]
+    fn plus_adds_counterwise() {
+        let a = IoSnapshot { random_reads: 1, seq_reads: 2, writes: 3, cache_hits: 4, sim_ns: 5 };
+        let b = IoSnapshot { random_reads: 10, seq_reads: 20, writes: 30, cache_hits: 40, sim_ns: 50 };
+        let c = a.plus(&b);
+        assert_eq!(c.random_reads, 11);
+        assert_eq!(c.sim_ns, 55);
+    }
+}

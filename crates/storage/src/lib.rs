@@ -1,0 +1,44 @@
+//! Page-based storage engine with *simulated* storage devices.
+//!
+//! The BF-Tree paper evaluates five storage configurations built from
+//! three media — main memory, an SSD (OCZ Deneva 2C) and an HDD
+//! (Seagate 10 kRPM) — accessed with `O_DIRECT|O_SYNC`. This crate
+//! reproduces that setup deterministically:
+//!
+//! * [`page`] — fixed-size pages ([`page::PAGE_SIZE`] = 4 KB, as in the
+//!   paper) and page ids.
+//! * [`tuple`] — fixed-size tuple layout with u64 attributes at fixed
+//!   offsets (the paper's 256 B synthetic tuples, 200 B TPCH tuples).
+//! * [`heap`] — heap files: ordered/partitioned runs of pages holding
+//!   tuples, the "main data" every index points into.
+//! * [`device`] — latency models for Memory / SSD / HDD plus the
+//!   Figure 2 device survey.
+//! * [`io`] — I/O accounting: operation counters and a simulated clock.
+//! * [`sim`] — [`sim::SimDevice`]: a device profile + stats + optional
+//!   buffer pool, the thing indexes charge their accesses to.
+//! * [`buffer`] — an LRU buffer pool for warm-cache experiments.
+//!
+//! "Response times" reported by the benchmark harness are the simulated
+//! nanoseconds accumulated here, making every experiment reproducible
+//! on any machine while preserving the paper's relative results (see
+//! DESIGN.md §2.4).
+
+#![warn(missing_docs)]
+
+pub mod buffer;
+pub mod device;
+pub mod heap;
+pub mod io;
+pub mod page;
+pub mod search;
+pub mod sim;
+pub mod tuple;
+
+pub use buffer::BufferPool;
+pub use device::{DeviceKind, DeviceProfile};
+pub use heap::HeapFile;
+pub use io::{IoSnapshot, IoStats};
+pub use page::{PageId, PAGE_SIZE};
+pub use search::{binary_search, interpolation_search, SearchResult};
+pub use sim::{CacheMode, SimDevice};
+pub use tuple::TupleLayout;

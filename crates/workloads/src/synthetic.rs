@@ -1,0 +1,176 @@
+//! The paper's synthetic relation R (§6.1): 256-byte tuples carrying
+//! an 8-byte unique primary key (PK) and an 8-byte second attribute
+//! (ATT1) whose values repeat 11 times on average. Both attributes are
+//! "ordered because they are correlated with the creation time".
+
+use bftree_storage::tuple::ATT1_OFFSET;
+use bftree_storage::{HeapFile, TupleLayout};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Re-exported attribute offsets of relation R, so harness code can
+/// name the indexed column without importing the storage crate.
+pub use bftree_storage::tuple::{ATT1_OFFSET as ATT1, PK_OFFSET as PK};
+
+/// Generator parameters for relation R.
+#[derive(Debug, Clone, Copy)]
+pub struct SyntheticConfig {
+    /// Relation size in tuples. The paper's 1 GB relation is
+    /// 4 194 304 tuples of 256 B; scaled-down runs keep every ratio.
+    pub n_tuples: u64,
+    /// Tuple size in bytes.
+    pub tuple_size: usize,
+    /// Mean repetitions of each ATT1 value ("each value repeated 11
+    /// times on average").
+    pub att1_avg_card: u64,
+    /// Mean gap between consecutive distinct ATT1 values. ATT1 "is a
+    /// timestamp attribute" (§6.3): not every instant has an event, so
+    /// the domain has holes — which is what lets the experiment's
+    /// random probes miss ~86 % of the time while staying in range.
+    pub att1_avg_gap: u64,
+    /// Deterministic seed for the run-length noise on ATT1.
+    pub seed: u64,
+}
+
+impl SyntheticConfig {
+    /// The paper's exact §6.1 parameters (1 GB).
+    pub fn paper_1gb() -> Self {
+        Self {
+            n_tuples: (1 << 30) / 256,
+            tuple_size: 256,
+            att1_avg_card: 11,
+            att1_avg_gap: 7,
+            seed: 0xB16_DA7A,
+        }
+    }
+
+    /// A laptop-friendly scale: `mb` megabytes of 256 B tuples.
+    pub fn scaled_mb(mb: u64) -> Self {
+        Self { n_tuples: mb * (1 << 20) / 256, ..Self::paper_1gb() }
+    }
+}
+
+/// Build relation R as a heap file *ordered on the creation time*
+/// (equivalently: on PK, and therefore partitioned on ATT1 too).
+///
+/// PK is the dense sequence `0..n_tuples`. ATT1 values are assigned in
+/// non-decreasing runs whose lengths are uniform in
+/// `[1, 2·avg_card - 1]` (mean `avg_card`), so the attribute has the
+/// paper's average cardinality with realistic per-value variation.
+pub fn build_relation_r(config: &SyntheticConfig) -> HeapFile {
+    let mut heap = HeapFile::new(TupleLayout::new(config.tuple_size));
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut att1 = 0u64;
+    let mut remaining_run = run_length(&mut rng, config.att1_avg_card);
+    for pk in 0..config.n_tuples {
+        if remaining_run == 0 {
+            att1 += run_length(&mut rng, config.att1_avg_gap);
+            remaining_run = run_length(&mut rng, config.att1_avg_card);
+        }
+        remaining_run -= 1;
+        heap.append_record(pk, att1);
+    }
+    heap
+}
+
+/// Uniform in `[1, 2·avg - 1]`, mean `avg`.
+fn run_length(rng: &mut StdRng, avg: u64) -> u64 {
+    if avg <= 1 {
+        1
+    } else {
+        rng.random_range(1..=2 * avg - 1)
+    }
+}
+
+/// All distinct ATT1 values present in `heap`, in order (the probe
+/// universe for the §6.3 experiment).
+pub fn att1_domain(heap: &HeapFile) -> Vec<u64> {
+    let mut values: Vec<u64> = heap.iter_attr(ATT1_OFFSET).map(|(_, _, v)| v).collect();
+    values.dedup();
+    values
+}
+
+/// Empirical average cardinality of ATT1 (tuples per distinct value).
+pub fn att1_avg_cardinality(heap: &HeapFile) -> f64 {
+    let distinct = att1_domain(heap).len();
+    if distinct == 0 {
+        return 0.0;
+    }
+    heap.tuple_count() as f64 / distinct as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> SyntheticConfig {
+        SyntheticConfig { n_tuples: 50_000, ..SyntheticConfig::scaled_mb(16) }
+    }
+
+    #[test]
+    fn pk_is_dense_and_ordered() {
+        let heap = build_relation_r(&small());
+        assert_eq!(heap.tuple_count(), 50_000);
+        for (expect, (_, _, pk)) in heap.iter_attr(PK).enumerate() {
+            assert_eq!(pk, expect as u64);
+        }
+    }
+
+    #[test]
+    fn att1_is_nondecreasing_with_mean_cardinality_11() {
+        let heap = build_relation_r(&small());
+        let mut prev = 0u64;
+        for (_, _, v) in heap.iter_attr(ATT1_OFFSET) {
+            assert!(v >= prev, "ATT1 must be non-decreasing");
+            prev = v;
+        }
+        let avg = att1_avg_cardinality(&heap);
+        assert!((9.0..=13.0).contains(&avg), "avg cardinality = {avg}");
+    }
+
+    #[test]
+    fn att1_domain_has_gaps_for_in_range_misses() {
+        let heap = build_relation_r(&small());
+        let dom = att1_domain(&heap);
+        let gaps = dom.windows(2).filter(|w| w[1] > w[0] + 1).count();
+        // mean gap 7 -> the vast majority of adjacent pairs have holes.
+        assert!(gaps * 2 > dom.len(), "only {gaps} gaps over {} values", dom.len());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = build_relation_r(&small());
+        let b = build_relation_r(&small());
+        assert_eq!(a.tuple_count(), b.tuple_count());
+        for pid in 0..a.page_count() {
+            for slot in 0..a.tuples_in_page(pid) {
+                assert_eq!(a.attr(pid, slot, ATT1_OFFSET), b.attr(pid, slot, ATT1_OFFSET));
+            }
+        }
+    }
+
+    #[test]
+    fn different_seed_differs() {
+        let a = build_relation_r(&small());
+        let b = build_relation_r(&SyntheticConfig { seed: 7, ..small() });
+        let same = a
+            .iter_attr(ATT1_OFFSET)
+            .zip(b.iter_attr(ATT1_OFFSET))
+            .all(|(x, y)| x.2 == y.2);
+        assert!(!same);
+    }
+
+    #[test]
+    fn paper_scale_arithmetic() {
+        let c = SyntheticConfig::paper_1gb();
+        assert_eq!(c.n_tuples, 4_194_304);
+        assert_eq!(SyntheticConfig::scaled_mb(64).n_tuples, 262_144);
+    }
+
+    #[test]
+    fn tuples_per_page_is_16() {
+        let heap = build_relation_r(&SyntheticConfig { n_tuples: 100, ..small() });
+        assert_eq!(heap.tuples_per_page(), 16); // 4096 / 256
+        assert_eq!(heap.page_count(), 7); // ceil(100/16)
+    }
+}

@@ -1,0 +1,83 @@
+//! Monitoring scenario (paper §1.1, §6.5): a smart-home electricity
+//! dataset — timestamped meter readings with highly variable
+//! per-timestamp cardinality — indexed by a BF-Tree on the timestamp.
+//!
+//! Demonstrates picking the *optimal* fpp for a storage configuration
+//! by sweeping, the way the paper's Figure 12 reports "the optimal
+//! BF-Tree".
+//!
+//! ```text
+//! cargo run --release --example smart_home
+//! ```
+
+use bftree::{BfTree, BfTreeConfig};
+use bftree_storage::{DeviceKind, SimDevice};
+use bftree_workloads::probes_from_domain;
+use bftree_workloads::shd::{self, ShdConfig};
+
+fn main() {
+    let config = ShdConfig::paper_like(3_000);
+    let rows = shd::generate_readings(&config);
+    let domain = shd::timestamp_domain(&rows);
+    let heap = shd::build_heap(&config);
+    println!(
+        "SHD: {} readings, {} timestamps, cardinality mean {:.1} (min {}, max {})",
+        rows.len(),
+        domain.len(),
+        rows.len() as f64 / domain.len() as f64,
+        cardinality_stats(&rows).0,
+        cardinality_stats(&rows).1,
+    );
+
+    // Sweep fpp and pick the fastest BF-Tree for an all-SSD box.
+    let probes = probes_from_domain(&domain, 400, 7);
+    let mut best: Option<(f64, f64, u64)> = None;
+    for fpp in [0.1, 1e-2, 1e-3, 1e-4, 1e-6, 1e-9] {
+        let tree = BfTree::bulk_build(
+            BfTreeConfig { fpp, ..BfTreeConfig::ordered_default() },
+            &heap,
+            shd::TIMESTAMP,
+        );
+        let idx = SimDevice::cold(DeviceKind::Ssd);
+        let data = SimDevice::cold(DeviceKind::Ssd);
+        for &ts in &probes {
+            tree.probe(ts, &heap, shd::TIMESTAMP, Some(&idx), Some(&data));
+        }
+        let us = (idx.snapshot().sim_us() + data.snapshot().sim_us()) / probes.len() as f64;
+        println!(
+            "fpp {fpp:>6.0e}: {:>6} index pages, {us:>8.1} us/probe",
+            tree.total_pages()
+        );
+        if best.is_none_or(|(_, b_us, _)| us < b_us) {
+            best = Some((fpp, us, tree.total_pages()));
+        }
+    }
+    let (fpp, us, pages) = best.expect("non-empty sweep");
+    println!("\noptimal for SSD/SSD: fpp {fpp:.0e} ({pages} pages, {us:.1} us/probe)");
+
+    // Point lookups return every reading of the timestamp.
+    let tree = BfTree::bulk_build(
+        BfTreeConfig { fpp, ..BfTreeConfig::ordered_default() },
+        &heap,
+        shd::TIMESTAMP,
+    );
+    let ts = domain[domain.len() / 2];
+    let r = tree.probe(ts, &heap, shd::TIMESTAMP, None, None);
+    println!(
+        "probe(ts={ts}): {} readings from {} page(s), {} false read(s)",
+        r.matches.len(),
+        r.pages_read,
+        r.false_reads
+    );
+}
+
+fn cardinality_stats(rows: &[shd::Reading]) -> (u64, u64) {
+    let mut counts = std::collections::HashMap::new();
+    for r in rows {
+        *counts.entry(r.timestamp).or_insert(0u64) += 1;
+    }
+    (
+        counts.values().copied().min().unwrap_or(0),
+        counts.values().copied().max().unwrap_or(0),
+    )
+}

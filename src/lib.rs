@@ -1,0 +1,23 @@
+//! # bftree-repro — BF-Tree: Approximate Tree Indexing (VLDB 2014)
+//!
+//! Umbrella crate of the reproduction: re-exports the public surface
+//! of every member crate so examples and downstream users can depend
+//! on one package.
+//!
+//! * [`bftree`] — the BF-Tree itself (the paper's contribution).
+//! * [`bloom`](bftree_bloom) — Bloom-filter substrate.
+//! * [`storage`](bftree_storage) — pages, heap files, simulated devices.
+//! * [`btree`](bftree_btree) — B+-Tree baseline.
+//! * [`hashindex`](bftree_hashindex) — in-memory hash-index baseline.
+//! * [`fdtree`](bftree_fdtree) — FD-Tree baseline.
+//! * [`model`](bftree_model) — Section-5 analytical model.
+//! * [`workloads`](bftree_workloads) — synthetic R / TPCH / SHD.
+
+pub use bftree;
+pub use bftree_bloom;
+pub use bftree_btree;
+pub use bftree_fdtree;
+pub use bftree_hashindex;
+pub use bftree_model;
+pub use bftree_storage;
+pub use bftree_workloads;

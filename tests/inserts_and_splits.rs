@@ -1,0 +1,163 @@
+//! Integration: the dynamic side of the BF-Tree — Algorithm 3 inserts,
+//! Algorithm 2 splits (both strategies), deletes, and leaf rebuilds —
+//! checked against brute-force scans of the heap.
+
+use bftree::{BfTree, BfTreeConfig, SplitStrategy};
+use bftree_storage::tuple::PK_OFFSET;
+use bftree_storage::{HeapFile, TupleLayout};
+
+fn grow_heap(n: u64) -> HeapFile {
+    let mut heap = HeapFile::new(TupleLayout::new(256));
+    for pk in 0..n {
+        heap.append_record(pk, pk);
+    }
+    heap
+}
+
+/// Insert-driven construction must agree with bulk loading on every
+/// probe (sizes may differ — incremental trees split at the midpoint,
+/// bulk trees pack).
+#[test]
+fn incremental_build_matches_bulk_probes() {
+    let n = 20_000u64;
+    let heap = grow_heap(n);
+    let config = BfTreeConfig { fpp: 1e-3, ..BfTreeConfig::ordered_default() };
+
+    let mut incremental = BfTree::new(config);
+    for (pid, slot, key) in heap.iter_attr(PK_OFFSET) {
+        let _ = slot;
+        incremental.insert(key, pid, Some(&heap), PK_OFFSET);
+    }
+    incremental.check_invariants();
+
+    let bulk = BfTree::bulk_build(config, &heap, PK_OFFSET);
+    for key in (0..n).step_by(97) {
+        let a = incremental.probe_first(key, &heap, PK_OFFSET, None, None);
+        let b = bulk.probe_first(key, &heap, PK_OFFSET, None, None);
+        assert_eq!(a.found(), b.found(), "key {key}");
+        assert!(a.found(), "key {key} lost by incremental build");
+    }
+}
+
+/// Splits must fire as the tree grows: the leaf count increases and
+/// every key stays reachable.
+#[test]
+fn splits_fire_and_preserve_keys() {
+    let n = 30_000u64;
+    let heap = grow_heap(n);
+    let config = BfTreeConfig { fpp: 1e-6, ..BfTreeConfig::ordered_default() };
+    let mut tree = BfTree::new(config);
+    let mut leaf_counts = vec![tree.leaf_pages()];
+    for (pid, _, key) in heap.iter_attr(PK_OFFSET) {
+        tree.insert(key, pid, Some(&heap), PK_OFFSET);
+        if key % 5_000 == 4_999 {
+            leaf_counts.push(tree.leaf_pages());
+        }
+    }
+    assert!(
+        leaf_counts.last().unwrap() > &leaf_counts[0],
+        "no split ever fired: {leaf_counts:?}"
+    );
+    tree.check_invariants();
+    for key in (0..n).step_by(61) {
+        assert!(
+            tree.probe_first(key, &heap, PK_OFFSET, None, None).found(),
+            "key {key} lost after splits"
+        );
+    }
+}
+
+/// The two split strategies must agree on probe outcomes for an
+/// enumerable key domain (ProbeDomain inherits old false positives but
+/// can never lose a key).
+#[test]
+fn split_strategies_agree_on_enumerable_domains() {
+    let n = 8_000u64;
+    let heap = grow_heap(n);
+    let mut trees: Vec<BfTree> = [SplitStrategy::RebuildFromData, SplitStrategy::ProbeDomain]
+        .into_iter()
+        .map(|split| {
+            BfTree::new(BfTreeConfig {
+                fpp: 1e-3,
+                split,
+                ..BfTreeConfig::ordered_default()
+            })
+        })
+        .collect();
+    for (pid, _, key) in heap.iter_attr(PK_OFFSET) {
+        for tree in &mut trees {
+            tree.insert(key, pid, Some(&heap), PK_OFFSET);
+        }
+    }
+    for tree in &trees {
+        tree.check_invariants();
+        for key in (0..n).step_by(41) {
+            assert!(tree.probe_first(key, &heap, PK_OFFSET, None, None).found());
+        }
+    }
+}
+
+/// Deletes tombstone keys (probes treat their pages as false reads)
+/// and rebuilds purge the tombstones.
+#[test]
+fn delete_then_rebuild() {
+    let n = 5_000u64;
+    let heap = grow_heap(n);
+    let mut tree = BfTree::bulk_build(
+        BfTreeConfig { fpp: 1e-4, ..BfTreeConfig::ordered_default() },
+        &heap,
+        PK_OFFSET,
+    );
+
+    assert!(tree.probe_first(1_234, &heap, PK_OFFSET, None, None).found());
+    assert!(tree.delete(1_234) > 0);
+    let r = tree.probe_first(1_234, &heap, PK_OFFSET, None, None);
+    assert!(!r.found(), "deleted key still found");
+    assert!(r.false_reads > 0, "the tombstoned page counts as a false read");
+
+    // Rebuild every leaf: tombstones purged, probes stay correct.
+    for idx in 0..tree.leaf_pages() as u32 {
+        tree.rebuild_leaf(idx, &heap, PK_OFFSET);
+    }
+    tree.check_invariants();
+    assert!(!tree.probe_first(1_234, &heap, PK_OFFSET, None, None).found());
+    assert!(tree.probe_first(1_233, &heap, PK_OFFSET, None, None).found());
+}
+
+/// §7's fpp-degradation claim, measured end to end: inserting beyond a
+/// leaf's Equation-5 capacity (no split, fixed filter geometry) raises
+/// its estimated fpp along Equation 14's curve.
+#[test]
+fn overfill_raises_current_fpp() {
+    let config = BfTreeConfig { fpp: 1e-4, ..BfTreeConfig::ordered_default() };
+    let capacity = config.max_keys_per_leaf(); // 1709 at 1e-4
+
+    // One leaf, one filter (all keys on page 0): fill to capacity, then
+    // push 100% beyond it.
+    let mut leaf = bftree::BfLeaf::empty(&config, 0);
+    for key in 0..capacity {
+        leaf.insert(key, 0);
+    }
+    let at_capacity = leaf.current_fpp();
+    assert!(
+        at_capacity <= 1e-4 * 3.0,
+        "at design capacity the leaf should sit near its target fpp, got {at_capacity}"
+    );
+
+    for key in capacity..2 * capacity {
+        leaf.insert(key, 0);
+    }
+    let overfilled = leaf.current_fpp();
+    let eq14 = bftree_model::fpp_after_inserts(at_capacity.max(1e-6), 1.0);
+    assert!(
+        overfilled > at_capacity * 10.0,
+        "overfilled {overfilled} vs at-capacity {at_capacity}"
+    );
+    // Equation 14 should land within an order of magnitude of the
+    // leaf's own estimate (the equation assumes k re-optimized for the
+    // grown set; the leaf keeps its original k).
+    assert!(
+        overfilled / eq14 < 30.0 && eq14 / overfilled < 30.0,
+        "measured {overfilled} vs Eq-14 {eq14}"
+    );
+}

@@ -1,0 +1,151 @@
+//! Integration tests for the Section-7/8 optimizations: parallel
+//! filter probing, interpolated probe order, index intersection, and
+//! the index-free comparators.
+
+use bftree::{probe_intersection, BfTree, BfTreeConfig, IndexPredicate, ProbeOrder};
+use bftree_storage::tuple::{ATT1_OFFSET, PK_OFFSET};
+use bftree_storage::{binary_search, interpolation_search, HeapFile, TupleLayout};
+use bftree_workloads::{build_relation_r, SyntheticConfig};
+
+fn heap() -> HeapFile {
+    build_relation_r(&SyntheticConfig { n_tuples: 30_000, ..SyntheticConfig::scaled_mb(8) })
+}
+
+#[test]
+fn parallel_filter_probing_matches_serial() {
+    let heap = heap();
+    let tree = BfTree::bulk_build(
+        BfTreeConfig { fpp: 1e-2, ..BfTreeConfig::ordered_default() },
+        &heap,
+        PK_OFFSET,
+    );
+    for key in (0..30_000u64).step_by(501) {
+        for leaf_idx in 0..tree.leaf_pages() as u32 {
+            let leaf = tree.leaf(leaf_idx);
+            let mut serial = Vec::new();
+            leaf.matching_pages(key, &mut serial);
+            for threads in [1usize, 2, 4, 7] {
+                let mut par = Vec::new();
+                leaf.matching_pages_parallel(key, &mut par, threads);
+                assert_eq!(par, serial, "key {key}, leaf {leaf_idx}, {threads} threads");
+            }
+        }
+    }
+}
+
+#[test]
+fn interpolated_probe_order_cuts_false_reads_on_uniform_pk() {
+    let heap = heap();
+    let base = BfTreeConfig { fpp: 0.05, ..BfTreeConfig::ordered_default() };
+    let page_order = BfTree::bulk_build(base, &heap, PK_OFFSET);
+    let interpolated = BfTree::bulk_build(
+        BfTreeConfig { probe_order: ProbeOrder::Interpolated, ..base },
+        &heap,
+        PK_OFFSET,
+    );
+
+    let mut fr_page = 0u64;
+    let mut fr_interp = 0u64;
+    for key in (0..30_000u64).step_by(97) {
+        let a = page_order.probe_first(key, &heap, PK_OFFSET, None, None);
+        let b = interpolated.probe_first(key, &heap, PK_OFFSET, None, None);
+        assert!(a.found() && b.found(), "key {key}");
+        fr_page += a.false_reads;
+        fr_interp += b.false_reads;
+    }
+    assert!(
+        fr_interp * 5 < fr_page.max(5),
+        "interpolated {fr_interp} vs page-order {fr_page} false reads"
+    );
+}
+
+#[test]
+fn intersection_fpp_is_multiplicative() {
+    // Probe deliberately loose indexes with absent keys: pages survive
+    // the intersection only if both sides fire falsely, so the
+    // intersected false reads should be far below either side's.
+    let heap = heap();
+    let config = BfTreeConfig { fpp: 0.2, ..BfTreeConfig::ordered_default() };
+    let a = BfTree::bulk_build(config, &heap, PK_OFFSET);
+    let b = BfTree::bulk_build(config, &heap, ATT1_OFFSET);
+
+    let mut single = 0u64;
+    let mut both = 0u64;
+    let mut probes = 0u64;
+    for pk in (0..30_000u64).step_by(211) {
+        let att1 = {
+            // The true ATT1 value of this pk's tuple, so the predicate
+            // pair is consistent.
+            let r = a.probe_first(pk, &heap, PK_OFFSET, None, None);
+            let (pid, slot) = r.matches[0];
+            heap.attr(pid, slot, ATT1_OFFSET)
+        };
+        single += a.probe(pk, &heap, PK_OFFSET, None, None).false_reads;
+        both += probe_intersection(
+            IndexPredicate { tree: &a, attr: PK_OFFSET, key: pk },
+            IndexPredicate { tree: &b, attr: ATT1_OFFSET, key: att1 },
+            &heap,
+            None,
+            None,
+        )
+        .false_reads;
+        probes += 1;
+    }
+    assert!(probes > 100);
+    assert!(
+        both * 4 < single.max(4),
+        "intersection false reads {both} vs single-index {single}"
+    );
+}
+
+#[test]
+fn index_free_comparators_agree_with_the_index() {
+    let heap = heap();
+    let tree = BfTree::bulk_build(
+        BfTreeConfig { fpp: 1e-4, ..BfTreeConfig::ordered_default() },
+        &heap,
+        PK_OFFSET,
+    );
+    for key in (0..30_000u64).step_by(643) {
+        let via_tree = tree.probe_first(key, &heap, PK_OFFSET, None, None);
+        let via_bin = binary_search(&heap, PK_OFFSET, key, None);
+        let via_interp = interpolation_search(&heap, PK_OFFSET, key, None);
+        assert_eq!(via_tree.matches, via_bin.matches, "key {key}");
+        assert_eq!(via_bin.matches, via_interp.matches, "key {key}");
+    }
+}
+
+#[test]
+fn bftree_reads_fewer_pages_than_binary_search() {
+    // §7: the index buys I/O. A tight BF-Tree probe reads ~1 data
+    // page; binary search reads ~log2(pages).
+    let heap = heap();
+    let tree = BfTree::bulk_build(
+        BfTreeConfig { fpp: 1e-9, ..BfTreeConfig::ordered_default() },
+        &heap,
+        PK_OFFSET,
+    );
+    let mut tree_pages = 0u64;
+    let mut bin_pages = 0u64;
+    for key in (0..30_000u64).step_by(359) {
+        tree_pages += tree.probe_first(key, &heap, PK_OFFSET, None, None).pages_read;
+        bin_pages += binary_search(&heap, PK_OFFSET, key, None).pages_read;
+    }
+    assert!(
+        tree_pages * 3 < bin_pages,
+        "BF-Tree {tree_pages} vs binary search {bin_pages} data pages"
+    );
+}
+
+#[test]
+fn parallel_probe_on_tiny_leaf_falls_back_to_serial() {
+    let mut heap = HeapFile::new(TupleLayout::new(256));
+    for pk in 0..20u64 {
+        heap.append_record(pk, pk);
+    }
+    let tree = BfTree::bulk_build(BfTreeConfig::ordered_default(), &heap, PK_OFFSET);
+    let leaf = tree.leaf(0);
+    let mut out = Vec::new();
+    leaf.matching_pages_parallel(7, &mut out, 16);
+    assert!(out.contains(&0));
+}

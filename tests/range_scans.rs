@@ -1,0 +1,103 @@
+//! Integration: range scans (§7, Figure 13) checked for completeness
+//! against brute force, for both scan modes and both duplicate
+//! handlings.
+
+use bftree::scan::exact_range_pages;
+use bftree::{BfTree, BfTreeConfig, DuplicateHandling};
+use bftree_storage::tuple::{AttrOffset, ATT1_OFFSET, PK_OFFSET};
+use bftree_storage::HeapFile;
+use bftree_workloads::{build_relation_r, SyntheticConfig};
+
+fn heap() -> HeapFile {
+    build_relation_r(&SyntheticConfig { n_tuples: 25_000, ..SyntheticConfig::scaled_mb(8) })
+}
+
+fn brute(heap: &HeapFile, attr: AttrOffset, lo: u64, hi: u64) -> Vec<(u64, usize)> {
+    heap.iter_attr(attr)
+        .filter(|&(_, _, v)| v >= lo && v <= hi)
+        .map(|(pid, slot, _)| (pid, slot))
+        .collect()
+}
+
+#[test]
+fn plain_scan_is_complete() {
+    let heap = heap();
+    let tree = BfTree::bulk_build(
+        BfTreeConfig { fpp: 1e-4, ..BfTreeConfig::ordered_default() },
+        &heap,
+        PK_OFFSET,
+    );
+    for (lo, hi) in [(0u64, 100u64), (5_000, 7_500), (24_900, 30_000), (12_345, 12_345)] {
+        let r = tree.range_scan(lo, hi, &heap, PK_OFFSET, None, None);
+        assert_eq!(r.matches, brute(&heap, PK_OFFSET, lo, hi), "range [{lo}, {hi}]");
+    }
+}
+
+#[test]
+fn probing_scan_is_complete_for_both_duplicate_modes() {
+    let heap = heap();
+    for duplicates in [DuplicateHandling::AllCoveringPages, DuplicateHandling::FirstPageOnly] {
+        let tree = BfTree::bulk_build(
+            BfTreeConfig { fpp: 1e-6, duplicates, ..BfTreeConfig::paper_default() },
+            &heap,
+            ATT1_OFFSET,
+        );
+        for (lo, hi) in [(10u64, 300u64), (5_000, 5_800), (0, 50)] {
+            let mut got =
+                tree.range_scan_probing(lo, hi, &heap, ATT1_OFFSET, None, None, 1 << 22).matches;
+            got.sort_unstable();
+            assert_eq!(
+                got,
+                brute(&heap, ATT1_OFFSET, lo, hi),
+                "range [{lo}, {hi}] under {duplicates:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn probing_scan_reads_fewer_boundary_pages_at_tight_fpp() {
+    let heap = heap();
+    let tree = BfTree::bulk_build(
+        BfTreeConfig { fpp: 1e-9, ..BfTreeConfig::ordered_default() },
+        &heap,
+        PK_OFFSET,
+    );
+    // A 1% range: boundary overhead dominates the plain scan.
+    let (lo, hi) = (10_000u64, 10_250u64);
+    let plain = tree.range_scan(lo, hi, &heap, PK_OFFSET, None, None);
+    let probing = tree.range_scan_probing(lo, hi, &heap, PK_OFFSET, None, None, 1 << 22);
+    assert_eq!(plain.matches, probing.matches);
+    assert!(
+        probing.pages_read <= plain.pages_read,
+        "probing {} vs plain {}",
+        probing.pages_read,
+        plain.pages_read
+    );
+    // Figure 13's tight-fpp claim: overhead within 20% of the exact
+    // B+-Tree page count.
+    let exact = exact_range_pages(&heap, PK_OFFSET, lo, hi);
+    assert!(
+        (probing.pages_read as f64) <= exact as f64 * 1.2,
+        "probing {} vs exact {}",
+        probing.pages_read,
+        exact
+    );
+}
+
+#[test]
+fn empty_and_inverted_ranges() {
+    let heap = heap();
+    let tree = BfTree::bulk_build(BfTreeConfig::ordered_default(), &heap, PK_OFFSET);
+    // A range entirely past the data: no matches, bounded I/O.
+    let r = tree.range_scan(1 << 40, (1 << 40) + 10, &heap, PK_OFFSET, None, None);
+    assert!(r.matches.is_empty());
+}
+
+#[test]
+#[should_panic]
+fn inverted_range_panics() {
+    let heap = heap();
+    let tree = BfTree::bulk_build(BfTreeConfig::ordered_default(), &heap, PK_OFFSET);
+    tree.range_scan(10, 5, &heap, PK_OFFSET, None, None);
+}
