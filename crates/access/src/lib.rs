@@ -1,0 +1,271 @@
+//! The unified access-method interface of the BF-Tree reproduction.
+//!
+//! The paper evaluates the BF-Tree head-to-head against a B+-Tree, an
+//! in-memory hash index, and an FD-Tree. This crate defines the one
+//! abstraction they all program against: an object-safe
+//! [`AccessMethod`] trait over a [`Relation`] (heap file + indexed
+//! attribute + duplicate layout) and an [`IoContext`] (simulated
+//! index/data devices), so harnesses, examples, and future backends
+//! write `&dyn AccessMethod` instead of one code path per index.
+//!
+//! ```
+//! use bftree_access::{AccessMethod, Probe};
+//! use bftree_storage::{Duplicates, HeapFile, IoContext, Relation, TupleLayout};
+//! use bftree_storage::tuple::PK_OFFSET;
+//!
+//! fn hit_rate(index: &dyn AccessMethod, rel: &Relation, probes: &[u64]) -> f64 {
+//!     let io = IoContext::unmetered();
+//!     let hits = probes
+//!         .iter()
+//!         .filter(|&&key| index.probe(key, rel, &io).unwrap().found())
+//!         .count();
+//!     hits as f64 / probes.len().max(1) as f64
+//! }
+//! ```
+
+#![warn(missing_docs)]
+
+use bftree_storage::{IoContext, PageId, Relation, RelationError};
+
+/// Error raised while building (bulk-loading) an index.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum BuildError {
+    /// A tuning parameter is outside its valid domain.
+    InvalidConfig {
+        /// Which parameter.
+        what: &'static str,
+        /// Human-readable constraint violation.
+        detail: String,
+    },
+    /// The relation cannot back this index (bad attribute, layout the
+    /// index cannot exploit, …).
+    IncompatibleRelation {
+        /// Human-readable reason.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::InvalidConfig { what, detail } => {
+                write!(f, "invalid configuration ({what}): {detail}")
+            }
+            BuildError::IncompatibleRelation { detail } => {
+                write!(f, "relation incompatible with this access method: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+impl From<RelationError> for BuildError {
+    fn from(e: RelationError) -> Self {
+        BuildError::IncompatibleRelation {
+            detail: e.to_string(),
+        }
+    }
+}
+
+/// Error raised by a probe, scan, insert, or delete.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ProbeError {
+    /// The relation's attribute does not fit its tuple layout.
+    /// `Relation::new` already rejects this, so through the safe
+    /// constructors the variant is unreachable today — probe paths
+    /// re-assert the invariant as defense in depth.
+    AttrOutOfBounds {
+        /// Byte offset of the requested attribute.
+        attr: usize,
+        /// Tuple size of the heap's layout.
+        tuple_size: usize,
+    },
+    /// The operation's key range is inverted (`lo > hi`).
+    InvertedRange {
+        /// Requested lower bound.
+        lo: u64,
+        /// Requested upper bound.
+        hi: u64,
+    },
+    /// The operation is not supported by this access method.
+    Unsupported {
+        /// Which operation.
+        what: &'static str,
+    },
+}
+
+impl std::fmt::Display for ProbeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProbeError::AttrOutOfBounds { attr, tuple_size } => write!(
+                f,
+                "attribute at byte {attr} does not fit a {tuple_size}-byte tuple"
+            ),
+            ProbeError::InvertedRange { lo, hi } => {
+                write!(f, "inverted key range [{lo}, {hi}]")
+            }
+            ProbeError::Unsupported { what } => write!(f, "operation not supported: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ProbeError {}
+
+/// Validate a relation's attribute against its layout — the shared
+/// guard every probe-path entry point uses instead of panicking.
+/// Delegates to [`Relation::check_attr`], the single home of the
+/// rule.
+pub fn check_relation(rel: &Relation) -> Result<(), ProbeError> {
+    rel.check_attr().map_err(|e| match e {
+        RelationError::AttrOutOfBounds { attr, tuple_size } => {
+            ProbeError::AttrOutOfBounds { attr, tuple_size }
+        }
+        // `RelationError` is non-exhaustive; treat future invariants
+        // as unsupported operations rather than panicking.
+        _ => ProbeError::Unsupported {
+            what: "relation invariant violated",
+        },
+    })
+}
+
+/// Outcome of a point probe, uniform across access methods.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Probe {
+    /// Matching tuples as `(page id, slot)` pairs.
+    pub matches: Vec<(PageId, usize)>,
+    /// Data pages fetched.
+    pub pages_read: u64,
+    /// Data pages fetched that held no match (false positives —
+    /// always 0 for exact indexes).
+    pub false_reads: u64,
+}
+
+impl Probe {
+    /// Whether at least one tuple matched.
+    pub fn found(&self) -> bool {
+        !self.matches.is_empty()
+    }
+}
+
+/// Outcome of a range scan, uniform across access methods.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RangeScan {
+    /// Matching tuples as `(page id, slot)` pairs, in page order.
+    pub matches: Vec<(PageId, usize)>,
+    /// Data pages read.
+    pub pages_read: u64,
+    /// Data pages read that contained no tuple in range.
+    pub overhead_pages: u64,
+}
+
+/// Structural statistics of a built index (the quantities behind the
+/// paper's Table 2 and Figure 4).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IndexStats {
+    /// Index size in pages (0 for purely in-memory structures that
+    /// are not paged).
+    pub pages: u64,
+    /// Index size in bytes.
+    pub bytes: u64,
+    /// Height in node levels along a root-to-data path (1 for flat
+    /// structures).
+    pub height: usize,
+    /// Entries (distinct keys or key references, per the index's own
+    /// granularity).
+    pub entries: u64,
+}
+
+/// An index over one [`Relation`]: the object-safe interface every
+/// backend implements and every harness programs against.
+///
+/// All I/O is charged to the [`IoContext`]: descents and filter reads
+/// to `io.index`, heap-page fetches to `io.data`. Pass
+/// [`IoContext::unmetered`] when only correctness matters.
+pub trait AccessMethod {
+    /// Short human-readable name ("bf-tree", "b+tree", …) for reports.
+    fn name(&self) -> &'static str;
+
+    /// (Re)build the index from `rel`'s current contents, replacing
+    /// whatever the index held. Implementations derive their duplicate
+    /// handling from [`Relation::duplicates`].
+    fn build(&mut self, rel: &Relation) -> Result<(), BuildError>;
+
+    /// Find every tuple whose indexed attribute equals `key`.
+    fn probe(&self, key: u64, rel: &Relation, io: &IoContext) -> Result<Probe, ProbeError>;
+
+    /// [`AccessMethod::probe`] with the paper's primary-key shortcut:
+    /// stop at the first match ("as soon as the tuple is found the
+    /// search ends"). Only meaningful for unique attributes.
+    fn probe_first(&self, key: u64, rel: &Relation, io: &IoContext) -> Result<Probe, ProbeError>;
+
+    /// Find every tuple whose indexed attribute lies in `[lo, hi]`.
+    fn range_scan(
+        &self,
+        lo: u64,
+        hi: u64,
+        rel: &Relation,
+        io: &IoContext,
+    ) -> Result<RangeScan, ProbeError>;
+
+    /// Register a new tuple at heap location `(pid, slot)` carrying
+    /// `key`. The tuple must already be in `rel`'s heap.
+    fn insert(&mut self, key: u64, loc: (PageId, usize), rel: &Relation) -> Result<(), ProbeError>;
+
+    /// Remove every index entry for `key`; later probes must miss.
+    /// Returns how many entries (or leaves, for tombstoning indexes)
+    /// were affected.
+    fn delete(&mut self, key: u64, rel: &Relation) -> Result<u64, ProbeError>;
+
+    /// Index size in bytes.
+    fn size_bytes(&self) -> u64;
+
+    /// Structural statistics.
+    fn stats(&self) -> IndexStats;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bftree_storage::tuple::AttrOffset;
+    use bftree_storage::{Duplicates, HeapFile, TupleLayout};
+
+    #[test]
+    fn errors_render_reasons() {
+        let e = BuildError::InvalidConfig {
+            what: "fpp",
+            detail: "must be in (0,1)".into(),
+        };
+        assert!(e.to_string().contains("fpp"));
+        let e = ProbeError::InvertedRange { lo: 9, hi: 3 };
+        assert!(e.to_string().contains("[9, 3]"));
+        let e: BuildError = RelationError::AttrOutOfBounds {
+            attr: 99,
+            tuple_size: 16,
+        }
+        .into();
+        assert!(matches!(e, BuildError::IncompatibleRelation { .. }));
+    }
+
+    #[test]
+    fn check_relation_accepts_valid_attrs() {
+        let heap = HeapFile::new(TupleLayout::new(16));
+        let rel = Relation::new(heap, AttrOffset(8), Duplicates::Contiguous).unwrap();
+        assert!(check_relation(&rel).is_ok());
+    }
+
+    #[test]
+    fn probe_found_tracks_matches() {
+        let mut p = Probe::default();
+        assert!(!p.found());
+        p.matches.push((0, 3));
+        assert!(p.found());
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        fn _takes_dyn(_: &dyn AccessMethod) {}
+    }
+}

@@ -1,75 +1,86 @@
-//! Criterion: ablations over the design knobs DESIGN.md calls out —
-//! indexing granularity (pages per BF, the paper's §4.1 knob (i)),
-//! hash-count strategy (the paper's prototype fixes k = 3), and
-//! duplicate handling (paper-faithful all-pages vs. ordered-data
+//! Ablations over the design knobs DESIGN.md calls out — indexing
+//! granularity (pages per BF, the paper's §4.1 knob (i)), hash-count
+//! strategy (the paper's prototype fixes k = 3), and duplicate
+//! handling (paper-faithful all-pages vs. ordered-data
 //! first-page-only).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use bftree::{BfTree, BfTreeConfig, DuplicateHandling, KStrategy};
+use bftree::{BfTree, DuplicateHandling, KStrategy};
+use bftree_access::AccessMethod;
+use bftree_bench::microbench::{bench, group};
 use bftree_storage::tuple::{ATT1_OFFSET, PK_OFFSET};
-use bftree_storage::{HeapFile, TupleLayout};
+use bftree_storage::{Duplicates, HeapFile, IoContext, Relation, TupleLayout};
 
-fn heap() -> HeapFile {
+fn relation(duplicates: Duplicates) -> Relation {
     let mut h = HeapFile::new(TupleLayout::new(256));
     for pk in 0..60_000u64 {
         h.append_record(pk, pk / 11);
     }
-    h
+    let attr = if duplicates == Duplicates::Unique {
+        PK_OFFSET
+    } else {
+        ATT1_OFFSET
+    };
+    Relation::new(h, attr, duplicates).expect("conventional layout")
 }
 
-/// Granularity knob: one BF per 1 / 4 / 16 pages. Coarser filters are
-/// fewer and larger (cheaper sweeps) but every match fetches the whole
-/// group of pages.
-fn granularity(c: &mut Criterion) {
-    let h = heap();
-    let mut g = c.benchmark_group("ablation_pages_per_bf");
+fn main() {
+    let io = IoContext::unmetered();
+
+    // Granularity knob: one BF per 1 / 4 / 16 pages. Coarser filters
+    // are fewer and larger (cheaper sweeps) but every match fetches
+    // the whole group of pages.
+    let rel = relation(Duplicates::Unique);
+    group("ablation_pages_per_bf");
     for ppb in [1u64, 4, 16] {
-        let config = BfTreeConfig {
-            fpp: 1e-4,
-            pages_per_bf: ppb,
-            ..BfTreeConfig::ordered_default()
-        };
-        let tree = BfTree::bulk_build(config, &h, PK_OFFSET);
-        g.bench_function(format!("probe_ppb{ppb}"), |b| {
-            b.iter(|| tree.probe_first(black_box(33_333), &h, PK_OFFSET, None, None).found())
+        let tree = BfTree::builder()
+            .fpp(1e-4)
+            .pages_per_bf(ppb)
+            .build(&rel)
+            .expect("valid config");
+        bench(&format!("probe_ppb{ppb}"), || {
+            AccessMethod::probe_first(&tree, black_box(33_333), &rel, &io)
+                .unwrap()
+                .found()
         });
     }
-    g.finish();
-}
 
-/// Hash-count knob: the paper's fixed k = 3 vs. the Equation-1 optimum.
-fn k_strategy(c: &mut Criterion) {
-    let h = heap();
-    let mut g = c.benchmark_group("ablation_k_strategy");
-    for (label, strat) in [("fixed3", KStrategy::Fixed(3)), ("optimal", KStrategy::Optimal)] {
-        let config =
-            BfTreeConfig { fpp: 1e-4, k_strategy: strat, ..BfTreeConfig::ordered_default() };
-        let tree = BfTree::bulk_build(config, &h, PK_OFFSET);
-        g.bench_function(format!("probe_{label}"), |b| {
-            b.iter(|| tree.probe_first(black_box(33_333), &h, PK_OFFSET, None, None).found())
+    // Hash-count knob: the paper's fixed k = 3 vs. the Equation-1
+    // optimum.
+    group("ablation_k_strategy");
+    for (label, strat) in [
+        ("fixed3", KStrategy::Fixed(3)),
+        ("optimal", KStrategy::Optimal),
+    ] {
+        let tree = BfTree::builder()
+            .fpp(1e-4)
+            .k_strategy(strat)
+            .build(&rel)
+            .expect("valid config");
+        bench(&format!("probe_{label}"), || {
+            AccessMethod::probe_first(&tree, black_box(33_333), &rel, &io)
+                .unwrap()
+                .found()
         });
     }
-    g.finish();
-}
 
-/// Duplicate-handling knob on the non-unique attribute.
-fn duplicates(c: &mut Criterion) {
-    let h = heap();
-    let mut g = c.benchmark_group("ablation_duplicates");
+    // Duplicate-handling knob on the non-unique attribute.
+    let rel = relation(Duplicates::Contiguous);
+    group("ablation_duplicates");
     for (label, mode) in [
         ("all_pages", DuplicateHandling::AllCoveringPages),
         ("first_page", DuplicateHandling::FirstPageOnly),
     ] {
-        let config = BfTreeConfig { fpp: 1e-4, duplicates: mode, ..BfTreeConfig::paper_default() };
-        let tree = BfTree::bulk_build(config, &h, ATT1_OFFSET);
-        g.bench_function(format!("probe_{label}"), |b| {
-            b.iter(|| tree.probe(black_box(3_000), &h, ATT1_OFFSET, None, None).found())
+        let tree = BfTree::builder()
+            .fpp(1e-4)
+            .duplicates(mode)
+            .build(&rel)
+            .expect("valid config");
+        bench(&format!("probe_{label}"), || {
+            AccessMethod::probe(&tree, black_box(3_000), &rel, &io)
+                .unwrap()
+                .found()
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, granularity, k_strategy, duplicates);
-criterion_main!(benches);

@@ -1,55 +1,44 @@
-//! Criterion micro-benchmarks of the Bloom-filter substrate: the
-//! CPU-side costs behind every BF-leaf probe (§8 notes BF probing was
-//! never the bottleneck in the paper's experiments — this measures
-//! the margin).
+//! Micro-benchmarks of the Bloom-filter substrate: the CPU-side costs
+//! behind every BF-leaf probe (§8 notes BF probing was never the
+//! bottleneck in the paper's experiments — this measures the margin).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use std::hint::black_box;
 
+use bftree_bench::microbench::{bench, group};
 use bftree_bloom::{BloomFilter, BloomGroup};
 
-fn filter_ops(c: &mut Criterion) {
+fn main() {
     let n = 10_000u64;
     let mut filter = BloomFilter::with_capacity(n, 1e-3, 42);
     for key in 0..n {
         filter.insert(&key);
     }
 
-    let mut g = c.benchmark_group("bloom_filter");
-    g.throughput(Throughput::Elements(1));
-    g.bench_function("insert", |b| {
-        b.iter_batched_ref(
-            || BloomFilter::with_capacity(n, 1e-3, 42),
-            |f| f.insert(black_box(&12_345u64)),
-            BatchSize::SmallInput,
-        )
+    group("bloom_filter");
+    // Time the insert itself, not filter construction: reuse one
+    // filter and vary the key so the hot path stays realistic.
+    let mut scratch = BloomFilter::with_capacity(n, 1e-3, 42);
+    let mut next_key = 0u64;
+    bench("insert", || {
+        next_key = next_key.wrapping_add(1);
+        scratch.insert(black_box(&next_key));
     });
-    g.bench_function("contains_hit", |b| b.iter(|| filter.contains(black_box(&5_000u64))));
-    g.bench_function("contains_miss", |b| b.iter(|| filter.contains(black_box(&999_999u64))));
-    g.finish();
-}
+    bench("contains_hit", || filter.contains(black_box(&5_000u64)));
+    bench("contains_miss", || filter.contains(black_box(&999_999u64)));
 
-fn group_sweep(c: &mut Criterion) {
     // The Algorithm-1 inner loop: test one key against every per-page
     // filter of a leaf. S = pages per leaf grows as fpp loosens.
-    let mut g = c.benchmark_group("bloom_group_sweep");
+    group("bloom_group_sweep");
     for s in [64usize, 512, 2048] {
-        let mut group = BloomGroup::new(4096 * 8, s, 3, 7);
+        let mut bf_group = BloomGroup::new(4096 * 8, s, 3, 7);
         for key in 0..(2 * s as u64) {
-            group.insert((key % s as u64) as usize, &key);
+            bf_group.insert((key % s as u64) as usize, &key);
         }
         let mut out = Vec::with_capacity(s);
-        g.throughput(Throughput::Elements(s as u64));
-        g.bench_function(format!("S={s}"), |b| {
-            b.iter(|| {
-                out.clear();
-                group.matching_buckets_into(black_box(&77_777u64), &mut out);
-                black_box(out.len())
-            })
+        bench(&format!("S={s}"), || {
+            out.clear();
+            bf_group.matching_buckets_into(black_box(&77_777u64), &mut out);
+            black_box(out.len())
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, filter_ops, group_sweep);
-criterion_main!(benches);

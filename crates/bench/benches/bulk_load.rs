@@ -1,32 +1,22 @@
-//! Criterion: bulk-load throughput — the paper's Table-2 observation
-//! that "the build time of the BF-Tree is one order of magnitude
-//! smaller than the build time of the corresponding B+-Tree".
+//! Bulk-load throughput — the paper's Table-2 observation that "the
+//! build time of the BF-Tree is one order of magnitude smaller than
+//! the build time of the corresponding B+-Tree".
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-
+use bftree_bench::microbench::{bench, group};
 use bftree_bench::{build_bftree, build_btree};
 use bftree_storage::tuple::PK_OFFSET;
-use bftree_storage::{HeapFile, TupleLayout};
+use bftree_storage::{Duplicates, HeapFile, Relation, TupleLayout};
 
-fn heap(n: u64) -> HeapFile {
+fn main() {
+    let n = 100_000u64;
     let mut h = HeapFile::new(TupleLayout::new(256));
     for pk in 0..n {
         h.append_record(pk, pk / 11);
     }
-    h
-}
+    let rel = Relation::new(h, PK_OFFSET, Duplicates::Unique).expect("conventional layout");
 
-fn bulk_load(c: &mut Criterion) {
-    let n = 100_000u64;
-    let h = heap(n);
-    let mut g = c.benchmark_group("bulk_load_100k");
-    g.sample_size(10);
-    g.throughput(Throughput::Elements(n));
-    g.bench_function("bftree_fpp1e-3", |b| b.iter(|| build_bftree(&h, PK_OFFSET, 1e-3)));
-    g.bench_function("bftree_fpp1e-9", |b| b.iter(|| build_bftree(&h, PK_OFFSET, 1e-9)));
-    g.bench_function("btree", |b| b.iter(|| build_btree(&h, PK_OFFSET)));
-    g.finish();
+    group("bulk_load_100k");
+    bench("bftree_fpp1e-3", || build_bftree(&rel, 1e-3));
+    bench("bftree_fpp1e-9", || build_bftree(&rel, 1e-9));
+    bench("btree", || build_btree(&rel));
 }
-
-criterion_group!(benches, bulk_load);
-criterion_main!(benches);

@@ -1,45 +1,49 @@
-//! Criterion: CPU cost of a point probe per index structure (no
-//! simulated devices — this is the in-memory work that rides on top of
-//! the I/O the figure binaries account).
+//! CPU cost of a point probe per index structure (no simulated
+//! devices — this is the in-memory work that rides on top of the I/O
+//! the figure binaries account).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use bftree_access::AccessMethod;
+use bftree_bench::microbench::{bench, group};
 use bftree_bench::{build_bftree, build_btree, build_fdtree, build_hashindex};
 use bftree_storage::tuple::PK_OFFSET;
-use bftree_storage::{HeapFile, TupleLayout};
+use bftree_storage::{Duplicates, HeapFile, IoContext, Relation, TupleLayout};
 
-fn heap() -> HeapFile {
+fn relation() -> Relation {
     let mut h = HeapFile::new(TupleLayout::new(256));
     for pk in 0..100_000u64 {
         h.append_record(pk, pk / 11);
     }
-    h
+    Relation::new(h, PK_OFFSET, Duplicates::Unique).expect("conventional layout")
 }
 
-fn point_probe(c: &mut Criterion) {
-    let h = heap();
-    let bf_tight = build_bftree(&h, PK_OFFSET, 1e-6);
-    let bf_loose = build_bftree(&h, PK_OFFSET, 1e-2);
-    let bp = build_btree(&h, PK_OFFSET);
-    let hash = build_hashindex(&h, PK_OFFSET);
-    let fd = build_fdtree(&h, PK_OFFSET);
+fn main() {
+    let rel = relation();
+    let io = IoContext::unmetered();
+    let bf_tight = build_bftree(&rel, 1e-6);
+    let bf_loose = build_bftree(&rel, 1e-2);
+    let bp = build_btree(&rel);
+    let hash = build_hashindex(&rel);
+    let fd = build_fdtree(&rel);
 
-    let mut g = c.benchmark_group("point_probe_pk");
-    g.bench_function("bftree_fpp1e-6", |b| {
-        b.iter(|| bf_tight.probe_first(black_box(54_321), &h, PK_OFFSET, None, None).found())
+    group("point_probe_pk");
+    bench("bftree_fpp1e-6", || {
+        AccessMethod::probe_first(&bf_tight, black_box(54_321), &rel, &io)
+            .unwrap()
+            .found()
     });
-    g.bench_function("bftree_fpp1e-2", |b| {
-        b.iter(|| bf_loose.probe_first(black_box(54_321), &h, PK_OFFSET, None, None).found())
+    bench("bftree_fpp1e-2", || {
+        AccessMethod::probe_first(&bf_loose, black_box(54_321), &rel, &io)
+            .unwrap()
+            .found()
     });
-    g.bench_function("bftree_miss", |b| {
-        b.iter(|| bf_tight.probe_first(black_box(1 << 40), &h, PK_OFFSET, None, None).found())
+    bench("bftree_miss", || {
+        AccessMethod::probe_first(&bf_tight, black_box(1 << 40), &rel, &io)
+            .unwrap()
+            .found()
     });
-    g.bench_function("btree", |b| b.iter(|| bp.search(black_box(54_321), None).is_some()));
-    g.bench_function("hashindex", |b| b.iter(|| hash.get(black_box(54_321)).is_some()));
-    g.bench_function("fdtree", |b| b.iter(|| fd.search(black_box(54_321), None).is_some()));
-    g.finish();
+    bench("btree", || bp.search(black_box(54_321), None).is_some());
+    bench("hashindex", || hash.get(black_box(54_321)).is_some());
+    bench("fdtree", || fd.search(black_box(54_321), None).is_some());
 }
-
-criterion_group!(benches, point_probe);
-criterion_main!(benches);

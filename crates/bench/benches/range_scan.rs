@@ -1,41 +1,29 @@
-//! Criterion: range scans (§7, Figure 13) — the plain
-//! whole-partition scan vs. the boundary-probing optimization.
+//! Range scans (§7, Figure 13) — the plain whole-partition scan vs.
+//! the boundary-probing optimization.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use bftree_access::AccessMethod;
 use bftree_bench::build_bftree;
+use bftree_bench::microbench::{bench, group};
 use bftree_storage::tuple::PK_OFFSET;
-use bftree_storage::{HeapFile, TupleLayout};
+use bftree_storage::{Duplicates, HeapFile, IoContext, Relation, TupleLayout};
 
-fn range_scan(c: &mut Criterion) {
+fn main() {
     let mut h = HeapFile::new(TupleLayout::new(256));
     for pk in 0..100_000u64 {
         h.append_record(pk, pk / 11);
     }
-    let tree = build_bftree(&h, PK_OFFSET, 1e-4);
+    let rel = Relation::new(h, PK_OFFSET, Duplicates::Unique).expect("conventional layout");
+    let io = IoContext::unmetered();
+    let tree = build_bftree(&rel, 1e-4);
     let (lo, hi) = (40_000u64, 42_000u64); // 2% range
 
-    let mut g = c.benchmark_group("range_scan_2pct");
-    g.sample_size(20);
-    g.bench_function("plain", |b| {
-        b.iter(|| tree.range_scan(black_box(lo), black_box(hi), &h, PK_OFFSET, None, None))
+    group("range_scan_2pct");
+    bench("plain", || {
+        AccessMethod::range_scan(&tree, black_box(lo), black_box(hi), &rel, &io).unwrap()
     });
-    g.bench_function("boundary_probing", |b| {
-        b.iter(|| {
-            tree.range_scan_probing(
-                black_box(lo),
-                black_box(hi),
-                &h,
-                PK_OFFSET,
-                None,
-                None,
-                1 << 22,
-            )
-        })
+    bench("boundary_probing", || {
+        tree.scan_range_probing(black_box(lo), black_box(hi), &rel, &io, 1 << 22)
     });
-    g.finish();
 }
-
-criterion_group!(benches, range_scan);
-criterion_main!(benches);

@@ -9,7 +9,11 @@ use bftree_bench::scale::{n_probes, paper_fpp_sweep, relation_mb};
 use bftree_bench::{att1_probes, relation_r_att1, warm_caches_figure};
 
 fn main() {
-    println!("relation R: {} MB ({} probes, 14% hit)\n", relation_mb(), n_probes());
+    println!(
+        "relation R: {} MB ({} probes, 14% hit)\n",
+        relation_mb(),
+        n_probes()
+    );
     let ds = relation_r_att1();
     let probes = att1_probes(&ds);
     warm_caches_figure(

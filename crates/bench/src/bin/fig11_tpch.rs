@@ -8,8 +8,9 @@
 
 use bftree_bench::scale::{n_probes, paper_fpp_sweep, tpch_sf};
 use bftree_bench::{
-    baseline_btree, best_per_config, fmt_f, sweep_bftree, Dataset, Report, StorageConfig,
+    baseline_btree, best_per_config, fmt_f, sweep_bftree, Dataset, Relation, Report, StorageConfig,
 };
+use bftree_storage::Duplicates;
 use bftree_workloads::tpch::{self, TpchConfig};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -20,15 +21,20 @@ use rand::{RngExt, SeedableRng};
 /// shipment can carry — "requesting data that do not exist").
 fn tpch_probes(domain: &[u64], n: usize, hit_rate: f64, seed: u64) -> Vec<u64> {
     let mut rng = StdRng::seed_from_u64(seed);
-    let gaps: Vec<u64> =
-        domain.windows(2).filter(|w| w[1] > w[0] + 1).map(|w| w[0] + 1).collect();
+    let gaps: Vec<u64> = domain
+        .windows(2)
+        .filter(|w| w[1] > w[0] + 1)
+        .map(|w| w[0] + 1)
+        .collect();
     let max = *domain.last().expect("non-empty domain");
-    let miss_pool: Vec<u64> =
-        if gaps.is_empty() { (max + 1..=max + 365).collect() } else { gaps };
+    let miss_pool: Vec<u64> = if gaps.is_empty() {
+        (max + 1..=max + 365).collect()
+    } else {
+        gaps
+    };
     (0..n)
         .map(|i| {
-            let want_hit =
-                (((i + 1) as f64) * hit_rate).floor() > ((i as f64) * hit_rate).floor();
+            let want_hit = (((i + 1) as f64) * hit_rate).floor() > ((i as f64) * hit_rate).floor();
             if want_hit {
                 domain[rng.random_range(0..domain.len())]
             } else {
@@ -41,17 +47,33 @@ fn tpch_probes(domain: &[u64], n: usize, hit_rate: f64, seed: u64) -> Vec<u64> {
 fn main() {
     let sf = tpch_sf();
     let config = TpchConfig::scaled(sf);
-    println!("TPCH lineitem SF {sf} ({} rows), index on shipdate\n", config.n_lineitems());
+    println!(
+        "TPCH lineitem SF {sf} ({} rows), index on shipdate\n",
+        config.n_lineitems()
+    );
     let heap = tpch::build_heap_by_shipdate(&config);
     let rows = tpch::generate_lineitem_dates(&config);
     let domain = tpch::shipdate_domain(&rows);
 
-    let ds = Dataset { heap, attr: tpch::SHIPDATE, unique: false, label: "shipdate" };
+    let relation = Relation::new(heap, tpch::SHIPDATE, Duplicates::Contiguous)
+        .expect("lineitem layout fits shipdate");
+    let ds = Dataset {
+        relation,
+        label: "shipdate",
+    };
     let fpps = paper_fpp_sweep();
 
     let mut report = Report::new(
         "Figure 11: optimal BF-Tree / B+-Tree response time by hit rate",
-        &["hit_rate_%", "Mem/HDD", "SSD/HDD", "HDD/HDD", "Mem/SSD", "SSD/SSD", "best_fpp"],
+        &[
+            "hit_rate_%",
+            "Mem/HDD",
+            "SSD/HDD",
+            "HDD/HDD",
+            "Mem/SSD",
+            "SSD/SSD",
+            "best_fpp",
+        ],
     );
     for hit_rate in [0.0, 0.05, 0.10, 0.50, 1.00] {
         let probes = tpch_probes(&domain, n_probes(), hit_rate, 0xF1611);
@@ -63,10 +85,7 @@ fn main() {
             let (_, bp) = baselines.iter().find(|(cc, _)| *cc == c).expect("bp");
             fmt_f(bf.mean_us / bp.mean_us)
         };
-        let modal_fpp = best
-            .iter()
-            .map(|(_, fpp, _)| *fpp)
-            .fold(f64::MAX, f64::min);
+        let modal_fpp = best.iter().map(|(_, fpp, _)| *fpp).fold(f64::MAX, f64::min);
         report.row(&[
             format!("{:.0}", hit_rate * 100.0),
             at(StorageConfig::MemHdd),

@@ -9,9 +9,10 @@
 
 use bftree_bench::scale::{n_probes, paper_fpp_sweep, shd_timestamps};
 use bftree_bench::{
-    baseline_btree, best_per_config, build_fdtree, fmt_f, fmt_fpp, run_fdtree, sweep_bftree,
-    Dataset, DevicePair, Report, StorageConfig,
+    baseline_btree, best_per_config, build_fdtree, fmt_f, fmt_fpp, run_probes, sweep_bftree,
+    Dataset, IoContext, Relation, Report, StorageConfig,
 };
+use bftree_storage::Duplicates;
 use bftree_workloads::probes_from_domain;
 use bftree_workloads::shd::{self, ShdConfig};
 
@@ -26,7 +27,12 @@ fn main() {
         rows.len() as f64 / domain.len() as f64
     );
     let heap = shd::build_heap(&config);
-    let ds = Dataset { heap, attr: shd::TIMESTAMP, unique: false, label: "timestamp" };
+    let relation = Relation::new(heap, shd::TIMESTAMP, Duplicates::Contiguous)
+        .expect("reading layout fits timestamp");
+    let ds = Dataset {
+        relation,
+        label: "timestamp",
+    };
     let probes = probes_from_domain(&domain, n_probes(), 0xF1612);
     let fpps = paper_fpp_sweep();
 
@@ -36,7 +42,14 @@ fn main() {
     let baselines = baseline_btree(&ds, &probes, &StorageConfig::ALL, false);
     let mut a = Report::new(
         "Figure 12(a): SHD cold caches — optimal BF-Tree vs B+-Tree",
-        &["config", "B+ (us)", "BF (us)", "BF fpp", "BF/B+", "capacity_gain"],
+        &[
+            "config",
+            "B+ (us)",
+            "BF (us)",
+            "BF fpp",
+            "BF/B+",
+            "capacity_gain",
+        ],
     );
     for &config in &StorageConfig::ALL {
         let (_, fpp, bf) = best.iter().find(|(c, _, _)| *c == config).expect("bf");
@@ -57,23 +70,30 @@ fn main() {
     let warm_sweep = sweep_bftree(&ds, &probes, &fpps, StorageConfig::WARMABLE.as_ref(), true);
     let warm_best = best_per_config(&warm_sweep);
     let warm_bp = baseline_btree(&ds, &probes, &StorageConfig::WARMABLE, true);
-    let fd = build_fdtree(&ds.heap, ds.attr);
+    let fd = build_fdtree(&ds.relation);
     let mut b = Report::new(
         "Figure 12(b): SHD warm caches — BF-Tree vs B+-Tree vs FD-Tree",
-        &["config", "B+ (us)", "BF (us)", "FD (us)", "BF fpp", "capacity_gain"],
+        &[
+            "config",
+            "B+ (us)",
+            "BF (us)",
+            "FD (us)",
+            "BF fpp",
+            "capacity_gain",
+        ],
     );
     for &config in &StorageConfig::WARMABLE {
         let (_, fpp, bf) = warm_best.iter().find(|(c, _, _)| *c == config).expect("bf");
         let (_, bp) = warm_bp.iter().find(|(c, _)| *c == config).expect("bp");
         // FD-Tree warm: its fence levels above the bottom run cached.
-        let pair = DevicePair::warm(config, fd.all_page_ids().len().max(1));
+        let io = IoContext::warm(config, fd.all_page_ids().len().max(1));
         let upper: Vec<u64> = {
             let all = fd.all_page_ids();
             let keep = all.len().saturating_sub(fd.total_pages() as usize / 2);
             all.into_iter().take(keep).collect()
         };
-        pair.index.prewarm(upper);
-        let fd_r = run_fdtree(&fd, &probes, &pair, false);
+        io.prewarm_index(upper);
+        let fd_r = run_probes(&fd, &ds.relation, &probes, &io);
         b.row(&[
             config.label().into(),
             fmt_f(bp.mean_us),

@@ -4,15 +4,18 @@
 //! in-range tuples). Ranges of 1 %, 5 %, 10 %, 20 % of the key domain;
 //! fpp from 0.3 down to 10⁻¹².
 
-use bftree_bench::scale::relation_mb;
-use bftree_bench::{build_bftree, fmt_f, fmt_fpp, relation_r_pk, Report};
 use bftree::scan::exact_range_pages;
+use bftree_bench::scale::relation_mb;
+use bftree_bench::{build_bftree, fmt_f, fmt_fpp, relation_r_pk, IoContext, Report};
 use bftree_workloads::range_queries;
 
 fn main() {
-    println!("relation R: {} MB, PK index, 20 scans per cell\n", relation_mb());
+    println!(
+        "relation R: {} MB, PK index, 20 scans per cell\n",
+        relation_mb()
+    );
     let ds = relation_r_pk();
-    let domain: Vec<u64> = (0..ds.heap.tuple_count()).collect();
+    let domain: Vec<u64> = (0..ds.relation.heap().tuple_count()).collect();
     let fpps = [0.3, 0.1, 1e-2, 1e-4, 1e-6, 1e-9, 1e-12];
     let fractions = [0.01, 0.05, 0.10, 0.20];
 
@@ -21,24 +24,22 @@ fn main() {
         &["fpp", "1%", "5%", "10%", "20%"],
     );
     for &fpp in &fpps {
-        let tree = build_bftree(&ds.heap, ds.attr, fpp);
+        let tree = build_bftree(&ds.relation, fpp);
         let mut cells = vec![fmt_fpp(fpp)];
         for &frac in &fractions {
             let queries = range_queries(&domain, frac, 20, 0xF1613);
             let mut bf_io = 0u64;
             let mut bp_io = 0u64;
             for q in &queries {
-                let r = tree.range_scan_probing(
+                let r = tree.scan_range_probing(
                     q.lo,
                     q.hi,
-                    &ds.heap,
-                    ds.attr,
-                    None,
-                    None,
+                    &ds.relation,
+                    &IoContext::unmetered(),
                     1 << 22,
                 );
                 bf_io += r.pages_read;
-                bp_io += exact_range_pages(&ds.heap, ds.attr, q.lo, q.hi);
+                bp_io += exact_range_pages(ds.relation.heap(), ds.relation.attr(), q.lo, q.hi);
             }
             cells.push(fmt_f(bf_io as f64 / bp_io as f64));
         }

@@ -53,7 +53,9 @@ fn main() {
             }
             // Probe keys that were never inserted.
             let trials = 200_000u64;
-            let fp = (0..trials).filter(|t| bf.contains(&(1_000_000_000 + t))).count();
+            let fp = (0..trials)
+                .filter(|t| bf.contains(&(1_000_000_000 + t)))
+                .count();
             let measured = fp as f64 / trials as f64;
             c.row(&[
                 fmt_fpp(fpp0),

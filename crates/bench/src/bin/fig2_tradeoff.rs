@@ -28,7 +28,10 @@ fn main() {
     let max_hdd_iops = hdds.iter().map(|d| d.iops).fold(0.0f64, f64::max);
     let min_ssd_iops = ssds.iter().map(|d| d.iops).fold(f64::MAX, f64::min);
     let best_ssd_cap = ssds.iter().map(|d| d.gb_per_dollar).fold(0.0f64, f64::max);
-    let worst_hdd_cap = hdds.iter().map(|d| d.gb_per_dollar).fold(f64::MAX, f64::min);
+    let worst_hdd_cap = hdds
+        .iter()
+        .map(|d| d.gb_per_dollar)
+        .fold(f64::MAX, f64::min);
     println!(
         "distinct clusters: min SSD IOPS {min_ssd_iops} > max HDD IOPS {max_hdd_iops}; \
          min HDD GB/$ {} > max SSD GB/$ {}",

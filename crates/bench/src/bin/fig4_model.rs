@@ -13,7 +13,14 @@ fn main() {
 
     let mut a = Report::new(
         "Figure 4(a): response time normalized to B+-Tree",
-        &["fpp", "BF-Tree", "FD-Tree(opt k)", "SILT cached", "SILT uncached", "B+-Tree"],
+        &[
+            "fpp",
+            "BF-Tree",
+            "FD-Tree(opt k)",
+            "SILT cached",
+            "SILT uncached",
+            "B+-Tree",
+        ],
     );
     for p in &series {
         a.row(&[
@@ -29,7 +36,14 @@ fn main() {
 
     let mut b = Report::new(
         "Figure 4(b): index size normalized to B+-Tree",
-        &["fpp", "BF-Tree", "compressed B+", "FD-Tree", "SILT", "B+-Tree"],
+        &[
+            "fpp",
+            "BF-Tree",
+            "compressed B+",
+            "FD-Tree",
+            "SILT",
+            "B+-Tree",
+        ],
     );
     for p in &series {
         b.row(&[

@@ -3,11 +3,11 @@
 //! in-memory hash-index baselines, across the five storage
 //! configurations.
 
-use bftree_bench::{
-    baseline_btree, build_hashindex, fmt_f, fmt_fpp, pk_probes, relation_r_pk, run_hashindex,
-    sweep_bftree, DevicePair, Report, StorageConfig,
-};
 use bftree_bench::scale::{n_probes, paper_fpp_sweep, relation_mb};
+use bftree_bench::{
+    baseline_btree, build_hashindex, fmt_f, fmt_fpp, pk_probes, relation_r_pk, run_probes,
+    sweep_bftree, IoContext, Report, StorageConfig,
+};
 
 fn main() {
     println!(
@@ -23,13 +23,18 @@ fn main() {
     let sweep = sweep_bftree(&ds, &probes, &fpps, &StorageConfig::ALL, false);
     let mut a = Report::new(
         "Figure 5(a): BF-Tree mean response time (us) vs fpp, PK index",
-        &["fpp", "Mem/HDD", "SSD/HDD", "HDD/HDD", "Mem/SSD", "SSD/SSD", "false_reads"],
+        &[
+            "fpp",
+            "Mem/HDD",
+            "SSD/HDD",
+            "HDD/HDD",
+            "Mem/SSD",
+            "SSD/SSD",
+            "false_reads",
+        ],
     );
     for &fpp in &fpps {
-        let row: Vec<&_> = sweep
-            .iter()
-            .filter(|p| p.fpp == fpp)
-            .collect();
+        let row: Vec<&_> = sweep.iter().filter(|p| p.fpp == fpp).collect();
         let at = |c: StorageConfig| {
             row.iter()
                 .find(|p| p.config == c)
@@ -50,10 +55,12 @@ fn main() {
 
     // (b) baselines.
     let bp = baseline_btree(&ds, &probes, &StorageConfig::ALL, false);
-    let hash = build_hashindex(&ds.heap, ds.attr);
+    let hash = build_hashindex(&ds.relation);
     let mut b = Report::new(
         "Figure 5(b): baselines mean response time (us), PK index",
-        &["index", "Mem/HDD", "SSD/HDD", "HDD/HDD", "Mem/SSD", "SSD/SSD"],
+        &[
+            "index", "Mem/HDD", "SSD/HDD", "HDD/HDD", "Mem/SSD", "SSD/SSD",
+        ],
     );
     let at = |c: StorageConfig| {
         bp.iter()
@@ -71,17 +78,17 @@ fn main() {
     ]);
     // The hash index always resides in memory; only the data device
     // varies (HDD columns share one number, SSD columns the other).
-    let hash_hdd = run_hashindex(
+    let hash_hdd = run_probes(
         &hash,
+        &ds.relation,
         &probes,
-        &DevicePair::cold(StorageConfig::MemHdd),
-        true,
+        &IoContext::cold(StorageConfig::MemHdd),
     );
-    let hash_ssd = run_hashindex(
+    let hash_ssd = run_probes(
         &hash,
+        &ds.relation,
         &probes,
-        &DevicePair::cold(StorageConfig::MemSsd),
-        true,
+        &IoContext::cold(StorageConfig::MemSsd),
     );
     b.row(&[
         "Hash (mem)".into(),

@@ -8,7 +8,11 @@ use bftree_bench::scale::{n_probes, paper_fpp_sweep, relation_mb};
 use bftree_bench::{pk_probes, relation_r_pk, warm_caches_figure};
 
 fn main() {
-    println!("relation R: {} MB ({} probes, 100% hit)\n", relation_mb(), n_probes());
+    println!(
+        "relation R: {} MB ({} probes, 100% hit)\n",
+        relation_mb(),
+        n_probes()
+    );
     let ds = relation_r_pk();
     let probes = pk_probes(&ds);
     warm_caches_figure(

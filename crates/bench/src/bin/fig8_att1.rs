@@ -5,8 +5,8 @@
 
 use bftree_bench::scale::{n_probes, paper_fpp_sweep, relation_mb};
 use bftree_bench::{
-    att1_probes, baseline_btree, build_bftree, build_hashindex, fmt_f, fmt_fpp,
-    relation_r_att1, run_hashindex, sweep_bftree, DevicePair, Report, StorageConfig,
+    att1_probes, baseline_btree, build_bftree, build_hashindex, fmt_f, fmt_fpp, relation_r_att1,
+    run_probes, sweep_bftree, IoContext, Report, StorageConfig,
 };
 
 fn main() {
@@ -22,7 +22,16 @@ fn main() {
     let sweep = sweep_bftree(&ds, &probes, &fpps, &StorageConfig::ALL, false);
     let mut a = Report::new(
         "Figure 8(a): BF-Tree mean response time (us) vs fpp, ATT1 index",
-        &["fpp", "Mem/HDD", "SSD/HDD", "HDD/HDD", "Mem/SSD", "SSD/SSD", "false_reads", "height"],
+        &[
+            "fpp",
+            "Mem/HDD",
+            "SSD/HDD",
+            "HDD/HDD",
+            "Mem/SSD",
+            "SSD/SSD",
+            "false_reads",
+            "height",
+        ],
     );
     for &fpp in &fpps {
         let row: Vec<&_> = sweep.iter().filter(|p| p.fpp == fpp).collect();
@@ -34,7 +43,7 @@ fn main() {
         };
         // Record the height transition the paper calls out ("2 levels
         // for fpp > 1.41e-8 and 3 levels for fpp <= 1.41e-8").
-        let height = build_bftree(&ds.heap, ds.attr, fpp).height();
+        let height = build_bftree(&ds.relation, fpp).height();
         a.row(&[
             fmt_fpp(fpp),
             at(StorageConfig::MemHdd),
@@ -49,10 +58,12 @@ fn main() {
     a.print();
 
     let bp = baseline_btree(&ds, &probes, &StorageConfig::ALL, false);
-    let hash = build_hashindex(&ds.heap, ds.attr);
+    let hash = build_hashindex(&ds.relation);
     let mut b = Report::new(
         "Figure 8(b): baselines mean response time (us), ATT1 index",
-        &["index", "Mem/HDD", "SSD/HDD", "HDD/HDD", "Mem/SSD", "SSD/SSD"],
+        &[
+            "index", "Mem/HDD", "SSD/HDD", "HDD/HDD", "Mem/SSD", "SSD/SSD",
+        ],
     );
     let at = |c: StorageConfig| {
         bp.iter()
@@ -68,10 +79,18 @@ fn main() {
         at(StorageConfig::MemSsd),
         at(StorageConfig::SsdSsd),
     ]);
-    let hash_hdd =
-        run_hashindex(&hash, &probes, &DevicePair::cold(StorageConfig::MemHdd), false);
-    let hash_ssd =
-        run_hashindex(&hash, &probes, &DevicePair::cold(StorageConfig::MemSsd), false);
+    let hash_hdd = run_probes(
+        &hash,
+        &ds.relation,
+        &probes,
+        &IoContext::cold(StorageConfig::MemHdd),
+    );
+    let hash_ssd = run_probes(
+        &hash,
+        &ds.relation,
+        &probes,
+        &IoContext::cold(StorageConfig::MemSsd),
+    );
     b.row(&[
         "Hash (mem)".into(),
         fmt_f(hash_hdd.mean_us),

@@ -7,12 +7,16 @@
 use bftree_bench::scale::{n_probes, relation_mb};
 use bftree_bench::{
     baseline_btree, best_per_config, fmt_f, fmt_fpp, pk_probes, relation_r_pk, sweep_bftree,
-    DevicePair, Report, StorageConfig,
+    IoContext, Report, StorageConfig,
 };
 use bftree_storage::{binary_search, interpolation_search};
 
 fn main() {
-    println!("relation R: {} MB ({} probes, 100% hit)\n", relation_mb(), n_probes());
+    println!(
+        "relation R: {} MB ({} probes, 100% hit)\n",
+        relation_mb(),
+        n_probes()
+    );
     let ds = relation_r_pk();
     let probes = pk_probes(&ds);
     let fpps = [1e-2, 1e-4, 1e-7, 1e-11];
@@ -23,23 +27,29 @@ fn main() {
 
     let mut report = Report::new(
         "Section 7: access methods on ordered data, mean us/probe",
-        &["config", "BF-Tree (best fpp)", "B+-Tree", "binary search", "interp search"],
+        &[
+            "config",
+            "BF-Tree (best fpp)",
+            "B+-Tree",
+            "binary search",
+            "interp search",
+        ],
     );
     for &config in &StorageConfig::ALL {
         let (_, fpp, bf) = best.iter().find(|(c, _, _)| *c == config).expect("bf");
         let (_, b) = bp.iter().find(|(c, _)| *c == config).expect("bp");
 
         // Index-free searches: all reads hit the data device.
-        let pair = DevicePair::cold(config);
+        let io = IoContext::cold(config);
         for &key in &probes {
-            binary_search(&ds.heap, ds.attr, key, Some(&pair.data));
+            binary_search(ds.relation.heap(), ds.relation.attr(), key, Some(&io.data));
         }
-        let bin_us = pair.data.snapshot().sim_us() / probes.len() as f64;
-        pair.reset();
+        let bin_us = io.data.snapshot().sim_us() / probes.len() as f64;
+        io.reset();
         for &key in &probes {
-            interpolation_search(&ds.heap, ds.attr, key, Some(&pair.data));
+            interpolation_search(ds.relation.heap(), ds.relation.attr(), key, Some(&io.data));
         }
-        let interp_us = pair.data.snapshot().sim_us() / probes.len() as f64;
+        let interp_us = io.data.snapshot().sim_us() / probes.len() as f64;
 
         report.row(&[
             config.label().into(),

@@ -6,7 +6,10 @@
 use std::time::Instant;
 
 use bftree_bench::scale::relation_mb;
-use bftree_bench::{build_bftree, build_btree, build_btree_with_mode, fmt_f, fmt_fpp, relation_r_att1, relation_r_pk, Report};
+use bftree_bench::{
+    build_bftree, build_btree, build_btree_with_mode, fmt_f, fmt_fpp, relation_r_att1,
+    relation_r_pk, Report,
+};
 use bftree_btree::DuplicateMode;
 
 fn main() {
@@ -15,15 +18,23 @@ fn main() {
     let att1 = relation_r_att1();
 
     let t0 = Instant::now();
-    let bp_pk = build_btree(&pk.heap, pk.attr);
+    let bp_pk = build_btree(&pk.relation);
     let bp_pk_build = t0.elapsed();
     let t0 = Instant::now();
-    let bp_att1 = build_btree_with_mode(&att1.heap, att1.attr, DuplicateMode::FirstRef);
+    let bp_att1 = build_btree_with_mode(&att1.relation, DuplicateMode::FirstRef);
     let bp_att1_build = t0.elapsed();
 
     let mut report = Report::new(
         "Table 2: B+-Tree & BF-Tree size (pages)",
-        &["variation", "fpp", "size PK", "size ATT1", "gain PK", "gain ATT1", "build PK (ms)"],
+        &[
+            "variation",
+            "fpp",
+            "size PK",
+            "size ATT1",
+            "gain PK",
+            "gain ATT1",
+            "build PK (ms)",
+        ],
     );
     report.row(&[
         "B+-Tree".into(),
@@ -37,9 +48,9 @@ fn main() {
 
     for fpp in [0.2, 0.1, 1.5e-7, 1e-15] {
         let t0 = Instant::now();
-        let bf_pk = build_bftree(&pk.heap, pk.attr, fpp);
+        let bf_pk = build_bftree(&pk.relation, fpp);
         let build = t0.elapsed();
-        let bf_att1 = build_bftree(&att1.heap, att1.attr, fpp);
+        let bf_att1 = build_bftree(&att1.relation, fpp);
         report.row(&[
             "BF-Tree".into(),
             fmt_fpp(fpp),

@@ -4,15 +4,37 @@
 //! 14 %-hit ATT1 probes; devices are irrelevant (counting, not
 //! timing).
 
+use bftree_access::AccessMethod;
 use bftree_bench::scale::{n_probes, relation_mb};
+use bftree_bench::Report;
 use bftree_bench::{
-    att1_probes, build_bftree, fmt_f, fmt_fpp, pk_probes, relation_r_att1, relation_r_pk,
-    Report,
+    att1_probes, build_bftree, fmt_f, fmt_fpp, pk_probes, relation_r_att1, relation_r_pk, Dataset,
+    IoContext,
 };
-use bftree::ProbeStats;
+
+/// Mean falsely-read pages per search over `keys`, full probes (no
+/// early-out: Table 3 counts every page the filters implicate, like
+/// the paper's full-probe accounting).
+fn false_reads_per_search(ds: &Dataset, fpp: f64, keys: &[u64]) -> f64 {
+    let tree = build_bftree(&ds.relation, fpp);
+    let io = IoContext::unmetered();
+    let total: u64 = keys
+        .iter()
+        .map(|&k| {
+            AccessMethod::probe(&tree, k, &ds.relation, &io)
+                .expect("relation validated at construction")
+                .false_reads
+        })
+        .sum();
+    total as f64 / keys.len().max(1) as f64
+}
 
 fn main() {
-    println!("relation R: {} MB, {} probes per cell\n", relation_mb(), n_probes());
+    println!(
+        "relation R: {} MB, {} probes per cell\n",
+        relation_mb(),
+        n_probes()
+    );
     let pk = relation_r_pk();
     let att1 = relation_r_att1();
     let pk_keys = pk_probes(&pk);
@@ -23,24 +45,10 @@ fn main() {
         &["fpp", "false reads PK", "false reads ATT1"],
     );
     for fpp in [0.2, 0.1, 1.9e-2, 1.8e-3, 1.72e-4] {
-        let tree_pk = build_bftree(&pk.heap, pk.attr, fpp);
-        let mut s_pk = ProbeStats::default();
-        for &k in &pk_keys {
-            // No early-out: Table 3 counts every page the filters
-            // implicate, like the paper's full-probe accounting.
-            s_pk.add(&tree_pk.probe(k, &pk.heap, pk.attr, None, None));
-        }
-
-        let tree_att1 = build_bftree(&att1.heap, att1.attr, fpp);
-        let mut s_att1 = ProbeStats::default();
-        for &k in &att1_keys {
-            s_att1.add(&tree_att1.probe(k, &att1.heap, att1.attr, None, None));
-        }
-
         report.row(&[
             fmt_fpp(fpp),
-            fmt_f(s_pk.false_reads_per_search()),
-            fmt_f(s_att1.false_reads_per_search()),
+            fmt_f(false_reads_per_search(&pk, fpp, &pk_keys)),
+            fmt_f(false_reads_per_search(&att1, fpp, &att1_keys)),
         ]);
     }
     report.print();

@@ -1,170 +1,9 @@
-//! The paper's five storage configurations (§6.2, Figures 5–12): which
-//! device holds the index and which holds the main data.
+//! The paper's five storage configurations (§6.2, Figures 5–12):
+//! re-exported from `bftree_storage` where they now live, next to the
+//! [`IoContext`] every experiment charges.
 
-use bftree_storage::{CacheMode, DeviceKind, DeviceProfile, SimDevice};
-
-/// One of the paper's index/data device placements.
-///
-/// The naming follows the paper's legend: `Mem/Hdd` = index in memory,
-/// data on HDD. Solid lines in Figures 5/8 are the `*/Hdd` trio,
-/// dotted lines the `*/Ssd` pair.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum StorageConfig {
-    /// Index in memory, data on HDD.
-    MemHdd,
-    /// Index on SSD, data on HDD.
-    SsdHdd,
-    /// Index on HDD, data on HDD.
-    HddHdd,
-    /// Index in memory, data on SSD.
-    MemSsd,
-    /// Index on SSD, data on SSD.
-    SsdSsd,
-}
-
-impl StorageConfig {
-    /// All five configurations in the paper's plotting order.
-    pub const ALL: [StorageConfig; 5] = [
-        StorageConfig::MemHdd,
-        StorageConfig::SsdHdd,
-        StorageConfig::HddHdd,
-        StorageConfig::MemSsd,
-        StorageConfig::SsdSsd,
-    ];
-
-    /// The three configurations with a device-resident index — the only
-    /// ones warm caches change (Figures 7, 10, 12(b)).
-    pub const WARMABLE: [StorageConfig; 3] =
-        [StorageConfig::SsdSsd, StorageConfig::SsdHdd, StorageConfig::HddHdd];
-
-    /// Device kind holding the index.
-    pub fn index_kind(self) -> DeviceKind {
-        match self {
-            StorageConfig::MemHdd | StorageConfig::MemSsd => DeviceKind::Memory,
-            StorageConfig::SsdHdd | StorageConfig::SsdSsd => DeviceKind::Ssd,
-            StorageConfig::HddHdd => DeviceKind::Hdd,
-        }
-    }
-
-    /// Device kind holding the main data.
-    pub fn data_kind(self) -> DeviceKind {
-        match self {
-            StorageConfig::MemHdd | StorageConfig::SsdHdd | StorageConfig::HddHdd => {
-                DeviceKind::Hdd
-            }
-            StorageConfig::MemSsd | StorageConfig::SsdSsd => DeviceKind::Ssd,
-        }
-    }
-
-    /// Legend label, paper style (`index/data`).
-    pub fn label(self) -> &'static str {
-        match self {
-            StorageConfig::MemHdd => "Mem/HDD",
-            StorageConfig::SsdHdd => "SSD/HDD",
-            StorageConfig::HddHdd => "HDD/HDD",
-            StorageConfig::MemSsd => "Mem/SSD",
-            StorageConfig::SsdSsd => "SSD/SSD",
-        }
-    }
-}
-
-impl std::fmt::Display for StorageConfig {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(self.label())
-    }
-}
+pub use bftree_storage::{IoContext, StorageConfig};
 
 /// The pair of simulated devices an experiment charges against.
-#[derive(Debug, Clone)]
-pub struct DevicePair {
-    /// Device holding index nodes.
-    pub index: SimDevice,
-    /// Device holding the heap file.
-    pub data: SimDevice,
-}
-
-impl DevicePair {
-    /// Cold devices for `config` — the paper's default O_DIRECT runs.
-    pub fn cold(config: StorageConfig) -> Self {
-        Self {
-            index: SimDevice::cold(config.index_kind()),
-            data: SimDevice::cold(config.data_kind()),
-        }
-    }
-
-    /// Warm-cache devices (§6.2 "Warm caches"): the index device gets
-    /// an LRU pool sized to hold everything *above* the leaf level —
-    /// callers prewarm it with the index's upper-node page ids, so
-    /// "only accessing the leaf node would cause an I/O operation".
-    /// The data device stays cold (the experiments' probe keys are
-    /// random, so data re-reads are negligible and the paper's bars
-    /// move only through the index component).
-    pub fn warm(config: StorageConfig, upper_pages: usize) -> Self {
-        Self {
-            index: SimDevice::new(
-                DeviceProfile::of(config.index_kind()),
-                CacheMode::Lru(upper_pages.max(1)),
-            ),
-            data: SimDevice::cold(config.data_kind()),
-        }
-    }
-
-    /// Combined simulated time across both devices, in microseconds.
-    pub fn sim_us(&self) -> f64 {
-        self.index.snapshot().sim_us() + self.data.snapshot().sim_us()
-    }
-
-    /// Reset both devices' counters (cache contents survive).
-    pub fn reset(&self) {
-        self.index.reset_stats();
-        self.data.reset_stats();
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn labels_and_kinds_are_consistent() {
-        for c in StorageConfig::ALL {
-            let label = c.label();
-            let (idx, data) = label.split_once('/').unwrap();
-            let kind_label = |k: DeviceKind| match k {
-                DeviceKind::Memory => "Mem",
-                DeviceKind::Ssd => "SSD",
-                DeviceKind::Hdd => "HDD",
-            };
-            assert_eq!(kind_label(c.index_kind()), idx);
-            assert_eq!(kind_label(c.data_kind()), data);
-        }
-    }
-
-    #[test]
-    fn warmable_subset_has_device_resident_indexes() {
-        for c in StorageConfig::WARMABLE {
-            assert_ne!(c.index_kind(), DeviceKind::Memory);
-        }
-    }
-
-    #[test]
-    fn cold_pair_charges_both_devices() {
-        let pair = DevicePair::cold(StorageConfig::SsdHdd);
-        pair.index.read_random(1);
-        pair.data.read_random(2);
-        assert!(pair.sim_us() > 0.0);
-        pair.reset();
-        assert_eq!(pair.sim_us(), 0.0);
-    }
-
-    #[test]
-    fn warm_pair_absorbs_prewarmed_upper_levels() {
-        let pair = DevicePair::warm(StorageConfig::SsdSsd, 8);
-        pair.index.prewarm([1u64, 2, 3]);
-        pair.reset();
-        pair.index.read_random(2);
-        assert_eq!(pair.index.snapshot().device_reads(), 0);
-        pair.index.read_random(99);
-        assert_eq!(pair.index.snapshot().device_reads(), 1);
-    }
-}
+#[deprecated(since = "0.2.0", note = "renamed to `bftree_storage::IoContext`")]
+pub type DevicePair = IoContext;

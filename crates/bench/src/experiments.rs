@@ -2,46 +2,60 @@
 //! workloads, and the fpp × storage-configuration sweeps that back
 //! Figures 5–10 and Tables 2–3.
 
-use bftree_storage::tuple::{AttrOffset, ATT1_OFFSET, PK_OFFSET};
-use bftree_storage::HeapFile;
+use bftree_storage::tuple::{ATT1_OFFSET, PK_OFFSET};
+use bftree_storage::{Duplicates, IoContext, Relation, StorageConfig};
 use bftree_workloads::synthetic::{att1_domain, build_relation_r};
 use bftree_workloads::{probes_from_domain, probes_with_hit_rate, SyntheticConfig};
 use rand::{RngExt, SeedableRng};
 
-use crate::configs::{DevicePair, StorageConfig};
-use bftree_btree::DuplicateMode;
-
-use crate::indexes::{build_bftree, build_btree_with_mode, run_bftree, run_btree, RunResult};
+use crate::indexes::{build_bftree, build_btree, run_probes, RunResult};
 use crate::scale;
 
-/// A heap file plus the attribute an experiment indexes.
+/// A relation plus the label an experiment reports under.
 pub struct Dataset {
-    /// The relation.
-    pub heap: HeapFile,
-    /// Indexed attribute.
-    pub attr: AttrOffset,
-    /// Whether the attribute is unique (enables the PK early-out).
-    pub unique: bool,
+    /// The relation: heap file + indexed attribute + duplicate layout.
+    pub relation: Relation,
     /// Human label for report titles.
     pub label: &'static str,
+}
+
+impl Dataset {
+    /// Shorthand for [`Relation::is_unique`].
+    pub fn unique(&self) -> bool {
+        self.relation.is_unique()
+    }
 }
 
 /// Relation R with the PK as the indexed attribute (§6.2), sized by
 /// [`scale::relation_mb`].
 pub fn relation_r_pk() -> Dataset {
     let config = SyntheticConfig::scaled_mb(scale::relation_mb());
-    Dataset { heap: build_relation_r(&config), attr: PK_OFFSET, unique: true, label: "PK" }
+    let relation = Relation::new(build_relation_r(&config), PK_OFFSET, Duplicates::Unique)
+        .expect("conventional layout");
+    Dataset {
+        relation,
+        label: "PK",
+    }
 }
 
 /// Relation R with ATT1 as the indexed attribute (§6.3).
 pub fn relation_r_att1() -> Dataset {
     let config = SyntheticConfig::scaled_mb(scale::relation_mb());
-    Dataset { heap: build_relation_r(&config), attr: ATT1_OFFSET, unique: false, label: "ATT1" }
+    let relation = Relation::new(
+        build_relation_r(&config),
+        ATT1_OFFSET,
+        Duplicates::Contiguous,
+    )
+    .expect("conventional layout");
+    Dataset {
+        relation,
+        label: "ATT1",
+    }
 }
 
 /// The §6.2 probe workload: random existing PKs (every probe matches).
 pub fn pk_probes(ds: &Dataset) -> Vec<u64> {
-    let domain: Vec<u64> = (0..ds.heap.tuple_count()).collect();
+    let domain: Vec<u64> = (0..ds.relation.heap().tuple_count()).collect();
     probes_from_domain(&domain, scale::n_probes(), 0xF165)
 }
 
@@ -56,7 +70,7 @@ pub fn pk_probes(ds: &Dataset) -> Vec<u64> {
 /// pay the full filter sweep. In-range misses are exercised separately
 /// by [`att1_probes_in_range_misses`].)
 pub fn att1_probes(ds: &Dataset) -> Vec<u64> {
-    let domain = att1_domain(&ds.heap);
+    let domain = att1_domain(ds.relation.heap());
     let max = *domain.last().expect("non-empty relation");
     let mut rng = rand::rngs::StdRng::seed_from_u64(0xF168);
     let n = scale::n_probes();
@@ -76,7 +90,7 @@ pub fn att1_probes(ds: &Dataset) -> Vec<u64> {
 /// domain, so every probe lands inside the indexed key range and pays
 /// the full filter sweep. Used by the ablation benches.
 pub fn att1_probes_in_range_misses(ds: &Dataset) -> Vec<u64> {
-    let domain = att1_domain(&ds.heap);
+    let domain = att1_domain(ds.relation.heap());
     probes_with_hit_rate(&domain, scale::n_probes(), 0.14, 0xF168)
 }
 
@@ -102,11 +116,15 @@ pub fn sweep_bftree(
 ) -> Vec<SweepPoint> {
     let mut out = Vec::with_capacity(fpps.len() * configs.len());
     for &fpp in fpps {
-        let tree = build_bftree(&ds.heap, ds.attr, fpp);
+        let tree = build_bftree(&ds.relation, fpp);
         for &config in configs {
-            let pair = make_pair(config, warm, || tree.upper_page_ids());
-            let result = run_bftree(&tree, &ds.heap, ds.attr, probes, &pair, ds.unique);
-            out.push(SweepPoint { fpp, config, result });
+            let io = make_io(config, warm, || tree.upper_page_ids());
+            let result = run_probes(&tree, &ds.relation, probes, &io);
+            out.push(SweepPoint {
+                fpp,
+                config,
+                result,
+            });
         }
     }
     out
@@ -119,30 +137,25 @@ pub fn baseline_btree(
     configs: &[StorageConfig],
     warm: bool,
 ) -> Vec<(StorageConfig, RunResult)> {
-    let mode = if ds.unique { DuplicateMode::PerTuple } else { DuplicateMode::FirstRef };
-    let tree = build_btree_with_mode(&ds.heap, ds.attr, mode);
+    let tree = build_btree(&ds.relation);
     configs
         .iter()
         .map(|&config| {
-            let pair = make_pair(config, warm, || tree.internal_node_ids());
-            (config, run_btree(&tree, &ds.heap, ds.attr, probes, &pair, ds.unique))
+            let io = make_io(config, warm, || tree.internal_node_ids());
+            (config, run_probes(&tree, &ds.relation, probes, &io))
         })
         .collect()
 }
 
 /// Devices for one run; `upper` supplies the page ids to prewarm.
-fn make_pair(
-    config: StorageConfig,
-    warm: bool,
-    upper: impl FnOnce() -> Vec<u64>,
-) -> DevicePair {
+fn make_io(config: StorageConfig, warm: bool, upper: impl FnOnce() -> Vec<u64>) -> IoContext {
     if warm {
         let pages = upper();
-        let pair = DevicePair::warm(config, pages.len().max(1));
-        pair.index.prewarm(pages);
-        pair
+        let io = IoContext::warm(config, pages.len().max(1));
+        io.prewarm_index(pages);
+        io
     } else {
-        DevicePair::cold(config)
+        IoContext::cold(config)
     }
 }
 
@@ -152,9 +165,7 @@ pub fn best_per_config(sweep: &[SweepPoint]) -> Vec<(StorageConfig, f64, RunResu
     let mut best: Vec<(StorageConfig, f64, RunResult)> = Vec::new();
     for p in sweep {
         match best.iter_mut().find(|(c, _, _)| *c == p.config) {
-            Some(slot) if p.result.mean_us < slot.2.mean_us => {
-                *slot = (p.config, p.fpp, p.result)
-            }
+            Some(slot) if p.result.mean_us < slot.2.mean_us => *slot = (p.config, p.fpp, p.result),
             Some(_) => {}
             None => best.push((p.config, p.fpp, p.result)),
         }
@@ -167,11 +178,14 @@ mod tests {
     use super::*;
 
     fn tiny_pk() -> Dataset {
-        let config = SyntheticConfig { n_tuples: 20_000, ..SyntheticConfig::scaled_mb(8) };
+        let config = SyntheticConfig {
+            n_tuples: 20_000,
+            ..SyntheticConfig::scaled_mb(8)
+        };
+        let relation =
+            Relation::new(build_relation_r(&config), PK_OFFSET, Duplicates::Unique).unwrap();
         Dataset {
-            heap: build_relation_r(&config),
-            attr: PK_OFFSET,
-            unique: true,
+            relation,
             label: "PK",
         }
     }
@@ -214,31 +228,38 @@ mod tests {
     fn best_per_config_picks_minima() {
         let ds = tiny_pk();
         let probes: Vec<u64> = (0..30u64).map(|i| i * 599).collect();
-        let sweep = sweep_bftree(
-            &ds,
-            &probes,
-            &[0.2, 1e-4],
-            &[StorageConfig::MemHdd],
-            false,
-        );
+        let sweep = sweep_bftree(&ds, &probes, &[0.2, 1e-4], &[StorageConfig::MemHdd], false);
         let best = best_per_config(&sweep);
         assert_eq!(best.len(), 1);
-        let min = sweep.iter().map(|p| p.result.mean_us).fold(f64::MAX, f64::min);
+        let min = sweep
+            .iter()
+            .map(|p| p.result.mean_us)
+            .fold(f64::MAX, f64::min);
         assert_eq!(best[0].2.mean_us, min);
     }
 
     #[test]
     fn att1_probe_hit_rate_is_14_percent() {
-        let config = SyntheticConfig { n_tuples: 30_000, ..SyntheticConfig::scaled_mb(8) };
+        let config = SyntheticConfig {
+            n_tuples: 30_000,
+            ..SyntheticConfig::scaled_mb(8)
+        };
+        let relation = Relation::new(
+            build_relation_r(&config),
+            ATT1_OFFSET,
+            Duplicates::Contiguous,
+        )
+        .unwrap();
         let ds = Dataset {
-            heap: build_relation_r(&config),
-            attr: ATT1_OFFSET,
-            unique: false,
+            relation,
             label: "ATT1",
         };
         let probes = att1_probes(&ds);
-        let domain = att1_domain(&ds.heap);
-        let hits = probes.iter().filter(|k| domain.binary_search(k).is_ok()).count();
+        let domain = att1_domain(ds.relation.heap());
+        let hits = probes
+            .iter()
+            .filter(|k| domain.binary_search(k).is_ok())
+            .count();
         let rate = hits as f64 / probes.len() as f64;
         assert!((rate - 0.14).abs() < 0.01, "rate = {rate}");
     }

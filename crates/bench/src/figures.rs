@@ -18,7 +18,10 @@ pub fn breakeven_figure(ds: &Dataset, probes: &[u64], fpps: &[f64], title: &str)
         &["config", "fpp", "capacity_gain", "normalized_perf"],
     );
     for &config in &StorageConfig::ALL {
-        let (_, bp) = baselines.iter().find(|(c, _)| *c == config).expect("baseline");
+        let (_, bp) = baselines
+            .iter()
+            .find(|(c, _)| *c == config)
+            .expect("baseline");
         for p in sweep.iter().filter(|p| p.config == config) {
             let gain = bp.index_pages as f64 / p.result.index_pages as f64;
             let norm = bp.mean_us / p.result.mean_us;
@@ -57,8 +60,14 @@ pub fn warm_caches_figure(ds: &Dataset, probes: &[u64], fpps: &[f64], title: &st
     let best_cold = best_per_config(&cold_sweep);
 
     for &config in &StorageConfig::WARMABLE {
-        let (_, _, bfw) = best_warm.iter().find(|(c, _, _)| *c == config).expect("warm");
-        let (_, fpp, bfc) = best_cold.iter().find(|(c, _, _)| *c == config).expect("cold");
+        let (_, _, bfw) = best_warm
+            .iter()
+            .find(|(c, _, _)| *c == config)
+            .expect("warm");
+        let (_, fpp, bfc) = best_cold
+            .iter()
+            .find(|(c, _, _)| *c == config)
+            .expect("cold");
         let (_, bpw) = bp_warm.iter().find(|(c, _)| *c == config).expect("bp warm");
         let (_, bpc) = bp_cold.iter().find(|(c, _)| *c == config).expect("bp cold");
         report.row(&[
@@ -78,14 +87,18 @@ pub fn warm_caches_figure(ds: &Dataset, probes: &[u64], fpps: &[f64], title: &st
 mod tests {
     use super::*;
     use bftree_storage::tuple::PK_OFFSET;
+    use bftree_storage::{Duplicates, Relation};
     use bftree_workloads::{build_relation_r, SyntheticConfig};
 
     fn tiny() -> Dataset {
-        let config = SyntheticConfig { n_tuples: 10_000, ..SyntheticConfig::scaled_mb(4) };
+        let config = SyntheticConfig {
+            n_tuples: 10_000,
+            ..SyntheticConfig::scaled_mb(4)
+        };
+        let relation =
+            Relation::new(build_relation_r(&config), PK_OFFSET, Duplicates::Unique).unwrap();
         Dataset {
-            heap: build_relation_r(&config),
-            attr: PK_OFFSET,
-            unique: true,
+            relation,
             label: "PK",
         }
     }

@@ -1,15 +1,18 @@
-//! Index adapters: build each competitor over a heap file and run a
-//! probe workload against a [`DevicePair`], returning the paper's
-//! metrics (mean simulated response time, false reads, index size).
+//! Index builders plus the **one generic probe driver** every
+//! experiment runs through.
+//!
+//! Where this module used to hand-roll a `build_*`/`run_*` pair per
+//! competitor, the per-index probe logic now lives in each index's
+//! [`AccessMethod`] implementation and the harness is a single loop
+//! over `&dyn AccessMethod` — adding a backend to every figure means
+//! implementing the trait, nothing here changes.
 
-use bftree::{BfTree, BfTreeConfig, ProbeStats};
-use bftree_btree::{BPlusTree, BTreeConfig, DuplicateMode, TupleRef};
+use bftree::{BfTree, BfTreeConfig};
+use bftree_access::AccessMethod;
+use bftree_btree::{relation_entries, BPlusTree, BTreeConfig, DuplicateMode};
 use bftree_fdtree::FdTree;
 use bftree_hashindex::HashIndex;
-use bftree_storage::tuple::AttrOffset;
-use bftree_storage::HeapFile;
-
-use crate::configs::DevicePair;
+use bftree_storage::{IoContext, Relation};
 
 /// Outcome of running a probe workload against one index.
 #[derive(Debug, Clone, Copy)]
@@ -24,292 +27,200 @@ pub struct RunResult {
     pub hit_rate: f64,
 }
 
-/// Build a BF-Tree over `heap` at the given fpp (bulk load, §4.2).
+/// The four competitors of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IndexKind {
+    /// The BF-Tree (the paper's contribution).
+    BfTree,
+    /// The B+-Tree baseline.
+    BPlusTree,
+    /// The in-memory hash-index baseline.
+    Hash,
+    /// The FD-Tree baseline.
+    FdTree,
+}
+
+impl IndexKind {
+    /// All competitors in the paper's presentation order.
+    pub const ALL: [IndexKind; 4] = [
+        IndexKind::BfTree,
+        IndexKind::BPlusTree,
+        IndexKind::Hash,
+        IndexKind::FdTree,
+    ];
+
+    /// Legend label.
+    pub fn label(self) -> &'static str {
+        match self {
+            IndexKind::BfTree => "BF-Tree",
+            IndexKind::BPlusTree => "B+-Tree",
+            IndexKind::Hash => "Hash (mem)",
+            IndexKind::FdTree => "FD-Tree",
+        }
+    }
+}
+
+/// Build any competitor over `rel` as a trait object. `fpp` is the
+/// BF-Tree's accuracy knob; exact indexes ignore it.
+pub fn build_index(kind: IndexKind, rel: &Relation, fpp: f64) -> Box<dyn AccessMethod> {
+    match kind {
+        IndexKind::BfTree => Box::new(build_bftree(rel, fpp)),
+        IndexKind::BPlusTree => Box::new(build_btree(rel)),
+        IndexKind::Hash => Box::new(build_hashindex(rel)),
+        IndexKind::FdTree => Box::new(build_fdtree(rel)),
+    }
+}
+
+/// The generic probe driver: run every key in `probes` against
+/// `index`, charging `io`, and report the paper's metrics (mean
+/// simulated response time, false reads, index size, hit rate).
 ///
-/// Uses [`BfTreeConfig::ordered_default`]: every harness dataset is
-/// fully ordered on its indexed attribute, so the first-page-only
-/// duplicate handling applies and the realized fpp matches the target.
-pub fn build_bftree(heap: &HeapFile, attr: AttrOffset, fpp: f64) -> BfTree {
-    let config = BfTreeConfig {
-        fpp,
+/// Unique relations get the paper's primary-key shortcut
+/// ([`AccessMethod::probe_first`]: "as soon as the tuple is found the
+/// search ends"); non-unique relations fetch every duplicate.
+pub fn run_probes(
+    index: &dyn AccessMethod,
+    rel: &Relation,
+    probes: &[u64],
+    io: &IoContext,
+) -> RunResult {
+    io.reset();
+    let mut hits = 0u64;
+    let mut false_reads = 0u64;
+    for &key in probes {
+        let probe = if rel.is_unique() {
+            index.probe_first(key, rel, io)
+        } else {
+            index.probe(key, rel, io)
+        }
+        .expect("relation validated at construction");
+        hits += u64::from(probe.found());
+        false_reads += probe.false_reads;
+    }
+    let n = probes.len().max(1) as f64;
+    RunResult {
+        mean_us: io.sim_us() / n,
+        index_pages: index.stats().pages,
+        false_reads: false_reads as f64 / n,
+        hit_rate: hits as f64 / n,
+    }
+}
+
+/// Build a BF-Tree over `rel` at the given fpp (bulk load, §4.2).
+///
+/// Duplicate handling derives from the relation (every harness dataset
+/// is fully ordered on its indexed attribute, so first-page-only
+/// filter loading applies and the realized fpp matches the target).
+pub fn build_bftree(rel: &Relation, fpp: f64) -> BfTree {
+    BfTree::builder()
+        .fpp(fpp)
         // Proportional bit allocation keeps the realized fpp at the
         // target even when per-page key counts are skewed (TPCH and
         // SHD cardinalities); for uniform data it coincides with the
         // Property-1 even split.
-        bit_allocation: bftree::BitAllocation::Proportional,
-        ..BfTreeConfig::ordered_default()
-    };
-    BfTree::bulk_build(config, heap, attr)
+        .bit_allocation(bftree::BitAllocation::Proportional)
+        .build(rel)
+        .expect("harness configuration is valid")
 }
 
 /// Build a BF-Tree with an explicit configuration (ablations).
-pub fn build_bftree_with_config(
-    heap: &HeapFile,
-    attr: AttrOffset,
-    config: BfTreeConfig,
-) -> BfTree {
-    BfTree::bulk_build(config, heap, attr)
+pub fn build_bftree_with_config(rel: &Relation, config: BfTreeConfig) -> BfTree {
+    BfTree::builder()
+        .config(config)
+        .build(rel)
+        .expect("harness configuration is valid")
 }
 
 /// Build the B+-Tree baseline, bulk-loaded in key order.
 ///
 /// Unique attributes get one `⟨key, (pid, slot)⟩` entry per tuple; for
-/// non-unique attributes the ordered/partitioned layout makes
-/// duplicates contiguous, so the tree stores one entry per distinct
-/// key pointing at its first tuple ([`DuplicateMode::FirstRef`]) —
-/// this is what makes the paper's Table-2 ATT1 B+-Tree ~11× smaller
-/// than the PK one.
-pub fn build_btree(heap: &HeapFile, attr: AttrOffset) -> BPlusTree {
-    build_btree_with_mode(heap, attr, DuplicateMode::PerTuple)
+/// non-unique attributes the ordered layout makes duplicates
+/// contiguous, so the tree stores one entry per distinct key pointing
+/// at its first tuple ([`DuplicateMode::FirstRef`]) — this is what
+/// makes the paper's Table-2 ATT1 B+-Tree ~11× smaller than the PK
+/// one. The mode derives from [`Relation::duplicates`].
+pub fn build_btree(rel: &Relation) -> BPlusTree {
+    let mut tree = BPlusTree::new(BTreeConfig::paper_default());
+    AccessMethod::build(&mut tree, rel).expect("b+tree bulk build is total");
+    tree
 }
 
-/// [`build_btree`] with an explicit duplicate-handling mode.
-pub fn build_btree_with_mode(
-    heap: &HeapFile,
-    attr: AttrOffset,
-    duplicates: DuplicateMode,
-) -> BPlusTree {
+/// [`build_btree`] with an explicit duplicate-handling mode
+/// (Table 2's ablations need both sizes over the same relation).
+pub fn build_btree_with_mode(rel: &Relation, duplicates: DuplicateMode) -> BPlusTree {
     let config = BTreeConfig {
-        page_size: heap.page_size(),
+        page_size: rel.heap().page_size(),
         key_size: 8,
         ptr_size: 8,
         fill_factor: 1.0,
         duplicates,
     };
-    let mut entries: Vec<(u64, TupleRef)> = heap
-        .iter_attr(attr)
-        .map(|(pid, slot, key)| (key, TupleRef::new(pid, slot)))
-        .collect();
-    entries.sort_by_key(|&(k, r)| (k, r.pid(), r.slot()));
-    if duplicates == DuplicateMode::FirstRef {
-        entries.dedup_by_key(|&mut (k, _)| k);
-    }
-    BPlusTree::bulk_build(config, entries)
+    BPlusTree::bulk_build(config, relation_entries(rel, duplicates))
 }
 
 /// Build the in-memory hash index baseline.
-pub fn build_hashindex(heap: &HeapFile, attr: AttrOffset) -> HashIndex {
-    HashIndex::build(
-        heap.iter_attr(attr).map(|(pid, slot, key)| (key, TupleRef::new(pid, slot))),
-        0xCAB1E,
-    )
+pub fn build_hashindex(rel: &Relation) -> HashIndex {
+    // The initial table only carries the seed; the trait build
+    // replaces it with one sized from the entry stream.
+    let mut idx = HashIndex::with_capacity(16, 0xCAB1E);
+    AccessMethod::build(&mut idx, rel).expect("hash build is total");
+    idx
 }
 
 /// Build the FD-Tree baseline.
-pub fn build_fdtree(heap: &HeapFile, attr: AttrOffset) -> FdTree {
-    FdTree::bulk_build(
-        heap.iter_attr(attr).map(|(pid, slot, key)| (key, TupleRef::new(pid, slot))),
-    )
-}
-
-/// Probe a BF-Tree with every key in `probes`, charging `devices`.
-///
-/// `unique` selects the paper's primary-key shortcut ("as soon as the
-/// tuple is found the search ends").
-pub fn run_bftree(
-    tree: &BfTree,
-    heap: &HeapFile,
-    attr: AttrOffset,
-    probes: &[u64],
-    devices: &DevicePair,
-    unique: bool,
-) -> RunResult {
-    devices.reset();
-    let mut stats = ProbeStats::default();
-    for &key in probes {
-        let r = if unique {
-            tree.probe_first(key, heap, attr, Some(&devices.index), Some(&devices.data))
-        } else {
-            tree.probe(key, heap, attr, Some(&devices.index), Some(&devices.data))
-        };
-        stats.add(&r);
-    }
-    RunResult {
-        mean_us: devices.sim_us() / probes.len().max(1) as f64,
-        index_pages: tree.total_pages(),
-        false_reads: stats.false_reads_per_search(),
-        hit_rate: stats.hit_rate(),
-    }
-}
-
-/// Probe a B+-Tree: descend (index device), then fetch the matching
-/// tuples' pages (data device).
-///
-/// With `unique`, one page read suffices. Otherwise the probe "will
-/// read all the consecutive tuples that have the same value as the
-/// search key" (§6.3): under [`DuplicateMode::FirstRef`] that means
-/// walking forward from the first reference's page while pages still
-/// carry the key; under [`DuplicateMode::PerTuple`] every reference is
-/// in the tree and the pages are fetched as one sorted batch.
-pub fn run_btree(
-    tree: &BPlusTree,
-    heap: &HeapFile,
-    attr: AttrOffset,
-    probes: &[u64],
-    devices: &DevicePair,
-    unique: bool,
-) -> RunResult {
-    devices.reset();
-    let mut hits = 0u64;
-    let first_ref = tree.config().duplicates == DuplicateMode::FirstRef;
-    for &key in probes {
-        if unique {
-            if let Some(tref) = tree.search(key, Some(&devices.index)) {
-                hits += 1;
-                devices.data.read_random(tref.pid());
-            }
-        } else if first_ref {
-            if let Some(tref) = tree.search(key, Some(&devices.index)) {
-                hits += 1;
-                // Duplicates are contiguous: read forward while pages
-                // still contain the key.
-                let mut pid = tref.pid();
-                devices.data.read_random(pid);
-                while pid + 1 < heap.page_count() {
-                    match heap.page_attr_range(pid + 1, attr) {
-                        Some((lo, _)) if lo <= key => {
-                            pid += 1;
-                            devices.data.read_seq(pid);
-                        }
-                        _ => break,
-                    }
-                }
-            }
-        } else {
-            let trefs = tree.search_all(key, Some(&devices.index));
-            if !trefs.is_empty() {
-                hits += 1;
-                let mut pages: Vec<u64> = trefs.iter().map(|t| t.pid()).collect();
-                pages.sort_unstable();
-                pages.dedup();
-                devices.data.read_sorted_batch(&pages);
-            }
-        }
-    }
-    RunResult {
-        mean_us: devices.sim_us() / probes.len().max(1) as f64,
-        index_pages: tree.total_pages(),
-        false_reads: 0.0,
-        hit_rate: hits as f64 / probes.len().max(1) as f64,
-    }
-}
-
-/// Probe the in-memory hash index (index accesses are free — it always
-/// resides in memory, as in Figures 5(b)/8(b)) and fetch matches.
-pub fn run_hashindex(
-    index: &HashIndex,
-    probes: &[u64],
-    devices: &DevicePair,
-    unique: bool,
-) -> RunResult {
-    devices.reset();
-    let mut hits = 0u64;
-    for &key in probes {
-        let trefs = if unique {
-            index.get(key).into_iter().collect::<Vec<_>>()
-        } else {
-            index.get_all(key)
-        };
-        if !trefs.is_empty() {
-            hits += 1;
-            let mut pages: Vec<u64> = trefs.iter().map(|t| t.pid()).collect();
-            pages.sort_unstable();
-            pages.dedup();
-            devices.data.read_sorted_batch(&pages);
-        }
-    }
-    RunResult {
-        mean_us: devices.sim_us() / probes.len().max(1) as f64,
-        index_pages: index.size_bytes().div_ceil(4096),
-        false_reads: 0.0,
-        hit_rate: hits as f64 / probes.len().max(1) as f64,
-    }
-}
-
-/// Probe the FD-Tree and fetch matches.
-pub fn run_fdtree(
-    tree: &FdTree,
-    probes: &[u64],
-    devices: &DevicePair,
-    unique: bool,
-) -> RunResult {
-    devices.reset();
-    let mut hits = 0u64;
-    for &key in probes {
-        let trefs = if unique {
-            tree.search(key, Some(&devices.index)).into_iter().collect::<Vec<_>>()
-        } else {
-            tree.search_all(key, Some(&devices.index))
-        };
-        if !trefs.is_empty() {
-            hits += 1;
-            let mut pages: Vec<u64> = trefs.iter().map(|t| t.pid()).collect();
-            pages.sort_unstable();
-            pages.dedup();
-            devices.data.read_sorted_batch(&pages);
-        }
-    }
-    RunResult {
-        mean_us: devices.sim_us() / probes.len().max(1) as f64,
-        index_pages: tree.total_pages(),
-        false_reads: 0.0,
-        hit_rate: hits as f64 / probes.len().max(1) as f64,
-    }
+pub fn build_fdtree(rel: &Relation) -> FdTree {
+    let mut tree = FdTree::new();
+    AccessMethod::build(&mut tree, rel).expect("fd-tree bulk build is total");
+    tree
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::configs::StorageConfig;
     use bftree_storage::tuple::PK_OFFSET;
-    use bftree_storage::TupleLayout;
+    use bftree_storage::{Duplicates, HeapFile, StorageConfig, TupleLayout};
 
-    fn heap() -> HeapFile {
+    fn relation() -> Relation {
         let mut h = HeapFile::new(TupleLayout::new(256));
         for pk in 0..5_000u64 {
             h.append_record(pk, pk / 11);
         }
-        h
+        Relation::new(h, PK_OFFSET, Duplicates::Unique).unwrap()
     }
 
     #[test]
-    fn all_indexes_agree_on_hits() {
-        let h = heap();
+    fn all_indexes_agree_on_hits_through_one_driver() {
+        let rel = relation();
         let probes: Vec<u64> = (0..100).map(|i| i * 37 % 5_000).collect();
-        let pair = DevicePair::cold(StorageConfig::SsdSsd);
-
-        let bf = build_bftree(&h, PK_OFFSET, 1e-4);
-        let bp = build_btree(&h, PK_OFFSET);
-        let hi = build_hashindex(&h, PK_OFFSET);
-        let fd = build_fdtree(&h, PK_OFFSET);
-
-        let r_bf = run_bftree(&bf, &h, PK_OFFSET, &probes, &pair, true);
-        let r_bp = run_btree(&bp, &h, PK_OFFSET, &probes, &pair, true);
-        let r_hi = run_hashindex(&hi, &probes, &pair, true);
-        let r_fd = run_fdtree(&fd, &probes, &pair, true);
-
-        assert_eq!(r_bf.hit_rate, 1.0);
-        assert_eq!(r_bp.hit_rate, 1.0);
-        assert_eq!(r_hi.hit_rate, 1.0);
-        assert_eq!(r_fd.hit_rate, 1.0);
+        for kind in IndexKind::ALL {
+            let index = build_index(kind, &rel, 1e-4);
+            let io = IoContext::cold(StorageConfig::SsdSsd);
+            let r = run_probes(index.as_ref(), &rel, &probes, &io);
+            assert_eq!(r.hit_rate, 1.0, "{}", kind.label());
+            assert!(
+                r.mean_us > 0.0 || kind == IndexKind::Hash,
+                "{}",
+                kind.label()
+            );
+        }
     }
 
     #[test]
     fn bftree_is_smaller_than_btree() {
-        let h = heap();
-        let bf = build_bftree(&h, PK_OFFSET, 1e-3);
-        let bp = build_btree(&h, PK_OFFSET);
+        let rel = relation();
+        let bf = build_bftree(&rel, 1e-3);
+        let bp = build_btree(&rel);
         assert!(bf.total_pages() * 2 < bp.total_pages());
     }
 
     #[test]
     fn misses_cost_no_data_io_for_exact_indexes() {
-        let h = heap();
+        let rel = relation();
         let probes = vec![1_000_000u64; 10]; // all miss
-        let pair = DevicePair::cold(StorageConfig::MemHdd);
-        let bp = build_btree(&h, PK_OFFSET);
-        let r = run_btree(&bp, &h, PK_OFFSET, &probes, &pair, true);
+        let io = IoContext::cold(StorageConfig::MemHdd);
+        let bp = build_btree(&rel);
+        let r = run_probes(&bp, &rel, &probes, &io);
         assert_eq!(r.hit_rate, 0.0);
-        assert_eq!(pair.data.snapshot().device_reads(), 0);
+        assert_eq!(io.data.snapshot().device_reads(), 0);
     }
 }

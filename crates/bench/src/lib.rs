@@ -3,16 +3,17 @@
 //! Everything needed to regenerate the paper's tables and figures:
 //!
 //! * [`configs`] — the five index/data storage configurations
-//!   (Mem/HDD, SSD/HDD, HDD/HDD, Mem/SSD, SSD/SSD) as simulated device
-//!   pairs, cold or warm.
-//! * [`indexes`] — builders and probe runners for each competitor
-//!   (BF-Tree, B+-Tree, hash index, FD-Tree).
+//!   (Mem/HDD, SSD/HDD, HDD/HDD, Mem/SSD, SSD/SSD), re-exported from
+//!   `bftree_storage` as [`StorageConfig`]/[`IoContext`].
+//! * [`indexes`] — builders for each competitor (BF-Tree, B+-Tree,
+//!   hash index, FD-Tree) plus [`run_probes`], the one generic probe
+//!   driver over `&dyn AccessMethod` every experiment shares.
 //! * [`report`] — aligned-table and CSV output.
 //! * [`scale`] — experiment sizing (env-overridable; defaults preserve
 //!   every ratio the figures are about at laptop scale).
 //!
 //! One binary per table/figure lives in `src/bin/`; run them as
-//! `cargo run --release -p bftree-bench --bin fig5_pk`. Criterion
+//! `cargo run --release -p bftree-bench --bin fig5_pk`. Dependency-free
 //! micro-benchmarks live in `benches/`.
 
 #![warn(missing_docs)]
@@ -21,17 +22,19 @@ pub mod configs;
 pub mod experiments;
 pub mod figures;
 pub mod indexes;
+pub mod microbench;
 pub mod report;
 pub mod scale;
 
-pub use configs::{DevicePair, StorageConfig};
+pub use bftree_access::AccessMethod;
+pub use bftree_storage::{IoContext, Relation, StorageConfig};
 pub use experiments::{
-    att1_probes, att1_probes_in_range_misses, baseline_btree, best_per_config, pk_probes, relation_r_att1, relation_r_pk,
-    sweep_bftree, Dataset, SweepPoint,
-};
-pub use indexes::{
-    build_bftree, build_bftree_with_config, build_btree, build_btree_with_mode, build_fdtree, build_hashindex,
-    run_bftree, run_btree, run_fdtree, run_hashindex, RunResult,
+    att1_probes, att1_probes_in_range_misses, baseline_btree, best_per_config, pk_probes,
+    relation_r_att1, relation_r_pk, sweep_bftree, Dataset, SweepPoint,
 };
 pub use figures::{breakeven_figure, warm_caches_figure};
+pub use indexes::{
+    build_bftree, build_bftree_with_config, build_btree, build_btree_with_mode, build_fdtree,
+    build_hashindex, build_index, run_probes, IndexKind, RunResult,
+};
 pub use report::{fmt_f, fmt_fpp, Report};

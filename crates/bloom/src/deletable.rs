@@ -133,7 +133,10 @@ mod tests {
                 assert!(!dbf.contains(&key), "deleted key {key} still present");
             }
         }
-        assert!(deleted >= 45, "only {deleted}/50 deletable in sparse filter");
+        assert!(
+            deleted >= 45,
+            "only {deleted}/50 deletable in sparse filter"
+        );
     }
 
     #[test]
@@ -182,7 +185,10 @@ mod tests {
         // Regions are near-equal (within one rounding unit of m/r).
         let ideal = dbf.m as f64 / 7.0;
         for c in counts {
-            assert!((c as f64 - ideal).abs() <= 1.0, "region size {c}, ideal {ideal}");
+            assert!(
+                (c as f64 - ideal).abs() <= 1.0,
+                "region size {c}, ideal {ideal}"
+            );
         }
     }
 }

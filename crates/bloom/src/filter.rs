@@ -199,7 +199,13 @@ impl BloomFilter {
             .chunks_exact(8)
             .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
             .collect();
-        Some(Self { bits, m, k, seed, n_inserted: n })
+        Some(Self {
+            bits,
+            m,
+            k,
+            seed,
+            n_inserted: n,
+        })
     }
 }
 

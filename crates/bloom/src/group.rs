@@ -51,7 +51,15 @@ impl BloomGroup {
         assert!(k >= 1, "need at least one hash function");
         let per = (total_bits / s as u64).max(1);
         let words = vec![0u64; (per * s as u64).div_ceil(64) as usize];
-        Self { words, per_filter_bits: per, starts: Vec::new(), s, k, n_inserted: 0, seed }
+        Self {
+            words,
+            per_filter_bits: per,
+            starts: Vec::new(),
+            s,
+            k,
+            n_inserted: 0,
+            seed,
+        }
     }
 
     /// Divide `total_bits` across `weights.len()` members
@@ -84,7 +92,15 @@ impl BloomGroup {
             starts.push(acc);
         }
         let words = vec![0u64; acc.div_ceil(64) as usize];
-        Self { words, per_filter_bits: 0, starts, s, k, n_inserted: 0, seed }
+        Self {
+            words,
+            per_filter_bits: 0,
+            starts,
+            s,
+            k,
+            n_inserted: 0,
+            seed,
+        }
     }
 
     /// Member `b`'s bit range `(base, len)`.
@@ -165,7 +181,11 @@ impl BloomGroup {
     /// Insert `key` into the filter of `bucket`.
     #[inline]
     pub fn insert<K: BloomKey>(&mut self, bucket: usize, key: &K) {
-        assert!(bucket < self.s, "bucket {bucket} out of range (S = {})", self.s);
+        assert!(
+            bucket < self.s,
+            "bucket {bucket} out of range (S = {})",
+            self.s
+        );
         let fp = KeyFingerprint::new(key, self.seed);
         let (base, m) = self.member_range(bucket);
         for i in 0..self.k {
@@ -214,7 +234,11 @@ impl BloomGroup {
         hi: usize,
         out: &mut Vec<usize>,
     ) {
-        assert!(lo <= hi && hi <= self.s, "bucket range {lo}..{hi} out of 0..{}", self.s);
+        assert!(
+            lo <= hi && hi <= self.s,
+            "bucket range {lo}..{hi} out of 0..{}",
+            self.s
+        );
         let fp = KeyFingerprint::new(key, self.seed);
         let k = self.k.min(64) as usize;
         if self.starts.is_empty() {
@@ -355,7 +379,15 @@ impl BloomGroup {
             .chunks_exact(8)
             .map(|c| u64::from_le_bytes(c.try_into().expect("chunk of 8")))
             .collect();
-        Some(Self { words, per_filter_bits: per, starts, s, k, n_inserted, seed })
+        Some(Self {
+            words,
+            per_filter_bits: per,
+            starts,
+            s,
+            k,
+            n_inserted,
+            seed,
+        })
     }
 }
 
@@ -485,7 +517,7 @@ mod tests {
     }
 
     #[test]
-    fn extend_to_grows_without_disturbing_existing_bits(){
+    fn extend_to_grows_without_disturbing_existing_bits() {
         let mut g = BloomGroup::new(1 << 10, 4, 3, 0);
         g.insert(1, &7u64);
         g.extend_to(9);

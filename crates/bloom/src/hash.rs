@@ -89,12 +89,18 @@ pub fn xxh64(data: &[u8], seed: u64) -> u64 {
 
     while at + 8 <= len {
         hash ^= xxh64_round(0, read_u64(data, at));
-        hash = hash.rotate_left(27).wrapping_mul(PRIME64_1).wrapping_add(PRIME64_4);
+        hash = hash
+            .rotate_left(27)
+            .wrapping_mul(PRIME64_1)
+            .wrapping_add(PRIME64_4);
         at += 8;
     }
     if at + 4 <= len {
         hash ^= u64::from(read_u32(data, at)).wrapping_mul(PRIME64_1);
-        hash = hash.rotate_left(23).wrapping_mul(PRIME64_2).wrapping_add(PRIME64_3);
+        hash = hash
+            .rotate_left(23)
+            .wrapping_mul(PRIME64_2)
+            .wrapping_add(PRIME64_3);
         at += 4;
     }
     while at < len {

@@ -47,7 +47,11 @@ impl ScalableBloomFilter {
         assert!(growth >= 1.0);
         assert!(tightening > 0.0 && tightening < 1.0);
         let first = Slice {
-            filter: BloomFilter::with_capacity(initial_capacity, initial_fpp * (1.0 - tightening), seed),
+            filter: BloomFilter::with_capacity(
+                initial_capacity,
+                initial_fpp * (1.0 - tightening),
+                seed,
+            ),
             capacity: initial_capacity,
         };
         Self {
@@ -91,12 +95,12 @@ impl ScalableBloomFilter {
             let i = self.slices.len() as u32;
             let capacity =
                 (self.initial_capacity as f64 * self.growth.powi(i as i32)).ceil() as u64;
-            let fpp = self.initial_fpp
-                * (1.0 - self.tightening)
-                * self.tightening.powi(i as i32);
+            let fpp = self.initial_fpp * (1.0 - self.tightening) * self.tightening.powi(i as i32);
             let fpp = fpp.max(1e-12);
             // A fresh seed per slice keeps slices independent.
-            let slice_seed = self.seed.wrapping_add(u64::from(i).wrapping_mul(0x9E37_79B9));
+            let slice_seed = self
+                .seed
+                .wrapping_add(u64::from(i).wrapping_mul(0x9E37_79B9));
             self.slices.push(Slice {
                 filter: BloomFilter::with_capacity(capacity, fpp, slice_seed),
                 capacity,

@@ -1,110 +1,139 @@
 //! Property-based tests over the Bloom-filter substrate.
+//!
+//! Deterministic seeded random cases stand in for proptest (the build
+//! is dependency-free); failures reproduce exactly from the seed.
 
 use bftree_bloom::{math, BloomFilter, BloomGroup, CountingBloomFilter, ScalableBloomFilter};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngCore, RngExt, SeedableRng};
 
-proptest! {
-    /// The fundamental Bloom guarantee: zero false negatives, for any
-    /// key set, geometry and seed.
-    #[test]
-    fn no_false_negatives(
-        keys in proptest::collection::vec(any::<u64>(), 1..500),
-        m_exp in 8u32..16,
-        k in 1u32..8,
-        seed in any::<u64>(),
-    ) {
-        let mut bf = BloomFilter::new(1u64 << m_exp, k, seed);
+const CASES: u64 = 32;
+
+fn keys(rng: &mut StdRng, lo: usize, hi: usize) -> Vec<u64> {
+    let n = rng.random_range(lo..hi);
+    (0..n).map(|_| rng.next_u64()).collect()
+}
+
+/// The fundamental Bloom guarantee: zero false negatives, for any
+/// key set, geometry and seed.
+#[test]
+fn no_false_negatives() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xB100 + case);
+        let keys = keys(&mut rng, 1, 500);
+        let m_exp = rng.random_range(8u32..16);
+        let k = rng.random_range(1u32..8);
+        let mut bf = BloomFilter::new(1u64 << m_exp, k, rng.next_u64());
         for key in &keys {
             bf.insert(key);
         }
         for key in &keys {
-            prop_assert!(bf.contains(key));
+            assert!(bf.contains(key), "case {case}");
         }
     }
+}
 
-    /// Serialization is lossless for arbitrary filters.
-    #[test]
-    fn filter_roundtrip(
-        keys in proptest::collection::vec(any::<u64>(), 0..200),
-        m_exp in 6u32..14,
-        k in 1u32..6,
-        seed in any::<u64>(),
-    ) {
-        let mut bf = BloomFilter::new(1u64 << m_exp, k, seed);
+/// Serialization is lossless for arbitrary filters.
+#[test]
+fn filter_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xB200 + case);
+        let keys = keys(&mut rng, 1, 200);
+        let m_exp = rng.random_range(6u32..14);
+        let k = rng.random_range(1u32..6);
+        let mut bf = BloomFilter::new(1u64 << m_exp, k, rng.next_u64());
         for key in &keys {
             bf.insert(key);
         }
         let back = BloomFilter::from_bytes(&bf.to_bytes()).expect("roundtrip");
-        prop_assert_eq!(bf, back);
+        assert_eq!(bf, back, "case {case}");
     }
+}
 
-    /// Union is an upper bound of both operands.
-    #[test]
-    fn union_superset(
-        left in proptest::collection::vec(any::<u64>(), 0..200),
-        right in proptest::collection::vec(any::<u64>(), 0..200),
-        seed in any::<u64>(),
-    ) {
+/// Union is an upper bound of both operands.
+#[test]
+fn union_superset() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xB300 + case);
+        let left = keys(&mut rng, 1, 200);
+        let right = keys(&mut rng, 1, 200);
+        let seed = rng.next_u64();
         let mut a = BloomFilter::new(1 << 12, 3, seed);
         let mut b = BloomFilter::new(1 << 12, 3, seed);
-        for key in &left { a.insert(key); }
-        for key in &right { b.insert(key); }
+        for key in &left {
+            a.insert(key);
+        }
+        for key in &right {
+            b.insert(key);
+        }
         a.union_with(&b);
         for key in left.iter().chain(&right) {
-            prop_assert!(a.contains(key));
+            assert!(a.contains(key), "case {case}");
         }
     }
+}
 
-    /// Equation 1 inverse identities hold across the whole useful range.
-    #[test]
-    fn eq1_inverses(n in 1u64..1_000_000, neg_log_p in 1u32..15) {
-        let p = 10f64.powi(-(neg_log_p as i32));
+/// Equation 1 inverse identities hold across the whole useful range.
+#[test]
+fn eq1_inverses() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xB400 + case);
+        let n = rng.random_range(1u64..1_000_000);
+        let p = 10f64.powi(-(rng.random_range(1u32..15) as i32));
         let m = math::bits_for(n, p);
         let n_back = math::capacity_for(m, p);
         // Ceil then floor: n_back >= n, within one key of exact.
-        prop_assert!(n_back >= n);
-        prop_assert!(n_back <= n + (n / 1000) + 2);
+        assert!(n_back >= n, "case {case}");
+        assert!(n_back <= n + (n / 1000) + 2, "case {case}");
     }
+}
 
-    /// Equation 14 is monotone in the insert ratio and anchored at the
-    /// initial fpp.
-    #[test]
-    fn eq14_monotone(neg_log_p in 1u32..10, r1 in 0.0f64..5.0, r2 in 0.0f64..5.0) {
-        let p = 10f64.powi(-(neg_log_p as i32));
+/// Equation 14 is monotone in the insert ratio and anchored at the
+/// initial fpp.
+#[test]
+fn eq14_monotone() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xB500 + case);
+        let p = 10f64.powi(-(rng.random_range(1u32..10) as i32));
+        let r1 = rng.random_range(0.0..5.0);
+        let r2 = rng.random_range(0.0..5.0);
         let (lo, hi) = if r1 <= r2 { (r1, r2) } else { (r2, r1) };
         let f_lo = math::fpp_after_inserts(p, lo);
         let f_hi = math::fpp_after_inserts(p, hi);
-        prop_assert!(f_lo <= f_hi + 1e-15);
-        prop_assert!(math::fpp_after_inserts(p, 0.0) >= p * 0.999);
-        prop_assert!(f_hi < 1.0);
+        assert!(f_lo <= f_hi + 1e-15, "case {case}");
+        assert!(math::fpp_after_inserts(p, 0.0) >= p * 0.999, "case {case}");
+        assert!(f_hi < 1.0, "case {case}");
     }
+}
 
-    /// BloomGroup routing: every key is found in its home bucket via
-    /// matching_buckets, regardless of distribution.
-    #[test]
-    fn group_finds_home_bucket(
-        keys in proptest::collection::vec(any::<u64>(), 1..300),
-        s in 1usize..32,
-        seed in any::<u64>(),
-    ) {
-        let mut g = BloomGroup::new(1 << 16, s, 3, seed);
+/// BloomGroup routing: every key is found in its home bucket via
+/// matching_buckets, regardless of distribution.
+#[test]
+fn group_finds_home_bucket() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xB600 + case);
+        let keys = keys(&mut rng, 1, 300);
+        let s = rng.random_range(1usize..32);
+        let mut g = BloomGroup::new(1 << 16, s, 3, rng.next_u64());
         for (i, key) in keys.iter().enumerate() {
             g.insert(i % s, key);
         }
         for (i, key) in keys.iter().enumerate() {
             let m = g.matching_buckets(key);
-            prop_assert!(m.contains(&(i % s)));
+            assert!(m.contains(&(i % s)), "case {case}");
         }
     }
+}
 
-    /// Counting filter: insert/remove round-trips leave other keys intact.
-    #[test]
-    fn counting_remove_is_safe(
-        keys in proptest::collection::hash_set(any::<u64>(), 2..100),
-        seed in any::<u64>(),
-    ) {
-        let keys: Vec<u64> = keys.into_iter().collect();
-        let mut cbf = CountingBloomFilter::with_capacity(keys.len() as u64, 1e-6, seed);
+/// Counting filter: insert/remove round-trips leave other keys intact.
+#[test]
+fn counting_remove_is_safe() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xB700 + case);
+        let mut keys = keys(&mut rng, 2, 100);
+        keys.sort_unstable();
+        keys.dedup();
+        let mut cbf = CountingBloomFilter::with_capacity(keys.len() as u64, 1e-6, rng.next_u64());
         for key in &keys {
             cbf.insert(key);
         }
@@ -115,23 +144,24 @@ proptest! {
         }
         // Second half must remain present (no false negatives).
         for key in &keys[half..] {
-            prop_assert!(cbf.contains(key));
+            assert!(cbf.contains(key), "case {case}");
         }
     }
+}
 
-    /// Scalable filter never loses keys as it grows.
-    #[test]
-    fn scalable_no_false_negatives(
-        n in 1u64..3_000,
-        cap in 8u64..256,
-        seed in any::<u64>(),
-    ) {
-        let mut sbf = ScalableBloomFilter::new(cap, 0.02, seed);
+/// Scalable filter never loses keys as it grows.
+#[test]
+fn scalable_no_false_negatives() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xB800 + case);
+        let n = rng.random_range(1u64..3_000);
+        let cap = rng.random_range(8u64..256);
+        let mut sbf = ScalableBloomFilter::new(cap, 0.02, rng.next_u64());
         for key in 0..n {
             sbf.insert(&key);
         }
         for key in 0..n {
-            prop_assert!(sbf.contains(&key));
+            assert!(sbf.contains(&key), "case {case}");
         }
     }
 }

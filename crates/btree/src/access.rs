@@ -1,0 +1,283 @@
+//! [`AccessMethod`] implementation: the B+-Tree baseline behind the
+//! unified index interface.
+//!
+//! The probe logic that used to live in the bench harness's
+//! `run_btree` — the §6.3 duplicate-run walk under
+//! [`DuplicateMode::FirstRef`], the sorted-batch page fetches under
+//! [`DuplicateMode::PerTuple`] — lives here now, so every caller gets
+//! the paper-faithful I/O pattern for free.
+
+use bftree_access::{
+    check_relation, AccessMethod, BuildError, IndexStats, Probe, ProbeError, RangeScan,
+};
+use bftree_storage::{Duplicates, HeapFile, IoContext, PageId, Relation};
+
+use crate::node::{BTreeConfig, DuplicateMode};
+use crate::tree::BPlusTree;
+use crate::tupleref::TupleRef;
+
+/// The duplicate mode a relation's layout calls for: one entry per
+/// distinct key when duplicates are contiguous (the paper's Table-2
+/// ATT1 sizing), one entry per tuple otherwise.
+fn mode_for(rel: &Relation) -> DuplicateMode {
+    match rel.duplicates() {
+        Duplicates::Contiguous => DuplicateMode::FirstRef,
+        Duplicates::Unique | Duplicates::Scattered => DuplicateMode::PerTuple,
+    }
+}
+
+/// Collect `rel`'s `(key, TupleRef)` entries in `(key, pid, slot)`
+/// order, deduped to first references under
+/// [`DuplicateMode::FirstRef`] — the one home of the bulk-load entry
+/// semantics, shared by the trait build, the bench harness's
+/// explicit-mode builder, and the FD-Tree's build.
+pub fn relation_entries(rel: &Relation, mode: DuplicateMode) -> Vec<(u64, TupleRef)> {
+    let mut entries: Vec<(u64, TupleRef)> = rel
+        .heap()
+        .iter_attr(rel.attr())
+        .map(|(pid, slot, key)| (key, TupleRef::new(pid, slot)))
+        .collect();
+    entries.sort_by_key(|&(k, r)| (k, r.pid(), r.slot()));
+    if mode == DuplicateMode::FirstRef {
+        entries.dedup_by_key(|&mut (k, _)| k);
+    }
+    entries
+}
+
+/// Scan `pid` for `key`, appending matches; returns tuples examined.
+fn page_matches(
+    heap: &HeapFile,
+    pid: PageId,
+    attr: bftree_storage::tuple::AttrOffset,
+    key: u64,
+    out: &mut Vec<(PageId, usize)>,
+) {
+    let mut slots = Vec::new();
+    heap.scan_page_for(pid, attr, key, &mut slots);
+    out.extend(slots.into_iter().map(|s| (pid, s)));
+}
+
+impl AccessMethod for BPlusTree {
+    fn name(&self) -> &'static str {
+        "b+tree"
+    }
+
+    fn build(&mut self, rel: &Relation) -> Result<(), BuildError> {
+        let mode = mode_for(rel);
+        let config = BTreeConfig {
+            page_size: rel.heap().page_size(),
+            duplicates: mode,
+            ..*self.config()
+        };
+        *self = BPlusTree::bulk_build(config, relation_entries(rel, mode));
+        Ok(())
+    }
+
+    fn probe(&self, key: u64, rel: &Relation, io: &IoContext) -> Result<Probe, ProbeError> {
+        check_relation(rel)?;
+        let heap = rel.heap();
+        let attr = rel.attr();
+        let mut result = Probe::default();
+        if self.config().duplicates == DuplicateMode::FirstRef {
+            // Duplicates are contiguous: read forward from the first
+            // reference's page while pages still contain the key
+            // (§6.3: the probe "will read all the consecutive tuples
+            // that have the same value as the search key").
+            if let Some(tref) = self.search(key, Some(&io.index)) {
+                let mut pid = tref.pid();
+                io.data.read_random(pid);
+                result.pages_read += 1;
+                page_matches(heap, pid, attr, key, &mut result.matches);
+                while pid + 1 < heap.page_count() {
+                    match heap.page_attr_range(pid + 1, attr) {
+                        Some((lo, _)) if lo <= key => {
+                            pid += 1;
+                            io.data.read_seq(pid);
+                            result.pages_read += 1;
+                            page_matches(heap, pid, attr, key, &mut result.matches);
+                        }
+                        _ => break,
+                    }
+                }
+            }
+        } else {
+            let trefs = self.search_all(key, Some(&io.index));
+            if !trefs.is_empty() {
+                result.matches = trefs.iter().map(|t| (t.pid(), t.slot())).collect();
+                let mut pages: Vec<PageId> = trefs.iter().map(|t| t.pid()).collect();
+                pages.sort_unstable();
+                pages.dedup();
+                result.pages_read = pages.len() as u64;
+                io.data.read_sorted_batch(&pages);
+            }
+        }
+        Ok(result)
+    }
+
+    fn probe_first(&self, key: u64, rel: &Relation, io: &IoContext) -> Result<Probe, ProbeError> {
+        check_relation(rel)?;
+        let mut result = Probe::default();
+        if let Some(tref) = self.search(key, Some(&io.index)) {
+            io.data.read_random(tref.pid());
+            result.pages_read = 1;
+            result.matches.push((tref.pid(), tref.slot()));
+        }
+        Ok(result)
+    }
+
+    fn range_scan(
+        &self,
+        lo: u64,
+        hi: u64,
+        rel: &Relation,
+        io: &IoContext,
+    ) -> Result<RangeScan, ProbeError> {
+        check_relation(rel)?;
+        if lo > hi {
+            return Err(ProbeError::InvertedRange { lo, hi });
+        }
+        let heap = rel.heap();
+        let attr = rel.attr();
+        let entries = self.range(lo, hi, Some(&io.index));
+        let mut result = RangeScan::default();
+        let Some(&(_, first)) = entries.first() else {
+            return Ok(result);
+        };
+        if self.config().duplicates == DuplicateMode::FirstRef {
+            // The tree stores first references only; duplicates are
+            // contiguous in the heap, so scan pages from the first
+            // reference until a page starts past `hi`.
+            let mut pid = first.pid();
+            let mut prev: Option<PageId> = None;
+            while pid < heap.page_count() {
+                match heap.page_attr_range(pid, attr) {
+                    Some((page_lo, page_hi)) if page_lo <= hi => {
+                        match prev {
+                            Some(q) if pid == q + 1 => io.data.read_seq(pid),
+                            _ => io.data.read_random(pid),
+                        }
+                        prev = Some(pid);
+                        result.pages_read += 1;
+                        let mut any = false;
+                        for slot in 0..heap.tuples_in_page(pid) {
+                            let v = heap.attr(pid, slot, attr);
+                            if v >= lo && v <= hi {
+                                result.matches.push((pid, slot));
+                                any = true;
+                            }
+                        }
+                        if !any {
+                            result.overhead_pages += 1;
+                        }
+                        if page_hi > hi {
+                            break; // the run ends inside this page
+                        }
+                        pid += 1;
+                    }
+                    _ => break,
+                }
+            }
+        } else {
+            result.matches = entries.iter().map(|&(_, t)| (t.pid(), t.slot())).collect();
+            let mut pages: Vec<PageId> = entries.iter().map(|&(_, t)| t.pid()).collect();
+            pages.sort_unstable();
+            pages.dedup();
+            result.pages_read = pages.len() as u64;
+            io.data.read_sorted_batch(&pages);
+        }
+        Ok(result)
+    }
+
+    fn insert(&mut self, key: u64, loc: (PageId, usize), rel: &Relation) -> Result<(), ProbeError> {
+        check_relation(rel)?;
+        BPlusTree::insert(self, key, TupleRef::new(loc.0, loc.1), None);
+        Ok(())
+    }
+
+    fn delete(&mut self, key: u64, rel: &Relation) -> Result<u64, ProbeError> {
+        check_relation(rel)?;
+        let trefs = self.search_all(key, None);
+        let mut n = 0u64;
+        for tref in trefs {
+            if BPlusTree::delete(self, key, tref, None) {
+                n += 1;
+            }
+        }
+        Ok(n)
+    }
+
+    fn size_bytes(&self) -> u64 {
+        BPlusTree::size_bytes(self)
+    }
+
+    fn stats(&self) -> IndexStats {
+        IndexStats {
+            pages: self.total_pages(),
+            bytes: BPlusTree::size_bytes(self),
+            height: self.height(),
+            entries: self.n_entries(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bftree_storage::tuple::{ATT1_OFFSET, PK_OFFSET};
+    use bftree_storage::TupleLayout;
+
+    fn relation(duplicates: Duplicates) -> Relation {
+        let mut heap = HeapFile::new(TupleLayout::new(256));
+        for pk in 0..3_000u64 {
+            heap.append_record(pk, pk / 7);
+        }
+        let attr = if duplicates == Duplicates::Unique {
+            PK_OFFSET
+        } else {
+            ATT1_OFFSET
+        };
+        Relation::new(heap, attr, duplicates).unwrap()
+    }
+
+    fn built(rel: &Relation) -> BPlusTree {
+        let mut tree = BPlusTree::new(BTreeConfig::paper_default());
+        AccessMethod::build(&mut tree, rel).unwrap();
+        tree
+    }
+
+    #[test]
+    fn firstref_probe_returns_every_duplicate() {
+        let rel = relation(Duplicates::Contiguous);
+        let tree = built(&rel);
+        assert_eq!(tree.config().duplicates, DuplicateMode::FirstRef);
+        let io = IoContext::unmetered();
+        let p = AccessMethod::probe(&tree, 100, &rel, &io).unwrap();
+        assert_eq!(p.matches.len(), 7, "ATT1 cardinality is 7");
+    }
+
+    #[test]
+    fn pertuple_probe_first_reads_one_page() {
+        let rel = relation(Duplicates::Unique);
+        let tree = built(&rel);
+        let io = IoContext::unmetered();
+        let p = tree.probe_first(1_234, &rel, &io).unwrap();
+        assert_eq!(p.matches.len(), 1);
+        assert_eq!(p.pages_read, 1);
+        assert_eq!(io.data.snapshot().device_reads(), 1);
+    }
+
+    #[test]
+    fn range_scan_agrees_across_modes() {
+        let io = IoContext::unmetered();
+        let rel_u = relation(Duplicates::Unique);
+        let rel_c = relation(Duplicates::Contiguous);
+        let per_tuple = built(&rel_u);
+        let first_ref = built(&rel_c);
+        // Keys 10..=20 of ATT1 cover pks 70..=146 — 77 tuples.
+        let r = AccessMethod::range_scan(&first_ref, 10, 20, &rel_c, &io).unwrap();
+        assert_eq!(r.matches.len(), 77);
+        // The same tuples through the unique PK index.
+        let r = AccessMethod::range_scan(&per_tuple, 70, 146, &rel_u, &io).unwrap();
+        assert_eq!(r.matches.len(), 77);
+    }
+}

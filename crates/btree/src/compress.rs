@@ -94,7 +94,9 @@ mod tests {
     #[test]
     fn sparse_random_keys_compress_little() {
         // Spread keys share almost no prefix.
-        let keys: Vec<u64> = (0..10_000u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15)).collect();
+        let keys: Vec<u64> = (0..10_000u64)
+            .map(|i| i.wrapping_mul(0x9E3779B97F4A7C15))
+            .collect();
         let mut sorted = keys.clone();
         sorted.sort_unstable();
         let plain_pages = (sorted.len() as u64 * 16).div_ceil(4096);
@@ -113,6 +115,9 @@ mod tests {
 
     #[test]
     fn empty_input_yields_one_page() {
-        assert_eq!(prefix_compressed_leaf_pages(std::iter::empty(), 8, 8, 4096), 1);
+        assert_eq!(
+            prefix_compressed_leaf_pages(std::iter::empty(), 8, 8, 4096),
+            1
+        );
     }
 }

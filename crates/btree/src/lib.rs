@@ -22,11 +22,13 @@
 
 #![warn(missing_docs)]
 
+pub mod access;
 pub mod compress;
 pub mod node;
 pub mod tree;
 pub mod tupleref;
 
+pub use access::relation_entries;
 pub use compress::prefix_compressed_leaf_pages;
 pub use node::{BTreeConfig, DuplicateMode};
 pub use tree::BPlusTree;

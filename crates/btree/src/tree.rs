@@ -43,25 +43,30 @@ impl BPlusTree {
         let mut prev_seen: Option<u64> = None;
         let mut n_entries = 0u64;
 
-        let flush =
-            |keys: &mut Vec<u64>, refs: &mut Vec<TupleRef>, nodes: &mut Vec<Node>,
-             leaf_ids: &mut Vec<NodeId>, leaf_min_keys: &mut Vec<u64>| {
-                if keys.is_empty() {
-                    return;
-                }
-                let id = nodes.len() as NodeId;
-                leaf_min_keys.push(keys[0]);
-                nodes.push(Node::Leaf {
-                    keys: std::mem::take(keys),
-                    refs: std::mem::take(refs),
-                    next: None,
-                });
-                leaf_ids.push(id);
-            };
+        let flush = |keys: &mut Vec<u64>,
+                     refs: &mut Vec<TupleRef>,
+                     nodes: &mut Vec<Node>,
+                     leaf_ids: &mut Vec<NodeId>,
+                     leaf_min_keys: &mut Vec<u64>| {
+            if keys.is_empty() {
+                return;
+            }
+            let id = nodes.len() as NodeId;
+            leaf_min_keys.push(keys[0]);
+            nodes.push(Node::Leaf {
+                keys: std::mem::take(keys),
+                refs: std::mem::take(refs),
+                next: None,
+            });
+            leaf_ids.push(id);
+        };
 
         for (key, tref) in entries {
             if let Some(prev) = prev_seen {
-                assert!(key >= prev, "bulk_build input must be sorted: {key} after {prev}");
+                assert!(
+                    key >= prev,
+                    "bulk_build input must be sorted: {key} after {prev}"
+                );
             }
             prev_seen = Some(key);
             if config.duplicates == DuplicateMode::FirstRef && last_key == Some(key) {
@@ -72,14 +77,30 @@ impl BPlusTree {
             refs.push(tref);
             n_entries += 1;
             if keys.len() == per_leaf {
-                flush(&mut keys, &mut refs, &mut nodes, &mut leaf_ids, &mut leaf_min_keys);
+                flush(
+                    &mut keys,
+                    &mut refs,
+                    &mut nodes,
+                    &mut leaf_ids,
+                    &mut leaf_min_keys,
+                );
             }
         }
-        flush(&mut keys, &mut refs, &mut nodes, &mut leaf_ids, &mut leaf_min_keys);
+        flush(
+            &mut keys,
+            &mut refs,
+            &mut nodes,
+            &mut leaf_ids,
+            &mut leaf_min_keys,
+        );
 
         if leaf_ids.is_empty() {
             // Empty tree: a single empty leaf.
-            nodes.push(Node::Leaf { keys: Vec::new(), refs: Vec::new(), next: None });
+            nodes.push(Node::Leaf {
+                keys: Vec::new(),
+                refs: Vec::new(),
+                next: None,
+            });
             leaf_ids.push(0);
             leaf_min_keys.push(0);
         }
@@ -325,9 +346,7 @@ impl BPlusTree {
     /// grows a new root when the old root splits. Charges a descent
     /// plus one write per dirtied node.
     pub fn insert(&mut self, key: u64, tref: TupleRef, dev: Option<&SimDevice>) {
-        if self.config.duplicates == DuplicateMode::FirstRef
-            && self.search(key, None).is_some()
-        {
+        if self.config.duplicates == DuplicateMode::FirstRef && self.search(key, None).is_some() {
             return;
         }
         if let Some(d) = dev {
@@ -478,7 +497,14 @@ impl BPlusTree {
     /// all leaves at the same depth.
     pub fn check_invariants(&self) {
         // Uniform leaf depth + separator sanity via recursion.
-        fn walk(tree: &BPlusTree, node: NodeId, lo: Option<u64>, hi: Option<u64>, depth: usize, leaf_depth: &mut Option<usize>) {
+        fn walk(
+            tree: &BPlusTree,
+            node: NodeId,
+            lo: Option<u64>,
+            hi: Option<u64>,
+            depth: usize,
+            leaf_depth: &mut Option<usize>,
+        ) {
             match &tree.nodes[node as usize] {
                 Node::Leaf { keys, .. } => {
                     match leaf_depth {
@@ -650,7 +676,10 @@ mod tests {
 
     #[test]
     fn mixed_bulk_then_inserts() {
-        let mut t = BPlusTree::bulk_build(small_config(), (0..100u64).map(|k| (k * 2, TupleRef::new(k, 0))));
+        let mut t = BPlusTree::bulk_build(
+            small_config(),
+            (0..100u64).map(|k| (k * 2, TupleRef::new(k, 0))),
+        );
         for k in 0..100u64 {
             t.insert(k * 2 + 1, TupleRef::new(k, 1), None);
         }
@@ -704,7 +733,10 @@ mod tests {
 
     #[test]
     fn fill_factor_inflates_leaf_count() {
-        let cfg = BTreeConfig { fill_factor: 0.81, ..BTreeConfig::paper_default() };
+        let cfg = BTreeConfig {
+            fill_factor: 0.81,
+            ..BTreeConfig::paper_default()
+        };
         let packed = BPlusTree::bulk_build(BTreeConfig::paper_default(), refs(100_000));
         let loose = BPlusTree::bulk_build(cfg, refs(100_000));
         assert!(loose.leaf_pages() > packed.leaf_pages());

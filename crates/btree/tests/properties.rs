@@ -1,9 +1,15 @@
 //! Property-based tests for the B+-Tree against a BTreeMap reference
 //! model.
+//!
+//! Deterministic seeded random cases stand in for proptest (the build
+//! is dependency-free); failures reproduce exactly from the seed.
 
 use bftree_btree::{BPlusTree, BTreeConfig, DuplicateMode, TupleRef};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
 use std::collections::BTreeMap;
+
+const CASES: u64 = 32;
 
 fn tiny_config() -> BTreeConfig {
     BTreeConfig {
@@ -12,13 +18,18 @@ fn tiny_config() -> BTreeConfig {
     }
 }
 
-proptest! {
-    /// Bulk build agrees with a sorted reference on point lookups.
-    #[test]
-    fn bulk_build_matches_reference(
-        mut keys in proptest::collection::vec(0u64..10_000, 0..600),
-        probes in proptest::collection::vec(0u64..10_000, 0..100),
-    ) {
+fn key_vec(rng: &mut StdRng, domain: u64, lo: usize, hi: usize) -> Vec<u64> {
+    let n = rng.random_range(lo..hi);
+    (0..n).map(|_| rng.random_range(0..domain)).collect()
+}
+
+/// Bulk build agrees with a sorted reference on point lookups.
+#[test]
+fn bulk_build_matches_reference() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xBB01 + case);
+        let mut keys = key_vec(&mut rng, 10_000, 1, 600);
+        let probes = key_vec(&mut rng, 10_000, 1, 100);
         keys.sort_unstable();
         let entries: Vec<(u64, TupleRef)> = keys
             .iter()
@@ -30,15 +41,21 @@ proptest! {
         let t = BPlusTree::bulk_build(tiny_config(), entries);
         t.check_invariants();
         for p in probes.iter().chain(keys.iter()) {
-            prop_assert_eq!(t.search(*p, None).is_some(), reference.contains_key(p));
+            assert_eq!(
+                t.search(*p, None).is_some(),
+                reference.contains_key(p),
+                "case {case}"
+            );
         }
     }
+}
 
-    /// search_all returns exactly the multiset of refs inserted per key.
-    #[test]
-    fn search_all_is_exact(
-        mut keys in proptest::collection::vec(0u64..50, 1..500),
-    ) {
+/// search_all returns exactly the multiset of refs inserted per key.
+#[test]
+fn search_all_is_exact() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xBB02 + case);
+        let mut keys = key_vec(&mut rng, 50, 1, 500);
         keys.sort_unstable();
         let entries: Vec<(u64, TupleRef)> = keys
             .iter()
@@ -55,19 +72,20 @@ proptest! {
                 .collect();
             let mut got = t.search_all(key, None);
             got.sort();
-            prop_assert_eq!(got, expected, "key {}", key);
+            assert_eq!(got, expected, "case {case}: key {key}");
         }
     }
+}
 
-    /// Range scans agree with a filter over the input.
-    #[test]
-    fn range_matches_reference(
-        mut keys in proptest::collection::vec(0u64..1_000, 0..400),
-        lo in 0u64..1_000,
-        span in 0u64..300,
-    ) {
+/// Range scans agree with a filter over the input.
+#[test]
+fn range_matches_reference() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xBB03 + case);
+        let mut keys = key_vec(&mut rng, 1_000, 1, 400);
+        let lo = rng.random_range(0u64..1_000);
+        let hi = lo.saturating_add(rng.random_range(0u64..300));
         keys.sort_unstable();
-        let hi = lo.saturating_add(span);
         let entries: Vec<(u64, TupleRef)> = keys
             .iter()
             .enumerate()
@@ -75,33 +93,42 @@ proptest! {
             .collect();
         let t = BPlusTree::bulk_build(tiny_config(), entries.clone());
         let got: Vec<u64> = t.range(lo, hi, None).into_iter().map(|(k, _)| k).collect();
-        let expected: Vec<u64> = keys.iter().copied().filter(|&k| k >= lo && k <= hi).collect();
-        prop_assert_eq!(got, expected);
+        let expected: Vec<u64> = keys
+            .iter()
+            .copied()
+            .filter(|&k| k >= lo && k <= hi)
+            .collect();
+        assert_eq!(got, expected, "case {case}");
     }
+}
 
-    /// Random insert sequences preserve all invariants and lookups.
-    #[test]
-    fn inserts_maintain_invariants(
-        keys in proptest::collection::vec(0u64..5_000, 1..400),
-    ) {
+/// Random insert sequences preserve all invariants and lookups.
+#[test]
+fn inserts_maintain_invariants() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xBB04 + case);
+        let keys = key_vec(&mut rng, 5_000, 1, 400);
         let mut t = BPlusTree::new(tiny_config());
         for (i, &k) in keys.iter().enumerate() {
             t.insert(k, TupleRef::new(i as u64, 0), None);
         }
         t.check_invariants();
-        prop_assert_eq!(t.n_entries(), keys.len() as u64);
+        assert_eq!(t.n_entries(), keys.len() as u64, "case {case}");
         for &k in &keys {
-            prop_assert!(t.search(k, None).is_some());
+            assert!(t.search(k, None).is_some(), "case {case}");
         }
     }
+}
 
-    /// Inserts followed by deletes drain the tree back to its pre-state
-    /// membership.
-    #[test]
-    fn insert_delete_roundtrip(
-        keys in proptest::collection::hash_set(0u64..2_000, 1..200),
-    ) {
-        let keys: Vec<u64> = keys.into_iter().collect();
+/// Inserts followed by deletes drain the tree back to its pre-state
+/// membership.
+#[test]
+fn insert_delete_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xBB05 + case);
+        let mut keys = key_vec(&mut rng, 2_000, 1, 200);
+        keys.sort_unstable();
+        keys.dedup();
         let mut t = BPlusTree::new(tiny_config());
         for (i, &k) in keys.iter().enumerate() {
             t.insert(k, TupleRef::new(i as u64, 0), None);
@@ -109,34 +136,41 @@ proptest! {
         // Delete the first half.
         let half = keys.len() / 2;
         for (i, &k) in keys[..half].iter().enumerate() {
-            prop_assert!(t.delete(k, TupleRef::new(i as u64, 0), None));
+            assert!(t.delete(k, TupleRef::new(i as u64, 0), None), "case {case}");
         }
         t.check_invariants();
         for &k in &keys[..half] {
-            prop_assert!(t.search(k, None).is_none());
+            assert!(t.search(k, None).is_none(), "case {case}");
         }
         for &k in &keys[half..] {
-            prop_assert!(t.search(k, None).is_some());
+            assert!(t.search(k, None).is_some(), "case {case}");
         }
     }
+}
 
-    /// FirstRef mode stores exactly the distinct-key count.
-    #[test]
-    fn firstref_dedup_count(
-        mut keys in proptest::collection::vec(0u64..300, 1..500),
-    ) {
+/// FirstRef mode stores exactly the distinct-key count.
+#[test]
+fn firstref_dedup_count() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xBB06 + case);
+        let mut keys = key_vec(&mut rng, 300, 1, 500);
         keys.sort_unstable();
         let distinct = {
             let mut d = keys.clone();
             d.dedup();
             d.len() as u64
         };
-        let config = BTreeConfig { duplicates: DuplicateMode::FirstRef, ..tiny_config() };
+        let config = BTreeConfig {
+            duplicates: DuplicateMode::FirstRef,
+            ..tiny_config()
+        };
         let t = BPlusTree::bulk_build(
             config,
-            keys.iter().enumerate().map(|(i, &k)| (k, TupleRef::new(i as u64, 0))),
+            keys.iter()
+                .enumerate()
+                .map(|(i, &k)| (k, TupleRef::new(i as u64, 0))),
         );
         t.check_invariants();
-        prop_assert_eq!(t.n_entries(), distinct);
+        assert_eq!(t.n_entries(), distinct, "case {case}");
     }
 }

@@ -1,5 +1,6 @@
 //! BF-Tree tuning knobs.
 
+use bftree_access::BuildError;
 use bftree_bloom::math;
 
 /// How many hash functions each Bloom filter uses.
@@ -146,7 +147,10 @@ impl BfTreeConfig {
     /// choice for relations fully *ordered* on the indexed attribute,
     /// like the paper's relation R, TPCH-on-shipdate and SHD datasets.
     pub fn ordered_default() -> Self {
-        Self { duplicates: DuplicateHandling::FirstPageOnly, ..Self::paper_default() }
+        Self {
+            duplicates: DuplicateHandling::FirstPageOnly,
+            ..Self::paper_default()
+        }
     }
 
     /// Equation 5: distinct keys one BF-leaf may index at the target
@@ -175,21 +179,39 @@ impl BfTreeConfig {
         }
     }
 
-    /// Validate parameter sanity; called by the tree constructors.
-    pub fn validate(&self) {
-        assert!(self.page_size >= 512, "page size too small");
-        assert!(
-            self.fpp > 0.0 && self.fpp < 1.0,
-            "fpp must be in (0,1), got {}",
-            self.fpp
-        );
-        assert!(self.pages_per_bf >= 1, "pages_per_bf must be >= 1");
-        assert!(
-            self.leaf_header_reserve + 64 <= self.page_size,
-            "header reserve leaves no room for filters"
-        );
+    /// Validate parameter sanity, returning a typed error — the
+    /// checked entry point [`crate::BfTreeBuilder`] uses.
+    pub fn try_validate(&self) -> Result<(), BuildError> {
+        let invalid =
+            |what: &'static str, detail: String| Err(BuildError::InvalidConfig { what, detail });
+        if self.page_size < 512 {
+            return invalid("page_size", "page size too small".into());
+        }
+        if !(self.fpp > 0.0 && self.fpp < 1.0) {
+            return invalid("fpp", format!("fpp must be in (0,1), got {}", self.fpp));
+        }
+        if self.pages_per_bf < 1 {
+            return invalid("pages_per_bf", "pages_per_bf must be >= 1".into());
+        }
+        if self.leaf_header_reserve + 64 > self.page_size {
+            return invalid(
+                "leaf_header_reserve",
+                "header reserve leaves no room for filters".into(),
+            );
+        }
         if let KStrategy::Fixed(k) = self.k_strategy {
-            assert!(k >= 1, "need at least one hash function");
+            if k < 1 {
+                return invalid("k_strategy", "need at least one hash function".into());
+            }
+        }
+        Ok(())
+    }
+
+    /// Validate parameter sanity; called by the tree constructors.
+    /// Panics where [`Self::try_validate`] returns an error.
+    pub fn validate(&self) {
+        if let Err(e) = self.try_validate() {
+            panic!("{e}");
         }
     }
 }
@@ -202,7 +224,10 @@ mod tests {
     fn eq5_matches_paper_table2_leaf_capacities() {
         // fpp 0.2 -> 9785 keys/leaf; 4M distinct PKs -> ~409 leaves,
         // matching Table 2's 406 (which also counts internal pages).
-        let c = BfTreeConfig { fpp: 0.2, ..BfTreeConfig::paper_default() };
+        let c = BfTreeConfig {
+            fpp: 0.2,
+            ..BfTreeConfig::paper_default()
+        };
         let keys = c.max_keys_per_leaf();
         // 9785 by pure Eq 5; ~3% lower with the header reserve.
         assert!((9400..=9850).contains(&keys), "keys = {keys}");
@@ -210,7 +235,10 @@ mod tests {
         assert!((405..=430).contains(&leaves), "leaves = {leaves}");
 
         // fpp 1e-15 -> ~455 keys/leaf -> ~8780 leaves vs Table 2's 8565.
-        let c = BfTreeConfig { fpp: 1e-15, ..BfTreeConfig::paper_default() };
+        let c = BfTreeConfig {
+            fpp: 1e-15,
+            ..BfTreeConfig::paper_default()
+        };
         let keys = c.max_keys_per_leaf();
         assert!((435..=462).contains(&keys), "keys = {keys}");
     }
@@ -224,13 +252,20 @@ mod tests {
     fn k_strategies() {
         let c = BfTreeConfig::paper_default();
         assert_eq!(c.k_for(1000, 100), 7);
-        let f = BfTreeConfig { k_strategy: KStrategy::Fixed(3), ..c };
+        let f = BfTreeConfig {
+            k_strategy: KStrategy::Fixed(3),
+            ..c
+        };
         assert_eq!(f.k_for(1000, 100), 3);
     }
 
     #[test]
     #[should_panic(expected = "fpp must be in (0,1)")]
     fn validate_rejects_bad_fpp() {
-        BfTreeConfig { fpp: 0.0, ..BfTreeConfig::paper_default() }.validate();
+        BfTreeConfig {
+            fpp: 0.0,
+            ..BfTreeConfig::paper_default()
+        }
+        .validate();
     }
 }

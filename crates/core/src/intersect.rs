@@ -120,7 +120,10 @@ mod tests {
         for pk in 0..20_000u64 {
             heap.append_record(pk, pk / 7);
         }
-        let config = BfTreeConfig { fpp: 1e-3, ..BfTreeConfig::ordered_default() };
+        let config = BfTreeConfig {
+            fpp: 1e-3,
+            ..BfTreeConfig::ordered_default()
+        };
         let a = BfTree::bulk_build(config, &heap, PK_OFFSET);
         let b = BfTree::bulk_build(config, &heap, ATT1_OFFSET);
         (heap, a, b)
@@ -131,8 +134,16 @@ mod tests {
         let (heap, a, b) = setup();
         let pk = 10_003u64;
         let r = probe_intersection(
-            IndexPredicate { tree: &a, attr: PK_OFFSET, key: pk },
-            IndexPredicate { tree: &b, attr: ATT1_OFFSET, key: pk / 7 },
+            IndexPredicate {
+                tree: &a,
+                attr: PK_OFFSET,
+                key: pk,
+            },
+            IndexPredicate {
+                tree: &b,
+                attr: ATT1_OFFSET,
+                key: pk / 7,
+            },
             &heap,
             None,
             None,
@@ -147,8 +158,16 @@ mod tests {
         let (heap, a, b) = setup();
         // pk 100 has ATT1 = 14, so pairing it with ATT1 = 999 is empty.
         let r = probe_intersection(
-            IndexPredicate { tree: &a, attr: PK_OFFSET, key: 100 },
-            IndexPredicate { tree: &b, attr: ATT1_OFFSET, key: 999 },
+            IndexPredicate {
+                tree: &a,
+                attr: PK_OFFSET,
+                key: 100,
+            },
+            IndexPredicate {
+                tree: &b,
+                attr: ATT1_OFFSET,
+                key: 999,
+            },
             &heap,
             None,
             None,
@@ -160,10 +179,18 @@ mod tests {
     fn intersection_reads_no_more_pages_than_either_side() {
         let (heap, a, b) = setup();
         let pk = 7_777u64;
-        let single = a.probe(pk, &heap, PK_OFFSET, None, None);
+        let single = a.probe_impl(pk, &heap, PK_OFFSET, None, None, false);
         let both = probe_intersection(
-            IndexPredicate { tree: &a, attr: PK_OFFSET, key: pk },
-            IndexPredicate { tree: &b, attr: ATT1_OFFSET, key: pk / 7 },
+            IndexPredicate {
+                tree: &a,
+                attr: PK_OFFSET,
+                key: pk,
+            },
+            IndexPredicate {
+                tree: &b,
+                attr: ATT1_OFFSET,
+                key: pk / 7,
+            },
             &heap,
             None,
             None,
@@ -178,8 +205,16 @@ mod tests {
         let (heap, a, b) = setup();
         let data = SimDevice::cold(DeviceKind::Ssd);
         let r = probe_intersection(
-            IndexPredicate { tree: &a, attr: PK_OFFSET, key: 5 },
-            IndexPredicate { tree: &b, attr: ATT1_OFFSET, key: 0 },
+            IndexPredicate {
+                tree: &a,
+                attr: PK_OFFSET,
+                key: 5,
+            },
+            IndexPredicate {
+                tree: &b,
+                attr: ATT1_OFFSET,
+                key: 0,
+            },
             &heap,
             None,
             Some(&data),

@@ -43,11 +43,18 @@ impl BfLeaf {
     /// distinct keys across the whole leaf (a key spanning pages counts
     /// once, but is inserted into every page's filter, as Algorithm 2
     /// lines 20–29 prescribe).
-    pub fn from_pages(config: &BfTreeConfig, pages: &[(PageId, Vec<u64>)], n_distinct: u64) -> Self {
+    pub fn from_pages(
+        config: &BfTreeConfig,
+        pages: &[(PageId, Vec<u64>)],
+        n_distinct: u64,
+    ) -> Self {
         assert!(!pages.is_empty(), "leaf must cover at least one page");
         let min_pid = pages[0].0;
         let max_pid = pages[pages.len() - 1].0;
-        debug_assert!(pages.windows(2).all(|w| w[1].0 == w[0].0 + 1), "pids must be contiguous");
+        debug_assert!(
+            pages.windows(2).all(|w| w[1].0 == w[0].0 + 1),
+            "pids must be contiguous"
+        );
 
         let s = Self::buckets_for(min_pid, max_pid, config.pages_per_bf);
         let total_bits = config.leaf_filter_bits();
@@ -63,8 +70,7 @@ impl BfLeaf {
                 // buckets regardless of per-page skew.
                 let mut weights = vec![0u64; s];
                 for (pid, keys) in pages {
-                    weights[((pid - min_pid) / config.pages_per_bf) as usize] +=
-                        keys.len() as u64;
+                    weights[((pid - min_pid) / config.pages_per_bf) as usize] += keys.len() as u64;
                 }
                 // The global bits-per-key ratio sets k (Equation 1).
                 let k = config.k_for(total_bits, n_distinct.max(1));
@@ -207,7 +213,10 @@ impl BfLeaf {
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("probe worker panicked")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("probe worker panicked"))
+                .collect()
         });
         for bucket in parts.into_iter().flatten() {
             let start = self.min_pid + bucket as u64 * self.pages_per_bf;
@@ -225,10 +234,16 @@ impl BfLeaf {
     pub fn insert(&mut self, key: u64, pid: PageId) {
         if pid > self.max_pid {
             self.max_pid = pid;
-            self.group
-                .extend_to(Self::buckets_for(self.min_pid, self.max_pid, self.pages_per_bf));
+            self.group.extend_to(Self::buckets_for(
+                self.min_pid,
+                self.max_pid,
+                self.pages_per_bf,
+            ));
         }
-        assert!(pid >= self.min_pid, "cannot extend a leaf's page range downward");
+        assert!(
+            pid >= self.min_pid,
+            "cannot extend a leaf's page range downward"
+        );
         if self.n_keys == 0 {
             self.min_key = key;
             self.max_key = key;
@@ -299,12 +314,17 @@ mod tests {
     use super::*;
 
     fn cfg() -> BfTreeConfig {
-        BfTreeConfig { fpp: 1e-3, ..BfTreeConfig::paper_default() }
+        BfTreeConfig {
+            fpp: 1e-3,
+            ..BfTreeConfig::paper_default()
+        }
     }
 
     fn leaf_over(pages: &[(PageId, Vec<u64>)]) -> BfLeaf {
-        let distinct: std::collections::HashSet<u64> =
-            pages.iter().flat_map(|(_, ks)| ks.iter().copied()).collect();
+        let distinct: std::collections::HashSet<u64> = pages
+            .iter()
+            .flat_map(|(_, ks)| ks.iter().copied())
+            .collect();
         BfLeaf::from_pages(&cfg(), pages, distinct.len() as u64)
     }
 
@@ -332,7 +352,10 @@ mod tests {
             out.clear();
             let probed = l.matching_pages(key, &mut out);
             assert_eq!(probed, 50);
-            assert!(out.contains(&(key / 10 + 100)), "key {key} home page missing");
+            assert!(
+                out.contains(&(key / 10 + 100)),
+                "key {key} home page missing"
+            );
         }
     }
 
@@ -347,7 +370,10 @@ mod tests {
 
     #[test]
     fn coarser_granularity_reduces_filters_but_widens_fetches() {
-        let config = BfTreeConfig { pages_per_bf: 4, ..cfg() };
+        let config = BfTreeConfig {
+            pages_per_bf: 4,
+            ..cfg()
+        };
         let pages: Vec<(PageId, Vec<u64>)> =
             (0..8u64).map(|p| (p, vec![p * 2, p * 2 + 1])).collect();
         let l = BfLeaf::from_pages(&config, &pages, 16);

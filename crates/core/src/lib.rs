@@ -16,8 +16,9 @@
 //! fetches only the matching pages.
 //!
 //! ```
-//! use bftree::{BfTree, BfTreeConfig};
-//! use bftree_storage::{HeapFile, TupleLayout};
+//! use bftree::BfTree;
+//! use bftree_access::AccessMethod;
+//! use bftree_storage::{Duplicates, HeapFile, IoContext, Relation, TupleLayout};
 //! use bftree_storage::tuple::PK_OFFSET;
 //!
 //! // A small relation ordered on its primary key.
@@ -25,18 +26,23 @@
 //! for pk in 0..10_000u64 {
 //!     heap.append_record(pk, pk / 11);
 //! }
+//! let relation = Relation::new(heap, PK_OFFSET, Duplicates::Unique)?;
 //!
-//! let config = BfTreeConfig { fpp: 1e-3, ..BfTreeConfig::paper_default() };
-//! let tree = BfTree::bulk_build(config, &heap, PK_OFFSET);
+//! let tree = BfTree::builder().fpp(1e-3).build(&relation)?;
 //!
-//! let probe = tree.probe(4242, &heap, PK_OFFSET, None, None);
+//! let index: &dyn AccessMethod = &tree;
+//! let probe = index.probe(4242, &relation, &IoContext::unmetered())?;
 //! assert_eq!(probe.matches.len(), 1);
 //! assert!(tree.total_pages() < 100); // far smaller than a B+-Tree
+//! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 //!
 //! Modules:
 //! * [`config`] — tuning knobs: fpp, pages-per-BF granularity, hash
 //!   strategy, split strategy.
+//! * [`builder`] — typed, fallible construction over a
+//!   [`bftree_storage::Relation`].
+//! * [`access`] — the [`bftree_access::AccessMethod`] implementation.
 //! * [`leaf`] — the BF-leaf (§4.1).
 //! * [`tree`] — bulk load, Algorithm 1 (search), Algorithm 3 (insert),
 //!   Algorithm 2 (split), deletes.
@@ -46,6 +52,8 @@
 
 #![warn(missing_docs)]
 
+pub mod access;
+pub mod builder;
 pub mod config;
 pub mod intersect;
 pub mod leaf;
@@ -54,7 +62,11 @@ pub mod scan;
 pub mod stats;
 pub mod tree;
 
-pub use config::{BitAllocation, BfTreeConfig, DuplicateHandling, KStrategy, ProbeOrder, SplitStrategy};
+pub use bftree_access::{AccessMethod, BuildError, IndexStats, Probe, ProbeError, RangeScan};
+pub use builder::BfTreeBuilder;
+pub use config::{
+    BfTreeConfig, BitAllocation, DuplicateHandling, KStrategy, ProbeOrder, SplitStrategy,
+};
 pub use intersect::{probe_intersection, IndexPredicate};
 pub use leaf::BfLeaf;
 pub use page_image::PageImageError;

@@ -50,7 +50,10 @@ impl std::fmt::Display for PageImageError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             PageImageError::Overflow { need, page_size } => {
-                write!(f, "leaf needs {need} bytes but the node size is {page_size}")
+                write!(
+                    f,
+                    "leaf needs {need} bytes but the node size is {page_size}"
+                )
             }
             PageImageError::Corrupt(what) => write!(f, "corrupt leaf image: {what}"),
         }
@@ -82,7 +85,10 @@ impl BfLeaf {
         out.extend_from_slice(&(group_bytes.len() as u32).to_le_bytes());
         out.extend_from_slice(&group_bytes);
         if out.len() > page_size {
-            return Err(PageImageError::Overflow { need: out.len(), page_size });
+            return Err(PageImageError::Overflow {
+                need: out.len(),
+                page_size,
+            });
         }
         out.resize(page_size, 0);
         Ok(out)
@@ -155,9 +161,13 @@ mod tests {
     use bftree_storage::PageId;
 
     fn sample_leaf(fpp: f64) -> (BfLeaf, BfTreeConfig) {
-        let config = BfTreeConfig { fpp, ..BfTreeConfig::paper_default() };
-        let pages: Vec<(PageId, Vec<u64>)> =
-            (0..40u64).map(|p| (p + 10, (p * 8..p * 8 + 8).collect())).collect();
+        let config = BfTreeConfig {
+            fpp,
+            ..BfTreeConfig::paper_default()
+        };
+        let pages: Vec<(PageId, Vec<u64>)> = (0..40u64)
+            .map(|p| (p + 10, (p * 8..p * 8 + 8).collect()))
+            .collect();
         (BfLeaf::from_pages(&config, &pages, 320), config)
     }
 
@@ -195,7 +205,10 @@ mod tests {
             heap.append_record(pk, pk / 11);
         }
         for fpp in [0.2, 1e-3, 1e-9] {
-            let config = BfTreeConfig { fpp, ..BfTreeConfig::ordered_default() };
+            let config = BfTreeConfig {
+                fpp,
+                ..BfTreeConfig::ordered_default()
+            };
             let tree = crate::BfTree::bulk_build(config, &heap, bftree_storage::tuple::PK_OFFSET);
             for idx in 0..tree.leaf_pages() as u32 {
                 let bytes = tree

@@ -8,7 +8,7 @@
 //! implemented as [`BfTree::range_scan_probing`].
 
 use bftree_storage::tuple::AttrOffset;
-use bftree_storage::{HeapFile, PageId, SimDevice};
+use bftree_storage::{HeapFile, IoContext, PageId, Relation, SimDevice};
 
 use crate::tree::BfTree;
 
@@ -30,7 +30,23 @@ impl BfTree {
     /// Plain range scan: read every page of every partition overlapping
     /// `[lo, hi]` sequentially, filtering tuples. This is the default
     /// §7 evaluation (Figure 13's numerator).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `AccessMethod::range_scan` with a `Relation` and `IoContext`"
+    )]
     pub fn range_scan(
+        &self,
+        lo: u64,
+        hi: u64,
+        heap: &HeapFile,
+        attr: AttrOffset,
+        idx_dev: Option<&SimDevice>,
+        data_dev: Option<&SimDevice>,
+    ) -> RangeScanResult {
+        self.range_scan_impl(lo, hi, heap, attr, idx_dev, data_dev)
+    }
+
+    pub(crate) fn range_scan_impl(
         &self,
         lo: u64,
         hi: u64,
@@ -72,8 +88,49 @@ impl BfTree {
     /// Practical only for enumerable domains — the enumeration is
     /// capped at `max_enumeration` probes per boundary leaf, falling
     /// back to whole-partition reads beyond it.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `BfTree::scan_range_probing` with a `Relation` and `IoContext`"
+    )]
     #[allow(clippy::too_many_arguments)]
     pub fn range_scan_probing(
+        &self,
+        lo: u64,
+        hi: u64,
+        heap: &HeapFile,
+        attr: AttrOffset,
+        idx_dev: Option<&SimDevice>,
+        data_dev: Option<&SimDevice>,
+        max_enumeration: u64,
+    ) -> RangeScanResult {
+        self.range_scan_probing_impl(lo, hi, heap, attr, idx_dev, data_dev, max_enumeration)
+    }
+
+    /// The §7 boundary-probing range scan over the new handle API:
+    /// like `AccessMethod::range_scan`, but boundary partitions are
+    /// probed per value (capped at `max_enumeration` enumerated keys
+    /// per boundary leaf) instead of read whole.
+    pub fn scan_range_probing(
+        &self,
+        lo: u64,
+        hi: u64,
+        rel: &Relation,
+        io: &IoContext,
+        max_enumeration: u64,
+    ) -> RangeScanResult {
+        self.range_scan_probing_impl(
+            lo,
+            hi,
+            rel.heap(),
+            rel.attr(),
+            Some(&io.index),
+            Some(&io.data),
+            max_enumeration,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn range_scan_probing_impl(
         &self,
         lo: u64,
         hi: u64,
@@ -120,8 +177,8 @@ impl BfTree {
                 // filters; a page ending with an in-range key implies
                 // the run may spill into its successor, so pull that
                 // page in too.
-                let follow_runs = self.config().duplicates
-                    == crate::config::DuplicateHandling::FirstPageOnly;
+                let follow_runs =
+                    self.config().duplicates == crate::config::DuplicateHandling::FirstPageOnly;
                 let mut i = 0;
                 while i < pages.len() {
                     let pid = pages[i];

@@ -54,18 +54,17 @@ impl BfTree {
         let mut pending: Vec<(PageId, Vec<u64>)> = Vec::new();
         let mut pending_distinct: HashSet<u64> = HashSet::new();
 
-        let close_leaf =
-            |pending: &mut Vec<(PageId, Vec<u64>)>,
-             pending_distinct: &mut HashSet<u64>,
-             leaves: &mut Vec<BfLeaf>| {
-                if pending.is_empty() {
-                    return;
-                }
-                let leaf = BfLeaf::from_pages(&config, pending, pending_distinct.len() as u64);
-                leaves.push(leaf);
-                pending.clear();
-                pending_distinct.clear();
-            };
+        let close_leaf = |pending: &mut Vec<(PageId, Vec<u64>)>,
+                          pending_distinct: &mut HashSet<u64>,
+                          leaves: &mut Vec<BfLeaf>| {
+            if pending.is_empty() {
+                return;
+            }
+            let leaf = BfLeaf::from_pages(&config, pending, pending_distinct.len() as u64);
+            leaves.push(leaf);
+            pending.clear();
+            pending_distinct.clear();
+        };
 
         for pid in 0..heap.page_count() {
             let mut keys: Vec<u64> = (0..heap.tuples_in_page(pid))
@@ -105,7 +104,12 @@ impl BfTree {
         }
 
         let upper = Self::build_upper(&config, &leaves);
-        Self { config, leaves, upper, first_leaf: 0 }
+        Self {
+            config,
+            leaves,
+            upper,
+            first_leaf: 0,
+        }
     }
 
     /// An empty BF-Tree ready for inserts (§4.2: "The initial node of
@@ -114,7 +118,12 @@ impl BfTree {
         config.validate();
         let leaves = vec![BfLeaf::empty(&config, 0)];
         let upper = Self::build_upper(&config, &leaves);
-        Self { config, leaves, upper, first_leaf: 0 }
+        Self {
+            config,
+            leaves,
+            upper,
+            first_leaf: 0,
+        }
     }
 
     fn build_upper(config: &BfTreeConfig, leaves: &[BfLeaf]) -> BPlusTree {
@@ -225,6 +234,10 @@ impl BfTree {
     /// visited) to `idx_dev` and data-page fetches to `data_dev`
     /// (sorted batch: adjacent pages at sequential cost, as the paper's
     /// Equation 13 models).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `AccessMethod::probe` with a `Relation` and `IoContext`"
+    )]
     pub fn probe(
         &self,
         key: u64,
@@ -238,6 +251,10 @@ impl BfTree {
 
     /// Algorithm 1 with the paper's primary-key shortcut: "as soon as
     /// the tuple is found the search ends".
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `AccessMethod::probe_first` with a `Relation` and `IoContext`"
+    )]
     pub fn probe_first(
         &self,
         key: u64,
@@ -249,7 +266,7 @@ impl BfTree {
         self.probe_impl(key, heap, attr, idx_dev, data_dev, true)
     }
 
-    fn probe_impl(
+    pub(crate) fn probe_impl(
         &self,
         key: u64,
         heap: &HeapFile,
@@ -360,13 +377,7 @@ impl BfTree {
     /// leaf's ranges and filter bits. `heap` is required when the
     /// configured split strategy is [`SplitStrategy::RebuildFromData`]
     /// and a split fires.
-    pub fn insert(
-        &mut self,
-        key: u64,
-        pid: PageId,
-        heap: Option<&HeapFile>,
-        attr: AttrOffset,
-    ) {
+    pub fn insert(&mut self, key: u64, pid: PageId, heap: Option<&HeapFile>, attr: AttrOffset) {
         let mut idx = match self.upper.search_le(key, None) {
             Some((_, tref)) => tref.pid() as u32,
             None => self.first_leaf,
@@ -414,9 +425,8 @@ impl BfTree {
 
         let (n1_pages, n2_pages) = match self.config.split {
             SplitStrategy::RebuildFromData => {
-                let heap = heap.expect(
-                    "SplitStrategy::RebuildFromData needs heap access at split time",
-                );
+                let heap =
+                    heap.expect("SplitStrategy::RebuildFromData needs heap access at split time");
                 self.partition_pages_from_data(idx, mid, heap, attr)
             }
             SplitStrategy::ProbeDomain => self.partition_pages_by_probing(idx, mid),
@@ -451,7 +461,8 @@ impl BfTree {
         if let Some(nn) = old_next {
             self.leaves[nn as usize].prev = Some(new_idx);
         }
-        self.upper.insert(n2_min, TupleRef::new(new_idx as u64, 0), None);
+        self.upper
+            .insert(n2_min, TupleRef::new(new_idx as u64, 0), None);
         true
     }
 
@@ -487,11 +498,7 @@ impl BfTree {
     /// Paper-faithful Algorithm 2: enumerate the (integer) key domain
     /// of the old leaf and probe its filters. Inherits the old filters'
     /// false positives into the new leaves (lossy-exact).
-    fn partition_pages_by_probing(
-        &self,
-        idx: u32,
-        mid: u64,
-    ) -> SplitSides {
+    fn partition_pages_by_probing(&self, idx: u32, mid: u64) -> SplitSides {
         let l = &self.leaves[idx as usize];
         assert!(
             l.max_key - l.min_key <= PROBE_DOMAIN_SPAN_CAP,

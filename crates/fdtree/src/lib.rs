@@ -24,6 +24,8 @@
 
 #![warn(missing_docs)]
 
+pub mod access;
+
 use bftree_btree::TupleRef;
 use bftree_storage::SimDevice;
 
@@ -100,7 +102,10 @@ impl FdTree {
     pub fn bulk_build<I: IntoIterator<Item = (u64, TupleRef)>>(entries: I) -> Self {
         let mut tree = Self::new();
         let mut data: Vec<(u64, TupleRef)> = entries.into_iter().collect();
-        assert!(data.windows(2).all(|w| w[0].0 <= w[1].0), "bulk_build input must be sorted");
+        assert!(
+            data.windows(2).all(|w| w[0].0 <= w[1].0),
+            "bulk_build input must be sorted"
+        );
         if data.is_empty() {
             return tree;
         }
@@ -108,7 +113,10 @@ impl FdTree {
         // budget; extra fence-only levels on top until the top level's
         // page count fits the head.
         data.shrink_to_fit();
-        let bottom = Level { data, pages: Vec::new() };
+        let bottom = Level {
+            data,
+            pages: Vec::new(),
+        };
         tree.levels.push(bottom);
         tree.repaginate_from(0);
         // Add fence-only levels until the head fences fit in memory
@@ -251,6 +259,58 @@ impl FdTree {
         out
     }
 
+    /// All entries with key in `[lo, hi]`, in key order. Each level is
+    /// a sorted run, so the touched span costs one random read plus
+    /// sequential reads for the following pages of the run.
+    pub fn range_entries(&self, lo: u64, hi: u64, dev: Option<&SimDevice>) -> Vec<(u64, TupleRef)> {
+        assert!(lo <= hi);
+        let mut out: Vec<(u64, TupleRef)> = self
+            .head
+            .iter()
+            .filter(|(k, _)| (lo..=hi).contains(k))
+            .copied()
+            .collect();
+        for (li, level) in self.levels.iter().enumerate() {
+            let from = level.data.partition_point(|e| e.0 < lo);
+            let to = level.data.partition_point(|e| e.0 <= hi);
+            if from == to {
+                continue;
+            }
+            if let Some(d) = dev {
+                let first_page = from / self.entries_per_page;
+                let last_page = (to - 1) / self.entries_per_page;
+                d.read_random(Self::page_id(li, first_page));
+                for pi in first_page + 1..=last_page {
+                    d.read_seq(Self::page_id(li, pi));
+                }
+            }
+            out.extend_from_slice(&level.data[from..to]);
+        }
+        out.sort_by_key(|&(k, r)| (k, r.pid(), r.slot()));
+        out
+    }
+
+    /// Remove every entry for `key` from the head and all levels,
+    /// repaginating the affected runs. Returns how many entries were
+    /// removed. (The original FD-Tree deletes via *filter* tombstone
+    /// entries merged lazily; eager removal has the same observable
+    /// probe behaviour, which is what the read-only harness measures.)
+    pub fn delete_all(&mut self, key: u64) -> u64 {
+        let before = self.n_entries();
+        self.head.retain(|e| e.0 != key);
+        let mut dirtied = false;
+        for level in &mut self.levels {
+            let n = level.data.len();
+            level.data.retain(|e| e.0 != key);
+            dirtied |= level.data.len() != n;
+        }
+        if dirtied {
+            self.repaginate_from(0);
+            self.rebuild_head_fences();
+        }
+        before - self.n_entries()
+    }
+
     /// Insert `(key, tref)` into the head tree, merging into the levels
     /// when it fills (the logarithmic method).
     pub fn insert(&mut self, key: u64, tref: TupleRef) {
@@ -381,10 +441,7 @@ impl Default for FdTree {
     }
 }
 
-fn merge_sorted(
-    a: Vec<(u64, TupleRef)>,
-    b: Vec<(u64, TupleRef)>,
-) -> Vec<(u64, TupleRef)> {
+fn merge_sorted(a: Vec<(u64, TupleRef)>, b: Vec<(u64, TupleRef)>) -> Vec<(u64, TupleRef)> {
     let mut out = Vec::with_capacity(a.len() + b.len());
     let (mut i, mut j) = (0, 0);
     while i < a.len() || j < b.len() {
@@ -475,7 +532,10 @@ mod tests {
             assert!(t.search(k * 2, None).is_some(), "missing bulk key {k}");
         }
         for k in 0..512u64 {
-            assert!(t.search(k * 2 + 1, None).is_some(), "missing inserted key {k}");
+            assert!(
+                t.search(k * 2 + 1, None).is_some(),
+                "missing inserted key {k}"
+            );
         }
     }
 
@@ -485,7 +545,9 @@ mod tests {
         let mut expected = Vec::new();
         let mut state = 7u64;
         for i in 0..5_000u64 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let key = state >> 40;
             t.insert(key, TupleRef::new(i, 0));
             expected.push(key);
@@ -500,7 +562,8 @@ mod tests {
     fn search_all_collects_across_levels() {
         let mut t = FdTree::with_parameters(4096, 64, 4, 16);
         // Bulk some dups of key 42 at the bottom, then insert more.
-        let mut base: Vec<(u64, TupleRef)> = (0..500u64).map(|k| (k, TupleRef::new(k, 0))).collect();
+        let mut base: Vec<(u64, TupleRef)> =
+            (0..500u64).map(|k| (k, TupleRef::new(k, 0))).collect();
         base.push((42, TupleRef::new(9_000, 0)));
         base.sort_by_key(|e| e.0);
         let mut t2 = FdTree::bulk_build(base);

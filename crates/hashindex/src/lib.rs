@@ -9,6 +9,8 @@
 
 #![warn(missing_docs)]
 
+pub mod access;
+
 use bftree_btree::TupleRef;
 use bftree_storage::SimDevice;
 
@@ -106,6 +108,11 @@ impl HashIndex {
     /// Number of entries.
     pub fn n_entries(&self) -> u64 {
         self.n_entries
+    }
+
+    /// The hash seed this index was created with.
+    pub fn seed(&self) -> u64 {
+        self.seed
     }
 
     /// Memory footprint in bytes (buckets + entries), the quantity the

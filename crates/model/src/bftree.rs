@@ -34,7 +34,10 @@ impl BfTreeModel {
     /// `BFleaves = notuples / (avgcard · BFkeysperpage)` — duplicates
     /// of a key cost nothing extra, hence the `avgcard` division.
     pub fn leaves(&self) -> u64 {
-        self.params.distinct_keys().div_ceil(self.keys_per_leaf()).max(1)
+        self.params
+            .distinct_keys()
+            .div_ceil(self.keys_per_leaf())
+            .max(1)
     }
 
     /// Equation 7: height, `BFh = ceil(log_fanout(BFleaves)) + 1`.
@@ -46,8 +49,7 @@ impl BfTreeModel {
     /// `BFpagesleaf = BFkeysperpage · avgcard · tuplesize / pagesize`.
     pub fn pages_per_leaf(&self) -> f64 {
         let p = &self.params;
-        self.keys_per_leaf() as f64 * p.avg_card as f64 * p.tuple_size as f64
-            / p.page_size as f64
+        self.keys_per_leaf() as f64 * p.avg_card as f64 * p.tuple_size as f64 / p.page_size as f64
     }
 
     /// Equation 10: size in bytes,
@@ -73,9 +75,7 @@ impl BfTreeModel {
     pub fn probe_cost(&self, hit: bool) -> f64 {
         let p = &self.params;
         let m_p = if hit { p.matching_pages() } else { 0 };
-        self.height() as f64 * p.idx_io
-            + m_p as f64 * p.data_io
-            + self.false_positive_cost()
+        self.height() as f64 * p.idx_io + m_p as f64 * p.data_io + self.false_positive_cost()
     }
 
     /// The `fpp · BFpagesleaf · seqDtIO` term of Equation 13 alone.
@@ -103,7 +103,10 @@ mod tests {
     use super::*;
 
     fn at_fpp(fpp: f64) -> BfTreeModel {
-        BfTreeModel::new(ModelParams { fpp, ..ModelParams::synthetic_pk() })
+        BfTreeModel::new(ModelParams {
+            fpp,
+            ..ModelParams::synthetic_pk()
+        })
     }
 
     /// Table 2 cross-check: BF-Tree sizes for the PK of 1 GB relation R.
@@ -127,7 +130,10 @@ mod tests {
         let g_loose = at_fpp(0.2).capacity_gain();
         let g_tight = at_fpp(1e-15).capacity_gain();
         assert!(g_loose > 35.0, "gain at fpp 0.2 = {g_loose}");
-        assert!((1.7..=3.0).contains(&g_tight), "gain at fpp 1e-15 = {g_tight}");
+        assert!(
+            (1.7..=3.0).contains(&g_tight),
+            "gain at fpp 1e-15 = {g_tight}"
+        );
         assert!(g_loose > g_tight);
     }
 
@@ -135,7 +141,12 @@ mod tests {
     #[test]
     fn figure4_crossover_at_1e3() {
         let bp = crate::btree::BPlusTreeModel::new(ModelParams::figure4());
-        let at = |fpp| BfTreeModel::new(ModelParams { fpp, ..ModelParams::figure4() });
+        let at = |fpp| {
+            BfTreeModel::new(ModelParams {
+                fpp,
+                ..ModelParams::figure4()
+            })
+        };
         assert!(at(1e-3).probe_cost(true) <= bp.probe_cost(true) * 1.001);
         assert!(at(0.05).probe_cost(true) > bp.probe_cost(true));
     }
@@ -170,7 +181,12 @@ mod tests {
     /// below (fanout 256 over 4 M/11 distinct keys).
     #[test]
     fn att1_height_step() {
-        let at = |fpp| BfTreeModel::new(ModelParams { fpp, ..ModelParams::synthetic_att1() });
+        let at = |fpp| {
+            BfTreeModel::new(ModelParams {
+                fpp,
+                ..ModelParams::synthetic_att1()
+            })
+        };
         assert_eq!(at(1e-3).height(), 2);
         assert_eq!(at(1e-2).height(), 2);
         assert_eq!(at(1e-12).height(), 3);

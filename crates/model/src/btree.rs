@@ -85,16 +85,21 @@ impl CompressedBPlusTreeModel {
     /// paper's "about 10 % of the B+-Tree" curve.
     pub fn new(params: ModelParams) -> Self {
         params.validate();
-        Self { params, compressed_key_bytes: 2.0, compressed_ptr_bytes: 2.0 }
+        Self {
+            params,
+            compressed_key_bytes: 2.0,
+            compressed_ptr_bytes: 2.0,
+        }
     }
 
     /// Leaf count with compressed entries (Equation 3 with the
     /// compressed entry width).
     pub fn leaves(&self) -> u64 {
         let p = &self.params;
-        let entry_bytes =
-            self.compressed_key_bytes / p.avg_card as f64 + self.compressed_ptr_bytes;
-        (p.no_tuples as f64 * entry_bytes / p.page_size as f64).ceil().max(1.0) as u64
+        let entry_bytes = self.compressed_key_bytes / p.avg_card as f64 + self.compressed_ptr_bytes;
+        (p.no_tuples as f64 * entry_bytes / p.page_size as f64)
+            .ceil()
+            .max(1.0) as u64
     }
 
     /// Size in bytes (Equation 9 over the compressed leaf count).
@@ -173,10 +178,11 @@ mod tests {
     #[test]
     fn compressed_never_taller() {
         for avg_card in [1, 11, 2400] {
-            let p = ModelParams { avg_card, ..ModelParams::figure4() };
-            assert!(
-                CompressedBPlusTreeModel::new(p).height() <= BPlusTreeModel::new(p).height()
-            );
+            let p = ModelParams {
+                avg_card,
+                ..ModelParams::figure4()
+            };
+            assert!(CompressedBPlusTreeModel::new(p).height() <= BPlusTreeModel::new(p).height());
         }
     }
 }

@@ -30,7 +30,11 @@ impl FdTreeModel {
     pub fn new(params: ModelParams, k: u64) -> Self {
         params.validate();
         assert!(k >= 2, "logarithmic factor must be at least 2");
-        Self { params, k, head_pages: 16 }
+        Self {
+            params,
+            k,
+            head_pages: 16,
+        }
     }
 
     /// Model with the cost-optimal `k` for point queries, found the way

@@ -92,7 +92,10 @@ mod tests {
         let d12 = fpp_after_inserts(fpp, 0.12) - fpp;
         let linear_extrap = d1 * 12.0;
         // within 35 % of linear over the 0–12 % window
-        assert!((d12 - linear_extrap).abs() / d12 < 0.35, "d12={d12}, lin={linear_extrap}");
+        assert!(
+            (d12 - linear_extrap).abs() / d12 < 0.35,
+            "d12={d12}, lin={linear_extrap}"
+        );
     }
 
     #[test]

@@ -53,13 +53,20 @@ impl ModelParams {
     /// The Section-6 synthetic relation R: 1 GB of 256 B tuples with an
     /// 8 B primary key (`avg_card = 1`).
     pub fn synthetic_pk() -> Self {
-        Self { key_size: 8, ..Self::figure4() }
+        Self {
+            key_size: 8,
+            ..Self::figure4()
+        }
     }
 
     /// Relation R's second indexed attribute ATT1: 8 B values, each
     /// repeated 11 times on average.
     pub fn synthetic_att1() -> Self {
-        Self { key_size: 8, avg_card: 11, ..Self::figure4() }
+        Self {
+            key_size: 8,
+            avg_card: 11,
+            ..Self::figure4()
+        }
     }
 
     /// Equation 2: internal-node fanout, shared by B+-Trees and
@@ -90,7 +97,11 @@ impl ModelParams {
         assert!(self.page_size > 0 && self.tuple_size > 0 && self.tuple_size <= self.page_size);
         assert!(self.no_tuples > 0 && self.avg_card > 0);
         assert!(self.key_size > 0 && self.ptr_size > 0);
-        assert!(self.fpp > 0.0 && self.fpp < 1.0, "fpp out of (0,1): {}", self.fpp);
+        assert!(
+            self.fpp > 0.0 && self.fpp < 1.0,
+            "fpp out of (0,1): {}",
+            self.fpp
+        );
         assert!(self.idx_io >= 0.0 && self.data_io >= 0.0 && self.seq_dt_io >= 0.0);
     }
 }
@@ -160,6 +171,10 @@ mod tests {
     #[test]
     #[should_panic]
     fn validate_rejects_zero_fpp() {
-        ModelParams { fpp: 0.0, ..ModelParams::figure4() }.validate();
+        ModelParams {
+            fpp: 0.0,
+            ..ModelParams::figure4()
+        }
+        .validate();
     }
 }

@@ -83,8 +83,7 @@ impl SiltModel {
             TrieResidency::Cached => data,
             TrieResidency::Uncached => data + self.uncached_trie_data_ios * p.data_io,
             TrieResidency::Average => {
-                (self.probe_cost(TrieResidency::Cached)
-                    + self.probe_cost(TrieResidency::Uncached))
+                (self.probe_cost(TrieResidency::Cached) + self.probe_cost(TrieResidency::Uncached))
                     / 2.0
             }
         }

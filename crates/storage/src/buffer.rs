@@ -79,10 +79,18 @@ impl BufferPool {
             self.free.push(victim);
         }
         let slot = if let Some(slot) = self.free.pop() {
-            self.entries[slot] = Entry { page, prev: NIL, next: NIL };
+            self.entries[slot] = Entry {
+                page,
+                prev: NIL,
+                next: NIL,
+            };
             slot
         } else {
-            self.entries.push(Entry { page, prev: NIL, next: NIL });
+            self.entries.push(Entry {
+                page,
+                prev: NIL,
+                next: NIL,
+            });
             self.entries.len() - 1
         };
         self.map.insert(page, slot);
@@ -196,7 +204,9 @@ mod tests {
         let mut model: Vec<u64> = Vec::new(); // front = MRU
         let mut state = 12345u64;
         for _ in 0..10_000 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let page = (state >> 33) % 24;
             let model_hit = model.contains(&page);
             if model_hit {
@@ -220,6 +230,10 @@ mod tests {
             pool.touch(p);
         }
         // Only 2 + small churn of entries should exist.
-        assert!(pool.entries.len() <= 3, "entries grew to {}", pool.entries.len());
+        assert!(
+            pool.entries.len() <= 3,
+            "entries grew to {}",
+            pool.entries.len()
+        );
     }
 }

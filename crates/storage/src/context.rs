@@ -1,0 +1,218 @@
+//! [`IoContext`]: the pair of simulated devices a query charges its
+//! page accesses to, plus [`StorageConfig`] — the paper's five
+//! index/data device placements (§6.2, Figures 5–12).
+
+use crate::device::{DeviceKind, DeviceProfile};
+use crate::page::PageId;
+use crate::sim::{CacheMode, SimDevice};
+
+/// One of the paper's index/data device placements.
+///
+/// The naming follows the paper's legend: `MemHdd` = index in memory,
+/// data on HDD. Solid lines in Figures 5/8 are the `*/Hdd` trio,
+/// dotted lines the `*/Ssd` pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StorageConfig {
+    /// Index in memory, data on HDD.
+    MemHdd,
+    /// Index on SSD, data on HDD.
+    SsdHdd,
+    /// Index on HDD, data on HDD.
+    HddHdd,
+    /// Index in memory, data on SSD.
+    MemSsd,
+    /// Index on SSD, data on SSD.
+    SsdSsd,
+}
+
+impl StorageConfig {
+    /// All five configurations in the paper's plotting order.
+    pub const ALL: [StorageConfig; 5] = [
+        StorageConfig::MemHdd,
+        StorageConfig::SsdHdd,
+        StorageConfig::HddHdd,
+        StorageConfig::MemSsd,
+        StorageConfig::SsdSsd,
+    ];
+
+    /// The three configurations with a device-resident index — the only
+    /// ones warm caches change (Figures 7, 10, 12(b)).
+    pub const WARMABLE: [StorageConfig; 3] = [
+        StorageConfig::SsdSsd,
+        StorageConfig::SsdHdd,
+        StorageConfig::HddHdd,
+    ];
+
+    /// Device kind holding the index.
+    pub fn index_kind(self) -> DeviceKind {
+        match self {
+            StorageConfig::MemHdd | StorageConfig::MemSsd => DeviceKind::Memory,
+            StorageConfig::SsdHdd | StorageConfig::SsdSsd => DeviceKind::Ssd,
+            StorageConfig::HddHdd => DeviceKind::Hdd,
+        }
+    }
+
+    /// Device kind holding the main data.
+    pub fn data_kind(self) -> DeviceKind {
+        match self {
+            StorageConfig::MemHdd | StorageConfig::SsdHdd | StorageConfig::HddHdd => {
+                DeviceKind::Hdd
+            }
+            StorageConfig::MemSsd | StorageConfig::SsdSsd => DeviceKind::Ssd,
+        }
+    }
+
+    /// Legend label, paper style (`index/data`).
+    pub fn label(self) -> &'static str {
+        match self {
+            StorageConfig::MemHdd => "Mem/HDD",
+            StorageConfig::SsdHdd => "SSD/HDD",
+            StorageConfig::HddHdd => "HDD/HDD",
+            StorageConfig::MemSsd => "Mem/SSD",
+            StorageConfig::SsdSsd => "SSD/SSD",
+        }
+    }
+}
+
+impl std::fmt::Display for StorageConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The pair of simulated devices a query charges against: one holding
+/// index nodes, one holding the heap file. Optionally the index device
+/// carries an LRU [`crate::BufferPool`] (warm-cache experiments).
+///
+/// Cloning is cheap and shares both devices' stats and pools.
+///
+/// ```
+/// use bftree_storage::{IoContext, StorageConfig};
+///
+/// let io = IoContext::cold(StorageConfig::SsdHdd);
+/// io.index.read_random(7);
+/// io.data.read_random(42);
+/// assert!(io.sim_us() > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct IoContext {
+    /// Device holding index nodes.
+    pub index: SimDevice,
+    /// Device holding the heap file.
+    pub data: SimDevice,
+}
+
+impl IoContext {
+    /// An explicit device pair.
+    pub fn new(index: SimDevice, data: SimDevice) -> Self {
+        Self { index, data }
+    }
+
+    /// Cold devices for `config` — the paper's default O_DIRECT runs.
+    pub fn cold(config: StorageConfig) -> Self {
+        Self {
+            index: SimDevice::cold(config.index_kind()),
+            data: SimDevice::cold(config.data_kind()),
+        }
+    }
+
+    /// Warm-cache devices (§6.2 "Warm caches"): the index device gets
+    /// an LRU pool sized to hold everything *above* the leaf level —
+    /// callers prewarm it with the index's upper-node page ids, so
+    /// "only accessing the leaf node would cause an I/O operation".
+    /// The data device stays cold (the experiments' probe keys are
+    /// random, so data re-reads are negligible and the paper's bars
+    /// move only through the index component).
+    pub fn warm(config: StorageConfig, upper_pages: usize) -> Self {
+        Self {
+            index: SimDevice::new(
+                DeviceProfile::of(config.index_kind()),
+                CacheMode::Lru(upper_pages.max(1)),
+            ),
+            data: SimDevice::cold(config.data_kind()),
+        }
+    }
+
+    /// A context whose accesses are all memory-speed — for
+    /// correctness-only runs where simulated latency is irrelevant
+    /// (the replacement for the old `None` device arguments).
+    pub fn unmetered() -> Self {
+        Self {
+            index: SimDevice::cold(DeviceKind::Memory),
+            data: SimDevice::cold(DeviceKind::Memory),
+        }
+    }
+
+    /// Pre-load index pages into the index device's pool (no charge).
+    pub fn prewarm_index<I: IntoIterator<Item = PageId>>(&self, pages: I) {
+        self.index.prewarm(pages);
+    }
+
+    /// Combined simulated time across both devices, in microseconds.
+    pub fn sim_us(&self) -> f64 {
+        self.index.snapshot().sim_us() + self.data.snapshot().sim_us()
+    }
+
+    /// Reset both devices' counters (cache contents survive).
+    pub fn reset(&self) {
+        self.index.reset_stats();
+        self.data.reset_stats();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_and_kinds_are_consistent() {
+        for c in StorageConfig::ALL {
+            let label = c.label();
+            let (idx, data) = label.split_once('/').unwrap();
+            let kind_label = |k: DeviceKind| match k {
+                DeviceKind::Memory => "Mem",
+                DeviceKind::Ssd => "SSD",
+                DeviceKind::Hdd => "HDD",
+            };
+            assert_eq!(kind_label(c.index_kind()), idx);
+            assert_eq!(kind_label(c.data_kind()), data);
+        }
+    }
+
+    #[test]
+    fn warmable_subset_has_device_resident_indexes() {
+        for c in StorageConfig::WARMABLE {
+            assert_ne!(c.index_kind(), DeviceKind::Memory);
+        }
+    }
+
+    #[test]
+    fn cold_context_charges_both_devices() {
+        let io = IoContext::cold(StorageConfig::SsdHdd);
+        io.index.read_random(1);
+        io.data.read_random(2);
+        assert!(io.sim_us() > 0.0);
+        io.reset();
+        assert_eq!(io.sim_us(), 0.0);
+    }
+
+    #[test]
+    fn warm_context_absorbs_prewarmed_upper_levels() {
+        let io = IoContext::warm(StorageConfig::SsdSsd, 8);
+        io.prewarm_index([1u64, 2, 3]);
+        io.reset();
+        io.index.read_random(2);
+        assert_eq!(io.index.snapshot().device_reads(), 0);
+        io.index.read_random(99);
+        assert_eq!(io.index.snapshot().device_reads(), 1);
+    }
+
+    #[test]
+    fn unmetered_counts_but_costs_memory_speed() {
+        let io = IoContext::unmetered();
+        io.index.read_random(1);
+        io.data.read_random(2);
+        assert_eq!(io.index.kind(), DeviceKind::Memory);
+        assert_eq!(io.data.snapshot().device_reads(), 1);
+    }
+}

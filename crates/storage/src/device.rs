@@ -112,16 +112,66 @@ pub struct SurveyDevice {
 /// cheap capacity / low IOPS; SSDs at expensive capacity / high IOPS.
 pub fn figure2_survey() -> Vec<SurveyDevice> {
     vec![
-        SurveyDevice { name: "Seagate Savvio 10K.6 900GB", class: "E-HDD", gb_per_dollar: 2.2, iops: 190.0 },
-        SurveyDevice { name: "WD XE 900GB 10kRPM", class: "E-HDD", gb_per_dollar: 2.0, iops: 200.0 },
-        SurveyDevice { name: "Seagate Barracuda 3TB", class: "C-HDD", gb_per_dollar: 23.0, iops: 90.0 },
-        SurveyDevice { name: "WD Blue 1TB", class: "C-HDD", gb_per_dollar: 17.0, iops: 80.0 },
-        SurveyDevice { name: "Intel DC S3700 800GB", class: "E-SSD", gb_per_dollar: 0.42, iops: 75_000.0 },
-        SurveyDevice { name: "OCZ Deneva 2C 480GB", class: "E-SSD", gb_per_dollar: 0.80, iops: 80_000.0 },
-        SurveyDevice { name: "Samsung SM843T 480GB", class: "E-SSD", gb_per_dollar: 0.70, iops: 70_000.0 },
-        SurveyDevice { name: "Toshiba PX02SM 400GB", class: "E-SSD", gb_per_dollar: 0.25, iops: 120_000.0 },
-        SurveyDevice { name: "Samsung 840 EVO 500GB", class: "C-SSD", gb_per_dollar: 1.4, iops: 98_000.0 },
-        SurveyDevice { name: "Crucial M500 480GB", class: "C-SSD", gb_per_dollar: 1.5, iops: 80_000.0 },
+        SurveyDevice {
+            name: "Seagate Savvio 10K.6 900GB",
+            class: "E-HDD",
+            gb_per_dollar: 2.2,
+            iops: 190.0,
+        },
+        SurveyDevice {
+            name: "WD XE 900GB 10kRPM",
+            class: "E-HDD",
+            gb_per_dollar: 2.0,
+            iops: 200.0,
+        },
+        SurveyDevice {
+            name: "Seagate Barracuda 3TB",
+            class: "C-HDD",
+            gb_per_dollar: 23.0,
+            iops: 90.0,
+        },
+        SurveyDevice {
+            name: "WD Blue 1TB",
+            class: "C-HDD",
+            gb_per_dollar: 17.0,
+            iops: 80.0,
+        },
+        SurveyDevice {
+            name: "Intel DC S3700 800GB",
+            class: "E-SSD",
+            gb_per_dollar: 0.42,
+            iops: 75_000.0,
+        },
+        SurveyDevice {
+            name: "OCZ Deneva 2C 480GB",
+            class: "E-SSD",
+            gb_per_dollar: 0.80,
+            iops: 80_000.0,
+        },
+        SurveyDevice {
+            name: "Samsung SM843T 480GB",
+            class: "E-SSD",
+            gb_per_dollar: 0.70,
+            iops: 70_000.0,
+        },
+        SurveyDevice {
+            name: "Toshiba PX02SM 400GB",
+            class: "E-SSD",
+            gb_per_dollar: 0.25,
+            iops: 120_000.0,
+        },
+        SurveyDevice {
+            name: "Samsung 840 EVO 500GB",
+            class: "C-SSD",
+            gb_per_dollar: 1.4,
+            iops: 98_000.0,
+        },
+        SurveyDevice {
+            name: "Crucial M500 480GB",
+            class: "C-SSD",
+            gb_per_dollar: 1.5,
+            iops: 80_000.0,
+        },
     ]
 }
 
@@ -161,7 +211,10 @@ mod tests {
             devices.iter().partition(|d| d.class.ends_with("HDD"));
         assert_eq!(hdds.len(), 4);
         assert_eq!(ssds.len(), 6);
-        let min_hdd_gb = hdds.iter().map(|d| d.gb_per_dollar).fold(f64::MAX, f64::min);
+        let min_hdd_gb = hdds
+            .iter()
+            .map(|d| d.gb_per_dollar)
+            .fold(f64::MAX, f64::min);
         let max_ssd_gb = ssds.iter().map(|d| d.gb_per_dollar).fold(0.0, f64::max);
         assert!(min_hdd_gb > max_ssd_gb, "HDD capacity must be cheaper");
         let max_hdd_iops = hdds.iter().map(|d| d.iops).fold(0.0, f64::max);

@@ -176,8 +176,20 @@ mod tests {
 
     #[test]
     fn plus_adds_counterwise() {
-        let a = IoSnapshot { random_reads: 1, seq_reads: 2, writes: 3, cache_hits: 4, sim_ns: 5 };
-        let b = IoSnapshot { random_reads: 10, seq_reads: 20, writes: 30, cache_hits: 40, sim_ns: 50 };
+        let a = IoSnapshot {
+            random_reads: 1,
+            seq_reads: 2,
+            writes: 3,
+            cache_hits: 4,
+            sim_ns: 5,
+        };
+        let b = IoSnapshot {
+            random_reads: 10,
+            seq_reads: 20,
+            writes: 30,
+            cache_hits: 40,
+            sim_ns: 50,
+        };
         let c = a.plus(&b);
         assert_eq!(c.random_reads, 11);
         assert_eq!(c.sim_ns, 55);

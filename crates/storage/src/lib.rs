@@ -17,6 +17,10 @@
 //! * [`sim`] — [`sim::SimDevice`]: a device profile + stats + optional
 //!   buffer pool, the thing indexes charge their accesses to.
 //! * [`buffer`] — an LRU buffer pool for warm-cache experiments.
+//! * [`relation`] — [`relation::Relation`]: heap file + indexed
+//!   attribute + duplicate layout, the handle access methods build on.
+//! * [`context`] — [`context::IoContext`]: the index/data device pair a
+//!   query charges, and the paper's five [`context::StorageConfig`]s.
 //!
 //! "Response times" reported by the benchmark harness are the simulated
 //! nanoseconds accumulated here, making every experiment reproducible
@@ -26,19 +30,23 @@
 #![warn(missing_docs)]
 
 pub mod buffer;
+pub mod context;
 pub mod device;
 pub mod heap;
 pub mod io;
 pub mod page;
+pub mod relation;
 pub mod search;
 pub mod sim;
 pub mod tuple;
 
 pub use buffer::BufferPool;
+pub use context::{IoContext, StorageConfig};
 pub use device::{DeviceKind, DeviceProfile};
 pub use heap::HeapFile;
 pub use io::{IoSnapshot, IoStats};
 pub use page::{PageId, PAGE_SIZE};
+pub use relation::{Duplicates, Relation, RelationError};
 pub use search::{binary_search, interpolation_search, SearchResult};
 pub use sim::{CacheMode, SimDevice};
 pub use tuple::TupleLayout;

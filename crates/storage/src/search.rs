@@ -89,9 +89,14 @@ pub fn interpolation_search(
         }
     }
     while lo < hi {
-        let frac = if kmax > kmin { (key - kmin) as f64 / (kmax - kmin) as f64 } else { 0.5 };
-        let guess =
-            (lo + 1).max(lo + ((hi - lo) as f64 * frac) as u64).min(hi.saturating_sub(1).max(lo + 1));
+        let frac = if kmax > kmin {
+            (key - kmin) as f64 / (kmax - kmin) as f64
+        } else {
+            0.5
+        };
+        let guess = (lo + 1)
+            .max(lo + ((hi - lo) as f64 * frac) as u64)
+            .min(hi.saturating_sub(1).max(lo + 1));
         let Some((pmin, pmax)) = read_range(heap, attr, guess, dev, &mut result) else {
             break;
         };
@@ -205,7 +210,9 @@ mod tests {
         let h = heap(10_000);
         for key in [1u64, 29_998, 50_000_000] {
             assert!(binary_search(&h, PK_OFFSET, key, None).matches.is_empty());
-            assert!(interpolation_search(&h, PK_OFFSET, key, None).matches.is_empty());
+            assert!(interpolation_search(&h, PK_OFFSET, key, None)
+                .matches
+                .is_empty());
         }
     }
 
@@ -250,6 +257,8 @@ mod tests {
     fn empty_heap_is_safe() {
         let h = HeapFile::new(TupleLayout::new(256));
         assert!(binary_search(&h, PK_OFFSET, 1, None).matches.is_empty());
-        assert!(interpolation_search(&h, PK_OFFSET, 1, None).matches.is_empty());
+        assert!(interpolation_search(&h, PK_OFFSET, 1, None)
+            .matches
+            .is_empty());
     }
 }

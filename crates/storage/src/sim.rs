@@ -6,9 +6,7 @@
 //! evaluation are simply pairs of `SimDevice`s: one for the index, one
 //! for the main data.
 
-use std::sync::Arc;
-
-use parking_lot::Mutex;
+use std::sync::{Arc, Mutex};
 
 use crate::buffer::BufferPool;
 use crate::device::{DeviceKind, DeviceProfile};
@@ -107,7 +105,7 @@ impl SimDevice {
     /// Pre-load `pages` into the pool (warm-up) without charging.
     pub fn prewarm<I: IntoIterator<Item = PageId>>(&self, pages: I) {
         if let Some(pool) = &self.pool {
-            let mut pool = pool.lock();
+            let mut pool = pool.lock().unwrap_or_else(|e| e.into_inner());
             for p in pages {
                 pool.touch(p);
             }
@@ -127,14 +125,14 @@ impl SimDevice {
     /// Drop all cached pages.
     pub fn drop_caches(&self) {
         if let Some(pool) = &self.pool {
-            pool.lock().clear();
+            pool.lock().unwrap_or_else(|e| e.into_inner()).clear();
         }
     }
 
     #[inline]
     fn cache_absorbs(&self, page: PageId) -> bool {
         if let Some(pool) = &self.pool {
-            if pool.lock().touch(page) {
+            if pool.lock().unwrap_or_else(|e| e.into_inner()).touch(page) {
                 // Serving from the pool costs a memory access.
                 self.stats
                     .record_cache_hit(DeviceProfile::memory().random_read_ns);

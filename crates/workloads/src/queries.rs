@@ -12,7 +12,9 @@ use rand::{RngExt, SeedableRng};
 pub fn probes_from_domain(domain: &[u64], n: usize, seed: u64) -> Vec<u64> {
     assert!(!domain.is_empty(), "empty probe domain");
     let mut rng = StdRng::seed_from_u64(seed);
-    (0..n).map(|_| domain[rng.random_range(0..domain.len())]).collect()
+    (0..n)
+        .map(|_| domain[rng.random_range(0..domain.len())])
+        .collect()
 }
 
 /// Draw `n` probe keys such that a fraction `hit_rate` of them exist
@@ -48,7 +50,11 @@ pub fn probes_with_hit_rate(domain: &[u64], n: usize, hit_rate: f64, seed: u64) 
 
 /// One missing key per gap between consecutive domain values.
 fn domain_gaps(domain: &[u64]) -> Vec<u64> {
-    domain.windows(2).filter(|w| w[1] > w[0] + 1).map(|w| w[0] + 1).collect()
+    domain
+        .windows(2)
+        .filter(|w| w[1] > w[0] + 1)
+        .map(|w| w[0] + 1)
+        .collect()
 }
 
 /// A half-open key range `[lo, hi]` covering a target fraction of the
@@ -71,7 +77,10 @@ pub fn range_queries(domain: &[u64], fraction: f64, n: usize, seed: u64) -> Vec<
     (0..n)
         .map(|_| {
             let start = rng.random_range(0..=domain.len() - span);
-            RangeQuery { lo: domain[start], hi: domain[start + span - 1] }
+            RangeQuery {
+                lo: domain[start],
+                hi: domain[start + span - 1],
+            }
         })
         .collect()
 }
@@ -99,10 +108,7 @@ mod tests {
             let probes = probes_with_hit_rate(&d, 1_000, rate, 42);
             let hits =
                 probes.iter().filter(|k| d.binary_search(k).is_ok()).count() as f64 / 1_000.0;
-            assert!(
-                (hits - rate).abs() <= 0.002,
-                "rate {rate}: realized {hits}"
-            );
+            assert!((hits - rate).abs() <= 0.002, "rate {rate}: realized {hits}");
         }
     }
 
@@ -140,7 +146,10 @@ mod tests {
     #[test]
     fn deterministic_workloads() {
         let d = domain();
-        assert_eq!(probes_from_domain(&d, 100, 9), probes_from_domain(&d, 100, 9));
+        assert_eq!(
+            probes_from_domain(&d, 100, 9),
+            probes_from_domain(&d, 100, 9)
+        );
         assert_eq!(
             probes_with_hit_rate(&d, 100, 0.3, 9),
             probes_with_hit_rate(&d, 100, 0.3, 9)

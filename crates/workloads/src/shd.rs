@@ -42,7 +42,12 @@ pub struct ShdConfig {
 impl ShdConfig {
     /// Defaults matching the §6.5 cardinality statistics.
     pub fn paper_like(n_timestamps: u64) -> Self {
-        Self { n_timestamps, tuple_size: 256, avg_card: 52, seed: 0x5AD_CAFE }
+        Self {
+            n_timestamps,
+            tuple_size: 256,
+            avg_card: 52,
+            seed: 0x5AD_CAFE,
+        }
     }
 }
 
@@ -81,9 +86,9 @@ pub fn generate_readings(config: &ShdConfig) -> Vec<Reading> {
             // Consumption since last report: mostly small, sometimes a
             // spike — "not always with the same pace".
             let delta = if rng.random_bool(0.05) {
-                rng.random_range(200..2_000)
+                rng.random_range(200u64..2_000)
             } else {
-                rng.random_range(1..50)
+                rng.random_range(1u64..50)
             };
             energy[client as usize] += delta;
             rows.push(Reading {

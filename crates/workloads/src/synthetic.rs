@@ -46,7 +46,10 @@ impl SyntheticConfig {
 
     /// A laptop-friendly scale: `mb` megabytes of 256 B tuples.
     pub fn scaled_mb(mb: u64) -> Self {
-        Self { n_tuples: mb * (1 << 20) / 256, ..Self::paper_1gb() }
+        Self {
+            n_tuples: mb * (1 << 20) / 256,
+            ..Self::paper_1gb()
+        }
     }
 }
 
@@ -104,7 +107,10 @@ mod tests {
     use super::*;
 
     fn small() -> SyntheticConfig {
-        SyntheticConfig { n_tuples: 50_000, ..SyntheticConfig::scaled_mb(16) }
+        SyntheticConfig {
+            n_tuples: 50_000,
+            ..SyntheticConfig::scaled_mb(16)
+        }
     }
 
     #[test]
@@ -134,7 +140,11 @@ mod tests {
         let dom = att1_domain(&heap);
         let gaps = dom.windows(2).filter(|w| w[1] > w[0] + 1).count();
         // mean gap 7 -> the vast majority of adjacent pairs have holes.
-        assert!(gaps * 2 > dom.len(), "only {gaps} gaps over {} values", dom.len());
+        assert!(
+            gaps * 2 > dom.len(),
+            "only {gaps} gaps over {} values",
+            dom.len()
+        );
     }
 
     #[test]
@@ -144,7 +154,10 @@ mod tests {
         assert_eq!(a.tuple_count(), b.tuple_count());
         for pid in 0..a.page_count() {
             for slot in 0..a.tuples_in_page(pid) {
-                assert_eq!(a.attr(pid, slot, ATT1_OFFSET), b.attr(pid, slot, ATT1_OFFSET));
+                assert_eq!(
+                    a.attr(pid, slot, ATT1_OFFSET),
+                    b.attr(pid, slot, ATT1_OFFSET)
+                );
             }
         }
     }
@@ -169,7 +182,10 @@ mod tests {
 
     #[test]
     fn tuples_per_page_is_16() {
-        let heap = build_relation_r(&SyntheticConfig { n_tuples: 100, ..small() });
+        let heap = build_relation_r(&SyntheticConfig {
+            n_tuples: 100,
+            ..small()
+        });
         assert_eq!(heap.tuples_per_page(), 16); // 4096 / 256
         assert_eq!(heap.page_count(), 7); // ceil(100/16)
     }

@@ -60,12 +60,19 @@ pub struct TpchConfig {
 impl TpchConfig {
     /// The paper's §6.4 setup: SF 1, 200-byte tuples.
     pub fn paper_sf1() -> Self {
-        Self { scale: 1.0, tuple_size: 200, seed: 0x79C4 }
+        Self {
+            scale: 1.0,
+            tuple_size: 200,
+            seed: 0x79C4,
+        }
     }
 
     /// Scaled-down variant keeping per-date cardinality ~proportional.
     pub fn scaled(scale: f64) -> Self {
-        Self { scale, ..Self::paper_sf1() }
+        Self {
+            scale,
+            ..Self::paper_sf1()
+        }
     }
 
     /// Number of lineitems at this scale.
@@ -78,25 +85,35 @@ impl TpchConfig {
 /// order) — the layout of Figure 1(a).
 pub fn generate_lineitem_dates(config: &TpchConfig) -> Vec<LineitemDates> {
     let mut rng = StdRng::seed_from_u64(config.seed);
+    if config.n_lineitems() == 0 {
+        return Vec::new(); // degenerate scale: the loop below always pushes first
+    }
     let n_orders = (config.n_lineitems() / 4).max(1); // ~4 lineitems/order
     let mut rows = Vec::with_capacity(config.n_lineitems() as usize);
     // Orders arrive roughly in date order (creation-time clustering):
-    // walk the window and jitter each order's date a little.
-    for orderkey in 0..n_orders {
-        let base = orderkey * ORDERDATE_SPAN / n_orders;
-        let orderdate = (base + rng.random_range(0..=30)).min(ORDERDATE_SPAN - 1);
-        let lines = rng.random_range(1..=7); // dbgen: 1..7 lineitems
+    // walk the window and jitter each order's date a little. Per-order
+    // line counts are random, so keep issuing orders (pinned to the
+    // window's end once past it) until the target row count is hit.
+    for orderkey in 0.. {
+        let base = orderkey.min(n_orders - 1) * ORDERDATE_SPAN / n_orders;
+        let orderdate = (base + rng.random_range(0u64..=30)).min(ORDERDATE_SPAN - 1);
+        let lines = rng.random_range(1u64..=7); // dbgen: 1..7 lineitems
         for _ in 0..lines {
-            let shipdate = orderdate + rng.random_range(1..=121);
-            let commitdate = orderdate + rng.random_range(30..=90);
-            let receiptdate = shipdate + rng.random_range(1..=30);
-            rows.push(LineitemDates { orderkey, shipdate, commitdate, receiptdate });
+            let shipdate = orderdate + rng.random_range(1u64..=121);
+            let commitdate = orderdate + rng.random_range(30u64..=90);
+            let receiptdate = shipdate + rng.random_range(1u64..=30);
+            rows.push(LineitemDates {
+                orderkey,
+                shipdate,
+                commitdate,
+                receiptdate,
+            });
             if rows.len() as u64 == config.n_lineitems() {
                 return rows;
             }
         }
     }
-    rows
+    unreachable!("the order loop only exits by reaching the target row count")
 }
 
 /// Materialize the lineitems into a heap file **ordered on shipdate**,
@@ -152,6 +169,11 @@ mod tests {
     }
 
     #[test]
+    fn zero_scale_terminates_with_no_rows() {
+        assert!(generate_lineitem_dates(&TpchConfig::scaled(0.0)).is_empty());
+    }
+
+    #[test]
     fn date_derivations_hold() {
         for r in generate_lineitem_dates(&small()) {
             assert!(r.shipdate > 0);
@@ -170,11 +192,20 @@ mod tests {
         // sorted — long-range trend dominates short-range jitter.
         let rows = generate_lineitem_dates(&small());
         let n = rows.len();
-        let early_avg: f64 =
-            rows[..n / 10].iter().map(|r| r.shipdate as f64).sum::<f64>() / (n / 10) as f64;
-        let late_avg: f64 =
-            rows[n - n / 10..].iter().map(|r| r.shipdate as f64).sum::<f64>() / (n / 10) as f64;
-        assert!(late_avg > early_avg + 1000.0, "early {early_avg}, late {late_avg}");
+        let early_avg: f64 = rows[..n / 10]
+            .iter()
+            .map(|r| r.shipdate as f64)
+            .sum::<f64>()
+            / (n / 10) as f64;
+        let late_avg: f64 = rows[n - n / 10..]
+            .iter()
+            .map(|r| r.shipdate as f64)
+            .sum::<f64>()
+            / (n / 10) as f64;
+        assert!(
+            late_avg > early_avg + 1000.0,
+            "early {early_avg}, late {late_avg}"
+        );
     }
 
     #[test]

@@ -9,40 +9,44 @@
 //! cargo run --release --example cold_storage
 //! ```
 
-use bftree::{BfTree, BfTreeConfig};
+use bftree::{AccessMethod, BfTree};
 use bftree_model::fpp_after_inserts;
 use bftree_storage::tuple::PK_OFFSET;
-use bftree_storage::{DeviceKind, HeapFile, SimDevice, TupleLayout};
+use bftree_storage::{Duplicates, HeapFile, IoContext, Relation, StorageConfig, TupleLayout};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     // An immutable archive file: 100k tuples, ordered by creation time.
     let mut heap = HeapFile::new(TupleLayout::new(256));
     for pk in 0..100_000u64 {
         heap.append_record(pk, pk);
     }
-    println!("archive: {} pages ({} MB)\n", heap.page_count(), heap.byte_size() >> 20);
+    let mut relation = Relation::new(heap, PK_OFFSET, Duplicates::Unique)?;
+    println!(
+        "archive: {} pages ({} MB)\n",
+        relation.heap().page_count(),
+        relation.heap().byte_size() >> 20
+    );
 
     // The capacity sweep: what does each accuracy level cost?
-    println!("{:>8}  {:>11}  {:>13}  {:>14}", "fpp", "index pages", "% of data", "us/probe (SSD)");
+    println!(
+        "{:>8}  {:>11}  {:>13}  {:>14}",
+        "fpp", "index pages", "% of data", "us/probe (SSD)"
+    );
     let mut chosen: Option<(f64, BfTree)> = None;
-    let budget_pages = heap.page_count() / 100; // spend <=1% of data size on the index
+    // Spend <=1% of data size on the index.
+    let budget_pages = relation.heap().page_count() / 100;
     for fpp in [0.2, 1e-2, 1e-4, 1e-8, 1e-12] {
-        let tree = BfTree::bulk_build(
-            BfTreeConfig { fpp, ..BfTreeConfig::ordered_default() },
-            &heap,
-            PK_OFFSET,
-        );
-        let idx = SimDevice::cold(DeviceKind::Ssd);
-        let data = SimDevice::cold(DeviceKind::Ssd);
+        let tree = BfTree::builder().fpp(fpp).build(&relation)?;
+        let io = IoContext::cold(StorageConfig::SsdSsd);
         for key in (0..100_000u64).step_by(257) {
-            tree.probe_first(key, &heap, PK_OFFSET, Some(&idx), Some(&data));
+            AccessMethod::probe_first(&tree, key, &relation, &io)?;
         }
         let n = (100_000u64).div_ceil(257);
-        let us = (idx.snapshot().sim_us() + data.snapshot().sim_us()) / n as f64;
+        let us = io.sim_us() / n as f64;
         println!(
             "{fpp:>8.0e}  {:>11}  {:>12.2}%  {us:>14.1}",
             tree.total_pages(),
-            100.0 * tree.total_pages() as f64 / heap.page_count() as f64
+            100.0 * tree.total_pages() as f64 / relation.heap().page_count() as f64
         );
         if tree.total_pages() <= budget_pages && chosen.is_none() {
             chosen = Some((fpp, tree));
@@ -56,11 +60,11 @@ fn main() {
     );
 
     // The archive later receives a trickle of late arrivals (5%).
-    let n0 = heap.tuple_count();
+    let n0 = relation.heap().tuple_count();
     let extra = n0 / 20;
     for pk in n0..n0 + extra {
-        let (pid, _) = heap.append_record(pk, pk);
-        tree.insert(pk, pid, Some(&heap), PK_OFFSET);
+        let loc = relation.heap_mut().append_record(pk, pk);
+        AccessMethod::insert(&mut tree, pk, loc, &relation)?;
     }
     tree.check_invariants();
     println!(
@@ -71,10 +75,15 @@ fn main() {
     // Remedy: rebuild the affected leaves from the data (cheap, §4.2 /
     // §7 — the small index size "enables fast rebuilds if needed").
     for idx in 0..tree.leaf_pages() as u32 {
-        tree.rebuild_leaf(idx, &heap, PK_OFFSET);
+        tree.rebuild_leaf(idx, relation.heap(), PK_OFFSET);
     }
     tree.check_invariants();
-    let r = tree.probe_first(n0 + extra / 2, &heap, PK_OFFSET, None, None);
+    let io = IoContext::unmetered();
+    let r = AccessMethod::probe_first(&tree, n0 + extra / 2, &relation, &io)?;
     assert!(r.found(), "late arrival must be indexed after rebuild");
-    println!("rebuilt {} leaves; late arrivals probe correctly", tree.leaf_pages());
+    println!(
+        "rebuilt {} leaves; late arrivals probe correctly",
+        tree.leaf_pages()
+    );
+    Ok(())
 }

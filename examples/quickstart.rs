@@ -1,68 +1,77 @@
-//! Quickstart: index an ordered relation with a BF-Tree, probe it, and
-//! compare its footprint with a B+-Tree.
+//! Quickstart: index an ordered relation with a BF-Tree through the
+//! unified `AccessMethod` surface, probe it, and compare its footprint
+//! with a B+-Tree.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
-use bftree::{BfTree, BfTreeConfig};
-use bftree_btree::{BPlusTree, BTreeConfig, TupleRef};
+use bftree::{AccessMethod, BfTree};
+use bftree_btree::{BPlusTree, BTreeConfig};
 use bftree_storage::tuple::PK_OFFSET;
-use bftree_storage::{HeapFile, TupleLayout};
+use bftree_storage::{Duplicates, HeapFile, IoContext, Relation, TupleLayout};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. A relation of 256-byte tuples, ordered on its primary key —
-    //    the "implicit clustering" the BF-Tree exploits.
+    //    the "implicit clustering" the BF-Tree exploits. The Relation
+    //    handle bundles the heap file, the indexed attribute, and the
+    //    duplicate layout.
     let mut heap = HeapFile::new(TupleLayout::new(256));
     for pk in 0..200_000u64 {
         heap.append_record(pk, pk / 11);
     }
+    let relation = Relation::new(heap, PK_OFFSET, Duplicates::Unique)?;
     println!(
         "relation: {} tuples in {} pages ({} MB)",
-        heap.tuple_count(),
-        heap.page_count(),
-        heap.byte_size() >> 20
+        relation.heap().tuple_count(),
+        relation.heap().page_count(),
+        relation.heap().byte_size() >> 20
     );
 
     // 2. Bulk-load a BF-Tree at a chosen accuracy. fpp is the knob:
     //    looser = smaller index + more false reads.
-    let config = BfTreeConfig { fpp: 1e-3, ..BfTreeConfig::ordered_default() };
-    let bf = BfTree::bulk_build(config, &heap, PK_OFFSET);
+    let tree = BfTree::builder().fpp(1e-3).build(&relation)?;
 
-    // 3. Probe it (Algorithm 1). The result lists matching (page, slot)
-    //    pairs plus the probe's cost profile.
-    let probe = bf.probe_first(123_456, &heap, PK_OFFSET, None, None);
+    // 3. Probe it (Algorithm 1) through the AccessMethod trait — the
+    //    same interface the B+-Tree, hash-index, and FD-Tree baselines
+    //    implement. An unmetered IoContext means "just correctness".
+    let index: &dyn AccessMethod = &tree;
+    let io = IoContext::unmetered();
+    let probe = index.probe_first(123_456, &relation, &io)?;
     let (pid, slot) = probe.matches[0];
-    assert_eq!(heap.attr(pid, slot, PK_OFFSET), 123_456);
+    assert_eq!(relation.heap().attr(pid, slot, PK_OFFSET), 123_456);
     println!(
-        "probe(123456): found on page {pid} slot {slot} — {} page read(s), {} filters probed",
-        probe.pages_read, probe.bfs_probed
+        "probe(123456): found on page {pid} slot {slot} — {} page read(s)",
+        probe.pages_read
     );
 
     // 4. A miss costs (almost) nothing: the filters reject it.
-    let miss = bf.probe_first(999_999_999, &heap, PK_OFFSET, None, None);
+    let miss = index.probe_first(999_999_999, &relation, &io)?;
     assert!(!miss.found());
-    println!("probe(999999999): not found — {} page read(s)", miss.pages_read);
-
-    // 5. Size comparison with an exact B+-Tree over the same key.
-    let bp = BPlusTree::bulk_build(
-        BTreeConfig::paper_default(),
-        heap.iter_attr(PK_OFFSET).map(|(pid, slot, k)| (k, TupleRef::new(pid, slot))),
+    println!(
+        "probe(999999999): not found — {} page read(s)",
+        miss.pages_read
     );
+
+    // 5. Size comparison with an exact B+-Tree over the same key,
+    //    built through the same trait.
+    let mut bp = BPlusTree::new(BTreeConfig::paper_default());
+    AccessMethod::build(&mut bp, &relation)?;
     println!(
         "index size: BF-Tree {} pages vs B+-Tree {} pages -> {:.1}x smaller",
-        bf.total_pages(),
+        tree.total_pages(),
         bp.total_pages(),
-        bp.total_pages() as f64 / bf.total_pages() as f64
+        bp.total_pages() as f64 / tree.total_pages() as f64
     );
 
     // 6. Range scans work too (§7): partitions overlapping the range
-    //    are scanned, with the boundary partitions probed per value.
-    let scan = bf.range_scan(1_000, 2_000, &heap, PK_OFFSET, None, None);
+    //    are scanned, with the boundary partitions' overhead reported.
+    let scan = index.range_scan(1_000, 2_000, &relation, &io)?;
     println!(
         "range [1000, 2000]: {} matches from {} page reads ({} overhead)",
         scan.matches.len(),
         scan.pages_read,
         scan.overhead_pages
     );
+    Ok(())
 }

@@ -10,16 +10,20 @@
 //! cargo run --release --example smart_home
 //! ```
 
-use bftree::{BfTree, BfTreeConfig};
-use bftree_storage::{DeviceKind, SimDevice};
+use bftree::{AccessMethod, BfTree};
+use bftree_storage::{Duplicates, IoContext, Relation, StorageConfig};
 use bftree_workloads::probes_from_domain;
 use bftree_workloads::shd::{self, ShdConfig};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = ShdConfig::paper_like(3_000);
     let rows = shd::generate_readings(&config);
     let domain = shd::timestamp_domain(&rows);
-    let heap = shd::build_heap(&config);
+    let relation = Relation::new(
+        shd::build_heap(&config),
+        shd::TIMESTAMP,
+        Duplicates::Contiguous,
+    )?;
     println!(
         "SHD: {} readings, {} timestamps, cardinality mean {:.1} (min {}, max {})",
         rows.len(),
@@ -33,17 +37,12 @@ fn main() {
     let probes = probes_from_domain(&domain, 400, 7);
     let mut best: Option<(f64, f64, u64)> = None;
     for fpp in [0.1, 1e-2, 1e-3, 1e-4, 1e-6, 1e-9] {
-        let tree = BfTree::bulk_build(
-            BfTreeConfig { fpp, ..BfTreeConfig::ordered_default() },
-            &heap,
-            shd::TIMESTAMP,
-        );
-        let idx = SimDevice::cold(DeviceKind::Ssd);
-        let data = SimDevice::cold(DeviceKind::Ssd);
+        let tree = BfTree::builder().fpp(fpp).build(&relation)?;
+        let io = IoContext::cold(StorageConfig::SsdSsd);
         for &ts in &probes {
-            tree.probe(ts, &heap, shd::TIMESTAMP, Some(&idx), Some(&data));
+            AccessMethod::probe(&tree, ts, &relation, &io)?;
         }
-        let us = (idx.snapshot().sim_us() + data.snapshot().sim_us()) / probes.len() as f64;
+        let us = io.sim_us() / probes.len() as f64;
         println!(
             "fpp {fpp:>6.0e}: {:>6} index pages, {us:>8.1} us/probe",
             tree.total_pages()
@@ -56,19 +55,16 @@ fn main() {
     println!("\noptimal for SSD/SSD: fpp {fpp:.0e} ({pages} pages, {us:.1} us/probe)");
 
     // Point lookups return every reading of the timestamp.
-    let tree = BfTree::bulk_build(
-        BfTreeConfig { fpp, ..BfTreeConfig::ordered_default() },
-        &heap,
-        shd::TIMESTAMP,
-    );
+    let tree = BfTree::builder().fpp(fpp).build(&relation)?;
     let ts = domain[domain.len() / 2];
-    let r = tree.probe(ts, &heap, shd::TIMESTAMP, None, None);
+    let r = AccessMethod::probe(&tree, ts, &relation, &IoContext::unmetered())?;
     println!(
         "probe(ts={ts}): {} readings from {} page(s), {} false read(s)",
         r.matches.len(),
         r.pages_read,
         r.false_reads
     );
+    Ok(())
 }
 
 fn cardinality_stats(rows: &[shd::Reading]) -> (u64, u64) {

@@ -2,19 +2,20 @@
 //! physically ordered on `shipdate`, indexed by a BF-Tree.
 //!
 //! Shows the implicit clustering of the three date columns, builds a
-//! BF-Tree and a B+-Tree on shipdate, and compares probe cost on a
-//! simulated SSD under different hit rates.
+//! BF-Tree and a B+-Tree on shipdate through the same `AccessMethod`
+//! interface, and compares probe cost on a simulated SSD under
+//! different hit rates.
 //!
 //! ```text
 //! cargo run --release --example tpch_dates
 //! ```
 
-use bftree::{BfTree, BfTreeConfig};
-use bftree_btree::{BPlusTree, BTreeConfig, DuplicateMode, TupleRef};
-use bftree_storage::{DeviceKind, SimDevice};
+use bftree::{AccessMethod, BfTree};
+use bftree_btree::{BPlusTree, BTreeConfig};
+use bftree_storage::{Duplicates, IoContext, Relation, StorageConfig};
 use bftree_workloads::tpch::{self, TpchConfig};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = TpchConfig::scaled(0.02); // 120k lineitems
     let rows = tpch::generate_lineitem_dates(&config);
 
@@ -34,23 +35,17 @@ fn main() {
     );
 
     // Physical design: order the file on shipdate, index shipdate.
-    let heap = tpch::build_heap_by_shipdate(&config);
-    let bf = BfTree::bulk_build(
-        BfTreeConfig { fpp: 1e-4, ..BfTreeConfig::ordered_default() },
-        &heap,
+    // Duplicates (≈24 lineitems per date at this scale) are contiguous,
+    // so the B+-Tree's build derives its one-entry-per-distinct-key
+    // mode and the BF-Tree its first-page-only filter loading.
+    let relation = Relation::new(
+        tpch::build_heap_by_shipdate(&config),
         tpch::SHIPDATE,
-    );
-    let bp = BPlusTree::bulk_build(
-        BTreeConfig { duplicates: DuplicateMode::FirstRef, ..BTreeConfig::paper_default() },
-        {
-            let mut entries: Vec<(u64, TupleRef)> = heap
-                .iter_attr(tpch::SHIPDATE)
-                .map(|(pid, slot, k)| (k, TupleRef::new(pid, slot)))
-                .collect();
-            entries.dedup_by_key(|e| e.0);
-            entries
-        },
-    );
+        Duplicates::Contiguous,
+    )?;
+    let bf = BfTree::builder().fpp(1e-4).build(&relation)?;
+    let mut bp = BPlusTree::new(BTreeConfig::paper_default());
+    AccessMethod::build(&mut bp, &relation)?;
     println!(
         "index on shipdate: BF-Tree {} pages, B+-Tree {} pages ({:.1}x smaller)",
         bf.total_pages(),
@@ -61,20 +56,26 @@ fn main() {
     // Probe cost on a simulated SSD, existing vs absent dates.
     let domain = tpch::shipdate_domain(&rows);
     for (label, keys) in [
-        ("existing dates (hit)", domain.iter().copied().step_by(97).collect::<Vec<_>>()),
-        ("future dates (miss)", (0..50).map(|i| domain.last().unwrap() + 10 + i).collect()),
+        (
+            "existing dates (hit)",
+            domain.iter().copied().step_by(97).collect::<Vec<_>>(),
+        ),
+        (
+            "future dates (miss)",
+            (0..50).map(|i| domain.last().unwrap() + 10 + i).collect(),
+        ),
     ] {
-        let idx_dev = SimDevice::cold(DeviceKind::Ssd);
-        let data_dev = SimDevice::cold(DeviceKind::Ssd);
+        let io = IoContext::cold(StorageConfig::SsdSsd);
         let mut pages = 0u64;
         for &d in &keys {
-            pages += bf.probe(d, &heap, tpch::SHIPDATE, Some(&idx_dev), Some(&data_dev)).pages_read;
+            pages += AccessMethod::probe(&bf, d, &relation, &io)?.pages_read;
         }
-        let us = (idx_dev.snapshot().sim_us() + data_dev.snapshot().sim_us()) / keys.len() as f64;
+        let us = io.sim_us() / keys.len() as f64;
         println!(
             "{label}: mean {us:.1} us/probe, {:.1} data pages/probe (avg cardinality {:.0})",
             pages as f64 / keys.len() as f64,
             rows.len() as f64 / domain.len() as f64,
         );
     }
+    Ok(())
 }

@@ -5,15 +5,43 @@
 //! on one package.
 //!
 //! * [`bftree`] — the BF-Tree itself (the paper's contribution).
+//! * [`access`](bftree_access) — the unified [`bftree_access::AccessMethod`]
+//!   trait every index implements.
 //! * [`bloom`](bftree_bloom) — Bloom-filter substrate.
-//! * [`storage`](bftree_storage) — pages, heap files, simulated devices.
+//! * [`storage`](bftree_storage) — pages, heap files, simulated devices,
+//!   and the [`bftree_storage::Relation`]/[`bftree_storage::IoContext`]
+//!   handles every query runs against.
 //! * [`btree`](bftree_btree) — B+-Tree baseline.
 //! * [`hashindex`](bftree_hashindex) — in-memory hash-index baseline.
 //! * [`fdtree`](bftree_fdtree) — FD-Tree baseline.
 //! * [`model`](bftree_model) — Section-5 analytical model.
 //! * [`workloads`](bftree_workloads) — synthetic R / TPCH / SHD.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use bftree::BfTree;
+//! use bftree_access::AccessMethod;
+//! use bftree_storage::{Duplicates, HeapFile, IoContext, Relation, TupleLayout};
+//! use bftree_storage::tuple::PK_OFFSET;
+//!
+//! // A relation ordered on its primary key.
+//! let mut heap = HeapFile::new(TupleLayout::new(256));
+//! for pk in 0..10_000u64 {
+//!     heap.append_record(pk, pk / 11);
+//! }
+//! let relation = Relation::new(heap, PK_OFFSET, Duplicates::Unique)?;
+//!
+//! // Build with the typed builder; probe through the trait.
+//! let tree = BfTree::builder().fpp(1e-3).pages_per_bf(1).build(&relation)?;
+//! let index: &dyn AccessMethod = &tree;
+//! let probe = index.probe_first(4_242, &relation, &IoContext::unmetered())?;
+//! assert!(probe.found());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
 
 pub use bftree;
+pub use bftree_access;
 pub use bftree_bloom;
 pub use bftree_btree;
 pub use bftree_fdtree;

@@ -2,105 +2,120 @@
 //! B+-Tree): all three must agree with each other and with brute force
 //! on arbitrary workloads — they are the measuring sticks every
 //! experiment leans on, so their correctness is load-bearing.
+//!
+//! Deterministic seeded random cases stand in for proptest (the build
+//! is dependency-free); failures reproduce exactly from the seed.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
 
 use bftree_btree::{BPlusTree, BTreeConfig, DuplicateMode, TupleRef};
 use bftree_fdtree::FdTree;
 use bftree_hashindex::HashIndex;
 
+const CASES: u64 = 24;
+
 /// Arbitrary sorted unique entries keyed by random gaps.
-fn entries() -> impl Strategy<Value = Vec<(u64, TupleRef)>> {
-    proptest::collection::vec(1u64..100, 1..800).prop_map(|gaps| {
-        let mut key = 0u64;
-        gaps.into_iter()
-            .enumerate()
-            .map(|(i, g)| {
-                key += g;
-                (key, TupleRef::new(i as u64 / 16, i % 16))
-            })
-            .collect()
-    })
+fn entries(rng: &mut StdRng) -> Vec<(u64, TupleRef)> {
+    let n = rng.random_range(1usize..800);
+    let mut key = 0u64;
+    (0..n)
+        .map(|i| {
+            key += rng.random_range(1u64..100);
+            (key, TupleRef::new(i as u64 / 16, i % 16))
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Every index finds every inserted entry with the exact TupleRef.
-    #[test]
-    fn all_baselines_agree_on_lookups(entries in entries()) {
+/// Every index finds every inserted entry with the exact TupleRef.
+#[test]
+fn all_baselines_agree_on_lookups() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xBA01 + case);
+        let entries = entries(&mut rng);
         let bp = BPlusTree::bulk_build(BTreeConfig::paper_default(), entries.clone());
         let fd = FdTree::bulk_build(entries.clone());
         let hi = HashIndex::build(entries.clone(), 99);
 
         for &(k, tref) in entries.iter().step_by(7) {
-            prop_assert_eq!(bp.search(k, None), Some(tref), "btree key {}", k);
-            prop_assert_eq!(fd.search(k, None), Some(tref), "fdtree key {}", k);
-            prop_assert_eq!(hi.get(k), Some(tref), "hash key {}", k);
+            assert_eq!(bp.search(k, None), Some(tref), "btree key {k}");
+            assert_eq!(fd.search(k, None), Some(tref), "fdtree key {k}");
+            assert_eq!(hi.get(k), Some(tref), "hash key {k}");
         }
         // Absent keys (gap keys) miss everywhere.
         for w in entries.windows(2).step_by(11) {
             if w[1].0 > w[0].0 + 1 {
                 let absent = w[0].0 + 1;
-                prop_assert_eq!(bp.search(absent, None), None);
-                prop_assert_eq!(fd.search(absent, None), None);
-                prop_assert_eq!(hi.get(absent), None);
+                assert_eq!(bp.search(absent, None), None);
+                assert_eq!(fd.search(absent, None), None);
+                assert_eq!(hi.get(absent), None);
             }
         }
     }
+}
 
-    /// B+-Tree range scans return exactly the in-range entries.
-    #[test]
-    fn btree_range_is_exact(
-        entries in entries(),
-        lo_frac in 0.0f64..1.0,
-        width in 1u64..5_000,
-    ) {
+/// B+-Tree range scans return exactly the in-range entries.
+#[test]
+fn btree_range_is_exact() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xBA02 + case);
+        let entries = entries(&mut rng);
         let bp = BPlusTree::bulk_build(BTreeConfig::paper_default(), entries.clone());
         let max = entries.last().expect("non-empty").0;
-        let lo = (max as f64 * lo_frac) as u64;
-        let hi = lo.saturating_add(width);
+        let lo = (max as f64 * rng.random_range(0.0..1.0)) as u64;
+        let hi = lo.saturating_add(rng.random_range(1u64..5_000));
         let got: Vec<(u64, TupleRef)> = bp.range(lo, hi, None);
         let expect: Vec<(u64, TupleRef)> = entries
             .iter()
             .copied()
             .filter(|&(k, _)| k >= lo && k <= hi)
             .collect();
-        prop_assert_eq!(got, expect);
+        assert_eq!(got, expect, "case {case}");
     }
+}
 
-    /// FD-Tree inserts merge down without losing entries.
-    #[test]
-    fn fdtree_inserts_survive_merges(entries in entries()) {
+/// FD-Tree inserts merge down without losing entries.
+#[test]
+fn fdtree_inserts_survive_merges() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xBA03 + case);
+        let entries = entries(&mut rng);
         let mut fd = FdTree::new();
         for &(k, tref) in &entries {
             fd.insert(k, tref);
         }
-        prop_assert_eq!(fd.n_entries(), entries.len() as u64);
+        assert_eq!(fd.n_entries(), entries.len() as u64);
         for &(k, tref) in entries.iter().step_by(5) {
-            prop_assert_eq!(fd.search(k, None), Some(tref), "key {}", k);
+            assert_eq!(fd.search(k, None), Some(tref), "case {case}: key {k}");
         }
     }
+}
 
-    /// Hash index removal is precise: the removed entry misses, its
-    /// neighbors stay.
-    #[test]
-    fn hashindex_remove_is_precise(entries in entries(), victim_idx in 0usize..800) {
-        prop_assume!(!entries.is_empty());
-        let victim_idx = victim_idx % entries.len();
+/// Hash index removal is precise: the removed entry misses, its
+/// neighbors stay.
+#[test]
+fn hashindex_remove_is_precise() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xBA04 + case);
+        let entries = entries(&mut rng);
+        let victim_idx = rng.random_range(0usize..entries.len());
         let (vk, vref) = entries[victim_idx];
         let mut hi = HashIndex::build(entries.clone(), 3);
-        prop_assert!(hi.remove(vk, vref));
-        prop_assert_eq!(hi.get(vk), None);
-        prop_assert!(!hi.remove(vk, vref), "double remove must fail");
+        assert!(hi.remove(vk, vref));
+        assert_eq!(hi.get(vk), None);
+        assert!(!hi.remove(vk, vref), "double remove must fail");
         for &(k, tref) in entries.iter().step_by(13).filter(|&&(k, _)| k != vk) {
-            prop_assert_eq!(hi.get(k), Some(tref));
+            assert_eq!(hi.get(k), Some(tref));
         }
     }
+}
 
-    /// B+-Tree incremental inserts agree with bulk build.
-    #[test]
-    fn btree_incremental_equals_bulk(entries in entries()) {
+/// B+-Tree incremental inserts agree with bulk build.
+#[test]
+fn btree_incremental_equals_bulk() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xBA05 + case);
+        let entries = entries(&mut rng);
         let bulk = BPlusTree::bulk_build(BTreeConfig::paper_default(), entries.clone());
         let mut inc = BPlusTree::new(BTreeConfig::paper_default());
         for &(k, tref) in &entries {
@@ -108,15 +123,20 @@ proptest! {
         }
         inc.check_invariants();
         for &(k, tref) in entries.iter().step_by(3) {
-            prop_assert_eq!(bulk.search(k, None), Some(tref));
-            prop_assert_eq!(inc.search(k, None), Some(tref));
+            assert_eq!(bulk.search(k, None), Some(tref));
+            assert_eq!(inc.search(k, None), Some(tref));
         }
-        prop_assert_eq!(bulk.n_entries(), inc.n_entries());
+        assert_eq!(bulk.n_entries(), inc.n_entries());
     }
+}
 
-    /// FirstRef duplicate mode points at the first of each run.
-    #[test]
-    fn btree_firstref_points_at_run_head(n_keys in 1u64..200, card in 1u64..8) {
+/// FirstRef duplicate mode points at the first of each run.
+#[test]
+fn btree_firstref_points_at_run_head() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xBA06 + case);
+        let n_keys = rng.random_range(1u64..200);
+        let card = rng.random_range(1u64..8);
         let mut entries: Vec<(u64, TupleRef)> = Vec::new();
         let mut slot = 0u64;
         for k in 0..n_keys {
@@ -134,8 +154,12 @@ proptest! {
         let bp = BPlusTree::bulk_build(config, deduped);
         for k in 0..n_keys {
             let tref = bp.search(k * 5, None).expect("present");
-            let first = entries.iter().find(|&&(key, _)| key == k * 5).expect("exists").1;
-            prop_assert_eq!(tref, first, "key {}", k * 5);
+            let first = entries
+                .iter()
+                .find(|&&(key, _)| key == k * 5)
+                .expect("exists")
+                .1;
+            assert_eq!(tref, first, "case {case}: key {}", k * 5);
         }
     }
 }

@@ -1,0 +1,61 @@
+//! The old positional probe signatures remain as `#[deprecated]`
+//! shims for one migration cycle. This test pins their behaviour to
+//! the new `AccessMethod` surface so downstream callers migrating
+//! late see no behavioural drift.
+#![allow(deprecated)]
+
+use bftree::{AccessMethod, BfTree};
+use bftree_bench::configs::DevicePair;
+use bftree_storage::tuple::PK_OFFSET;
+use bftree_storage::{Duplicates, HeapFile, IoContext, Relation, TupleLayout};
+
+fn relation() -> Relation {
+    let mut heap = HeapFile::new(TupleLayout::new(256));
+    for pk in 0..10_000u64 {
+        heap.append_record(pk, pk / 11);
+    }
+    Relation::new(heap, PK_OFFSET, Duplicates::Unique).unwrap()
+}
+
+#[test]
+fn old_probe_signatures_match_the_trait() {
+    let rel = relation();
+    let io = IoContext::unmetered();
+    let tree = BfTree::builder().fpp(1e-3).build(&rel).unwrap();
+    for key in [0u64, 42, 9_999, 123_456] {
+        let old = tree.probe(key, rel.heap(), rel.attr(), None, None);
+        let new = AccessMethod::probe(&tree, key, &rel, &io).unwrap();
+        assert_eq!(old.matches, new.matches, "probe({key})");
+        assert_eq!(old.pages_read, new.pages_read, "probe({key})");
+        assert_eq!(old.false_reads, new.false_reads, "probe({key})");
+
+        let old = tree.probe_first(key, rel.heap(), rel.attr(), None, None);
+        let new = AccessMethod::probe_first(&tree, key, &rel, &io).unwrap();
+        assert_eq!(old.matches, new.matches, "probe_first({key})");
+    }
+}
+
+#[test]
+fn old_range_scan_signature_matches_the_trait() {
+    let rel = relation();
+    let io = IoContext::unmetered();
+    let tree = BfTree::builder().fpp(1e-4).build(&rel).unwrap();
+    let old = tree.range_scan(500, 1_500, rel.heap(), rel.attr(), None, None);
+    let new = AccessMethod::range_scan(&tree, 500, 1_500, &rel, &io).unwrap();
+    assert_eq!(old.matches, new.matches);
+    assert_eq!(old.pages_read, new.pages_read);
+    assert_eq!(old.overhead_pages, new.overhead_pages);
+
+    let probing_old =
+        tree.range_scan_probing(500, 700, rel.heap(), rel.attr(), None, None, 1 << 16);
+    let probing_new = tree.scan_range_probing(500, 700, &rel, &io, 1 << 16);
+    assert_eq!(probing_old.matches, probing_new.matches);
+}
+
+#[test]
+fn device_pair_alias_still_constructs() {
+    use bftree_storage::StorageConfig;
+    let pair = DevicePair::cold(StorageConfig::SsdHdd);
+    pair.index.read_random(1);
+    assert!(pair.sim_us() > 0.0);
+}

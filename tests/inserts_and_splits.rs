@@ -2,16 +2,22 @@
 //! Algorithm 2 splits (both strategies), deletes, and leaf rebuilds —
 //! checked against brute-force scans of the heap.
 
-use bftree::{BfTree, BfTreeConfig, SplitStrategy};
+use bftree::{AccessMethod, BfTree, BfTreeConfig, SplitStrategy};
 use bftree_storage::tuple::PK_OFFSET;
-use bftree_storage::{HeapFile, TupleLayout};
+use bftree_storage::{Duplicates, HeapFile, IoContext, Relation, TupleLayout};
 
-fn grow_heap(n: u64) -> HeapFile {
+fn grow_relation(n: u64) -> Relation {
     let mut heap = HeapFile::new(TupleLayout::new(256));
     for pk in 0..n {
         heap.append_record(pk, pk);
     }
-    heap
+    Relation::new(heap, PK_OFFSET, Duplicates::Unique).unwrap()
+}
+
+fn finds(tree: &BfTree, key: u64, rel: &Relation) -> bool {
+    AccessMethod::probe_first(tree, key, rel, &IoContext::unmetered())
+        .unwrap()
+        .found()
 }
 
 /// Insert-driven construction must agree with bulk loading on every
@@ -20,22 +26,24 @@ fn grow_heap(n: u64) -> HeapFile {
 #[test]
 fn incremental_build_matches_bulk_probes() {
     let n = 20_000u64;
-    let heap = grow_heap(n);
-    let config = BfTreeConfig { fpp: 1e-3, ..BfTreeConfig::ordered_default() };
+    let rel = grow_relation(n);
+    let config = BfTreeConfig {
+        fpp: 1e-3,
+        ..BfTreeConfig::ordered_default()
+    };
 
     let mut incremental = BfTree::new(config);
-    for (pid, slot, key) in heap.iter_attr(PK_OFFSET) {
-        let _ = slot;
-        incremental.insert(key, pid, Some(&heap), PK_OFFSET);
+    for (pid, slot, key) in rel.heap().iter_attr(PK_OFFSET) {
+        AccessMethod::insert(&mut incremental, key, (pid, slot), &rel).unwrap();
     }
     incremental.check_invariants();
 
-    let bulk = BfTree::bulk_build(config, &heap, PK_OFFSET);
+    let bulk = BfTree::builder().config(config).build(&rel).unwrap();
     for key in (0..n).step_by(97) {
-        let a = incremental.probe_first(key, &heap, PK_OFFSET, None, None);
-        let b = bulk.probe_first(key, &heap, PK_OFFSET, None, None);
-        assert_eq!(a.found(), b.found(), "key {key}");
-        assert!(a.found(), "key {key} lost by incremental build");
+        let a = finds(&incremental, key, &rel);
+        let b = finds(&bulk, key, &rel);
+        assert_eq!(a, b, "key {key}");
+        assert!(a, "key {key} lost by incremental build");
     }
 }
 
@@ -44,12 +52,15 @@ fn incremental_build_matches_bulk_probes() {
 #[test]
 fn splits_fire_and_preserve_keys() {
     let n = 30_000u64;
-    let heap = grow_heap(n);
-    let config = BfTreeConfig { fpp: 1e-6, ..BfTreeConfig::ordered_default() };
+    let rel = grow_relation(n);
+    let config = BfTreeConfig {
+        fpp: 1e-6,
+        ..BfTreeConfig::ordered_default()
+    };
     let mut tree = BfTree::new(config);
     let mut leaf_counts = vec![tree.leaf_pages()];
-    for (pid, _, key) in heap.iter_attr(PK_OFFSET) {
-        tree.insert(key, pid, Some(&heap), PK_OFFSET);
+    for (pid, slot, key) in rel.heap().iter_attr(PK_OFFSET) {
+        AccessMethod::insert(&mut tree, key, (pid, slot), &rel).unwrap();
         if key % 5_000 == 4_999 {
             leaf_counts.push(tree.leaf_pages());
         }
@@ -60,10 +71,7 @@ fn splits_fire_and_preserve_keys() {
     );
     tree.check_invariants();
     for key in (0..n).step_by(61) {
-        assert!(
-            tree.probe_first(key, &heap, PK_OFFSET, None, None).found(),
-            "key {key} lost after splits"
-        );
+        assert!(finds(&tree, key, &rel), "key {key} lost after splits");
     }
 }
 
@@ -73,7 +81,7 @@ fn splits_fire_and_preserve_keys() {
 #[test]
 fn split_strategies_agree_on_enumerable_domains() {
     let n = 8_000u64;
-    let heap = grow_heap(n);
+    let rel = grow_relation(n);
     let mut trees: Vec<BfTree> = [SplitStrategy::RebuildFromData, SplitStrategy::ProbeDomain]
         .into_iter()
         .map(|split| {
@@ -84,15 +92,15 @@ fn split_strategies_agree_on_enumerable_domains() {
             })
         })
         .collect();
-    for (pid, _, key) in heap.iter_attr(PK_OFFSET) {
+    for (pid, slot, key) in rel.heap().iter_attr(PK_OFFSET) {
         for tree in &mut trees {
-            tree.insert(key, pid, Some(&heap), PK_OFFSET);
+            AccessMethod::insert(tree, key, (pid, slot), &rel).unwrap();
         }
     }
     for tree in &trees {
         tree.check_invariants();
         for key in (0..n).step_by(41) {
-            assert!(tree.probe_first(key, &heap, PK_OFFSET, None, None).found());
+            assert!(finds(tree, key, &rel));
         }
     }
 }
@@ -102,26 +110,26 @@ fn split_strategies_agree_on_enumerable_domains() {
 #[test]
 fn delete_then_rebuild() {
     let n = 5_000u64;
-    let heap = grow_heap(n);
-    let mut tree = BfTree::bulk_build(
-        BfTreeConfig { fpp: 1e-4, ..BfTreeConfig::ordered_default() },
-        &heap,
-        PK_OFFSET,
-    );
+    let rel = grow_relation(n);
+    let io = IoContext::unmetered();
+    let mut tree = BfTree::builder().fpp(1e-4).build(&rel).unwrap();
 
-    assert!(tree.probe_first(1_234, &heap, PK_OFFSET, None, None).found());
-    assert!(tree.delete(1_234) > 0);
-    let r = tree.probe_first(1_234, &heap, PK_OFFSET, None, None);
+    assert!(finds(&tree, 1_234, &rel));
+    assert!(AccessMethod::delete(&mut tree, 1_234, &rel).unwrap() > 0);
+    let r = AccessMethod::probe_first(&tree, 1_234, &rel, &io).unwrap();
     assert!(!r.found(), "deleted key still found");
-    assert!(r.false_reads > 0, "the tombstoned page counts as a false read");
+    assert!(
+        r.false_reads > 0,
+        "the tombstoned page counts as a false read"
+    );
 
     // Rebuild every leaf: tombstones purged, probes stay correct.
     for idx in 0..tree.leaf_pages() as u32 {
-        tree.rebuild_leaf(idx, &heap, PK_OFFSET);
+        tree.rebuild_leaf(idx, rel.heap(), PK_OFFSET);
     }
     tree.check_invariants();
-    assert!(!tree.probe_first(1_234, &heap, PK_OFFSET, None, None).found());
-    assert!(tree.probe_first(1_233, &heap, PK_OFFSET, None, None).found());
+    assert!(!finds(&tree, 1_234, &rel));
+    assert!(finds(&tree, 1_233, &rel));
 }
 
 /// §7's fpp-degradation claim, measured end to end: inserting beyond a
@@ -129,7 +137,10 @@ fn delete_then_rebuild() {
 /// its estimated fpp along Equation 14's curve.
 #[test]
 fn overfill_raises_current_fpp() {
-    let config = BfTreeConfig { fpp: 1e-4, ..BfTreeConfig::ordered_default() };
+    let config = BfTreeConfig {
+        fpp: 1e-4,
+        ..BfTreeConfig::ordered_default()
+    };
     let capacity = config.max_keys_per_leaf(); // 1709 at 1e-4
 
     // One leaf, one filter (all keys on page 0): fill to capacity, then

@@ -2,23 +2,28 @@
 //! filter probing, interpolated probe order, index intersection, and
 //! the index-free comparators.
 
-use bftree::{probe_intersection, BfTree, BfTreeConfig, IndexPredicate, ProbeOrder};
+use bftree::{probe_intersection, AccessMethod, BfTree, IndexPredicate, ProbeOrder};
 use bftree_storage::tuple::{ATT1_OFFSET, PK_OFFSET};
-use bftree_storage::{binary_search, interpolation_search, HeapFile, TupleLayout};
+use bftree_storage::{
+    binary_search, interpolation_search, Duplicates, HeapFile, IoContext, Relation, TupleLayout,
+};
 use bftree_workloads::{build_relation_r, SyntheticConfig};
 
 fn heap() -> HeapFile {
-    build_relation_r(&SyntheticConfig { n_tuples: 30_000, ..SyntheticConfig::scaled_mb(8) })
+    build_relation_r(&SyntheticConfig {
+        n_tuples: 30_000,
+        ..SyntheticConfig::scaled_mb(8)
+    })
+}
+
+fn pk_relation() -> Relation {
+    Relation::new(heap(), PK_OFFSET, Duplicates::Unique).unwrap()
 }
 
 #[test]
 fn parallel_filter_probing_matches_serial() {
-    let heap = heap();
-    let tree = BfTree::bulk_build(
-        BfTreeConfig { fpp: 1e-2, ..BfTreeConfig::ordered_default() },
-        &heap,
-        PK_OFFSET,
-    );
+    let rel = pk_relation();
+    let tree = BfTree::builder().fpp(1e-2).build(&rel).unwrap();
     for key in (0..30_000u64).step_by(501) {
         for leaf_idx in 0..tree.leaf_pages() as u32 {
             let leaf = tree.leaf(leaf_idx);
@@ -35,20 +40,20 @@ fn parallel_filter_probing_matches_serial() {
 
 #[test]
 fn interpolated_probe_order_cuts_false_reads_on_uniform_pk() {
-    let heap = heap();
-    let base = BfTreeConfig { fpp: 0.05, ..BfTreeConfig::ordered_default() };
-    let page_order = BfTree::bulk_build(base, &heap, PK_OFFSET);
-    let interpolated = BfTree::bulk_build(
-        BfTreeConfig { probe_order: ProbeOrder::Interpolated, ..base },
-        &heap,
-        PK_OFFSET,
-    );
+    let rel = pk_relation();
+    let io = IoContext::unmetered();
+    let builder = BfTree::builder().fpp(0.05);
+    let page_order = builder.clone().build(&rel).unwrap();
+    let interpolated = builder
+        .probe_order(ProbeOrder::Interpolated)
+        .build(&rel)
+        .unwrap();
 
     let mut fr_page = 0u64;
     let mut fr_interp = 0u64;
     for key in (0..30_000u64).step_by(97) {
-        let a = page_order.probe_first(key, &heap, PK_OFFSET, None, None);
-        let b = interpolated.probe_first(key, &heap, PK_OFFSET, None, None);
+        let a = AccessMethod::probe_first(&page_order, key, &rel, &io).unwrap();
+        let b = AccessMethod::probe_first(&interpolated, key, &rel, &io).unwrap();
         assert!(a.found() && b.found(), "key {key}");
         fr_page += a.false_reads;
         fr_interp += b.false_reads;
@@ -64,10 +69,13 @@ fn intersection_fpp_is_multiplicative() {
     // Probe deliberately loose indexes with absent keys: pages survive
     // the intersection only if both sides fire falsely, so the
     // intersected false reads should be far below either side's.
-    let heap = heap();
-    let config = BfTreeConfig { fpp: 0.2, ..BfTreeConfig::ordered_default() };
-    let a = BfTree::bulk_build(config, &heap, PK_OFFSET);
-    let b = BfTree::bulk_build(config, &heap, ATT1_OFFSET);
+    let rel_pk = pk_relation();
+    let rel_att1 =
+        Relation::new(rel_pk.heap().clone(), ATT1_OFFSET, Duplicates::Contiguous).unwrap();
+    let io = IoContext::unmetered();
+    let builder = BfTree::builder().fpp(0.2);
+    let a = builder.clone().build(&rel_pk).unwrap();
+    let b = builder.build(&rel_att1).unwrap();
 
     let mut single = 0u64;
     let mut both = 0u64;
@@ -76,15 +84,25 @@ fn intersection_fpp_is_multiplicative() {
         let att1 = {
             // The true ATT1 value of this pk's tuple, so the predicate
             // pair is consistent.
-            let r = a.probe_first(pk, &heap, PK_OFFSET, None, None);
+            let r = AccessMethod::probe_first(&a, pk, &rel_pk, &io).unwrap();
             let (pid, slot) = r.matches[0];
-            heap.attr(pid, slot, ATT1_OFFSET)
+            rel_pk.heap().attr(pid, slot, ATT1_OFFSET)
         };
-        single += a.probe(pk, &heap, PK_OFFSET, None, None).false_reads;
+        single += AccessMethod::probe(&a, pk, &rel_pk, &io)
+            .unwrap()
+            .false_reads;
         both += probe_intersection(
-            IndexPredicate { tree: &a, attr: PK_OFFSET, key: pk },
-            IndexPredicate { tree: &b, attr: ATT1_OFFSET, key: att1 },
-            &heap,
+            IndexPredicate {
+                tree: &a,
+                attr: PK_OFFSET,
+                key: pk,
+            },
+            IndexPredicate {
+                tree: &b,
+                attr: ATT1_OFFSET,
+                key: att1,
+            },
+            rel_pk.heap(),
             None,
             None,
         )
@@ -100,16 +118,13 @@ fn intersection_fpp_is_multiplicative() {
 
 #[test]
 fn index_free_comparators_agree_with_the_index() {
-    let heap = heap();
-    let tree = BfTree::bulk_build(
-        BfTreeConfig { fpp: 1e-4, ..BfTreeConfig::ordered_default() },
-        &heap,
-        PK_OFFSET,
-    );
+    let rel = pk_relation();
+    let io = IoContext::unmetered();
+    let tree = BfTree::builder().fpp(1e-4).build(&rel).unwrap();
     for key in (0..30_000u64).step_by(643) {
-        let via_tree = tree.probe_first(key, &heap, PK_OFFSET, None, None);
-        let via_bin = binary_search(&heap, PK_OFFSET, key, None);
-        let via_interp = interpolation_search(&heap, PK_OFFSET, key, None);
+        let via_tree = AccessMethod::probe_first(&tree, key, &rel, &io).unwrap();
+        let via_bin = binary_search(rel.heap(), PK_OFFSET, key, None);
+        let via_interp = interpolation_search(rel.heap(), PK_OFFSET, key, None);
         assert_eq!(via_tree.matches, via_bin.matches, "key {key}");
         assert_eq!(via_bin.matches, via_interp.matches, "key {key}");
     }
@@ -119,17 +134,16 @@ fn index_free_comparators_agree_with_the_index() {
 fn bftree_reads_fewer_pages_than_binary_search() {
     // §7: the index buys I/O. A tight BF-Tree probe reads ~1 data
     // page; binary search reads ~log2(pages).
-    let heap = heap();
-    let tree = BfTree::bulk_build(
-        BfTreeConfig { fpp: 1e-9, ..BfTreeConfig::ordered_default() },
-        &heap,
-        PK_OFFSET,
-    );
+    let rel = pk_relation();
+    let io = IoContext::unmetered();
+    let tree = BfTree::builder().fpp(1e-9).build(&rel).unwrap();
     let mut tree_pages = 0u64;
     let mut bin_pages = 0u64;
     for key in (0..30_000u64).step_by(359) {
-        tree_pages += tree.probe_first(key, &heap, PK_OFFSET, None, None).pages_read;
-        bin_pages += binary_search(&heap, PK_OFFSET, key, None).pages_read;
+        tree_pages += AccessMethod::probe_first(&tree, key, &rel, &io)
+            .unwrap()
+            .pages_read;
+        bin_pages += binary_search(rel.heap(), PK_OFFSET, key, None).pages_read;
     }
     assert!(
         tree_pages * 3 < bin_pages,
@@ -143,7 +157,8 @@ fn parallel_probe_on_tiny_leaf_falls_back_to_serial() {
     for pk in 0..20u64 {
         heap.append_record(pk, pk);
     }
-    let tree = BfTree::bulk_build(BfTreeConfig::ordered_default(), &heap, PK_OFFSET);
+    let rel = Relation::new(heap, PK_OFFSET, Duplicates::Unique).unwrap();
+    let tree = BfTree::builder().build(&rel).unwrap();
     let leaf = tree.leaf(0);
     let mut out = Vec::new();
     leaf.matching_pages_parallel(7, &mut out, 16);

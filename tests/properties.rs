@@ -1,72 +1,77 @@
 //! Workspace-level property tests: the BF-Tree's core guarantees under
 //! arbitrary (ordered) data and configurations.
+//!
+//! The build is dependency-free, so instead of proptest these run each
+//! property over a battery of seeded random cases (the vendored
+//! `rand` stand-in is deterministic: failures reproduce exactly).
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
 
-use bftree::{BfTree, BfTreeConfig, DuplicateHandling};
+use bftree::{AccessMethod, BfTree, DuplicateHandling};
 use bftree_storage::tuple::PK_OFFSET;
-use bftree_storage::{HeapFile, TupleLayout};
+use bftree_storage::{Duplicates, HeapFile, IoContext, Relation, TupleLayout};
+
+const CASES: u64 = 24;
 
 /// Arbitrary ordered relation: strictly increasing keys with random
 /// gaps, small enough for brute-force oracles.
-fn ordered_keys() -> impl Strategy<Value = Vec<u64>> {
-    proptest::collection::vec(1u64..50, 1..1_500).prop_map(|gaps| {
-        let mut key = 0u64;
-        gaps.into_iter()
-            .map(|g| {
-                key += g;
-                key
-            })
-            .collect()
-    })
+fn ordered_keys(rng: &mut StdRng) -> Vec<u64> {
+    let n = rng.random_range(1usize..1_500);
+    let mut key = 0u64;
+    (0..n)
+        .map(|_| {
+            key += rng.random_range(1u64..50);
+            key
+        })
+        .collect()
 }
 
-fn heap_of(keys: &[u64]) -> HeapFile {
+fn relation_of(keys: &[u64]) -> Relation {
     let mut heap = HeapFile::new(TupleLayout::new(256));
     for &k in keys {
         heap.append_record(k, k / 3);
     }
-    heap
+    Relation::new(heap, PK_OFFSET, Duplicates::Unique).expect("conventional layout")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// No false negatives: every present key is found, at every fpp.
-    #[test]
-    fn no_false_negatives(
-        keys in ordered_keys(),
-        fpp_exp in 1u32..10,
-    ) {
-        let heap = heap_of(&keys);
-        let fpp = 10f64.powi(-(fpp_exp as i32));
-        let tree = BfTree::bulk_build(
-            BfTreeConfig { fpp, ..BfTreeConfig::ordered_default() },
-            &heap,
-            PK_OFFSET,
-        );
+/// No false negatives: every present key is found, at every fpp.
+#[test]
+fn no_false_negatives() {
+    let io = IoContext::unmetered();
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xBF01 + case);
+        let keys = ordered_keys(&mut rng);
+        let rel = relation_of(&keys);
+        let fpp = 10f64.powi(-(rng.random_range(1u32..10) as i32));
+        let tree = BfTree::builder().fpp(fpp).build(&rel).unwrap();
         tree.check_invariants();
         for &k in keys.iter().step_by(7) {
-            prop_assert!(
-                tree.probe_first(k, &heap, PK_OFFSET, None, None).found(),
-                "key {k} missing at fpp {fpp}"
+            assert!(
+                AccessMethod::probe_first(&tree, k, &rel, &io)
+                    .unwrap()
+                    .found(),
+                "case {case}: key {k} missing at fpp {fpp}"
             );
         }
     }
+}
 
-    /// Out-of-range keys never match, and in-range absent keys never
-    /// produce a (pid, slot) pair that actually carries the key.
-    #[test]
-    fn no_phantom_matches(keys in ordered_keys()) {
-        let heap = heap_of(&keys);
-        let tree = BfTree::bulk_build(
-            BfTreeConfig { fpp: 0.05, ..BfTreeConfig::ordered_default() },
-            &heap,
-            PK_OFFSET,
-        );
+/// Out-of-range keys never match, and in-range absent keys never
+/// produce a (pid, slot) pair that actually carries the key.
+#[test]
+fn no_phantom_matches() {
+    let io = IoContext::unmetered();
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xBF02 + case);
+        let keys = ordered_keys(&mut rng);
+        let rel = relation_of(&keys);
+        let tree = BfTree::builder().fpp(0.05).build(&rel).unwrap();
         let max = *keys.last().expect("non-empty");
         for probe in [max + 1, max + 1000, u64::MAX] {
-            prop_assert!(!tree.probe(probe, &heap, PK_OFFSET, None, None).found());
+            assert!(!AccessMethod::probe(&tree, probe, &rel, &io)
+                .unwrap()
+                .found());
         }
         // Absent in-range keys: matches must be empty even when the
         // filters fire (false positives only cost reads, not wrong
@@ -77,75 +82,89 @@ proptest! {
             .take(20)
             .collect();
         for k in absent {
-            let r = tree.probe(k, &heap, PK_OFFSET, None, None);
-            prop_assert!(!r.found(), "phantom match for absent key {k}");
+            let r = AccessMethod::probe(&tree, k, &rel, &io).unwrap();
+            assert!(!r.found(), "case {case}: phantom match for absent key {k}");
         }
     }
+}
 
-    /// Tighter fpp never yields a smaller tree (sizes are monotone).
-    #[test]
-    fn size_is_monotone_in_fpp(keys in ordered_keys()) {
-        let heap = heap_of(&keys);
+/// Tighter fpp never yields a smaller tree (sizes are monotone).
+#[test]
+fn size_is_monotone_in_fpp() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xBF03 + case);
+        let keys = ordered_keys(&mut rng);
+        let rel = relation_of(&keys);
         let mut last = 0u64;
         for fpp in [0.2, 1e-3, 1e-9] {
-            let tree = BfTree::bulk_build(
-                BfTreeConfig { fpp, ..BfTreeConfig::ordered_default() },
-                &heap,
-                PK_OFFSET,
-            );
-            prop_assert!(tree.total_pages() >= last);
+            let tree = BfTree::builder().fpp(fpp).build(&rel).unwrap();
+            assert!(tree.total_pages() >= last);
             last = tree.total_pages();
         }
     }
+}
 
-    /// Bulk build and insert-driven build agree on membership.
-    #[test]
-    fn bulk_and_incremental_agree(keys in ordered_keys()) {
-        let heap = heap_of(&keys);
-        let config = BfTreeConfig { fpp: 1e-3, ..BfTreeConfig::ordered_default() };
-        let bulk = BfTree::bulk_build(config, &heap, PK_OFFSET);
-        let mut inc = BfTree::new(config);
-        for (pid, _, key) in heap.iter_attr(PK_OFFSET) {
-            inc.insert(key, pid, Some(&heap), PK_OFFSET);
+/// Bulk build and insert-driven build agree on membership.
+#[test]
+fn bulk_and_incremental_agree() {
+    let io = IoContext::unmetered();
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xBF04 + case);
+        let keys = ordered_keys(&mut rng);
+        let rel = relation_of(&keys);
+        let builder = BfTree::builder().fpp(1e-3);
+        let bulk = builder.build(&rel).unwrap();
+        let mut inc = builder.empty(&rel).unwrap();
+        for (pid, slot, key) in rel.heap().iter_attr(PK_OFFSET) {
+            AccessMethod::insert(&mut inc, key, (pid, slot), &rel).unwrap();
         }
         inc.check_invariants();
         for &k in keys.iter().step_by(13) {
-            prop_assert_eq!(
-                bulk.probe_first(k, &heap, PK_OFFSET, None, None).found(),
-                inc.probe_first(k, &heap, PK_OFFSET, None, None).found()
+            assert_eq!(
+                AccessMethod::probe_first(&bulk, k, &rel, &io)
+                    .unwrap()
+                    .found(),
+                AccessMethod::probe_first(&inc, k, &rel, &io)
+                    .unwrap()
+                    .found()
             );
         }
     }
+}
 
-    /// Range scans agree with brute force on arbitrary bounds.
-    #[test]
-    fn range_scan_matches_brute_force(
-        keys in ordered_keys(),
-        lo_frac in 0.0f64..1.0,
-        width_frac in 0.0f64..0.5,
-    ) {
-        let heap = heap_of(&keys);
+/// Range scans agree with brute force on arbitrary bounds.
+#[test]
+fn range_scan_matches_brute_force() {
+    let io = IoContext::unmetered();
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xBF05 + case);
+        let keys = ordered_keys(&mut rng);
+        let rel = relation_of(&keys);
         let max = *keys.last().expect("non-empty");
-        let lo = (max as f64 * lo_frac) as u64;
-        let hi = lo + ((max as f64 * width_frac) as u64);
-        let tree = BfTree::bulk_build(
-            BfTreeConfig { fpp: 1e-4, ..BfTreeConfig::ordered_default() },
-            &heap,
-            PK_OFFSET,
-        );
-        let got = tree.range_scan(lo, hi, &heap, PK_OFFSET, None, None).matches;
-        let expect: Vec<(u64, usize)> = heap
+        let lo = (max as f64 * rng.random_range(0.0..1.0)) as u64;
+        let hi = lo + ((max as f64 * rng.random_range(0.0..0.5)) as u64);
+        let tree = BfTree::builder().fpp(1e-4).build(&rel).unwrap();
+        let got = AccessMethod::range_scan(&tree, lo, hi, &rel, &io)
+            .unwrap()
+            .matches;
+        let expect: Vec<(u64, usize)> = rel
+            .heap()
             .iter_attr(PK_OFFSET)
             .filter(|&(_, _, v)| v >= lo && v <= hi)
             .map(|(pid, slot, _)| (pid, slot))
             .collect();
-        prop_assert_eq!(got, expect);
+        assert_eq!(got, expect, "case {case}: range [{lo}, {hi}]");
     }
+}
 
-    /// Duplicate handling is invisible to results: both modes return
-    /// identical matches on ordered data with duplicates.
-    #[test]
-    fn duplicate_modes_agree(keys in ordered_keys()) {
+/// Duplicate handling is invisible to results: both modes return
+/// identical matches on ordered data with duplicates.
+#[test]
+fn duplicate_modes_agree() {
+    let io = IoContext::unmetered();
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xBF06 + case);
+        let keys = ordered_keys(&mut rng);
         let mut heap = HeapFile::new(TupleLayout::new(256));
         for &k in &keys {
             // Each key appears 1 + k%4 times, contiguously.
@@ -153,23 +172,30 @@ proptest! {
                 heap.append_record(k, k);
             }
         }
-        let trees: Vec<BfTree> =
-            [DuplicateHandling::AllCoveringPages, DuplicateHandling::FirstPageOnly]
-                .into_iter()
-                .map(|duplicates| {
-                    BfTree::bulk_build(
-                        BfTreeConfig { fpp: 1e-4, duplicates, ..BfTreeConfig::paper_default() },
-                        &heap,
-                        PK_OFFSET,
-                    )
-                })
-                .collect();
+        let rel = Relation::new(heap, PK_OFFSET, Duplicates::Contiguous).unwrap();
+        let trees: Vec<BfTree> = [
+            DuplicateHandling::AllCoveringPages,
+            DuplicateHandling::FirstPageOnly,
+        ]
+        .into_iter()
+        .map(|duplicates| {
+            BfTree::builder()
+                .fpp(1e-4)
+                .duplicates(duplicates)
+                .build(&rel)
+                .unwrap()
+        })
+        .collect();
         for &k in keys.iter().step_by(9) {
-            let mut a = trees[0].probe(k, &heap, PK_OFFSET, None, None).matches;
-            let mut b = trees[1].probe(k, &heap, PK_OFFSET, None, None).matches;
+            let mut a = AccessMethod::probe(&trees[0], k, &rel, &io)
+                .unwrap()
+                .matches;
+            let mut b = AccessMethod::probe(&trees[1], k, &rel, &io)
+                .unwrap()
+                .matches;
             a.sort_unstable();
             b.sort_unstable();
-            prop_assert_eq!(a, b, "key {}", k);
+            assert_eq!(a, b, "case {case}: key {k}");
         }
     }
 }

@@ -3,13 +3,20 @@
 //! handlings.
 
 use bftree::scan::exact_range_pages;
-use bftree::{BfTree, BfTreeConfig, DuplicateHandling};
+use bftree::{AccessMethod, BfTree, DuplicateHandling, ProbeError};
 use bftree_storage::tuple::{AttrOffset, ATT1_OFFSET, PK_OFFSET};
-use bftree_storage::HeapFile;
+use bftree_storage::{Duplicates, HeapFile, IoContext, Relation};
 use bftree_workloads::{build_relation_r, SyntheticConfig};
 
 fn heap() -> HeapFile {
-    build_relation_r(&SyntheticConfig { n_tuples: 25_000, ..SyntheticConfig::scaled_mb(8) })
+    build_relation_r(&SyntheticConfig {
+        n_tuples: 25_000,
+        ..SyntheticConfig::scaled_mb(8)
+    })
+}
+
+fn pk_relation() -> Relation {
+    Relation::new(heap(), PK_OFFSET, Duplicates::Unique).unwrap()
 }
 
 fn brute(heap: &HeapFile, attr: AttrOffset, lo: u64, hi: u64) -> Vec<(u64, usize)> {
@@ -21,34 +28,43 @@ fn brute(heap: &HeapFile, attr: AttrOffset, lo: u64, hi: u64) -> Vec<(u64, usize
 
 #[test]
 fn plain_scan_is_complete() {
-    let heap = heap();
-    let tree = BfTree::bulk_build(
-        BfTreeConfig { fpp: 1e-4, ..BfTreeConfig::ordered_default() },
-        &heap,
-        PK_OFFSET,
-    );
-    for (lo, hi) in [(0u64, 100u64), (5_000, 7_500), (24_900, 30_000), (12_345, 12_345)] {
-        let r = tree.range_scan(lo, hi, &heap, PK_OFFSET, None, None);
-        assert_eq!(r.matches, brute(&heap, PK_OFFSET, lo, hi), "range [{lo}, {hi}]");
+    let rel = pk_relation();
+    let io = IoContext::unmetered();
+    let tree = BfTree::builder().fpp(1e-4).build(&rel).unwrap();
+    for (lo, hi) in [
+        (0u64, 100u64),
+        (5_000, 7_500),
+        (24_900, 30_000),
+        (12_345, 12_345),
+    ] {
+        let r = AccessMethod::range_scan(&tree, lo, hi, &rel, &io).unwrap();
+        assert_eq!(
+            r.matches,
+            brute(rel.heap(), PK_OFFSET, lo, hi),
+            "range [{lo}, {hi}]"
+        );
     }
 }
 
 #[test]
 fn probing_scan_is_complete_for_both_duplicate_modes() {
-    let heap = heap();
-    for duplicates in [DuplicateHandling::AllCoveringPages, DuplicateHandling::FirstPageOnly] {
-        let tree = BfTree::bulk_build(
-            BfTreeConfig { fpp: 1e-6, duplicates, ..BfTreeConfig::paper_default() },
-            &heap,
-            ATT1_OFFSET,
-        );
+    let rel = Relation::new(heap(), ATT1_OFFSET, Duplicates::Contiguous).unwrap();
+    let io = IoContext::unmetered();
+    for duplicates in [
+        DuplicateHandling::AllCoveringPages,
+        DuplicateHandling::FirstPageOnly,
+    ] {
+        let tree = BfTree::builder()
+            .fpp(1e-6)
+            .duplicates(duplicates)
+            .build(&rel)
+            .unwrap();
         for (lo, hi) in [(10u64, 300u64), (5_000, 5_800), (0, 50)] {
-            let mut got =
-                tree.range_scan_probing(lo, hi, &heap, ATT1_OFFSET, None, None, 1 << 22).matches;
+            let mut got = tree.scan_range_probing(lo, hi, &rel, &io, 1 << 22).matches;
             got.sort_unstable();
             assert_eq!(
                 got,
-                brute(&heap, ATT1_OFFSET, lo, hi),
+                brute(rel.heap(), ATT1_OFFSET, lo, hi),
                 "range [{lo}, {hi}] under {duplicates:?}"
             );
         }
@@ -57,16 +73,13 @@ fn probing_scan_is_complete_for_both_duplicate_modes() {
 
 #[test]
 fn probing_scan_reads_fewer_boundary_pages_at_tight_fpp() {
-    let heap = heap();
-    let tree = BfTree::bulk_build(
-        BfTreeConfig { fpp: 1e-9, ..BfTreeConfig::ordered_default() },
-        &heap,
-        PK_OFFSET,
-    );
+    let rel = pk_relation();
+    let io = IoContext::unmetered();
+    let tree = BfTree::builder().fpp(1e-9).build(&rel).unwrap();
     // A 1% range: boundary overhead dominates the plain scan.
     let (lo, hi) = (10_000u64, 10_250u64);
-    let plain = tree.range_scan(lo, hi, &heap, PK_OFFSET, None, None);
-    let probing = tree.range_scan_probing(lo, hi, &heap, PK_OFFSET, None, None, 1 << 22);
+    let plain = AccessMethod::range_scan(&tree, lo, hi, &rel, &io).unwrap();
+    let probing = tree.scan_range_probing(lo, hi, &rel, &io, 1 << 22);
     assert_eq!(plain.matches, probing.matches);
     assert!(
         probing.pages_read <= plain.pages_read,
@@ -76,7 +89,7 @@ fn probing_scan_reads_fewer_boundary_pages_at_tight_fpp() {
     );
     // Figure 13's tight-fpp claim: overhead within 20% of the exact
     // B+-Tree page count.
-    let exact = exact_range_pages(&heap, PK_OFFSET, lo, hi);
+    let exact = exact_range_pages(rel.heap(), PK_OFFSET, lo, hi);
     assert!(
         (probing.pages_read as f64) <= exact as f64 * 1.2,
         "probing {} vs exact {}",
@@ -87,17 +100,19 @@ fn probing_scan_reads_fewer_boundary_pages_at_tight_fpp() {
 
 #[test]
 fn empty_and_inverted_ranges() {
-    let heap = heap();
-    let tree = BfTree::bulk_build(BfTreeConfig::ordered_default(), &heap, PK_OFFSET);
+    let rel = pk_relation();
+    let io = IoContext::unmetered();
+    let tree = BfTree::builder().build(&rel).unwrap();
     // A range entirely past the data: no matches, bounded I/O.
-    let r = tree.range_scan(1 << 40, (1 << 40) + 10, &heap, PK_OFFSET, None, None);
+    let r = AccessMethod::range_scan(&tree, 1 << 40, (1 << 40) + 10, &rel, &io).unwrap();
     assert!(r.matches.is_empty());
 }
 
 #[test]
-#[should_panic]
-fn inverted_range_panics() {
-    let heap = heap();
-    let tree = BfTree::bulk_build(BfTreeConfig::ordered_default(), &heap, PK_OFFSET);
-    tree.range_scan(10, 5, &heap, PK_OFFSET, None, None);
+fn inverted_range_is_a_typed_error() {
+    let rel = pk_relation();
+    let io = IoContext::unmetered();
+    let tree = BfTree::builder().build(&rel).unwrap();
+    let err = AccessMethod::range_scan(&tree, 10, 5, &rel, &io).unwrap_err();
+    assert_eq!(err, ProbeError::InvertedRange { lo: 10, hi: 5 });
 }
