@@ -1,0 +1,297 @@
+//! [`ConcurrentIndex`]: serve reads and writes to one index from many
+//! threads.
+//!
+//! Pure probe workloads need nothing from this module: the
+//! [`AccessMethod`] read path takes `&self` and
+//! the trait is `Send + Sync`, so a plain shared reference (or
+//! `Arc<dyn AccessMethod>`) already fans out across threads without
+//! locks. `ConcurrentIndex` is for the *mixed* case — YCSB-A/B-style
+//! streams interleaving probes with inserts — where writers need
+//! `&mut` access to a structure readers are traversing. It wraps the
+//! index in an [`RwLock`]: probes share a read lock (concurrent among
+//! themselves), mutations take the write lock (exclusive). With
+//! read-mostly mixes (the paper's clustered-data setting) the write
+//! lock is rarely held and probe concurrency is preserved.
+
+use std::sync::RwLock;
+
+use bftree_storage::{IoContext, PageId, Relation};
+
+use crate::{AccessMethod, BuildError, IndexStats, Probe, ProbeError, RangeScan};
+
+/// A shared-read / exclusive-write wrapper around any
+/// [`AccessMethod`], for mixed probe/insert service from many threads.
+///
+/// ```
+/// use std::sync::Arc;
+/// use bftree_access::{AccessMethod, ConcurrentIndex};
+/// # use bftree_storage::{Duplicates, HeapFile, IoContext, Relation, TupleLayout};
+/// # use bftree_storage::tuple::PK_OFFSET;
+/// # struct Noop;
+/// # impl AccessMethod for Noop {
+/// #     fn name(&self) -> &'static str { "noop" }
+/// #     fn build(&mut self, _: &Relation) -> Result<(), bftree_access::BuildError> { Ok(()) }
+/// #     fn probe(&self, _: u64, _: &Relation, _: &IoContext) -> Result<bftree_access::Probe, bftree_access::ProbeError> { Ok(Default::default()) }
+/// #     fn probe_first(&self, k: u64, r: &Relation, io: &IoContext) -> Result<bftree_access::Probe, bftree_access::ProbeError> { self.probe(k, r, io) }
+/// #     fn range_scan(&self, _: u64, _: u64, _: &Relation, _: &IoContext) -> Result<bftree_access::RangeScan, bftree_access::ProbeError> { Ok(Default::default()) }
+/// #     fn insert(&mut self, _: u64, _: (u64, usize), _: &Relation) -> Result<(), bftree_access::ProbeError> { Ok(()) }
+/// #     fn delete(&mut self, _: u64, _: &Relation) -> Result<u64, bftree_access::ProbeError> { Ok(0) }
+/// #     fn size_bytes(&self) -> u64 { 0 }
+/// #     fn stats(&self) -> bftree_access::IndexStats { Default::default() }
+/// # }
+/// let heap = HeapFile::new(TupleLayout::new(16));
+/// let rel = Relation::new(heap, PK_OFFSET, Duplicates::Unique).unwrap();
+/// let io = IoContext::unmetered();
+/// let shared = Arc::new(ConcurrentIndex::new(Noop));
+/// std::thread::scope(|s| {
+///     let reader = shared.clone();
+///     s.spawn(move || reader.probe(1, &rel, &io));
+/// });
+/// ```
+#[derive(Debug)]
+pub struct ConcurrentIndex<A: AccessMethod> {
+    inner: RwLock<A>,
+}
+
+impl<A: AccessMethod> ConcurrentIndex<A> {
+    /// Wrap `index` (typically already built) for concurrent service.
+    pub fn new(index: A) -> Self {
+        Self {
+            inner: RwLock::new(index),
+        }
+    }
+
+    /// Unwrap, giving the index back once all clones of the owning
+    /// `Arc` are gone.
+    pub fn into_inner(self) -> A {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// [`AccessMethod::probe`] under a shared read lock.
+    pub fn probe(&self, key: u64, rel: &Relation, io: &IoContext) -> Result<Probe, ProbeError> {
+        self.read().probe(key, rel, io)
+    }
+
+    /// [`AccessMethod::probe_first`] under a shared read lock.
+    pub fn probe_first(
+        &self,
+        key: u64,
+        rel: &Relation,
+        io: &IoContext,
+    ) -> Result<Probe, ProbeError> {
+        self.read().probe_first(key, rel, io)
+    }
+
+    /// [`AccessMethod::range_scan`] under a shared read lock.
+    pub fn range_scan(
+        &self,
+        lo: u64,
+        hi: u64,
+        rel: &Relation,
+        io: &IoContext,
+    ) -> Result<RangeScan, ProbeError> {
+        self.read().range_scan(lo, hi, rel, io)
+    }
+
+    /// [`AccessMethod::build`] under the exclusive write lock.
+    pub fn build(&self, rel: &Relation) -> Result<(), BuildError> {
+        self.write().build(rel)
+    }
+
+    /// [`AccessMethod::insert`] under the exclusive write lock. Note
+    /// `&self`: the lock supplies the exclusivity the trait expresses
+    /// as `&mut self`, which is what lets insert ops ride inside a
+    /// shared multi-threaded op stream.
+    pub fn insert(&self, key: u64, loc: (PageId, usize), rel: &Relation) -> Result<(), ProbeError> {
+        self.write().insert(key, loc, rel)
+    }
+
+    /// [`AccessMethod::delete`] under the exclusive write lock.
+    pub fn delete(&self, key: u64, rel: &Relation) -> Result<u64, ProbeError> {
+        self.write().delete(key, rel)
+    }
+
+    /// [`AccessMethod::name`] (read lock).
+    pub fn name(&self) -> &'static str {
+        self.read().name()
+    }
+
+    /// [`AccessMethod::size_bytes`] (read lock).
+    pub fn size_bytes(&self) -> u64 {
+        self.read().size_bytes()
+    }
+
+    /// [`AccessMethod::stats`] (read lock).
+    pub fn stats(&self) -> IndexStats {
+        self.read().stats()
+    }
+
+    fn read(&self) -> std::sync::RwLockReadGuard<'_, A> {
+        self.inner.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn write(&self) -> std::sync::RwLockWriteGuard<'_, A> {
+        self.inner.write().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bftree_storage::tuple::PK_OFFSET;
+    use bftree_storage::{Duplicates, HeapFile, TupleLayout};
+
+    /// A minimal exact index: a sorted vec of (key, loc).
+    #[derive(Default)]
+    struct VecIndex {
+        entries: Vec<(u64, (PageId, usize))>,
+    }
+
+    impl AccessMethod for VecIndex {
+        fn name(&self) -> &'static str {
+            "vec"
+        }
+
+        fn build(&mut self, rel: &Relation) -> Result<(), BuildError> {
+            self.entries = rel
+                .heap()
+                .iter_attr(rel.attr())
+                .map(|(pid, slot, v)| (v, (pid, slot)))
+                .collect();
+            self.entries.sort_unstable();
+            Ok(())
+        }
+
+        fn probe(&self, key: u64, _: &Relation, _: &IoContext) -> Result<Probe, ProbeError> {
+            let matches = self
+                .entries
+                .iter()
+                .filter(|(k, _)| *k == key)
+                .map(|&(_, loc)| loc)
+                .collect::<Vec<_>>();
+            Ok(Probe {
+                pages_read: matches.len() as u64,
+                matches,
+                false_reads: 0,
+            })
+        }
+
+        fn probe_first(
+            &self,
+            key: u64,
+            rel: &Relation,
+            io: &IoContext,
+        ) -> Result<Probe, ProbeError> {
+            let mut p = self.probe(key, rel, io)?;
+            p.matches.truncate(1);
+            Ok(p)
+        }
+
+        fn range_scan(
+            &self,
+            lo: u64,
+            hi: u64,
+            _: &Relation,
+            _: &IoContext,
+        ) -> Result<RangeScan, ProbeError> {
+            if lo > hi {
+                return Err(ProbeError::InvertedRange { lo, hi });
+            }
+            Ok(RangeScan::default())
+        }
+
+        fn insert(
+            &mut self,
+            key: u64,
+            loc: (PageId, usize),
+            _: &Relation,
+        ) -> Result<(), ProbeError> {
+            self.entries.push((key, loc));
+            Ok(())
+        }
+
+        fn delete(&mut self, key: u64, _: &Relation) -> Result<u64, ProbeError> {
+            let before = self.entries.len();
+            self.entries.retain(|(k, _)| *k != key);
+            Ok((before - self.entries.len()) as u64)
+        }
+
+        fn size_bytes(&self) -> u64 {
+            (self.entries.len() * 24) as u64
+        }
+
+        fn stats(&self) -> IndexStats {
+            IndexStats {
+                entries: self.entries.len() as u64,
+                height: 1,
+                bytes: self.size_bytes(),
+                pages: 0,
+            }
+        }
+    }
+
+    fn relation() -> Relation {
+        let mut heap = HeapFile::new(TupleLayout::new(16));
+        for pk in 0..500u64 {
+            heap.append_record(pk, pk);
+        }
+        Relation::new(heap, PK_OFFSET, Duplicates::Unique).unwrap()
+    }
+
+    #[test]
+    fn adapter_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ConcurrentIndex<VecIndex>>();
+        assert_send_sync::<ConcurrentIndex<Box<dyn AccessMethod>>>();
+    }
+
+    #[test]
+    fn readers_and_writer_interleave_safely() {
+        let rel = relation();
+        let io = IoContext::unmetered();
+        let shared = ConcurrentIndex::new(VecIndex::default());
+        shared.build(&rel).unwrap();
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let (shared, rel, io) = (&shared, &rel, &io);
+                s.spawn(move || {
+                    for key in (t * 100)..(t * 100 + 100) {
+                        assert!(shared.probe(key, rel, io).unwrap().found());
+                    }
+                });
+            }
+            let (shared, rel) = (&shared, &rel);
+            s.spawn(move || {
+                for key in 10_000..10_050u64 {
+                    shared.insert(key, (0, 0), rel).unwrap();
+                }
+            });
+        });
+        let io = IoContext::unmetered();
+        for key in 10_000..10_050u64 {
+            assert!(shared.probe(key, &rel, &io).unwrap().found());
+        }
+        assert_eq!(shared.stats().entries, 550);
+    }
+
+    #[test]
+    fn into_inner_returns_the_index() {
+        let rel = relation();
+        let shared = ConcurrentIndex::new(VecIndex::default());
+        shared.build(&rel).unwrap();
+        assert_eq!(shared.into_inner().entries.len(), 500);
+    }
+
+    #[test]
+    fn works_over_boxed_trait_objects() {
+        let rel = relation();
+        let io = IoContext::unmetered();
+        let boxed: Box<dyn AccessMethod> = Box::new(VecIndex::default());
+        let shared = ConcurrentIndex::new(boxed);
+        shared.build(&rel).unwrap();
+        assert_eq!(shared.name(), "vec");
+        assert!(shared.probe(7, &rel, &io).unwrap().found());
+        assert_eq!(shared.delete(7, &rel).unwrap(), 1);
+        assert!(!shared.probe(7, &rel, &io).unwrap().found());
+    }
+}

@@ -25,6 +25,10 @@
 
 #![warn(missing_docs)]
 
+pub mod concurrent;
+
+pub use concurrent::ConcurrentIndex;
+
 use bftree_storage::{IoContext, PageId, Relation, RelationError};
 
 /// Error raised while building (bulk-loading) an index.
@@ -184,7 +188,18 @@ pub struct IndexStats {
 /// All I/O is charged to the [`IoContext`]: descents and filter reads
 /// to `io.index`, heap-page fetches to `io.data`. Pass
 /// [`IoContext::unmetered`] when only correctness matters.
-pub trait AccessMethod {
+///
+/// # Concurrency
+///
+/// The trait requires `Send + Sync`: every built index can be probed
+/// from many threads at once behind `Arc<dyn AccessMethod>` or a
+/// shared `&dyn AccessMethod` — the read path (`probe`, `probe_first`,
+/// `range_scan`, `stats`, `size_bytes`) takes `&self` and
+/// implementations hold no interior mutability. Mutation (`build`,
+/// `insert`, `delete`) takes `&mut self`, so Rust's aliasing rules
+/// already serialize writers; for mixed read/write service from
+/// several threads wrap the index in a [`ConcurrentIndex`].
+pub trait AccessMethod: Send + Sync {
     /// Short human-readable name ("bf-tree", "b+tree", …) for reports.
     fn name(&self) -> &'static str;
 
@@ -224,6 +239,53 @@ pub trait AccessMethod {
 
     /// Structural statistics.
     fn stats(&self) -> IndexStats;
+}
+
+/// Boxed indexes forward to their contents, so `Box<dyn AccessMethod>`
+/// is itself an access method — harness factories can hand boxes to
+/// anything written against the trait (e.g. [`ConcurrentIndex::new`]).
+impl<A: AccessMethod + ?Sized> AccessMethod for Box<A> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn build(&mut self, rel: &Relation) -> Result<(), BuildError> {
+        (**self).build(rel)
+    }
+
+    fn probe(&self, key: u64, rel: &Relation, io: &IoContext) -> Result<Probe, ProbeError> {
+        (**self).probe(key, rel, io)
+    }
+
+    fn probe_first(&self, key: u64, rel: &Relation, io: &IoContext) -> Result<Probe, ProbeError> {
+        (**self).probe_first(key, rel, io)
+    }
+
+    fn range_scan(
+        &self,
+        lo: u64,
+        hi: u64,
+        rel: &Relation,
+        io: &IoContext,
+    ) -> Result<RangeScan, ProbeError> {
+        (**self).range_scan(lo, hi, rel, io)
+    }
+
+    fn insert(&mut self, key: u64, loc: (PageId, usize), rel: &Relation) -> Result<(), ProbeError> {
+        (**self).insert(key, loc, rel)
+    }
+
+    fn delete(&mut self, key: u64, rel: &Relation) -> Result<u64, ProbeError> {
+        (**self).delete(key, rel)
+    }
+
+    fn size_bytes(&self) -> u64 {
+        (**self).size_bytes()
+    }
+
+    fn stats(&self) -> IndexStats {
+        (**self).stats()
+    }
 }
 
 #[cfg(test)]
@@ -267,5 +329,13 @@ mod tests {
     #[test]
     fn trait_is_object_safe() {
         fn _takes_dyn(_: &dyn AccessMethod) {}
+    }
+
+    #[test]
+    fn trait_objects_are_shareable_across_threads() {
+        fn assert_send_sync<T: Send + Sync + ?Sized>() {}
+        assert_send_sync::<dyn AccessMethod>();
+        assert_send_sync::<Box<dyn AccessMethod>>();
+        assert_send_sync::<std::sync::Arc<dyn AccessMethod>>();
     }
 }

@@ -1,0 +1,105 @@
+//! Thread-scaling experiment: aggregate probe throughput of all four
+//! indexes as worker threads sweep 1 → 16 over one shared index.
+//!
+//! Not a paper figure — this drives the repo's concurrent serving
+//! path (ROADMAP north star) on top of the paper's §6.2 setup:
+//! relation R, PK index, SSD/SSD storage, with a Zipfian (θ = 0.99,
+//! YCSB default) key-popularity skew. The op budget is fixed and split
+//! across threads, so the makespan (slowest worker's simulated time,
+//! i.e. one device channel per worker) shrinks and aggregate
+//! throughput rises as threads are added. Each run also cross-checks
+//! the shared I/O counters against a single-threaded replay of the
+//! same streams: totals must match *exactly* — sharded stats lose no
+//! updates.
+//!
+//! Environment knobs: `BFTREE_SCALE_MB` (relation size, default 64),
+//! `BFTREE_PROBES` (ops per thread-sweep point ×16, default 1000).
+
+use bftree_bench::scale::{n_probes, relation_mb};
+use bftree_bench::{
+    build_index, fmt_f, relation_r_pk, run_probes, run_probes_parallel, IndexKind, IoContext,
+    Report, StorageConfig,
+};
+use bftree_workloads::{popular_probe_streams, KeyPopularity};
+
+const THREAD_SWEEP: [usize; 5] = [1, 2, 4, 8, 16];
+
+fn main() {
+    let total_ops = n_probes() * 16;
+    println!(
+        "relation R: {} MB, PK index, SSD/SSD, Zipfian(0.99) probes, {} ops split across threads\n",
+        relation_mb(),
+        total_ops,
+    );
+    let ds = relation_r_pk();
+    let domain: Vec<u64> = (0..ds.relation.heap().tuple_count()).collect();
+
+    let mut report = Report::new(
+        "Thread scaling: aggregate probe throughput (simulated), 1 -> 16 workers",
+        &[
+            "index",
+            "threads",
+            "ops",
+            "makespan_ms",
+            "kops_per_s",
+            "speedup",
+            "p50_us",
+            "p99_us",
+            "device_reads",
+            "counters",
+        ],
+    );
+
+    for kind in IndexKind::ALL {
+        let index = build_index(kind, &ds.relation, 1e-4);
+        let mut base_throughput = None;
+        for threads in THREAD_SWEEP {
+            let streams = popular_probe_streams(
+                &domain,
+                KeyPopularity::Zipfian { theta: 0.99 },
+                total_ops / threads,
+                threads,
+                0x5CA1E,
+            );
+
+            let io = IoContext::cold(StorageConfig::SsdSsd);
+            let r = run_probes_parallel(index.as_ref(), &ds.relation, &streams, &io);
+            let total = io.snapshot_total();
+
+            // Exactness check: replay the same streams single-threaded;
+            // the shared counters of the parallel run must equal the
+            // sum of per-thread work to the last read and nanosecond.
+            let flat: Vec<u64> = streams.iter().flatten().copied().collect();
+            let io_check = IoContext::cold(StorageConfig::SsdSsd);
+            run_probes(index.as_ref(), &ds.relation, &flat, &io_check);
+            let expect = io_check.snapshot_total();
+            let exact = total.device_reads() == expect.device_reads()
+                && total.sim_ns == expect.sim_ns
+                && r.total_sim_ns == total.sim_ns;
+
+            let throughput = r.throughput_ops_per_sec();
+            let speedup = throughput / *base_throughput.get_or_insert(throughput);
+            report.row(&[
+                kind.label().to_string(),
+                threads.to_string(),
+                r.total_ops.to_string(),
+                fmt_f(r.makespan_sim_ns as f64 / 1e6),
+                fmt_f(throughput / 1e3),
+                fmt_f(speedup),
+                fmt_f(r.latencies.quantile_ns(0.5) as f64 / 1e3),
+                fmt_f(r.latencies.quantile_ns(0.99) as f64 / 1e3),
+                total.device_reads().to_string(),
+                if exact { "exact" } else { "LOST-UPDATES" }.to_string(),
+            ]);
+            assert!(exact, "{}: I/O counters diverged", kind.label());
+        }
+    }
+    report.print();
+
+    println!(
+        "\nThroughput is ops/makespan in simulated time (one device channel per\n\
+         worker); 'counters' verifies the sharded stats against a single-threaded\n\
+         replay of identical streams. The in-memory hash index shows the data\n\
+         device's scaling only - its probe path does no index I/O."
+    );
+}

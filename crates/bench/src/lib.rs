@@ -8,6 +8,11 @@
 //! * [`indexes`] — builders for each competitor (BF-Tree, B+-Tree,
 //!   hash index, FD-Tree) plus [`run_probes`], the one generic probe
 //!   driver over `&dyn AccessMethod` every experiment shares.
+//! * [`parallel`] — the concurrent serving path:
+//!   [`run_probes_parallel`] (N lock-free probe workers over one
+//!   shared index) and [`run_mixed_parallel`] (YCSB-style read/insert
+//!   mixes through a `ConcurrentIndex`), with per-op latency
+//!   histograms; drives the `scaling_threads` experiment.
 //! * [`report`] — aligned-table and CSV output.
 //! * [`scale`] — experiment sizing (env-overridable; defaults preserve
 //!   every ratio the figures are about at laptop scale).
@@ -23,10 +28,11 @@ pub mod experiments;
 pub mod figures;
 pub mod indexes;
 pub mod microbench;
+pub mod parallel;
 pub mod report;
 pub mod scale;
 
-pub use bftree_access::AccessMethod;
+pub use bftree_access::{AccessMethod, ConcurrentIndex};
 pub use bftree_storage::{IoContext, Relation, StorageConfig};
 pub use experiments::{
     att1_probes, att1_probes_in_range_misses, baseline_btree, best_per_config, pk_probes,
@@ -36,5 +42,8 @@ pub use figures::{breakeven_figure, warm_caches_figure};
 pub use indexes::{
     build_bftree, build_bftree_with_config, build_btree, build_btree_with_mode, build_fdtree,
     build_hashindex, build_index, run_probes, IndexKind, RunResult,
+};
+pub use parallel::{
+    run_mixed_parallel, run_probes_parallel, LatencyHistogram, ParallelRunResult, ThreadStats,
 };
 pub use report::{fmt_f, fmt_fpp, Report};

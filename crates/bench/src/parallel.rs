@@ -1,0 +1,467 @@
+//! Multi-threaded probe serving: the concurrent counterpart of
+//! [`crate::indexes::run_probes`].
+//!
+//! [`run_probes_parallel`] fans per-thread key streams out over
+//! [`std::thread::scope`] against one shared `&dyn AccessMethod`; the
+//! read path is lock-free end to end (the trait is `Send + Sync`, and
+//! cold [`SimDevice`](bftree_storage::SimDevice)s record into sharded
+//! counters). [`run_mixed_parallel`] serves YCSB-style mixed
+//! read/insert streams through a [`ConcurrentIndex`] (readers share,
+//! writers exclude).
+//!
+//! ## Timing model
+//!
+//! Each worker accumulates *simulated* nanoseconds — deltas of
+//! [`thread_sim_ns`] around each operation — into a log₂-bucketed
+//! [`LatencyHistogram`] and a per-thread total. The run's **makespan**
+//! is the slowest thread's simulated time: the wall-clock a real
+//! deployment would see if every worker drove its own device channel
+//! (the multi-channel SSD/NVMe setting §8 of the paper points at).
+//! Aggregate throughput is `total_ops / makespan`, which is exactly
+//! reproducible on any host — including single-core CI — unlike
+//! wall-clock throughput, which is also reported but informational.
+
+use bftree_access::{AccessMethod, ConcurrentIndex};
+use bftree_storage::{thread_sim_ns, IoContext, PageId, Relation};
+use bftree_workloads::Op;
+
+/// A log₂-bucketed latency histogram over simulated nanoseconds.
+///
+/// Bucket `i` holds operations with `ns` of bit length `i` (i.e.
+/// `2^(i-1) ≤ ns < 2^i`; zero-cost ops land in bucket 0), so quantile
+/// queries resolve to within a factor of two — plenty to tell a
+/// cache-hit probe from a one-I/O probe from a false-read probe.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    buckets: [u64; 64],
+    count: u64,
+    total_ns: u64,
+    max_ns: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: [0; 64],
+            count: 0,
+            total_ns: 0,
+            max_ns: 0,
+        }
+    }
+
+    /// Record one operation's simulated latency.
+    pub fn record(&mut self, ns: u64) {
+        let bucket = (64 - ns.leading_zeros()) as usize;
+        self.buckets[bucket.min(63)] += 1;
+        self.count += 1;
+        self.total_ns += ns;
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Fold another histogram into this one (per-thread → run merge).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.total_ns += other.total_ns;
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+
+    /// Number of recorded operations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean latency in nanoseconds.
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_ns as f64 / self.count as f64
+        }
+    }
+
+    /// Largest recorded latency in nanoseconds.
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns
+    }
+
+    /// Upper bound of the bucket holding quantile `q` ∈ [0, 1] —
+    /// within 2× of the true quantile.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q), "quantile out of [0, 1]");
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return if i == 0 { 0 } else { 1u64 << i };
+            }
+        }
+        self.max_ns
+    }
+}
+
+/// What one worker thread did during a parallel run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ThreadStats {
+    /// Operations executed.
+    pub ops: u64,
+    /// Probes that found at least one tuple.
+    pub hits: u64,
+    /// Falsely-read data pages across the thread's probes.
+    pub false_reads: u64,
+    /// Inserts executed (mixed streams only).
+    pub inserts: u64,
+    /// Simulated nanoseconds this thread charged.
+    pub sim_ns: u64,
+}
+
+/// Outcome of a parallel run.
+#[derive(Debug, Clone)]
+pub struct ParallelRunResult {
+    /// Worker threads used (= number of input streams).
+    pub threads: usize,
+    /// Operations across all threads.
+    pub total_ops: u64,
+    /// Probes that found at least one tuple.
+    pub hits: u64,
+    /// Falsely-read data pages across all probes.
+    pub false_reads: u64,
+    /// Slowest thread's simulated time — the run's simulated
+    /// wall-clock under one device channel per worker.
+    pub makespan_sim_ns: u64,
+    /// Sum of all threads' simulated time (device-time demand).
+    pub total_sim_ns: u64,
+    /// Host wall-clock seconds (informational; host-dependent).
+    pub wall_seconds: f64,
+    /// Merged per-operation latency histogram (simulated ns).
+    pub latencies: LatencyHistogram,
+    /// Per-thread breakdown, indexed by stream position.
+    pub per_thread: Vec<ThreadStats>,
+}
+
+impl ParallelRunResult {
+    /// Fraction of probes that hit.
+    pub fn hit_rate(&self) -> f64 {
+        let probes = self.total_ops - self.per_thread.iter().map(|t| t.inserts).sum::<u64>();
+        if probes == 0 {
+            0.0
+        } else {
+            self.hits as f64 / probes as f64
+        }
+    }
+
+    /// Aggregate simulated throughput, operations per simulated
+    /// second (total ops / makespan). Deterministic on any host.
+    pub fn throughput_ops_per_sec(&self) -> f64 {
+        if self.makespan_sim_ns == 0 {
+            return 0.0;
+        }
+        self.total_ops as f64 * 1e9 / self.makespan_sim_ns as f64
+    }
+
+    /// How close the run is to ideal scaling: total device-time demand
+    /// divided by `threads × makespan` (1.0 = perfectly balanced).
+    pub fn parallel_efficiency(&self) -> f64 {
+        if self.makespan_sim_ns == 0 || self.threads == 0 {
+            return 0.0;
+        }
+        self.total_sim_ns as f64 / (self.threads as f64 * self.makespan_sim_ns as f64)
+    }
+}
+
+/// Run per-thread probe streams concurrently against one shared index:
+/// `streams.len()` workers, each probing its own keys, all charging
+/// the shared `io`. Lock-free on the default cold-device path.
+///
+/// Unique relations use the paper's primary-key shortcut
+/// ([`AccessMethod::probe_first`]), matching
+/// [`crate::indexes::run_probes`] so single- and multi-threaded runs
+/// are directly comparable (and their I/O totals must agree exactly —
+/// the conformance suite pins this).
+pub fn run_probes_parallel(
+    index: &dyn AccessMethod,
+    rel: &Relation,
+    streams: &[Vec<u64>],
+    io: &IoContext,
+) -> ParallelRunResult {
+    io.reset();
+    let wall_start = std::time::Instant::now();
+    let worker_results: Vec<(ThreadStats, LatencyHistogram)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = streams
+            .iter()
+            .map(|stream| {
+                scope.spawn(move || {
+                    let mut stats = ThreadStats::default();
+                    let mut hist = LatencyHistogram::new();
+                    let t_start = thread_sim_ns();
+                    for &key in stream {
+                        let op_start = thread_sim_ns();
+                        let probe = if rel.is_unique() {
+                            index.probe_first(key, rel, io)
+                        } else {
+                            index.probe(key, rel, io)
+                        }
+                        .expect("relation validated at construction");
+                        hist.record(thread_sim_ns() - op_start);
+                        stats.ops += 1;
+                        stats.hits += u64::from(probe.found());
+                        stats.false_reads += probe.false_reads;
+                    }
+                    stats.sim_ns = thread_sim_ns() - t_start;
+                    (stats, hist)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("probe worker panicked"))
+            .collect()
+    });
+    assemble(worker_results, wall_start.elapsed().as_secs_f64())
+}
+
+/// Serve per-thread mixed read/insert streams concurrently through a
+/// [`ConcurrentIndex`]: probes share the read lock, inserts take the
+/// write lock. `locate` maps an insert key to its pre-loaded heap
+/// location (the run phase registers tuples the load phase already
+/// appended — see `bftree_workloads::mixed`).
+pub fn run_mixed_parallel<A: AccessMethod>(
+    index: &ConcurrentIndex<A>,
+    rel: &Relation,
+    streams: &[Vec<Op>],
+    io: &IoContext,
+    locate: &(dyn Fn(u64) -> (PageId, usize) + Sync),
+) -> ParallelRunResult {
+    io.reset();
+    let wall_start = std::time::Instant::now();
+    let worker_results: Vec<(ThreadStats, LatencyHistogram)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = streams
+            .iter()
+            .map(|stream| {
+                scope.spawn(move || {
+                    let mut stats = ThreadStats::default();
+                    let mut hist = LatencyHistogram::new();
+                    let t_start = thread_sim_ns();
+                    for &op in stream {
+                        let op_start = thread_sim_ns();
+                        match op {
+                            Op::Probe(key) => {
+                                let probe = if rel.is_unique() {
+                                    index.probe_first(key, rel, io)
+                                } else {
+                                    index.probe(key, rel, io)
+                                }
+                                .expect("relation validated at construction");
+                                stats.hits += u64::from(probe.found());
+                                stats.false_reads += probe.false_reads;
+                            }
+                            Op::Insert(key) => {
+                                index
+                                    .insert(key, locate(key), rel)
+                                    .expect("insert of a pre-loaded tuple");
+                                stats.inserts += 1;
+                            }
+                        }
+                        hist.record(thread_sim_ns() - op_start);
+                        stats.ops += 1;
+                    }
+                    stats.sim_ns = thread_sim_ns() - t_start;
+                    (stats, hist)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("mixed worker panicked"))
+            .collect()
+    });
+    assemble(worker_results, wall_start.elapsed().as_secs_f64())
+}
+
+/// Merge per-worker results into one [`ParallelRunResult`].
+fn assemble(
+    worker_results: Vec<(ThreadStats, LatencyHistogram)>,
+    wall_seconds: f64,
+) -> ParallelRunResult {
+    let mut latencies = LatencyHistogram::new();
+    let mut per_thread = Vec::with_capacity(worker_results.len());
+    for (stats, hist) in worker_results {
+        latencies.merge(&hist);
+        per_thread.push(stats);
+    }
+    ParallelRunResult {
+        threads: per_thread.len(),
+        total_ops: per_thread.iter().map(|t| t.ops).sum(),
+        hits: per_thread.iter().map(|t| t.hits).sum(),
+        false_reads: per_thread.iter().map(|t| t.false_reads).sum(),
+        makespan_sim_ns: per_thread.iter().map(|t| t.sim_ns).max().unwrap_or(0),
+        total_sim_ns: per_thread.iter().map(|t| t.sim_ns).sum(),
+        wall_seconds,
+        latencies,
+        per_thread,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::indexes::{build_index, run_probes, IndexKind};
+    use bftree_storage::tuple::PK_OFFSET;
+    use bftree_storage::{Duplicates, HeapFile, StorageConfig, TupleLayout};
+    use bftree_workloads::{popular_probe_streams, KeyPopularity, OpMix};
+
+    fn relation() -> Relation {
+        let mut h = HeapFile::new(TupleLayout::new(256));
+        for pk in 0..4_000u64 {
+            h.append_record(pk, pk / 11);
+        }
+        Relation::new(h, PK_OFFSET, Duplicates::Unique).unwrap()
+    }
+
+    #[test]
+    fn histogram_quantiles_bracket_recorded_values() {
+        let mut h = LatencyHistogram::new();
+        for ns in [100u64, 100, 100, 100, 100, 100, 100, 100, 100, 10_000] {
+            h.record(ns);
+        }
+        assert_eq!(h.count(), 10);
+        assert_eq!(h.max_ns(), 10_000);
+        let p50 = h.quantile_ns(0.5);
+        assert!((64..=256).contains(&p50), "p50 bucket holds 100ns: {p50}");
+        let p99 = h.quantile_ns(0.99);
+        assert!(p99 >= 8_192, "p99 reaches the outlier bucket: {p99}");
+        assert!((h.mean_ns() - 1_090.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn histogram_merge_equals_single_feed() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut all = LatencyHistogram::new();
+        for i in 0..1_000u64 {
+            if i % 2 == 0 {
+                a.record(i * 7)
+            } else {
+                b.record(i * 7)
+            }
+            all.record(i * 7);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert_eq!(a.mean_ns(), all.mean_ns());
+        assert_eq!(a.max_ns(), all.max_ns());
+        for q in [0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(a.quantile_ns(q), all.quantile_ns(q));
+        }
+    }
+
+    #[test]
+    fn parallel_counters_match_single_threaded_exactly() {
+        let rel = relation();
+        let domain: Vec<u64> = (0..4_000).collect();
+        let streams = popular_probe_streams(&domain, KeyPopularity::Uniform, 250, 4, 42);
+        for kind in IndexKind::ALL {
+            let index = build_index(kind, &rel, 1e-4);
+
+            // Single-threaded baseline over the concatenated streams.
+            let flat: Vec<u64> = streams.iter().flatten().copied().collect();
+            let io_single = IoContext::cold(StorageConfig::SsdHdd);
+            run_probes(index.as_ref(), &rel, &flat, &io_single);
+            let expect = io_single.snapshot_total();
+
+            let io_par = IoContext::cold(StorageConfig::SsdHdd);
+            let r = run_probes_parallel(index.as_ref(), &rel, &streams, &io_par);
+            let got = io_par.snapshot_total();
+
+            assert_eq!(r.total_ops, 1_000);
+            assert_eq!(r.hit_rate(), 1.0, "{}", index.name());
+            assert_eq!(
+                got.device_reads(),
+                expect.device_reads(),
+                "{}: lost or phantom reads",
+                index.name()
+            );
+            assert_eq!(got.sim_ns, expect.sim_ns, "{}", index.name());
+            // Per-thread sim time sums to the device totals.
+            assert_eq!(
+                r.total_sim_ns,
+                got.sim_ns,
+                "{}: thread-local clock drifted from device clock",
+                index.name()
+            );
+        }
+    }
+
+    #[test]
+    fn makespan_shrinks_with_more_threads() {
+        let rel = relation();
+        let domain: Vec<u64> = (0..4_000).collect();
+        let index = build_index(IndexKind::BPlusTree, &rel, 1e-4);
+        let total_ops = 1_024;
+        let mut last = u64::MAX;
+        for threads in [1usize, 2, 4] {
+            let streams = popular_probe_streams(
+                &domain,
+                KeyPopularity::Uniform,
+                total_ops / threads,
+                threads,
+                7,
+            );
+            let io = IoContext::cold(StorageConfig::SsdSsd);
+            let r = run_probes_parallel(index.as_ref(), &rel, &streams, &io);
+            assert!(
+                r.makespan_sim_ns < last,
+                "{threads} threads: makespan must shrink"
+            );
+            assert!(r.parallel_efficiency() > 0.9, "balanced uniform streams");
+            last = r.makespan_sim_ns;
+        }
+    }
+
+    #[test]
+    fn mixed_streams_insert_and_probe_concurrently() {
+        let mut rel = relation();
+        let domain: Vec<u64> = (0..4_000).collect();
+        // Load phase: pre-append the insert keys' tuples.
+        let insert_keys: Vec<u64> = (100_000..100_200u64).collect();
+        let locs: std::collections::HashMap<u64, (PageId, usize)> = insert_keys
+            .iter()
+            .map(|&k| (k, rel.heap_mut().append_record(k, k)))
+            .collect();
+        let index = build_index(IndexKind::BfTree, &rel, 1e-4);
+        let shared = ConcurrentIndex::new(index);
+        let streams = bftree_workloads::mixed_streams(
+            &domain,
+            KeyPopularity::Zipfian { theta: 0.99 },
+            OpMix::YCSB_A,
+            &insert_keys,
+            200,
+            4,
+            11,
+        );
+        let io = IoContext::cold(StorageConfig::SsdSsd);
+        let r = run_mixed_parallel(&shared, &rel, &streams, &io, &|k| locs[&k]);
+        assert_eq!(r.total_ops, 800);
+        let inserted: u64 = r.per_thread.iter().map(|t| t.inserts).sum();
+        assert_eq!(inserted, insert_keys.len() as u64, "every key registered");
+        assert_eq!(r.hit_rate(), 1.0);
+        // Every inserted key is now visible.
+        let io = IoContext::unmetered();
+        for &k in &insert_keys {
+            assert!(shared.probe(k, &rel, &io).unwrap().found(), "key {k}");
+        }
+    }
+}

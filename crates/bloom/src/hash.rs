@@ -7,7 +7,7 @@
 //! * [`fnv1a64`] — seeded FNV-1a with a final avalanche, used as the
 //!   secondary hash for double hashing.
 //!
-//! [`DoubleHasher`] combines the two via the Kirsch–Mitzenmacher
+//! [`KeyFingerprint`] combines the two via the Kirsch–Mitzenmacher
 //! construction `g_i(x) = h1(x) + i * h2(x)`, which the Bloom-filter
 //! literature shows preserves the asymptotic false-positive behaviour
 //! while needing only two real hash computations per key.

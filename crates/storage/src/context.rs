@@ -84,7 +84,11 @@ impl std::fmt::Display for StorageConfig {
 /// index nodes, one holding the heap file. Optionally the index device
 /// carries an LRU [`crate::BufferPool`] (warm-cache experiments).
 ///
-/// Cloning is cheap and shares both devices' stats and pools.
+/// Cloning is cheap and shares both devices' stats and pools. An
+/// `IoContext` may be charged from many threads at once: cold devices
+/// (the default) record into sharded lock-free counters, so a shared
+/// `&IoContext` is the natural argument of a multi-threaded probe
+/// driver.
 ///
 /// ```
 /// use bftree_storage::{IoContext, StorageConfig};
@@ -151,6 +155,11 @@ impl IoContext {
     /// Combined simulated time across both devices, in microseconds.
     pub fn sim_us(&self) -> f64 {
         self.index.snapshot().sim_us() + self.data.snapshot().sim_us()
+    }
+
+    /// Merged snapshot of both devices' counters.
+    pub fn snapshot_total(&self) -> crate::io::IoSnapshot {
+        self.index.snapshot().plus(&self.data.snapshot())
     }
 
     /// Reset both devices' counters (cache contents survive).

@@ -1,19 +1,94 @@
-//! I/O accounting: operation counters plus a simulated clock.
+//! I/O accounting: sharded operation counters plus a simulated clock.
 //!
-//! Every device access is recorded here. Counters use relaxed atomics
-//! so a [`crate::sim::SimDevice`] can be shared across threads (§8 of
-//! the paper parallelizes BF probes).
+//! Every device access is recorded here. Counters are **sharded**:
+//! each recording thread is pinned (round-robin, on first use) to one
+//! of [`IoStats::SHARDS`] cache-line-aligned blocks of relaxed
+//! `AtomicU64`s, so concurrent probes never contend on a shared
+//! counter cache line — the serving path of §8 of the paper
+//! (parallelized BF probes) stays bookkeeping-free. [`IoStats::snapshot`]
+//! merges the shards into one [`IoSnapshot`].
+//!
+//! Per-*thread* accounting rides along: every charge also bumps a
+//! plain thread-local nanosecond counter, readable via
+//! [`thread_sim_ns`]. Deltas of that counter around an operation give
+//! the operation's simulated latency without touching shared state —
+//! this is what the parallel bench driver builds its latency
+//! histograms from.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
-/// Shared, thread-safe I/O statistics for one device.
+/// One cache-line-aligned block of counters. The alignment keeps two
+/// shards from sharing a 64-byte line, which is the whole point of
+/// sharding (false sharing would re-serialize the probe threads the
+/// shards exist to decouple).
 #[derive(Debug, Default)]
-pub struct IoStats {
+#[repr(align(64))]
+struct Shard {
     random_reads: AtomicU64,
     seq_reads: AtomicU64,
     writes: AtomicU64,
     cache_hits: AtomicU64,
+    bytes_read: AtomicU64,
+    bytes_written: AtomicU64,
     sim_ns: AtomicU64,
+}
+
+thread_local! {
+    /// This thread's shard index, assigned on first record.
+    static MY_SHARD: Cell<usize> = const { Cell::new(usize::MAX) };
+    /// Simulated nanoseconds charged by this thread, across all
+    /// devices, since thread start. Monotone; callers take deltas.
+    static MY_SIM_NS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Process-wide round-robin source of shard assignments.
+static NEXT_SHARD: AtomicUsize = AtomicUsize::new(0);
+
+/// Simulated nanoseconds charged *by the calling thread* across every
+/// device since the thread started. Monotone — take a delta around an
+/// operation to get that operation's simulated latency:
+///
+/// ```
+/// use bftree_storage::{thread_sim_ns, DeviceKind, SimDevice};
+///
+/// let dev = SimDevice::cold(DeviceKind::Ssd);
+/// let before = thread_sim_ns();
+/// dev.read_random(7);
+/// let latency_ns = thread_sim_ns() - before;
+/// assert!(latency_ns > 0);
+/// ```
+pub fn thread_sim_ns() -> u64 {
+    MY_SIM_NS.with(|c| c.get())
+}
+
+#[inline]
+fn shard_index() -> usize {
+    MY_SHARD.with(|c| {
+        let mut i = c.get();
+        if i == usize::MAX {
+            i = NEXT_SHARD.fetch_add(1, Ordering::Relaxed) % IoStats::SHARDS;
+            c.set(i);
+        }
+        i
+    })
+}
+
+/// Shared, thread-safe I/O statistics for one device.
+///
+/// Writes go to the calling thread's shard; [`IoStats::snapshot`]
+/// merges all shards. Totals are exact under any interleaving — each
+/// increment lands in exactly one atomic counter — only the
+/// *attribution* of counts to shards depends on thread scheduling.
+#[derive(Debug)]
+pub struct IoStats {
+    shards: Vec<Shard>,
+}
+
+impl Default for IoStats {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 /// An immutable snapshot of [`IoStats`], also usable as a delta.
@@ -27,62 +102,94 @@ pub struct IoSnapshot {
     pub writes: u64,
     /// Reads absorbed by the buffer pool.
     pub cache_hits: u64,
+    /// Bytes transferred by reads that reached the device.
+    pub bytes_read: u64,
+    /// Bytes transferred by writes.
+    pub bytes_written: u64,
     /// Accumulated simulated time, nanoseconds.
     pub sim_ns: u64,
 }
 
 impl IoStats {
+    /// Number of counter shards. 16 covers any plausible probe-thread
+    /// count on the machines this harness targets; threads beyond that
+    /// share shards round-robin, which costs contention but never
+    /// correctness.
+    pub const SHARDS: usize = 16;
+
     /// Fresh zeroed stats.
     pub fn new() -> Self {
-        Self::default()
+        Self {
+            shards: (0..Self::SHARDS).map(|_| Shard::default()).collect(),
+        }
     }
 
-    /// Record a random page read costing `ns`.
+    /// Record a random page read of `bytes` costing `ns`.
     #[inline]
-    pub fn record_random_read(&self, ns: u64) {
-        self.random_reads.fetch_add(1, Ordering::Relaxed);
-        self.sim_ns.fetch_add(ns, Ordering::Relaxed);
+    pub fn record_random_read(&self, ns: u64, bytes: u64) {
+        let s = &self.shards[shard_index()];
+        s.random_reads.fetch_add(1, Ordering::Relaxed);
+        s.bytes_read.fetch_add(bytes, Ordering::Relaxed);
+        s.sim_ns.fetch_add(ns, Ordering::Relaxed);
+        MY_SIM_NS.with(|c| c.set(c.get() + ns));
     }
 
-    /// Record a sequential page read costing `ns`.
+    /// Record a sequential page read of `bytes` costing `ns`.
     #[inline]
-    pub fn record_seq_read(&self, ns: u64) {
-        self.seq_reads.fetch_add(1, Ordering::Relaxed);
-        self.sim_ns.fetch_add(ns, Ordering::Relaxed);
+    pub fn record_seq_read(&self, ns: u64, bytes: u64) {
+        let s = &self.shards[shard_index()];
+        s.seq_reads.fetch_add(1, Ordering::Relaxed);
+        s.bytes_read.fetch_add(bytes, Ordering::Relaxed);
+        s.sim_ns.fetch_add(ns, Ordering::Relaxed);
+        MY_SIM_NS.with(|c| c.set(c.get() + ns));
     }
 
-    /// Record a page write costing `ns`.
+    /// Record a page write of `bytes` costing `ns`.
     #[inline]
-    pub fn record_write(&self, ns: u64) {
-        self.writes.fetch_add(1, Ordering::Relaxed);
-        self.sim_ns.fetch_add(ns, Ordering::Relaxed);
+    pub fn record_write(&self, ns: u64, bytes: u64) {
+        let s = &self.shards[shard_index()];
+        s.writes.fetch_add(1, Ordering::Relaxed);
+        s.bytes_written.fetch_add(bytes, Ordering::Relaxed);
+        s.sim_ns.fetch_add(ns, Ordering::Relaxed);
+        MY_SIM_NS.with(|c| c.set(c.get() + ns));
     }
 
-    /// Record a buffer-pool hit costing `ns` (memory latency).
+    /// Record a buffer-pool hit costing `ns` (memory latency; no bytes
+    /// reach the device).
     #[inline]
     pub fn record_cache_hit(&self, ns: u64) {
-        self.cache_hits.fetch_add(1, Ordering::Relaxed);
-        self.sim_ns.fetch_add(ns, Ordering::Relaxed);
+        let s = &self.shards[shard_index()];
+        s.cache_hits.fetch_add(1, Ordering::Relaxed);
+        s.sim_ns.fetch_add(ns, Ordering::Relaxed);
+        MY_SIM_NS.with(|c| c.set(c.get() + ns));
     }
 
-    /// Take a snapshot of the current counters.
+    /// Merge all shards into a snapshot of the current totals.
     pub fn snapshot(&self) -> IoSnapshot {
-        IoSnapshot {
-            random_reads: self.random_reads.load(Ordering::Relaxed),
-            seq_reads: self.seq_reads.load(Ordering::Relaxed),
-            writes: self.writes.load(Ordering::Relaxed),
-            cache_hits: self.cache_hits.load(Ordering::Relaxed),
-            sim_ns: self.sim_ns.load(Ordering::Relaxed),
+        let mut out = IoSnapshot::default();
+        for s in &self.shards {
+            out.random_reads += s.random_reads.load(Ordering::Relaxed);
+            out.seq_reads += s.seq_reads.load(Ordering::Relaxed);
+            out.writes += s.writes.load(Ordering::Relaxed);
+            out.cache_hits += s.cache_hits.load(Ordering::Relaxed);
+            out.bytes_read += s.bytes_read.load(Ordering::Relaxed);
+            out.bytes_written += s.bytes_written.load(Ordering::Relaxed);
+            out.sim_ns += s.sim_ns.load(Ordering::Relaxed);
         }
+        out
     }
 
     /// Reset all counters to zero.
     pub fn reset(&self) {
-        self.random_reads.store(0, Ordering::Relaxed);
-        self.seq_reads.store(0, Ordering::Relaxed);
-        self.writes.store(0, Ordering::Relaxed);
-        self.cache_hits.store(0, Ordering::Relaxed);
-        self.sim_ns.store(0, Ordering::Relaxed);
+        for s in &self.shards {
+            s.random_reads.store(0, Ordering::Relaxed);
+            s.seq_reads.store(0, Ordering::Relaxed);
+            s.writes.store(0, Ordering::Relaxed);
+            s.cache_hits.store(0, Ordering::Relaxed);
+            s.bytes_read.store(0, Ordering::Relaxed);
+            s.bytes_written.store(0, Ordering::Relaxed);
+            s.sim_ns.store(0, Ordering::Relaxed);
+        }
     }
 }
 
@@ -94,6 +201,8 @@ impl IoSnapshot {
             seq_reads: self.seq_reads - earlier.seq_reads,
             writes: self.writes - earlier.writes,
             cache_hits: self.cache_hits - earlier.cache_hits,
+            bytes_read: self.bytes_read - earlier.bytes_read,
+            bytes_written: self.bytes_written - earlier.bytes_written,
             sim_ns: self.sim_ns - earlier.sim_ns,
         }
     }
@@ -105,6 +214,8 @@ impl IoSnapshot {
             seq_reads: self.seq_reads + other.seq_reads,
             writes: self.writes + other.writes,
             cache_hits: self.cache_hits + other.cache_hits,
+            bytes_read: self.bytes_read + other.bytes_read,
+            bytes_written: self.bytes_written + other.bytes_written,
             sim_ns: self.sim_ns + other.sim_ns,
         }
     }
@@ -112,6 +223,11 @@ impl IoSnapshot {
     /// Total reads that reached the device (random + sequential).
     pub fn device_reads(&self) -> u64 {
         self.random_reads + self.seq_reads
+    }
+
+    /// Total bytes that crossed the device interface.
+    pub fn bytes_total(&self) -> u64 {
+        self.bytes_read + self.bytes_written
     }
 
     /// Simulated time in milliseconds.
@@ -132,16 +248,19 @@ mod tests {
     #[test]
     fn counters_accumulate() {
         let s = IoStats::new();
-        s.record_random_read(100);
-        s.record_random_read(100);
-        s.record_seq_read(10);
-        s.record_write(50);
+        s.record_random_read(100, 4096);
+        s.record_random_read(100, 4096);
+        s.record_seq_read(10, 4096);
+        s.record_write(50, 4096);
         s.record_cache_hit(1);
         let snap = s.snapshot();
         assert_eq!(snap.random_reads, 2);
         assert_eq!(snap.seq_reads, 1);
         assert_eq!(snap.writes, 1);
         assert_eq!(snap.cache_hits, 1);
+        assert_eq!(snap.bytes_read, 3 * 4096);
+        assert_eq!(snap.bytes_written, 4096);
+        assert_eq!(snap.bytes_total(), 4 * 4096);
         assert_eq!(snap.sim_ns, 261);
         assert_eq!(snap.device_reads(), 3);
     }
@@ -149,21 +268,22 @@ mod tests {
     #[test]
     fn snapshot_delta() {
         let s = IoStats::new();
-        s.record_random_read(5);
+        s.record_random_read(5, 64);
         let a = s.snapshot();
-        s.record_seq_read(7);
-        s.record_random_read(5);
+        s.record_seq_read(7, 64);
+        s.record_random_read(5, 64);
         let b = s.snapshot();
         let d = b.since(&a);
         assert_eq!(d.random_reads, 1);
         assert_eq!(d.seq_reads, 1);
+        assert_eq!(d.bytes_read, 128);
         assert_eq!(d.sim_ns, 12);
     }
 
     #[test]
     fn reset_zeroes() {
         let s = IoStats::new();
-        s.record_write(1);
+        s.record_write(1, 64);
         s.reset();
         assert_eq!(s.snapshot(), IoSnapshot::default());
     }
@@ -175,12 +295,55 @@ mod tests {
     }
 
     #[test]
+    fn shards_do_not_share_cache_lines() {
+        assert_eq!(std::mem::align_of::<Shard>(), 64);
+        assert!(std::mem::size_of::<Shard>() >= 64);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_no_updates() {
+        let s = IoStats::new();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for _ in 0..10_000 {
+                        s.record_random_read(3, 10);
+                    }
+                });
+            }
+        });
+        let snap = s.snapshot();
+        assert_eq!(snap.random_reads, 80_000);
+        assert_eq!(snap.bytes_read, 800_000);
+        assert_eq!(snap.sim_ns, 240_000);
+    }
+
+    #[test]
+    fn thread_sim_ns_tracks_this_thread_only() {
+        let s = IoStats::new();
+        let t0 = thread_sim_ns();
+        s.record_random_read(100, 1);
+        assert_eq!(thread_sim_ns() - t0, 100);
+        // Another thread's charges do not move this thread's clock.
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                let mine = thread_sim_ns();
+                s.record_write(40, 1);
+                assert_eq!(thread_sim_ns() - mine, 40);
+            });
+        });
+        assert_eq!(thread_sim_ns() - t0, 100);
+    }
+
+    #[test]
     fn plus_adds_counterwise() {
         let a = IoSnapshot {
             random_reads: 1,
             seq_reads: 2,
             writes: 3,
             cache_hits: 4,
+            bytes_read: 6,
+            bytes_written: 7,
             sim_ns: 5,
         };
         let b = IoSnapshot {
@@ -188,10 +351,13 @@ mod tests {
             seq_reads: 20,
             writes: 30,
             cache_hits: 40,
+            bytes_read: 60,
+            bytes_written: 70,
             sim_ns: 50,
         };
         let c = a.plus(&b);
         assert_eq!(c.random_reads, 11);
+        assert_eq!(c.bytes_read, 66);
         assert_eq!(c.sim_ns, 55);
     }
 }

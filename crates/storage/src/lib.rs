@@ -7,7 +7,7 @@
 //!
 //! * [`page`] — fixed-size pages ([`page::PAGE_SIZE`] = 4 KB, as in the
 //!   paper) and page ids.
-//! * [`tuple`] — fixed-size tuple layout with u64 attributes at fixed
+//! * [`mod@tuple`] — fixed-size tuple layout with u64 attributes at fixed
 //!   offsets (the paper's 256 B synthetic tuples, 200 B TPCH tuples).
 //! * [`heap`] — heap files: ordered/partitioned runs of pages holding
 //!   tuples, the "main data" every index points into.
@@ -44,9 +44,9 @@ pub use buffer::BufferPool;
 pub use context::{IoContext, StorageConfig};
 pub use device::{DeviceKind, DeviceProfile};
 pub use heap::HeapFile;
-pub use io::{IoSnapshot, IoStats};
+pub use io::{thread_sim_ns, IoSnapshot, IoStats};
 pub use page::{PageId, PAGE_SIZE};
-pub use relation::{Duplicates, Relation, RelationError};
+pub use relation::{Duplicates, Relation, RelationError, SharedRelation};
 pub use search::{binary_search, interpolation_search, SearchResult};
 pub use sim::{CacheMode, SimDevice};
 pub use tuple::TupleLayout;

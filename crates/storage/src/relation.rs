@@ -6,8 +6,16 @@
 //! and how duplicate key occurrences lie in the file — the three
 //! things an index needs to know about its data.
 
+use std::sync::Arc;
+
 use crate::heap::HeapFile;
 use crate::tuple::AttrOffset;
+
+/// A relation shared across probe threads. `Relation` is immutable
+/// through `&self` and contains no interior mutability, so an `Arc` of
+/// it is all a concurrent serving path needs — see
+/// [`Relation::into_shared`].
+pub type SharedRelation = Arc<Relation>;
 
 /// How occurrences of equal keys are laid out in the heap file.
 ///
@@ -142,7 +150,24 @@ impl Relation {
     pub fn into_heap(self) -> HeapFile {
         self.heap
     }
+
+    /// Wrap the relation in an [`Arc`] for concurrent probe serving.
+    /// Heap reads through `&self` are safe from any number of threads;
+    /// mutation ([`Relation::heap_mut`]) requires sole ownership, which
+    /// `Arc` enforces statically.
+    pub fn into_shared(self) -> SharedRelation {
+        Arc::new(self)
+    }
 }
+
+// The concurrent serving path shares `&Relation`/`Arc<Relation>`
+// across probe threads; keep that possible by construction.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Relation>();
+    assert_send_sync::<SharedRelation>();
+    assert_send_sync::<HeapFile>();
+};
 
 #[cfg(test)]
 mod tests {
@@ -173,6 +198,25 @@ mod tests {
             }
         );
         assert!(err.to_string().contains("byte 12"));
+    }
+
+    #[test]
+    fn shared_relation_serves_many_threads() {
+        let mut heap = HeapFile::new(TupleLayout::new(16));
+        for pk in 0..100u64 {
+            heap.append_record(pk, pk);
+        }
+        let rel = Relation::new(heap, PK_OFFSET, Duplicates::Unique)
+            .unwrap()
+            .into_shared();
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let rel = rel.clone();
+                s.spawn(move || {
+                    assert_eq!(rel.heap().attr(0, t as usize, rel.attr()), t);
+                });
+            }
+        });
     }
 
     #[test]

@@ -1,17 +1,27 @@
 //! [`SimDevice`]: the thing indexes charge page accesses to.
 //!
 //! A `SimDevice` couples a [`DeviceProfile`] (latency model) with
-//! [`IoStats`] (counters + simulated clock) and an optional
+//! [`IoStats`] (sharded counters + simulated clock) and an optional
 //! [`BufferPool`]. The five storage configurations of the paper's
 //! evaluation are simply pairs of `SimDevice`s: one for the index, one
 //! for the main data.
+//!
+//! # Concurrency
+//!
+//! A `SimDevice` (and its clones, which share state) may be charged
+//! from many threads at once. On the default **cold** path the device
+//! is lock-free: every access lands in the calling thread's counter
+//! shard (see [`IoStats`]) and totals are exact under any
+//! interleaving. Only the warm-cache mode ([`CacheMode::Lru`]) takes a
+//! mutex around its LRU pool — the warm experiments of §6.2 are
+//! single-threaded sweeps, so the lock is never contended there.
 
 use std::sync::{Arc, Mutex};
 
 use crate::buffer::BufferPool;
 use crate::device::{DeviceKind, DeviceProfile};
 use crate::io::{IoSnapshot, IoStats};
-use crate::page::PageId;
+use crate::page::{PageId, PAGE_SIZE};
 
 /// Caching discipline of a device (paper §6.2/§6.3 "warm caches").
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -67,7 +77,8 @@ impl SimDevice {
         if self.cache_absorbs(page) {
             return;
         }
-        self.stats.record_random_read(self.profile.random_read_ns);
+        self.stats
+            .record_random_read(self.profile.random_read_ns, PAGE_SIZE as u64);
     }
 
     /// Charge the next page of a sequential run.
@@ -76,7 +87,8 @@ impl SimDevice {
         if self.cache_absorbs(page) {
             return;
         }
-        self.stats.record_seq_read(self.profile.seq_read_ns);
+        self.stats
+            .record_seq_read(self.profile.seq_read_ns, PAGE_SIZE as u64);
     }
 
     /// Charge a batch of page reads given as a sorted list: the first
@@ -99,7 +111,8 @@ impl SimDevice {
     /// Charge a page write.
     #[inline]
     pub fn write(&self, _page: PageId) {
-        self.stats.record_write(self.profile.write_ns);
+        self.stats
+            .record_write(self.profile.write_ns, PAGE_SIZE as u64);
     }
 
     /// Pre-load `pages` into the pool (warm-up) without charging.
@@ -112,7 +125,7 @@ impl SimDevice {
         }
     }
 
-    /// Snapshot of the accumulated statistics.
+    /// Snapshot of the accumulated statistics (all shards merged).
     pub fn snapshot(&self) -> IoSnapshot {
         self.stats.snapshot()
     }
@@ -127,6 +140,12 @@ impl SimDevice {
         if let Some(pool) = &self.pool {
             pool.lock().unwrap_or_else(|e| e.into_inner()).clear();
         }
+    }
+
+    /// Whether charging this device takes no lock (true for
+    /// [`CacheMode::Cold`], the default of every paper experiment).
+    pub fn is_lock_free(&self) -> bool {
+        self.pool.is_none()
     }
 
     #[inline]
@@ -154,6 +173,7 @@ mod tests {
         dev.read_random(1);
         let s = dev.snapshot();
         assert_eq!(s.random_reads, 2);
+        assert_eq!(s.bytes_read, 2 * PAGE_SIZE as u64);
         assert_eq!(s.sim_ns, 2 * DeviceProfile::ssd().random_read_ns);
     }
 
@@ -166,6 +186,7 @@ mod tests {
         let s = dev.snapshot();
         assert_eq!(s.random_reads, 2);
         assert_eq!(s.cache_hits, 1);
+        assert_eq!(s.bytes_read, 2 * PAGE_SIZE as u64, "hits move no bytes");
     }
 
     #[test]
@@ -209,6 +230,7 @@ mod tests {
         dev.write(3);
         let s = dev.snapshot();
         assert_eq!(s.writes, 1);
+        assert_eq!(s.bytes_written, PAGE_SIZE as u64);
         assert_eq!(s.sim_ns, DeviceProfile::ssd().write_ns);
     }
 
@@ -220,5 +242,27 @@ mod tests {
         dev.read_random(1);
         let s = dev.snapshot();
         assert_eq!(s.random_reads, 2);
+    }
+
+    #[test]
+    fn cold_is_lock_free_warm_is_not() {
+        assert!(SimDevice::cold(DeviceKind::Ssd).is_lock_free());
+        assert!(!SimDevice::new(DeviceProfile::ssd(), CacheMode::Lru(8)).is_lock_free());
+    }
+
+    #[test]
+    fn concurrent_charges_sum_exactly() {
+        let dev = SimDevice::cold(DeviceKind::Ssd);
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let dev = dev.clone();
+                s.spawn(move || {
+                    for p in 0..5_000u64 {
+                        dev.read_random(t * 10_000 + p);
+                    }
+                });
+            }
+        });
+        assert_eq!(dev.snapshot().random_reads, 20_000, "no lost updates");
     }
 }

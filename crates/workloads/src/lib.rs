@@ -14,6 +14,11 @@
 //!   energy.
 //! * [`queries`] — probe sets with exact hit-rate control (Figure 11)
 //!   and range-scan workloads (Figure 13).
+//! * [`popularity`] — skewed key-popularity models (Zipfian via
+//!   rejection-inversion, YCSB-style hotspot) for the concurrent
+//!   serving experiments.
+//! * [`mixed`] — YCSB-A/B/C-style mixed read/insert op streams, split
+//!   into decorrelated per-thread streams for the parallel driver.
 //!
 //! Everything is reproducible from a seed: the paper's requirement
 //! that "the same set of search keys is used in each different
@@ -21,11 +26,15 @@
 
 #![warn(missing_docs)]
 
+pub mod mixed;
+pub mod popularity;
 pub mod queries;
 pub mod shd;
 pub mod synthetic;
 pub mod tpch;
 
+pub use mixed::{mixed_stream, mixed_streams, Op, OpMix};
+pub use popularity::{popular_probe_streams, popular_probes, KeyPopularity, KeySampler, Zipfian};
 pub use queries::{probes_from_domain, probes_with_hit_rate, range_queries, RangeQuery};
 pub use shd::ShdConfig;
 pub use synthetic::{build_relation_r, SyntheticConfig};

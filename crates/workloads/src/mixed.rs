@@ -1,0 +1,217 @@
+//! Mixed read/insert operation streams (YCSB-style A/B/C mixes).
+//!
+//! An [`OpMix`] fixes the read fraction; [`mixed_stream`] interleaves
+//! probe and insert operations exactly at that fraction (Bresenham
+//! spreading, the same device used by
+//! [`crate::probes_with_hit_rate`]), drawing probe keys under a
+//! [`KeyPopularity`] and insert keys in order from a caller-provided
+//! list. [`mixed_streams`] splits the work across worker threads with
+//! decorrelated per-thread seeds and disjoint insert-key slices, so a
+//! multi-threaded run touches each insert key exactly once.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::popularity::{thread_seed, KeyPopularity, KeySampler};
+
+/// One operation of a mixed workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Point probe of the key.
+    Probe(u64),
+    /// Register the key (its tuple is pre-loaded in the heap; the
+    /// op makes it visible to the index).
+    Insert(u64),
+}
+
+/// Read/insert ratio of a mixed stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpMix {
+    /// Fraction of operations that are probes, in [0, 1].
+    pub read_fraction: f64,
+}
+
+impl OpMix {
+    /// YCSB-A: 50 % reads, 50 % writes ("update heavy").
+    pub const YCSB_A: OpMix = OpMix { read_fraction: 0.5 };
+    /// YCSB-B: 95 % reads, 5 % writes ("read mostly").
+    pub const YCSB_B: OpMix = OpMix {
+        read_fraction: 0.95,
+    };
+    /// YCSB-C: 100 % reads (the paper's probe-only workloads).
+    pub const YCSB_C: OpMix = OpMix { read_fraction: 1.0 };
+}
+
+/// Generate `n_ops` operations: probes of `domain` keys drawn under
+/// `popularity`, interleaved with inserts consuming `insert_keys` in
+/// order. Exactly `⌈n_ops · (1 - read_fraction)⌉` inserts are
+/// scheduled (fewer if `insert_keys` runs out first — the tail
+/// becomes probes), evenly spread through the stream.
+pub fn mixed_stream(
+    domain: &[u64],
+    popularity: KeyPopularity,
+    mix: OpMix,
+    insert_keys: &[u64],
+    n_ops: usize,
+    seed: u64,
+) -> Vec<Op> {
+    assert!(
+        (0.0..=1.0).contains(&mix.read_fraction),
+        "read fraction out of [0, 1]"
+    );
+    assert!(!domain.is_empty(), "empty probe domain");
+    let sampler = KeySampler::new(domain.len(), popularity);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let rf = mix.read_fraction;
+    let mut next_insert = 0usize;
+    (0..n_ops)
+        .map(|i| {
+            let want_read =
+                (((i + 1) as f64) * rf).floor() > ((i as f64) * rf).floor() || rf >= 1.0;
+            if !want_read && next_insert < insert_keys.len() {
+                let key = insert_keys[next_insert];
+                next_insert += 1;
+                Op::Insert(key)
+            } else {
+                Op::Probe(domain[sampler.sample(&mut rng)])
+            }
+        })
+        .collect()
+}
+
+/// Per-thread mixed streams: `threads` streams of `ops_per_thread`
+/// operations, each seeded from `(seed, thread)` and drawing inserts
+/// from its own disjoint chunk of `insert_keys`.
+pub fn mixed_streams(
+    domain: &[u64],
+    popularity: KeyPopularity,
+    mix: OpMix,
+    insert_keys: &[u64],
+    ops_per_thread: usize,
+    threads: usize,
+    seed: u64,
+) -> Vec<Vec<Op>> {
+    assert!(threads >= 1, "need at least one stream");
+    let chunk = insert_keys.len().div_ceil(threads).max(1);
+    (0..threads)
+        .map(|t| {
+            let slice = insert_keys
+                .get(t * chunk..((t + 1) * chunk).min(insert_keys.len()))
+                .unwrap_or(&[]);
+            mixed_stream(
+                domain,
+                popularity,
+                mix,
+                slice,
+                ops_per_thread,
+                thread_seed(seed, t),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn domain() -> Vec<u64> {
+        (0..1_000u64).collect()
+    }
+
+    fn count_inserts(ops: &[Op]) -> usize {
+        ops.iter().filter(|o| matches!(o, Op::Insert(_))).count()
+    }
+
+    #[test]
+    fn mix_fraction_is_exact() {
+        let d = domain();
+        let inserts: Vec<u64> = (10_000..20_000u64).collect();
+        for (mix, expect) in [
+            (OpMix::YCSB_A, 500),
+            (OpMix::YCSB_B, 50),
+            (OpMix::YCSB_C, 0),
+        ] {
+            let ops = mixed_stream(&d, KeyPopularity::Uniform, mix, &inserts, 1_000, 1);
+            assert_eq!(ops.len(), 1_000);
+            assert_eq!(count_inserts(&ops), expect, "mix {mix:?}");
+        }
+    }
+
+    #[test]
+    fn inserts_consume_keys_in_order_without_repeats() {
+        let d = domain();
+        let inserts: Vec<u64> = (10_000..10_100u64).collect();
+        let ops = mixed_stream(&d, KeyPopularity::Uniform, OpMix::YCSB_A, &inserts, 150, 2);
+        let got: Vec<u64> = ops
+            .iter()
+            .filter_map(|o| match o {
+                Op::Insert(k) => Some(*k),
+                Op::Probe(_) => None,
+            })
+            .collect();
+        assert_eq!(got, inserts[..got.len()].to_vec());
+    }
+
+    #[test]
+    fn exhausted_insert_keys_fall_back_to_probes() {
+        let d = domain();
+        let inserts = [10_000u64, 10_001];
+        let ops = mixed_stream(&d, KeyPopularity::Uniform, OpMix::YCSB_A, &inserts, 100, 3);
+        assert_eq!(count_inserts(&ops), 2);
+    }
+
+    #[test]
+    fn streams_are_deterministic() {
+        let d = domain();
+        let inserts: Vec<u64> = (10_000..10_500u64).collect();
+        let pop = KeyPopularity::Zipfian { theta: 0.99 };
+        let a = mixed_streams(&d, pop, OpMix::YCSB_B, &inserts, 200, 4, 5);
+        let b = mixed_streams(&d, pop, OpMix::YCSB_B, &inserts, 200, 4, 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn thread_insert_slices_are_disjoint() {
+        let d = domain();
+        let inserts: Vec<u64> = (10_000..10_100u64).collect();
+        let streams = mixed_streams(
+            &d,
+            KeyPopularity::Uniform,
+            OpMix::YCSB_A,
+            &inserts,
+            60,
+            4,
+            6,
+        );
+        let mut seen: Vec<u64> = streams
+            .iter()
+            .flatten()
+            .filter_map(|o| match o {
+                Op::Insert(k) => Some(*k),
+                Op::Probe(_) => None,
+            })
+            .collect();
+        let n = seen.len();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), n, "an insert key was issued twice");
+    }
+
+    #[test]
+    fn probe_keys_come_from_the_domain() {
+        let d: Vec<u64> = (0..100u64).map(|i| i * 7).collect();
+        let ops = mixed_stream(
+            &d,
+            KeyPopularity::Zipfian { theta: 1.1 },
+            OpMix::YCSB_B,
+            &[],
+            500,
+            8,
+        );
+        for op in ops {
+            if let Op::Probe(k) = op {
+                assert!(d.binary_search(&k).is_ok());
+            }
+        }
+    }
+}

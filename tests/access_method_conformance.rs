@@ -4,12 +4,12 @@
 //! suite or it isn't an access method.
 
 use bftree::BfTree;
-use bftree_access::{AccessMethod, IndexStats};
+use bftree_access::{AccessMethod, ConcurrentIndex, IndexStats};
 use bftree_btree::{BPlusTree, BTreeConfig};
 use bftree_fdtree::FdTree;
 use bftree_hashindex::HashIndex;
 use bftree_storage::tuple::{ATT1_OFFSET, PK_OFFSET};
-use bftree_storage::{Duplicates, HeapFile, IoContext, Relation, TupleLayout};
+use bftree_storage::{Duplicates, HeapFile, IoContext, Relation, StorageConfig, TupleLayout};
 
 const N: u64 = 5_000;
 const CARD: u64 = 7;
@@ -170,6 +170,119 @@ fn conformance_on_contiguous_duplicates() {
         }
         let miss = index.probe(N, &rel, &io).unwrap();
         assert!(!miss.found(), "{name}: phantom duplicate match");
+    }
+}
+
+/// Concurrency conformance: N threads probing one shared index see
+/// exactly what a single thread sees, and the shared (sharded) I/O
+/// counters equal the sum of per-thread work — no lost updates, no
+/// phantom charges. This is the contract the `AccessMethod:
+/// Send + Sync` supertrait and the sharded `IoStats` exist to uphold.
+#[test]
+fn concurrent_probes_match_single_threaded_baseline() {
+    const THREADS: u64 = 4;
+    let rel = relation(Duplicates::Unique);
+    for mut index in all_indexes(&rel) {
+        let name = index.name();
+        index.build(&rel).unwrap();
+        let index: &dyn AccessMethod = index.as_ref();
+
+        // Disjoint per-thread key sets (hits and misses interleaved).
+        let streams: Vec<Vec<u64>> = (0..THREADS)
+            .map(|t| (0..2 * N).filter(|k| k % THREADS == t).collect())
+            .collect();
+
+        // Single-threaded baseline over all streams.
+        let io_single = IoContext::cold(StorageConfig::SsdHdd);
+        let mut expect_hits = 0u64;
+        for keys in &streams {
+            for &key in keys {
+                expect_hits += u64::from(index.probe_first(key, &rel, &io_single).unwrap().found());
+            }
+        }
+        let expect = io_single.snapshot_total();
+
+        // Concurrent run: each thread probes its stream and checks
+        // results against brute force as it goes.
+        let io = IoContext::cold(StorageConfig::SsdHdd);
+        let hits: u64 = std::thread::scope(|s| {
+            let handles: Vec<_> = streams
+                .iter()
+                .map(|keys| {
+                    let (io, rel) = (&io, &rel);
+                    s.spawn(move || {
+                        let mut hits = 0u64;
+                        for &key in keys {
+                            let p = index.probe_first(key, rel, io).unwrap();
+                            assert_eq!(
+                                p.found(),
+                                !brute_force(rel, key).is_empty(),
+                                "{name}: probe({key}) diverged under concurrency"
+                            );
+                            hits += u64::from(p.found());
+                        }
+                        hits
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+
+        let got = io.snapshot_total();
+        assert_eq!(hits, expect_hits, "{name}: hit totals diverged");
+        assert_eq!(
+            got.device_reads(),
+            expect.device_reads(),
+            "{name}: concurrent I/O totals must equal the sum of per-thread work"
+        );
+        assert_eq!(got.sim_ns, expect.sim_ns, "{name}: simulated time diverged");
+    }
+}
+
+/// Mixed read/insert conformance through the `ConcurrentIndex`
+/// adapter: concurrent inserts are never lost and become visible to
+/// probes once the run drains.
+#[test]
+fn concurrent_mixed_inserts_are_linearizable() {
+    const THREADS: u64 = 4;
+    const PER_THREAD: u64 = 50;
+    let base = relation(Duplicates::Unique);
+    for mut index in all_indexes(&base) {
+        let name = index.name();
+        // Build over the base relation, then (load phase) append the
+        // fresh keys' tuples to the heap; the concurrent run phase
+        // registers them in the index while other threads probe.
+        let mut rel = base.clone();
+        index.build(&rel).unwrap();
+        let fresh: Vec<(u64, (u64, usize))> = (0..THREADS * PER_THREAD)
+            .map(|i| {
+                let key = 10 * N + i;
+                (key, rel.heap_mut().append_record(key, key))
+            })
+            .collect();
+        let shared = ConcurrentIndex::new(index);
+        let io = IoContext::unmetered();
+        std::thread::scope(|s| {
+            for t in 0..THREADS as usize {
+                let chunk = &fresh[t * PER_THREAD as usize..(t + 1) * PER_THREAD as usize];
+                let (shared, rel, io) = (&shared, &rel, &io);
+                s.spawn(move || {
+                    for &(key, loc) in chunk {
+                        shared.insert(key, loc, rel).unwrap();
+                        // Interleave reads of the stable domain.
+                        assert!(shared.probe_first(key % N, rel, io).unwrap().found());
+                    }
+                });
+            }
+        });
+        let io = IoContext::unmetered();
+        for &(key, loc) in &fresh {
+            let p = shared.probe(key, &rel, &io).unwrap();
+            assert!(
+                p.matches.contains(&loc),
+                "{name}: concurrently inserted key {key} lost"
+            );
+        }
     }
 }
 
