@@ -237,6 +237,18 @@ pub trait AccessMethod: Send + Sync {
     /// Index size in bytes.
     fn size_bytes(&self) -> u64;
 
+    /// Bytes of main memory this index occupies when held resident —
+    /// what a buffer manager must carve out of its budget before
+    /// caching data pages (see
+    /// `IoContext::reserve_index_footprint`). The paper's trade-off in
+    /// one number: a smaller footprint leaves more budget for data.
+    ///
+    /// Defaults to [`AccessMethod::size_bytes`]; override if the
+    /// resident form differs from the on-device form.
+    fn resident_bytes(&self) -> u64 {
+        self.size_bytes()
+    }
+
     /// Structural statistics.
     fn stats(&self) -> IndexStats;
 }
@@ -281,6 +293,10 @@ impl<A: AccessMethod + ?Sized> AccessMethod for Box<A> {
 
     fn size_bytes(&self) -> u64 {
         (**self).size_bytes()
+    }
+
+    fn resident_bytes(&self) -> u64 {
+        (**self).resident_bytes()
     }
 
     fn stats(&self) -> IndexStats {

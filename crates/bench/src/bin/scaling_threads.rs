@@ -46,6 +46,8 @@ fn main() {
             "p50_us",
             "p99_us",
             "device_reads",
+            "cache_hit%",
+            "evict",
             "counters",
         ],
     );
@@ -89,6 +91,8 @@ fn main() {
                 fmt_f(r.latencies.quantile_ns(0.5) as f64 / 1e3),
                 fmt_f(r.latencies.quantile_ns(0.99) as f64 / 1e3),
                 total.device_reads().to_string(),
+                fmt_f(100.0 * r.cache_hit_rate()),
+                r.cache_evictions().to_string(),
                 if exact { "exact" } else { "LOST-UPDATES" }.to_string(),
             ]);
             assert!(exact, "{}: I/O counters diverged", kind.label());

@@ -3,7 +3,3 @@
 //! [`IoContext`] every experiment charges.
 
 pub use bftree_storage::{IoContext, StorageConfig};
-
-/// The pair of simulated devices an experiment charges against.
-#[deprecated(since = "0.2.0", note = "renamed to `bftree_storage::IoContext`")]
-pub type DevicePair = IoContext;

@@ -25,6 +25,11 @@ pub struct RunResult {
     pub false_reads: f64,
     /// Fraction of probes that found at least one tuple.
     pub hit_rate: f64,
+    /// Fraction of page reads absorbed by the buffer pool (0 on cold
+    /// devices).
+    pub cache_hit_rate: f64,
+    /// Buffer-pool evictions across the run.
+    pub cache_evictions: u64,
 }
 
 /// The four competitors of the paper's evaluation.
@@ -98,11 +103,14 @@ pub fn run_probes(
         false_reads += probe.false_reads;
     }
     let n = probes.len().max(1) as f64;
+    let total = io.snapshot_total();
     RunResult {
         mean_us: io.sim_us() / n,
         index_pages: index.stats().pages,
         false_reads: false_reads as f64 / n,
         hit_rate: hits as f64 / n,
+        cache_hit_rate: total.cache_hit_rate(),
+        cache_evictions: total.cache_evictions,
     }
 }
 

@@ -22,7 +22,7 @@
 //! wall-clock throughput, which is also reported but informational.
 
 use bftree_access::{AccessMethod, ConcurrentIndex};
-use bftree_storage::{thread_sim_ns, IoContext, PageId, Relation};
+use bftree_storage::{thread_sim_ns, IoContext, IoSnapshot, PageId, Relation};
 use bftree_workloads::Op;
 
 /// A log₂-bucketed latency histogram over simulated nanoseconds.
@@ -150,6 +150,9 @@ pub struct ParallelRunResult {
     pub latencies: LatencyHistogram,
     /// Per-thread breakdown, indexed by stream position.
     pub per_thread: Vec<ThreadStats>,
+    /// Merged I/O counters of both devices at the end of the run
+    /// (cache hits/evictions included).
+    pub io_total: IoSnapshot,
 }
 
 impl ParallelRunResult {
@@ -170,6 +173,17 @@ impl ParallelRunResult {
             return 0.0;
         }
         self.total_ops as f64 * 1e9 / self.makespan_sim_ns as f64
+    }
+
+    /// Fraction of page reads absorbed by the buffer pool (0 on cold
+    /// devices).
+    pub fn cache_hit_rate(&self) -> f64 {
+        self.io_total.cache_hit_rate()
+    }
+
+    /// Buffer-pool evictions across the run.
+    pub fn cache_evictions(&self) -> u64 {
+        self.io_total.cache_evictions
     }
 
     /// How close the run is to ideal scaling: total device-time demand
@@ -230,7 +244,11 @@ pub fn run_probes_parallel(
             .map(|h| h.join().expect("probe worker panicked"))
             .collect()
     });
-    assemble(worker_results, wall_start.elapsed().as_secs_f64())
+    assemble(
+        worker_results,
+        wall_start.elapsed().as_secs_f64(),
+        io.snapshot_total(),
+    )
 }
 
 /// Serve per-thread mixed read/insert streams concurrently through a
@@ -288,13 +306,18 @@ pub fn run_mixed_parallel<A: AccessMethod>(
             .map(|h| h.join().expect("mixed worker panicked"))
             .collect()
     });
-    assemble(worker_results, wall_start.elapsed().as_secs_f64())
+    assemble(
+        worker_results,
+        wall_start.elapsed().as_secs_f64(),
+        io.snapshot_total(),
+    )
 }
 
 /// Merge per-worker results into one [`ParallelRunResult`].
 fn assemble(
     worker_results: Vec<(ThreadStats, LatencyHistogram)>,
     wall_seconds: f64,
+    io_total: IoSnapshot,
 ) -> ParallelRunResult {
     let mut latencies = LatencyHistogram::new();
     let mut per_thread = Vec::with_capacity(worker_results.len());
@@ -312,6 +335,7 @@ fn assemble(
         wall_seconds,
         latencies,
         per_thread,
+        io_total,
     }
 }
 

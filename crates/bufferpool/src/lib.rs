@@ -1,0 +1,36 @@
+//! # Shared buffer manager for the BF-Tree reproduction
+//!
+//! The paper's central trade-off — a smaller index buys back buffer
+//! headroom for data pages — needs a place where index and data
+//! caching *compete for one memory budget*. This crate is that place:
+//!
+//! * [`manager`] — [`BufferManager`]: a concurrent, sharded page cache
+//!   with a single byte-denominated budget shared by every pool
+//!   (device) registered with it, pin/unpin page handles, prewarm,
+//!   budget reservations (an index's resident footprint directly
+//!   shrinks what is left for data pages), and a trace-replay
+//!   exactness check for its counters.
+//! * [`policy`] — the [`EvictionPolicy`] trait and three disciplines:
+//!   strict [`Lru`], second-chance [`Clock`], and simplified [`TwoQ`].
+//!
+//! `bftree-storage`'s simulated devices delegate their warm paths
+//! here; the `memory_budget` experiment sweeps budget × policy × index
+//! to reproduce the paper's memory-pressure story.
+//!
+//! ```
+//! use bftree_bufferpool::{BufferManager, PolicyKind};
+//!
+//! let mgr = BufferManager::new(8 * 4096, PolicyKind::Lru);
+//! let data = mgr.register_pool("data");
+//! assert!(!mgr.touch(data, 7, 4096).is_hit()); // cold miss
+//! assert!(mgr.touch(data, 7, 4096).is_hit()); // resident
+//! assert_eq!(mgr.stats().hit_rate(), 0.5);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod manager;
+pub mod policy;
+
+pub use manager::{Access, BufferManager, BufferStats, PinGuard, PoolId, ReplayCheck};
+pub use policy::{Clock, EvictionPolicy, Lru, PolicyKind, TwoQ};

@@ -67,7 +67,8 @@ pub enum ProbeOrder {
     /// near-uniform ordered data the true page is checked first and a
     /// probe-with-early-out pays ~zero false reads instead of
     /// `fpp . S/2` (cf. the paper's §7 interpolation-search
-    /// discussion). Only consulted by [`crate::BfTree::probe_first`].
+    /// discussion). Only consulted by first-match probes
+    /// (`AccessMethod::probe_first`).
     Interpolated,
 }
 

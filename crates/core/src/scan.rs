@@ -5,7 +5,7 @@
 //! partially; reading boundary partitions whole is the overhead
 //! Figure 13 measures. The §7 optimization — enumerate the boundary
 //! values and probe the BFs to fetch only useful pages — is
-//! implemented as [`BfTree::range_scan_probing`].
+//! implemented as [`BfTree::scan_range_probing`].
 
 use bftree_storage::tuple::AttrOffset;
 use bftree_storage::{HeapFile, IoContext, PageId, Relation, SimDevice};
@@ -27,25 +27,6 @@ pub struct RangeScanResult {
 }
 
 impl BfTree {
-    /// Plain range scan: read every page of every partition overlapping
-    /// `[lo, hi]` sequentially, filtering tuples. This is the default
-    /// §7 evaluation (Figure 13's numerator).
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `AccessMethod::range_scan` with a `Relation` and `IoContext`"
-    )]
-    pub fn range_scan(
-        &self,
-        lo: u64,
-        hi: u64,
-        heap: &HeapFile,
-        attr: AttrOffset,
-        idx_dev: Option<&SimDevice>,
-        data_dev: Option<&SimDevice>,
-    ) -> RangeScanResult {
-        self.range_scan_impl(lo, hi, heap, attr, idx_dev, data_dev)
-    }
-
     pub(crate) fn range_scan_impl(
         &self,
         lo: u64,
@@ -79,31 +60,6 @@ impl BfTree {
             idx = leaf.next;
         }
         result
-    }
-
-    /// Range scan with the §7 boundary optimization: middle partitions
-    /// are read whole; for boundary partitions the values in
-    /// `[lo, hi] ∩ [leaf.min_key, leaf.max_key]` are enumerated and the
-    /// BFs probed, so only (probabilistically) useful pages are read.
-    /// Practical only for enumerable domains — the enumeration is
-    /// capped at `max_enumeration` probes per boundary leaf, falling
-    /// back to whole-partition reads beyond it.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `BfTree::scan_range_probing` with a `Relation` and `IoContext`"
-    )]
-    #[allow(clippy::too_many_arguments)]
-    pub fn range_scan_probing(
-        &self,
-        lo: u64,
-        hi: u64,
-        heap: &HeapFile,
-        attr: AttrOffset,
-        idx_dev: Option<&SimDevice>,
-        data_dev: Option<&SimDevice>,
-        max_enumeration: u64,
-    ) -> RangeScanResult {
-        self.range_scan_probing_impl(lo, hi, heap, attr, idx_dev, data_dev, max_enumeration)
     }
 
     /// The §7 boundary-probing range scan over the new handle API:

@@ -233,39 +233,9 @@ impl BfTree {
     /// Charges index reads (internal descent + one read per BF-leaf
     /// visited) to `idx_dev` and data-page fetches to `data_dev`
     /// (sorted batch: adjacent pages at sequential cost, as the paper's
-    /// Equation 13 models).
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `AccessMethod::probe` with a `Relation` and `IoContext`"
-    )]
-    pub fn probe(
-        &self,
-        key: u64,
-        heap: &HeapFile,
-        attr: AttrOffset,
-        idx_dev: Option<&SimDevice>,
-        data_dev: Option<&SimDevice>,
-    ) -> ProbeResult {
-        self.probe_impl(key, heap, attr, idx_dev, data_dev, false)
-    }
-
-    /// Algorithm 1 with the paper's primary-key shortcut: "as soon as
-    /// the tuple is found the search ends".
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `AccessMethod::probe_first` with a `Relation` and `IoContext`"
-    )]
-    pub fn probe_first(
-        &self,
-        key: u64,
-        heap: &HeapFile,
-        attr: AttrOffset,
-        idx_dev: Option<&SimDevice>,
-        data_dev: Option<&SimDevice>,
-    ) -> ProbeResult {
-        self.probe_impl(key, heap, attr, idx_dev, data_dev, true)
-    }
-
+    /// Equation 13 models). The public entry points are
+    /// `AccessMethod::probe`/`probe_first` over a `Relation` and an
+    /// `IoContext`.
     pub(crate) fn probe_impl(
         &self,
         key: u64,

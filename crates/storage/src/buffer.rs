@@ -4,13 +4,35 @@
 //! owning page bytes — the byte store stays in the heap file / index —
 //! so it composes with any page-holding structure while still deciding
 //! hit vs. miss exactly like a real pool would.
+//!
+//! Capacity is **byte-denominated**: each resident page charges its
+//! own size against the pool's byte budget, so a pool shared between
+//! structures with different page sizes (or an index whose pages are
+//! smaller than the heap's) accounts its memory honestly. The
+//! page-count constructor [`BufferPool::with_page_capacity`] remains
+//! for callers that think in uniform pages.
+//!
+//! This is the single-threaded, single-device building block; the
+//! multi-device, sharded manager with a *shared* budget lives in
+//! `bftree-bufferpool` and is what [`crate::IoContext`] budget modes
+//! delegate to.
 
 use std::collections::HashMap;
 
-/// A fixed-capacity LRU set of page ids.
+/// What one [`BufferPool::touch`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolAccess {
+    /// The page was resident.
+    pub hit: bool,
+    /// Pages evicted to admit the miss (always 0 on a hit).
+    pub evicted: u64,
+}
+
+/// A fixed-byte-capacity LRU set of page ids.
 #[derive(Debug)]
 pub struct BufferPool {
-    capacity: usize,
+    capacity_bytes: u64,
+    used_bytes: u64,
     /// page id -> slot in `entries`.
     map: HashMap<u64, usize>,
     entries: Vec<Entry>,
@@ -22,6 +44,7 @@ pub struct BufferPool {
 #[derive(Debug, Clone, Copy)]
 struct Entry {
     page: u64,
+    bytes: u64,
     prev: usize,
     next: usize,
 }
@@ -29,22 +52,33 @@ struct Entry {
 const NIL: usize = usize::MAX;
 
 impl BufferPool {
-    /// Pool holding up to `capacity` pages. A zero capacity pool never
-    /// hits.
-    pub fn new(capacity: usize) -> Self {
+    /// Pool holding up to `capacity_bytes` of pages. A zero-capacity
+    /// pool never hits.
+    pub fn new(capacity_bytes: u64) -> Self {
         Self {
-            capacity,
-            map: HashMap::with_capacity(capacity.min(1 << 20)),
-            entries: Vec::with_capacity(capacity.min(1 << 20)),
+            capacity_bytes,
+            used_bytes: 0,
+            map: HashMap::new(),
+            entries: Vec::new(),
             head: NIL,
             tail: NIL,
             free: Vec::new(),
         }
     }
 
-    /// Pool capacity in pages.
-    pub fn capacity(&self) -> usize {
-        self.capacity
+    /// Pool sized for `pages` uniform pages of `page_bytes` each.
+    pub fn with_page_capacity(pages: usize, page_bytes: usize) -> Self {
+        Self::new(pages as u64 * page_bytes as u64)
+    }
+
+    /// Pool capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity_bytes
+    }
+
+    /// Bytes currently resident.
+    pub fn used_bytes(&self) -> u64 {
+        self.used_bytes
     }
 
     /// Number of resident pages.
@@ -57,45 +91,60 @@ impl BufferPool {
         self.map.is_empty()
     }
 
-    /// Touch `page`: returns `true` on hit (page was resident) and
-    /// `false` on miss, in which case the page is admitted and the LRU
-    /// victim evicted if the pool is full.
-    pub fn touch(&mut self, page: u64) -> bool {
-        if self.capacity == 0 {
-            return false;
-        }
+    /// Touch `page` of size `bytes`: a hit if the page was resident;
+    /// on a miss the page is admitted (LRU victims evicted until it
+    /// fits) unless it is larger than the whole pool.
+    pub fn touch(&mut self, page: u64, bytes: u64) -> PoolAccess {
         if let Some(&slot) = self.map.get(&page) {
             self.unlink(slot);
             self.push_front(slot);
-            return true;
+            return PoolAccess {
+                hit: true,
+                evicted: 0,
+            };
         }
-        // Miss: admit.
-        if self.map.len() >= self.capacity {
+        let mut evicted = 0;
+        if bytes > self.capacity_bytes {
+            // Never admissible; serve without caching.
+            return PoolAccess {
+                hit: false,
+                evicted,
+            };
+        }
+        while self.used_bytes + bytes > self.capacity_bytes {
             let victim = self.tail;
             debug_assert_ne!(victim, NIL);
-            let victim_page = self.entries[victim].page;
+            let Entry {
+                page: victim_page,
+                bytes: victim_bytes,
+                ..
+            } = self.entries[victim];
             self.unlink(victim);
             self.map.remove(&victim_page);
             self.free.push(victim);
+            self.used_bytes -= victim_bytes;
+            evicted += 1;
         }
+        let entry = Entry {
+            page,
+            bytes,
+            prev: NIL,
+            next: NIL,
+        };
         let slot = if let Some(slot) = self.free.pop() {
-            self.entries[slot] = Entry {
-                page,
-                prev: NIL,
-                next: NIL,
-            };
+            self.entries[slot] = entry;
             slot
         } else {
-            self.entries.push(Entry {
-                page,
-                prev: NIL,
-                next: NIL,
-            });
+            self.entries.push(entry);
             self.entries.len() - 1
         };
         self.map.insert(page, slot);
         self.push_front(slot);
-        false
+        self.used_bytes += bytes;
+        PoolAccess {
+            hit: false,
+            evicted,
+        }
     }
 
     /// Whether `page` is resident, without touching recency.
@@ -110,6 +159,7 @@ impl BufferPool {
         self.free.clear();
         self.head = NIL;
         self.tail = NIL;
+        self.used_bytes = 0;
     }
 
     fn unlink(&mut self, slot: usize) {
@@ -145,21 +195,33 @@ impl BufferPool {
 mod tests {
     use super::*;
 
+    const PAGE: u64 = 4096;
+
+    fn pool(pages: usize) -> BufferPool {
+        BufferPool::with_page_capacity(pages, PAGE as usize)
+    }
+
+    fn hit(pool: &mut BufferPool, page: u64) -> bool {
+        pool.touch(page, PAGE).hit
+    }
+
     #[test]
     fn miss_then_hit() {
-        let mut pool = BufferPool::new(4);
-        assert!(!pool.touch(1));
-        assert!(pool.touch(1));
+        let mut pool = pool(4);
+        assert!(!hit(&mut pool, 1));
+        assert!(hit(&mut pool, 1));
         assert_eq!(pool.len(), 1);
+        assert_eq!(pool.used_bytes(), PAGE);
     }
 
     #[test]
     fn evicts_lru_victim() {
-        let mut pool = BufferPool::new(2);
-        pool.touch(1);
-        pool.touch(2);
-        pool.touch(1); // 1 is now MRU; 2 is LRU
-        pool.touch(3); // evicts 2
+        let mut pool = pool(2);
+        hit(&mut pool, 1);
+        hit(&mut pool, 2);
+        hit(&mut pool, 1); // 1 is now MRU; 2 is LRU
+        let access = pool.touch(3, PAGE); // evicts 2
+        assert_eq!(access.evicted, 1);
         assert!(pool.peek(1));
         assert!(!pool.peek(2));
         assert!(pool.peek(3));
@@ -170,29 +232,56 @@ mod tests {
     fn zero_capacity_never_hits() {
         let mut pool = BufferPool::new(0);
         for p in 0..10 {
-            assert!(!pool.touch(p));
-            assert!(!pool.touch(p));
+            assert!(!hit(&mut pool, p));
+            assert!(!hit(&mut pool, p));
         }
         assert!(pool.is_empty());
     }
 
     #[test]
     fn single_slot_pool() {
-        let mut pool = BufferPool::new(1);
-        assert!(!pool.touch(7));
-        assert!(pool.touch(7));
-        assert!(!pool.touch(8));
-        assert!(!pool.touch(7));
+        let mut pool = pool(1);
+        assert!(!hit(&mut pool, 7));
+        assert!(hit(&mut pool, 7));
+        assert!(!hit(&mut pool, 8));
+        assert!(!hit(&mut pool, 7));
     }
 
     #[test]
     fn clear_resets() {
-        let mut pool = BufferPool::new(4);
-        pool.touch(1);
-        pool.touch(2);
+        let mut pool = pool(4);
+        hit(&mut pool, 1);
+        hit(&mut pool, 2);
         pool.clear();
         assert!(pool.is_empty());
-        assert!(!pool.touch(1));
+        assert_eq!(pool.used_bytes(), 0);
+        assert!(!hit(&mut pool, 1));
+    }
+
+    #[test]
+    fn mixed_page_sizes_charge_bytes_not_pages() {
+        // 4 KB budget: four 1 KB index pages fit where one 4 KB data
+        // page would; admitting the big page evicts all four.
+        let mut pool = BufferPool::new(PAGE);
+        for p in 0..4 {
+            assert!(!pool.touch(p, 1024).hit);
+        }
+        assert_eq!(pool.len(), 4, "four small pages co-resident");
+        let access = pool.touch(100, PAGE);
+        assert_eq!(access.evicted, 4);
+        assert_eq!(pool.len(), 1);
+        assert_eq!(pool.used_bytes(), PAGE);
+    }
+
+    #[test]
+    fn oversized_page_never_admitted() {
+        let mut pool = pool(2);
+        hit(&mut pool, 1);
+        let access = pool.touch(9, 3 * PAGE);
+        assert!(!access.hit);
+        assert_eq!(access.evicted, 0, "hopeless admits evict nothing");
+        assert!(pool.peek(1));
+        assert!(!pool.peek(9));
     }
 
     #[test]
@@ -200,7 +289,7 @@ mod tests {
         // Compare with a naive Vec-based LRU across a pseudo-random
         // access pattern.
         let cap = 8;
-        let mut pool = BufferPool::new(cap);
+        let mut pool = pool(cap);
         let mut model: Vec<u64> = Vec::new(); // front = MRU
         let mut state = 12345u64;
         for _ in 0..10_000 {
@@ -215,7 +304,7 @@ mod tests {
                 model.pop();
             }
             model.insert(0, page);
-            assert_eq!(pool.touch(page), model_hit, "divergence on page {page}");
+            assert_eq!(hit(&mut pool, page), model_hit, "divergence on page {page}");
         }
         assert_eq!(pool.len(), model.len());
         for p in &model {
@@ -225,9 +314,9 @@ mod tests {
 
     #[test]
     fn reuses_freed_slots() {
-        let mut pool = BufferPool::new(2);
+        let mut pool = pool(2);
         for p in 0..100 {
-            pool.touch(p);
+            hit(&mut pool, p);
         }
         // Only 2 + small churn of entries should exist.
         assert!(

@@ -2,6 +2,10 @@
 //! page accesses to, plus [`StorageConfig`] — the paper's five
 //! index/data device placements (§6.2, Figures 5–12).
 
+use std::sync::Arc;
+
+use bftree_bufferpool::{BufferManager, BufferStats, PolicyKind};
+
 use crate::device::{DeviceKind, DeviceProfile};
 use crate::page::PageId;
 use crate::sim::{CacheMode, SimDevice};
@@ -104,12 +108,23 @@ pub struct IoContext {
     pub index: SimDevice,
     /// Device holding the heap file.
     pub data: SimDevice,
+    /// Shared buffer manager both devices charge, when built with
+    /// [`IoContext::with_shared_budget`].
+    manager: Option<Arc<BufferManager>>,
 }
 
 impl IoContext {
     /// An explicit device pair.
     pub fn new(index: SimDevice, data: SimDevice) -> Self {
-        Self { index, data }
+        let manager = index
+            .shared_cache()
+            .or_else(|| data.shared_cache())
+            .map(|(m, _)| Arc::clone(m));
+        Self {
+            index,
+            data,
+            manager,
+        }
     }
 
     /// Cold devices for `config` — the paper's default O_DIRECT runs.
@@ -117,7 +132,61 @@ impl IoContext {
         Self {
             index: SimDevice::cold(config.index_kind()),
             data: SimDevice::cold(config.data_kind()),
+            manager: None,
         }
+    }
+
+    /// One buffer manager with a single `budget_bytes` memory budget
+    /// shared by *both* devices of `config`: index pages and data
+    /// pages compete for the same bytes under the given eviction
+    /// policy — the setting where a smaller index directly buys data
+    /// pages more cache (the BF-Tree's headline trade-off).
+    ///
+    /// Memory-kind devices stay uncached (a memory device *is* the
+    /// buffer; caching it would double-count the budget). Carve the
+    /// resident footprint of a memory-held index out of the budget
+    /// with [`IoContext::reserve_index_footprint`] instead.
+    pub fn with_shared_budget(
+        config: StorageConfig,
+        budget_bytes: u64,
+        policy: PolicyKind,
+    ) -> Self {
+        let manager = Arc::new(BufferManager::new(budget_bytes, policy));
+        let device = |kind: DeviceKind, label: &str| {
+            if kind == DeviceKind::Memory {
+                SimDevice::cold(kind)
+            } else {
+                SimDevice::with_shared_cache(
+                    DeviceProfile::of(kind),
+                    Arc::clone(&manager),
+                    manager.register_pool(label),
+                )
+            }
+        };
+        Self {
+            index: device(config.index_kind(), "index"),
+            data: device(config.data_kind(), "data"),
+            manager: Some(manager),
+        }
+    }
+
+    /// The shared buffer manager, when this context was built with
+    /// [`IoContext::with_shared_budget`].
+    pub fn buffer_manager(&self) -> Option<&Arc<BufferManager>> {
+        self.manager.as_ref()
+    }
+
+    /// Carve `bytes` (an index's resident footprint) out of the shared
+    /// budget, shrinking what is left for pages; returns the remaining
+    /// page budget. No-op returning 0 on contexts without a shared
+    /// manager.
+    pub fn reserve_index_footprint(&self, bytes: u64) -> u64 {
+        self.manager.as_ref().map_or(0, |m| m.reserve(bytes))
+    }
+
+    /// Counters and residency of the shared manager, if any.
+    pub fn buffer_stats(&self) -> Option<BufferStats> {
+        self.manager.as_ref().map(|m| m.stats())
     }
 
     /// Warm-cache devices (§6.2 "Warm caches"): the index device gets
@@ -134,6 +203,7 @@ impl IoContext {
                 CacheMode::Lru(upper_pages.max(1)),
             ),
             data: SimDevice::cold(config.data_kind()),
+            manager: None,
         }
     }
 
@@ -144,6 +214,7 @@ impl IoContext {
         Self {
             index: SimDevice::cold(DeviceKind::Memory),
             data: SimDevice::cold(DeviceKind::Memory),
+            manager: None,
         }
     }
 
@@ -214,6 +285,39 @@ mod tests {
         assert_eq!(io.index.snapshot().device_reads(), 0);
         io.index.read_random(99);
         assert_eq!(io.index.snapshot().device_reads(), 1);
+    }
+
+    #[test]
+    fn shared_budget_context_wires_both_devices_to_one_manager() {
+        use crate::page::PAGE_SIZE;
+
+        let io = IoContext::with_shared_budget(
+            StorageConfig::SsdHdd,
+            64 * PAGE_SIZE as u64,
+            PolicyKind::Lru,
+        );
+        let mgr = io.buffer_manager().expect("manager attached");
+        assert_eq!(mgr.policy(), PolicyKind::Lru);
+        io.index.read_random(1);
+        io.index.read_random(1);
+        io.data.read_random(1);
+        io.data.read_random(1);
+        let stats = io.buffer_stats().unwrap();
+        assert_eq!(stats.hits, 2, "one re-read per device");
+        assert_eq!(stats.resident_pages, 2, "pools keep pages distinct");
+        assert_eq!(io.snapshot_total().cache_hits, 2);
+
+        // Reserving an index footprint shrinks the page budget.
+        let remaining = io.reserve_index_footprint(60 * PAGE_SIZE as u64);
+        assert_eq!(remaining, 4 * PAGE_SIZE as u64);
+    }
+
+    #[test]
+    fn shared_budget_leaves_memory_devices_uncached() {
+        let io = IoContext::with_shared_budget(StorageConfig::MemSsd, 1 << 20, PolicyKind::Clock);
+        assert!(io.index.is_lock_free(), "memory index stays cold");
+        assert!(io.index.shared_cache().is_none());
+        assert!(io.data.shared_cache().is_some());
     }
 
     #[test]

@@ -29,6 +29,7 @@ struct Shard {
     seq_reads: AtomicU64,
     writes: AtomicU64,
     cache_hits: AtomicU64,
+    cache_evictions: AtomicU64,
     bytes_read: AtomicU64,
     bytes_written: AtomicU64,
     sim_ns: AtomicU64,
@@ -102,6 +103,9 @@ pub struct IoSnapshot {
     pub writes: u64,
     /// Reads absorbed by the buffer pool.
     pub cache_hits: u64,
+    /// Pages evicted from the buffer pool to admit this device's
+    /// misses.
+    pub cache_evictions: u64,
     /// Bytes transferred by reads that reached the device.
     pub bytes_read: u64,
     /// Bytes transferred by writes.
@@ -164,6 +168,18 @@ impl IoStats {
         MY_SIM_NS.with(|c| c.set(c.get() + ns));
     }
 
+    /// Record `n` buffer-pool evictions caused by admitting this
+    /// device's misses (bookkeeping only; the victim's write-back cost
+    /// is not modelled — pages here are clean by construction).
+    #[inline]
+    pub fn record_cache_evictions(&self, n: u64) {
+        if n > 0 {
+            self.shards[shard_index()]
+                .cache_evictions
+                .fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
     /// Merge all shards into a snapshot of the current totals.
     pub fn snapshot(&self) -> IoSnapshot {
         let mut out = IoSnapshot::default();
@@ -172,6 +188,7 @@ impl IoStats {
             out.seq_reads += s.seq_reads.load(Ordering::Relaxed);
             out.writes += s.writes.load(Ordering::Relaxed);
             out.cache_hits += s.cache_hits.load(Ordering::Relaxed);
+            out.cache_evictions += s.cache_evictions.load(Ordering::Relaxed);
             out.bytes_read += s.bytes_read.load(Ordering::Relaxed);
             out.bytes_written += s.bytes_written.load(Ordering::Relaxed);
             out.sim_ns += s.sim_ns.load(Ordering::Relaxed);
@@ -186,6 +203,7 @@ impl IoStats {
             s.seq_reads.store(0, Ordering::Relaxed);
             s.writes.store(0, Ordering::Relaxed);
             s.cache_hits.store(0, Ordering::Relaxed);
+            s.cache_evictions.store(0, Ordering::Relaxed);
             s.bytes_read.store(0, Ordering::Relaxed);
             s.bytes_written.store(0, Ordering::Relaxed);
             s.sim_ns.store(0, Ordering::Relaxed);
@@ -201,6 +219,7 @@ impl IoSnapshot {
             seq_reads: self.seq_reads - earlier.seq_reads,
             writes: self.writes - earlier.writes,
             cache_hits: self.cache_hits - earlier.cache_hits,
+            cache_evictions: self.cache_evictions - earlier.cache_evictions,
             bytes_read: self.bytes_read - earlier.bytes_read,
             bytes_written: self.bytes_written - earlier.bytes_written,
             sim_ns: self.sim_ns - earlier.sim_ns,
@@ -214,6 +233,7 @@ impl IoSnapshot {
             seq_reads: self.seq_reads + other.seq_reads,
             writes: self.writes + other.writes,
             cache_hits: self.cache_hits + other.cache_hits,
+            cache_evictions: self.cache_evictions + other.cache_evictions,
             bytes_read: self.bytes_read + other.bytes_read,
             bytes_written: self.bytes_written + other.bytes_written,
             sim_ns: self.sim_ns + other.sim_ns,
@@ -223,6 +243,18 @@ impl IoSnapshot {
     /// Total reads that reached the device (random + sequential).
     pub fn device_reads(&self) -> u64 {
         self.random_reads + self.seq_reads
+    }
+
+    /// Fraction of page reads absorbed by the buffer pool:
+    /// `cache_hits / (cache_hits + device reads)`; 0 when no read
+    /// happened (a cold device reports 0, not NaN).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.device_reads();
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
     }
 
     /// Total bytes that crossed the device interface.
@@ -253,11 +285,15 @@ mod tests {
         s.record_seq_read(10, 4096);
         s.record_write(50, 4096);
         s.record_cache_hit(1);
+        s.record_cache_evictions(2);
+        s.record_cache_evictions(0); // no-op, no shard write
         let snap = s.snapshot();
         assert_eq!(snap.random_reads, 2);
         assert_eq!(snap.seq_reads, 1);
         assert_eq!(snap.writes, 1);
         assert_eq!(snap.cache_hits, 1);
+        assert_eq!(snap.cache_evictions, 2);
+        assert_eq!(snap.cache_hit_rate(), 0.25, "1 hit, 3 device reads");
         assert_eq!(snap.bytes_read, 3 * 4096);
         assert_eq!(snap.bytes_written, 4096);
         assert_eq!(snap.bytes_total(), 4 * 4096);
@@ -342,6 +378,7 @@ mod tests {
             seq_reads: 2,
             writes: 3,
             cache_hits: 4,
+            cache_evictions: 8,
             bytes_read: 6,
             bytes_written: 7,
             sim_ns: 5,
@@ -351,13 +388,16 @@ mod tests {
             seq_reads: 20,
             writes: 30,
             cache_hits: 40,
+            cache_evictions: 80,
             bytes_read: 60,
             bytes_written: 70,
             sim_ns: 50,
         };
         let c = a.plus(&b);
         assert_eq!(c.random_reads, 11);
+        assert_eq!(c.cache_evictions, 88);
         assert_eq!(c.bytes_read, 66);
         assert_eq!(c.sim_ns, 55);
+        assert_eq!(c.since(&a), b);
     }
 }

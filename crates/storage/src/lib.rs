@@ -15,8 +15,13 @@
 //!   Figure 2 device survey.
 //! * [`io`] — I/O accounting: operation counters and a simulated clock.
 //! * [`sim`] — [`sim::SimDevice`]: a device profile + stats + optional
-//!   buffer pool, the thing indexes charge their accesses to.
-//! * [`buffer`] — an LRU buffer pool for warm-cache experiments.
+//!   buffer pool, the thing indexes charge their accesses to. Its warm
+//!   path is either a private per-device LRU ([`sim::CacheMode::Lru`])
+//!   or one pool of a shared, sharded [`BufferManager`] whose byte
+//!   budget all devices compete for
+//!   ([`context::IoContext::with_shared_budget`]).
+//! * [`buffer`] — a byte-denominated LRU buffer pool, the per-device
+//!   compatibility mode of the warm-cache experiments.
 //! * [`relation`] — [`relation::Relation`]: heap file + indexed
 //!   attribute + duplicate layout, the handle access methods build on.
 //! * [`context`] — [`context::IoContext`]: the index/data device pair a
@@ -40,7 +45,8 @@ pub mod search;
 pub mod sim;
 pub mod tuple;
 
-pub use buffer::BufferPool;
+pub use bftree_bufferpool::{BufferManager, BufferStats, PolicyKind, PoolId};
+pub use buffer::{BufferPool, PoolAccess};
 pub use context::{IoContext, StorageConfig};
 pub use device::{DeviceKind, DeviceProfile};
 pub use heap::HeapFile;

@@ -12,11 +12,16 @@
 //! from many threads at once. On the default **cold** path the device
 //! is lock-free: every access lands in the calling thread's counter
 //! shard (see [`IoStats`]) and totals are exact under any
-//! interleaving. Only the warm-cache mode ([`CacheMode::Lru`]) takes a
-//! mutex around its LRU pool — the warm experiments of §6.2 are
-//! single-threaded sweeps, so the lock is never contended there.
+//! interleaving. The per-device warm mode ([`CacheMode::Lru`]) takes a
+//! device-wide mutex around its LRU pool — the warm experiments of
+//! §6.2 are single-threaded sweeps, so the lock is never contended
+//! there. The shared-budget mode ([`SimDevice::with_shared_cache`])
+//! delegates to a sharded [`BufferManager`], whose per-shard locks
+//! keep parallel probes from serializing on cache bookkeeping.
 
 use std::sync::{Arc, Mutex};
+
+use bftree_bufferpool::{Access, BufferManager, PoolId};
 
 use crate::buffer::BufferPool;
 use crate::device::{DeviceKind, DeviceProfile};
@@ -28,8 +33,27 @@ use crate::page::{PageId, PAGE_SIZE};
 pub enum CacheMode {
     /// Every access reaches the device (the paper's O_DIRECT runs).
     Cold,
-    /// An LRU pool of the given page capacity absorbs re-reads.
+    /// A private per-device LRU pool of the given page capacity
+    /// ([`PAGE_SIZE`] each) absorbs re-reads — the compatibility mode
+    /// behind the warm-cache sweeps. For a budget *shared across
+    /// devices*, use [`SimDevice::with_shared_cache`].
     Lru(usize),
+}
+
+/// Where a device's warm path looks up pages.
+#[derive(Debug, Clone)]
+enum CacheBackend {
+    /// Every access reaches the device.
+    None,
+    /// Private per-device LRU (the old warm-cache mode).
+    Private(Arc<Mutex<BufferPool>>),
+    /// One pool of a [`BufferManager`] shared across devices: this
+    /// device's pages compete with every other pool for the manager's
+    /// byte budget.
+    Shared {
+        manager: Arc<BufferManager>,
+        pool: PoolId,
+    },
 }
 
 /// A simulated storage device: latency profile + stats + optional pool.
@@ -39,7 +63,7 @@ pub enum CacheMode {
 pub struct SimDevice {
     profile: DeviceProfile,
     stats: Arc<IoStats>,
-    pool: Option<Arc<Mutex<BufferPool>>>,
+    cache: CacheBackend,
 }
 
 impl SimDevice {
@@ -50,14 +74,32 @@ impl SimDevice {
 
     /// A device with an explicit profile and cache mode.
     pub fn new(profile: DeviceProfile, cache: CacheMode) -> Self {
-        let pool = match cache {
-            CacheMode::Cold => None,
-            CacheMode::Lru(pages) => Some(Arc::new(Mutex::new(BufferPool::new(pages)))),
+        let cache = match cache {
+            CacheMode::Cold => CacheBackend::None,
+            CacheMode::Lru(pages) => CacheBackend::Private(Arc::new(Mutex::new(
+                BufferPool::with_page_capacity(pages, PAGE_SIZE),
+            ))),
         };
         Self {
             profile,
             stats: Arc::new(IoStats::new()),
-            pool,
+            cache,
+        }
+    }
+
+    /// A device whose re-reads are absorbed by `pool` of the shared
+    /// `manager`: its pages compete with every other registered pool
+    /// for the manager's single byte budget (the paper's index-vs-data
+    /// memory trade-off). Pages are charged at [`PAGE_SIZE`] bytes.
+    pub fn with_shared_cache(
+        profile: DeviceProfile,
+        manager: Arc<BufferManager>,
+        pool: PoolId,
+    ) -> Self {
+        Self {
+            profile,
+            stats: Arc::new(IoStats::new()),
+            cache: CacheBackend::Shared { manager, pool },
         }
     }
 
@@ -117,10 +159,16 @@ impl SimDevice {
 
     /// Pre-load `pages` into the pool (warm-up) without charging.
     pub fn prewarm<I: IntoIterator<Item = PageId>>(&self, pages: I) {
-        if let Some(pool) = &self.pool {
-            let mut pool = pool.lock().unwrap_or_else(|e| e.into_inner());
-            for p in pages {
-                pool.touch(p);
+        match &self.cache {
+            CacheBackend::None => {}
+            CacheBackend::Private(pool) => {
+                let mut pool = pool.lock().unwrap_or_else(|e| e.into_inner());
+                for p in pages {
+                    pool.touch(p, PAGE_SIZE as u64);
+                }
+            }
+            CacheBackend::Shared { manager, pool } => {
+                manager.prewarm(*pool, pages, PAGE_SIZE as u64);
             }
         }
     }
@@ -135,30 +183,67 @@ impl SimDevice {
         self.stats.reset();
     }
 
-    /// Drop all cached pages.
+    /// Drop all cached pages of this device (shared managers only
+    /// evict this device's pool; other pools keep their residency).
     pub fn drop_caches(&self) {
-        if let Some(pool) = &self.pool {
-            pool.lock().unwrap_or_else(|e| e.into_inner()).clear();
+        match &self.cache {
+            CacheBackend::None => {}
+            CacheBackend::Private(pool) => {
+                pool.lock().unwrap_or_else(|e| e.into_inner()).clear();
+            }
+            CacheBackend::Shared { manager, pool } => manager.evict_pool(*pool),
         }
     }
 
     /// Whether charging this device takes no lock (true for
     /// [`CacheMode::Cold`], the default of every paper experiment).
     pub fn is_lock_free(&self) -> bool {
-        self.pool.is_none()
+        matches!(self.cache, CacheBackend::None)
+    }
+
+    /// The shared buffer manager this device charges, if any.
+    pub fn shared_cache(&self) -> Option<(&Arc<BufferManager>, PoolId)> {
+        match &self.cache {
+            CacheBackend::Shared { manager, pool } => Some((manager, *pool)),
+            _ => None,
+        }
     }
 
     #[inline]
     fn cache_absorbs(&self, page: PageId) -> bool {
-        if let Some(pool) = &self.pool {
-            if pool.lock().unwrap_or_else(|e| e.into_inner()).touch(page) {
-                // Serving from the pool costs a memory access.
-                self.stats
-                    .record_cache_hit(DeviceProfile::memory().random_read_ns);
-                return true;
+        match &self.cache {
+            CacheBackend::None => false,
+            CacheBackend::Private(pool) => {
+                let access = pool
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .touch(page, PAGE_SIZE as u64);
+                self.record_cache_access(access.hit, access.evicted)
+            }
+            CacheBackend::Shared { manager, pool } => {
+                match manager.touch(*pool, page, PAGE_SIZE as u64) {
+                    Access::Hit => self.record_cache_access(true, 0),
+                    Access::Miss { evicted } => {
+                        self.record_cache_access(false, evicted.len() as u64)
+                    }
+                }
             }
         }
-        false
+    }
+
+    /// Book a pool lookup's outcome; returns whether the read was
+    /// absorbed.
+    #[inline]
+    fn record_cache_access(&self, hit: bool, evicted: u64) -> bool {
+        if hit {
+            // Serving from the pool costs a memory access.
+            self.stats
+                .record_cache_hit(DeviceProfile::memory().random_read_ns);
+            true
+        } else {
+            self.stats.record_cache_evictions(evicted);
+            false
+        }
     }
 }
 
@@ -248,6 +333,54 @@ mod tests {
     fn cold_is_lock_free_warm_is_not() {
         assert!(SimDevice::cold(DeviceKind::Ssd).is_lock_free());
         assert!(!SimDevice::new(DeviceProfile::ssd(), CacheMode::Lru(8)).is_lock_free());
+    }
+
+    #[test]
+    fn lru_device_counts_evictions() {
+        let dev = SimDevice::new(DeviceProfile::ssd(), CacheMode::Lru(2));
+        dev.read_random(1);
+        dev.read_random(2);
+        dev.read_random(3); // evicts 1
+        dev.read_random(1); // evicts 2
+        let s = dev.snapshot();
+        assert_eq!(s.cache_evictions, 2);
+        assert_eq!(s.cache_hits, 0);
+        assert_eq!(s.cache_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn shared_cache_devices_compete_for_one_budget() {
+        use bftree_bufferpool::{BufferManager, PolicyKind};
+
+        let mgr = Arc::new(BufferManager::with_shards(
+            2 * PAGE_SIZE as u64,
+            PolicyKind::Lru,
+            1,
+        ));
+        let index = SimDevice::with_shared_cache(
+            DeviceProfile::ssd(),
+            Arc::clone(&mgr),
+            mgr.register_pool("index"),
+        );
+        let data = SimDevice::with_shared_cache(
+            DeviceProfile::hdd(),
+            Arc::clone(&mgr),
+            mgr.register_pool("data"),
+        );
+        index.read_random(7);
+        data.read_random(7); // same page id, different pool: both resident
+        assert!(index.shared_cache().is_some());
+        index.read_random(7);
+        data.read_random(7);
+        assert_eq!(index.snapshot().cache_hits, 1);
+        assert_eq!(data.snapshot().cache_hits, 1);
+        // A third distinct page overflows the shared 2-page budget.
+        data.read_random(8);
+        assert_eq!(data.snapshot().cache_evictions, 1);
+        // Dropping one device's caches leaves the other pool resident.
+        index.drop_caches();
+        data.read_random(7);
+        assert_eq!(data.snapshot().cache_hits, 2, "data pool survived");
     }
 
     #[test]

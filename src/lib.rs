@@ -11,6 +11,9 @@
 //! * [`storage`](bftree_storage) — pages, heap files, simulated devices,
 //!   and the [`bftree_storage::Relation`]/[`bftree_storage::IoContext`]
 //!   handles every query runs against.
+//! * [`bufferpool`](bftree_bufferpool) — the shared, sharded
+//!   [`bftree_bufferpool::BufferManager`] (one byte budget across all
+//!   devices, pluggable eviction policies) behind the warm paths.
 //! * [`btree`](bftree_btree) — B+-Tree baseline.
 //! * [`hashindex`](bftree_hashindex) — in-memory hash-index baseline.
 //! * [`fdtree`](bftree_fdtree) — FD-Tree baseline.
@@ -44,6 +47,7 @@ pub use bftree;
 pub use bftree_access;
 pub use bftree_bloom;
 pub use bftree_btree;
+pub use bftree_bufferpool;
 pub use bftree_fdtree;
 pub use bftree_hashindex;
 pub use bftree_model;
