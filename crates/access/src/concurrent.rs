@@ -82,6 +82,18 @@ impl<A: AccessMethod> ConcurrentIndex<A> {
         self.read().probe_first(key, rel, io)
     }
 
+    /// [`AccessMethod::probe_batch`] under **one** shared read lock
+    /// for the whole batch — mixed-workload servers amortize the lock
+    /// acquisition the same way the index amortizes its descent.
+    pub fn probe_batch(
+        &self,
+        keys: &[u64],
+        rel: &Relation,
+        io: &IoContext,
+    ) -> Result<Vec<Probe>, ProbeError> {
+        self.read().probe_batch(keys, rel, io)
+    }
+
     /// [`AccessMethod::range_scan`] under a shared read lock.
     pub fn range_scan(
         &self,

@@ -1,0 +1,238 @@
+//! Minimal JSON emission for the `BENCH_*.json` perf baselines.
+//!
+//! The workspace is dependency-free, so this is a tiny hand-rolled
+//! writer: enough to serialize flat objects and arrays of objects with
+//! string/integer/float fields, with proper string escaping and
+//! non-finite floats mapped to `null`. Perf baselines are written by
+//! the experiment binaries and uploaded as CI artifacts so successive
+//! PRs have a trajectory to compare against.
+
+use std::fmt::Write as _;
+
+/// A JSON value being assembled.
+#[derive(Debug, Clone)]
+pub enum JsonValue {
+    /// A string (escaped on render).
+    Str(String),
+    /// An integer.
+    Int(i64),
+    /// An unsigned integer.
+    UInt(u64),
+    /// A float (non-finite renders as `null`).
+    Float(f64),
+    /// A boolean.
+    Bool(bool),
+    /// A nested object.
+    Object(JsonObject),
+    /// An array of values.
+    Array(Vec<JsonValue>),
+}
+
+/// An insertion-ordered JSON object.
+#[derive(Debug, Clone, Default)]
+pub struct JsonObject {
+    fields: Vec<(String, JsonValue)>,
+}
+
+impl JsonObject {
+    /// An empty object.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a field (insertion order is preserved on render).
+    pub fn field(mut self, key: &str, value: impl Into<JsonValue>) -> Self {
+        self.fields.push((key.to_string(), value.into()));
+        self
+    }
+
+    /// Render the object as a pretty-printed JSON document.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        if self.fields.is_empty() {
+            out.push_str("{}");
+            return;
+        }
+        out.push_str("{\n");
+        for (i, (key, value)) in self.fields.iter().enumerate() {
+            let _ = write!(out, "{:w$}\"{}\": ", "", escape(key), w = indent + 2);
+            value.write(out, indent + 2);
+            if i + 1 < self.fields.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        let _ = write!(out, "{:w$}}}", "", w = indent);
+    }
+}
+
+impl JsonValue {
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            JsonValue::Str(s) => {
+                let _ = write!(out, "\"{}\"", escape(s));
+            }
+            JsonValue::Int(v) => {
+                let _ = write!(out, "{v}");
+            }
+            JsonValue::UInt(v) => {
+                let _ = write!(out, "{v}");
+            }
+            JsonValue::Float(v) => {
+                if v.is_finite() {
+                    let _ = write!(out, "{v}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            JsonValue::Bool(v) => {
+                let _ = write!(out, "{v}");
+            }
+            JsonValue::Object(o) => o.write(out, indent),
+            JsonValue::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    let _ = write!(out, "{:w$}", "", w = indent + 2);
+                    item.write(out, indent + 2);
+                    if i + 1 < items.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                let _ = write!(out, "{:w$}]", "", w = indent);
+            }
+        }
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl From<&str> for JsonValue {
+    fn from(v: &str) -> Self {
+        JsonValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for JsonValue {
+    fn from(v: String) -> Self {
+        JsonValue::Str(v)
+    }
+}
+
+impl From<u64> for JsonValue {
+    fn from(v: u64) -> Self {
+        JsonValue::UInt(v)
+    }
+}
+
+impl From<usize> for JsonValue {
+    fn from(v: usize) -> Self {
+        JsonValue::UInt(v as u64)
+    }
+}
+
+impl From<i64> for JsonValue {
+    fn from(v: i64) -> Self {
+        JsonValue::Int(v)
+    }
+}
+
+impl From<f64> for JsonValue {
+    fn from(v: f64) -> Self {
+        JsonValue::Float(v)
+    }
+}
+
+impl From<bool> for JsonValue {
+    fn from(v: bool) -> Self {
+        JsonValue::Bool(v)
+    }
+}
+
+impl From<JsonObject> for JsonValue {
+    fn from(v: JsonObject) -> Self {
+        JsonValue::Object(v)
+    }
+}
+
+impl From<Vec<JsonValue>> for JsonValue {
+    fn from(v: Vec<JsonValue>) -> Self {
+        JsonValue::Array(v)
+    }
+}
+
+impl From<Vec<JsonObject>> for JsonValue {
+    fn from(v: Vec<JsonObject>) -> Self {
+        JsonValue::Array(v.into_iter().map(JsonValue::Object).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_documents() {
+        let doc = JsonObject::new()
+            .field("experiment", "probe_pipeline")
+            .field("probes", 1_000_000u64)
+            .field("speedup", 1.73)
+            .field("exact", true)
+            .field(
+                "cells",
+                vec![
+                    JsonObject::new().field("index", "bf-tree").field("n", 1u64),
+                    JsonObject::new().field("index", "b+tree").field("n", 2u64),
+                ],
+            );
+        let s = doc.render();
+        assert!(s.contains("\"experiment\": \"probe_pipeline\""));
+        assert!(s.contains("\"speedup\": 1.73"));
+        assert!(s.contains("\"exact\": true"));
+        assert!(s.ends_with("}\n"));
+        assert_eq!(s.matches("\"index\"").count(), 2);
+    }
+
+    #[test]
+    fn escapes_strings_and_maps_nonfinite_to_null() {
+        let doc = JsonObject::new()
+            .field("label", "a\"b\\c\nd")
+            .field("nan", f64::NAN);
+        let s = doc.render();
+        assert!(s.contains("a\\\"b\\\\c\\nd"));
+        assert!(s.contains("\"nan\": null"));
+    }
+
+    #[test]
+    fn empty_containers() {
+        let doc = JsonObject::new().field("cells", Vec::<JsonValue>::new());
+        assert!(doc.render().contains("\"cells\": []"));
+        assert_eq!(JsonObject::new().render(), "{}\n");
+    }
+}

@@ -251,6 +251,77 @@ pub fn run_probes_parallel(
     )
 }
 
+/// [`run_probes_parallel`] with a **batch-size knob**: each worker
+/// serves its stream in `batch_size` chunks through
+/// [`AccessMethod::probe_batch`] (all-matches semantics on both arms,
+/// like [`crate::indexes::run_probes_batched`]).
+///
+/// The latency histogram records one entry per *batch* (its whole
+/// simulated duration): with batching, the batch — not the single
+/// probe — is the unit a serving thread blocks on. `batch_size <= 1`
+/// degenerates to a scalar `probe` loop recording per-probe latencies.
+pub fn run_probes_parallel_batched(
+    index: &dyn AccessMethod,
+    rel: &Relation,
+    streams: &[Vec<u64>],
+    io: &IoContext,
+    batch_size: usize,
+) -> ParallelRunResult {
+    io.reset();
+    let wall_start = std::time::Instant::now();
+    let worker_results: Vec<(ThreadStats, LatencyHistogram)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = streams
+            .iter()
+            .map(|stream| {
+                scope.spawn(move || {
+                    let mut stats = ThreadStats::default();
+                    let mut hist = LatencyHistogram::new();
+                    let t_start = thread_sim_ns();
+                    if batch_size <= 1 {
+                        // Scalar arm: a plain probe loop, free of any
+                        // batch bookkeeping, so comparisons against
+                        // batched runs measure the pipeline alone.
+                        for &key in stream {
+                            let op_start = thread_sim_ns();
+                            let probe = index
+                                .probe(key, rel, io)
+                                .expect("relation validated at construction");
+                            hist.record(thread_sim_ns() - op_start);
+                            stats.ops += 1;
+                            stats.hits += u64::from(probe.found());
+                            stats.false_reads += probe.false_reads;
+                        }
+                    } else {
+                        for chunk in stream.chunks(batch_size) {
+                            let op_start = thread_sim_ns();
+                            let probes = index
+                                .probe_batch(chunk, rel, io)
+                                .expect("relation validated at construction");
+                            hist.record(thread_sim_ns() - op_start);
+                            for probe in probes {
+                                stats.ops += 1;
+                                stats.hits += u64::from(probe.found());
+                                stats.false_reads += probe.false_reads;
+                            }
+                        }
+                    }
+                    stats.sim_ns = thread_sim_ns() - t_start;
+                    (stats, hist)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("probe worker panicked"))
+            .collect()
+    });
+    assemble(
+        worker_results,
+        wall_start.elapsed().as_secs_f64(),
+        io.snapshot_total(),
+    )
+}
+
 /// Serve per-thread mixed read/insert streams concurrently through a
 /// [`ConcurrentIndex`]: probes share the read lock, inserts take the
 /// write lock. `locate` maps an insert key to its pre-loaded heap
@@ -426,6 +497,33 @@ mod tests {
                 "{}: thread-local clock drifted from device clock",
                 index.name()
             );
+        }
+    }
+
+    #[test]
+    fn batched_parallel_matches_scalar_parallel_exactly() {
+        let rel = relation();
+        let domain: Vec<u64> = (0..4_000).collect();
+        let streams = popular_probe_streams(&domain, KeyPopularity::Uniform, 250, 4, 9);
+        for kind in [IndexKind::BfTree, IndexKind::BPlusTree] {
+            let index = build_index(kind, &rel, 1e-4);
+            let io_scalar = IoContext::cold(StorageConfig::SsdHdd);
+            let a = run_probes_parallel_batched(index.as_ref(), &rel, &streams, &io_scalar, 1);
+            let expect = io_scalar.snapshot_total();
+            let io_batch = IoContext::cold(StorageConfig::SsdHdd);
+            let b = run_probes_parallel_batched(index.as_ref(), &rel, &streams, &io_batch, 64);
+            let got = io_batch.snapshot_total();
+            assert_eq!(a.total_ops, 1_000);
+            assert_eq!(b.total_ops, 1_000);
+            assert_eq!(a.hits, b.hits, "{}", index.name());
+            assert_eq!(a.false_reads, b.false_reads, "{}", index.name());
+            assert_eq!(
+                got.device_reads(),
+                expect.device_reads(),
+                "{}",
+                index.name()
+            );
+            assert_eq!(got.sim_ns, expect.sim_ns, "{}", index.name());
         }
     }
 

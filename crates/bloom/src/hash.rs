@@ -199,6 +199,18 @@ impl KeyFingerprint {
         Self { h1, h2 }
     }
 
+    /// Select one of `n_blocks` cache-line blocks for this key — the
+    /// "first hash" of a blocked Bloom filter (Putze et al.).
+    ///
+    /// Derived from a mix of `h1` and `h2` that no probe position uses
+    /// (probes mix `h1 + i·h2`), so the block choice is independent of
+    /// the in-block bit positions.
+    #[inline]
+    pub fn block(&self, n_blocks: u64) -> u64 {
+        debug_assert!(n_blocks > 0);
+        mix64(self.h1.rotate_left(32) ^ self.h2) % n_blocks
+    }
+
     /// The `i`-th probe position modulo `m`.
     ///
     /// Kirsch–Mitzenmacher double hashing (`h1 + i·h2 mod m`) is *not*

@@ -12,6 +12,10 @@
 //! * [`BloomGroup`] — Property 1 of Section 3: a bit budget divided
 //!   into `S` equal filters preserves the false-positive probability.
 //!   This is the building block of a BF-leaf.
+//! * [`BlockedBloomFilter`] and [`FilterLayout`] — cache-line-blocked
+//!   probing (Putze et al.): the first hash picks one 512-bit block
+//!   and the remaining probes stay inside it, trading a little
+//!   accuracy ([`math::blocked_fpp`]) for one cache miss per test.
 //! * [`CountingBloomFilter`] and [`DeletableBloomFilter`] — the
 //!   delete-capable variants the paper's Section 7 points at (\[7\], \[39\]).
 //! * [`ScalableBloomFilter`] — Almeida et al.'s scalable Bloom filter
@@ -23,6 +27,7 @@
 
 #![warn(missing_docs)]
 
+pub mod blocked;
 pub mod counting;
 pub mod deletable;
 pub mod filter;
@@ -31,6 +36,7 @@ pub mod hash;
 pub mod math;
 pub mod scalable;
 
+pub use blocked::{BlockedBloomFilter, FilterLayout, BLOCK_BITS};
 pub use counting::CountingBloomFilter;
 pub use deletable::DeletableBloomFilter;
 pub use filter::BloomFilter;

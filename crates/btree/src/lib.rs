@@ -31,5 +31,5 @@ pub mod tupleref;
 pub use access::relation_entries;
 pub use compress::prefix_compressed_leaf_pages;
 pub use node::{BTreeConfig, DuplicateMode};
-pub use tree::BPlusTree;
+pub use tree::{BPlusTree, FloorCursor};
 pub use tupleref::TupleRef;

@@ -287,6 +287,60 @@ impl BPlusTree {
         (at > 0).then(|| (keys[at - 1], refs[at - 1]))
     }
 
+    /// [`Self::descend`] that also records the charged node path.
+    fn descend_capture(&self, key: u64, dev: Option<&SimDevice>, path: &mut Vec<NodeId>) -> NodeId {
+        let mut id = self.root;
+        loop {
+            self.charge(dev, id);
+            path.push(id);
+            match &self.nodes[id as usize] {
+                Node::Internal { keys, children } => {
+                    let child = keys.partition_point(|&k| k <= key);
+                    id = children[child];
+                }
+                Node::Leaf { .. } => return id,
+            }
+        }
+    }
+
+    /// Smallest stored key at or after slot `at` of `leaf` (following
+    /// leaf links), i.e. the first key strictly greater than a query
+    /// whose floor search landed at `at`. `None` when the tree holds
+    /// no further key.
+    fn next_key_from(&self, leaf: NodeId, at: usize) -> Option<u64> {
+        let Node::Leaf { keys, next, .. } = &self.nodes[leaf as usize] else {
+            unreachable!("floor searches land on leaves")
+        };
+        if at < keys.len() {
+            return Some(keys[at]);
+        }
+        let mut cur = *next;
+        while let Some(n) = cur {
+            let Node::Leaf { keys, next, .. } = &self.nodes[n as usize] else {
+                unreachable!()
+            };
+            if let Some(&k) = keys.first() {
+                return Some(k);
+            }
+            cur = *next;
+        }
+        None
+    }
+
+    /// Start an amortized floor-search cursor (see [`FloorCursor`]).
+    pub fn floor_cursor(&self) -> FloorCursor<'_> {
+        FloorCursor {
+            tree: self,
+            valid: false,
+            floor: None,
+            lo: 0,
+            hi: None,
+            path: Vec::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
     /// All entries with exactly `key`, following leaf links across
     /// page boundaries (meaningful in `PerTuple` mode).
     pub fn search_all(&self, key: u64, dev: Option<&SimDevice>) -> Vec<TupleRef> {
@@ -562,6 +616,123 @@ impl BPlusTree {
     }
 }
 
+/// Amortized floor search over a key stream with locality (e.g. a
+/// sorted probe batch).
+///
+/// [`BPlusTree::search_le`] pays a full root-to-leaf descent per key.
+/// A batch of sorted keys resolves overwhelmingly to runs of the same
+/// floor entry, so the cursor caches the last result together with
+/// (a) the key interval `[lo, hi)` it stays valid for — `hi` is the
+/// smallest stored key greater than the query — and (b) the exact node
+/// path the resolving descent(s) charged. A hit skips the CPU of the
+/// re-descent but **charges the identical index reads** a fresh
+/// `search_le` would: separators are always stored entry keys, so two
+/// keys with the same floor entry take branch-for-branch the same path
+/// down the tree, and replaying the recorded path is
+/// indistinguishable — read for read — from re-descending. That
+/// equivalence is what lets the BF-Tree's `probe_batch` amortize its
+/// upper-structure descent while keeping `IoStats` bit-identical to
+/// scalar probes (and it is pinned by tests and the batch conformance
+/// suite).
+///
+/// The cursor borrows the tree, so the cache can never go stale
+/// mid-stream: any mutation requires `&mut BPlusTree`, which ends the
+/// borrow. The read-for-read charge equivalence additionally assumes
+/// every internal separator is a stored key — true for bulk-built
+/// trees and through inserts (separators are promoted stored keys),
+/// and for the BF-Tree upper structure this cursor serves, but
+/// [`BPlusTree::delete`] can orphan a separator, after which a cached
+/// path may replay the two-descent fallback for keys a fresh
+/// `search_le` would resolve in one. Results stay correct either way;
+/// only the charge identity is scoped to delete-free trees.
+#[derive(Debug)]
+pub struct FloorCursor<'t> {
+    tree: &'t BPlusTree,
+    valid: bool,
+    floor: Option<(u64, TupleRef)>,
+    /// Cached-floor key (0 when the cached floor is `None`).
+    lo: u64,
+    /// First stored key past the cached interval (`None` = unbounded).
+    hi: Option<u64>,
+    /// Node ids the resolving descent(s) charged, replayed on hits.
+    path: Vec<NodeId>,
+    hits: u64,
+    misses: u64,
+}
+
+impl FloorCursor<'_> {
+    /// [`BPlusTree::search_le`], amortized. Identical result and
+    /// identical index-read charging for any key sequence.
+    pub fn search_le(&mut self, key: u64, dev: Option<&SimDevice>) -> Option<(u64, TupleRef)> {
+        if self.valid && key >= self.lo && self.hi.is_none_or(|h| key < h) {
+            self.hits += 1;
+            if let Some(d) = dev {
+                d.read_random_many(self.path.iter().map(|&node| node as u64));
+            }
+            return self.floor;
+        }
+        self.misses += 1;
+        self.resolve(key, dev)
+    }
+
+    /// Cache hits served since construction (introspection/tests).
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Full descents performed since construction.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    fn cache(&mut self, lo: u64, hi: Option<u64>, floor: Option<(u64, TupleRef)>) {
+        self.valid = true;
+        self.lo = lo;
+        self.hi = hi;
+        self.floor = floor;
+    }
+
+    /// Full [`BPlusTree::search_le`] replica that records the charged
+    /// path and the validity interval.
+    fn resolve(&mut self, key: u64, dev: Option<&SimDevice>) -> Option<(u64, TupleRef)> {
+        let tree = self.tree;
+        self.valid = false;
+        self.path.clear();
+        let leaf = tree.descend_capture(key, dev, &mut self.path);
+        let Node::Leaf { keys, refs, .. } = &tree.nodes[leaf as usize] else {
+            unreachable!("descend returns leaves")
+        };
+        let at = keys.partition_point(|&k| k <= key);
+        let hi = tree.next_key_from(leaf, at);
+        if at > 0 {
+            let floor = Some((keys[at - 1], refs[at - 1]));
+            self.cache(keys[at - 1], hi, floor);
+            return floor;
+        }
+        if leaf == tree.first_leaf {
+            self.cache(0, hi, None);
+            return None;
+        }
+        // The floor, if any, lies left of this leaf: redo one descent
+        // biased left of its min, mirroring `search_le`'s fallback
+        // (the second descent's charges are recorded too). The rare
+        // delete-emptied-leaf and min-is-zero corners return uncached,
+        // exactly as `search_le` resolves them per key.
+        let min = keys.first().copied()?;
+        let prev = min.checked_sub(1)?;
+        let leaf = tree.descend_capture(prev, dev, &mut self.path);
+        let Node::Leaf { keys, refs, .. } = &tree.nodes[leaf as usize] else {
+            unreachable!()
+        };
+        let at = keys.partition_point(|&k| k <= key);
+        let floor = (at > 0).then(|| (keys[at - 1], refs[at - 1]));
+        if let Some((fk, _)) = floor {
+            self.cache(fk, hi, floor);
+        }
+        floor
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -621,6 +792,79 @@ mod tests {
         // First ref of key 10 is tuple 30 -> page 1, slot 14.
         let r = t.search(10, None).expect("dup key present");
         assert_eq!((r.pid(), r.slot()), (1, 14));
+    }
+
+    #[test]
+    fn floor_cursor_matches_search_le_result_and_charges() {
+        use bftree_storage::DeviceKind;
+        // Sparse keys (multiples of 7) force floor results between
+        // stored keys; tiny pages force a multi-level tree; an insert
+        // pass exercises split-produced separators too.
+        let mut t = BPlusTree::bulk_build(
+            small_config(),
+            (0..2_000u64).map(|k| (k * 7, TupleRef::new(k, 0))),
+        );
+        let mut state = 0xF00Du64;
+        for _ in 0..500 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            t.insert(state % 15_000, TupleRef::new(state % (1 << 20), 1), None);
+        }
+        t.check_invariants();
+
+        // Ascending stream (the batch case, cache hits expected) and a
+        // decorrelated stream (cache rarely valid): in both, result and
+        // charged reads/ns must equal a fresh search_le per key.
+        let ascending: Vec<u64> = (0..15_000u64).collect();
+        let scattered: Vec<u64> = (0..1_000u64)
+            .map(|i| i.wrapping_mul(2654435761) % 16_000)
+            .collect();
+        for stream in [&ascending, &scattered] {
+            let dev_cursor = SimDevice::cold(DeviceKind::Ssd);
+            let dev_scalar = SimDevice::cold(DeviceKind::Ssd);
+            let mut cursor = t.floor_cursor();
+            for &key in stream.iter() {
+                let got = cursor.search_le(key, Some(&dev_cursor));
+                let expect = t.search_le(key, Some(&dev_scalar));
+                assert_eq!(got, expect, "floor({key}) diverged");
+            }
+            let (c, s) = (dev_cursor.snapshot(), dev_scalar.snapshot());
+            assert_eq!(c.random_reads, s.random_reads, "charge count diverged");
+            assert_eq!(c.sim_ns, s.sim_ns, "charge time diverged");
+        }
+
+        // The ascending stream must actually amortize.
+        let mut cursor = t.floor_cursor();
+        for &key in &ascending {
+            cursor.search_le(key, None);
+        }
+        assert!(
+            cursor.hits() > cursor.misses(),
+            "sorted stream should mostly hit: {} hits / {} misses",
+            cursor.hits(),
+            cursor.misses()
+        );
+    }
+
+    #[test]
+    fn floor_cursor_handles_edges() {
+        let t = BPlusTree::bulk_build(
+            small_config(),
+            (10..20u64).map(|k| (k * 10, TupleRef::new(k, 0))),
+        );
+        let mut cursor = t.floor_cursor();
+        // Below every key: no floor, repeatedly (cached None).
+        assert_eq!(cursor.search_le(0, None), None);
+        assert_eq!(cursor.search_le(99, None), None);
+        // At and past the max key: floor is the max entry, unbounded.
+        assert_eq!(cursor.search_le(190, None), t.search_le(190, None));
+        assert_eq!(
+            cursor.search_le(u64::MAX, None),
+            t.search_le(u64::MAX, None)
+        );
+        // Empty tree.
+        let t = BPlusTree::new(small_config());
+        let mut cursor = t.floor_cursor();
+        assert_eq!(cursor.search_le(5, None), None);
     }
 
     #[test]

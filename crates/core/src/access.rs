@@ -1,6 +1,8 @@
 //! [`AccessMethod`] implementation: the BF-Tree behind the unified
 //! index interface.
 
+use std::cell::RefCell;
+
 use bftree_access::{
     check_relation, AccessMethod, BuildError, IndexStats, Probe, ProbeError, RangeScan,
 };
@@ -8,7 +10,7 @@ use bftree_storage::{IoContext, PageId, Relation};
 
 use crate::builder::BfTreeBuilder;
 use crate::stats::ProbeResult;
-use crate::tree::BfTree;
+use crate::tree::{BfTree, ProbeScratch};
 
 impl From<ProbeResult> for Probe {
     fn from(r: ProbeResult) -> Self {
@@ -18,6 +20,17 @@ impl From<ProbeResult> for Probe {
             false_reads: r.false_reads,
         }
     }
+}
+
+std::thread_local! {
+    /// One probe scratch per thread: the trait's probe signatures take
+    /// `&self`, so reuse lives here — every scalar or batched probe on
+    /// this thread runs allocation-free once the buffers are warm.
+    static SCRATCH: RefCell<ProbeScratch> = RefCell::new(ProbeScratch::default());
+}
+
+fn with_scratch<R>(f: impl FnOnce(&mut ProbeScratch) -> R) -> R {
+    SCRATCH.with(|s| f(&mut s.borrow_mut()))
 }
 
 impl AccessMethod for BfTree {
@@ -38,30 +51,57 @@ impl AccessMethod for BfTree {
 
     fn probe(&self, key: u64, rel: &Relation, io: &IoContext) -> Result<Probe, ProbeError> {
         check_relation(rel)?;
-        Ok(self
-            .probe_impl(
+        Ok(with_scratch(|scratch| {
+            self.probe_impl(
                 key,
                 rel.heap(),
                 rel.attr(),
                 Some(&io.index),
                 Some(&io.data),
                 false,
+                scratch,
             )
-            .into())
+        })
+        .into())
     }
 
     fn probe_first(&self, key: u64, rel: &Relation, io: &IoContext) -> Result<Probe, ProbeError> {
         check_relation(rel)?;
-        Ok(self
-            .probe_impl(
+        Ok(with_scratch(|scratch| {
+            self.probe_impl(
                 key,
                 rel.heap(),
                 rel.attr(),
                 Some(&io.index),
                 Some(&io.data),
                 true,
+                scratch,
             )
-            .into())
+        })
+        .into())
+    }
+
+    fn probe_batch(
+        &self,
+        keys: &[u64],
+        rel: &Relation,
+        io: &IoContext,
+    ) -> Result<Vec<Probe>, ProbeError> {
+        check_relation(rel)?;
+        let mut out: Vec<Probe> = Vec::with_capacity(keys.len());
+        out.resize_with(keys.len(), Probe::default);
+        with_scratch(|scratch| {
+            self.probe_batch_each(
+                keys,
+                rel.heap(),
+                rel.attr(),
+                Some(&io.index),
+                Some(&io.data),
+                scratch,
+                |slot, result| out[slot] = result.into(),
+            )
+        });
+        Ok(out)
     }
 
     fn range_scan(

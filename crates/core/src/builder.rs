@@ -26,7 +26,8 @@ use bftree_access::BuildError;
 use bftree_storage::{Duplicates, Relation};
 
 use crate::config::{
-    BfTreeConfig, BitAllocation, DuplicateHandling, KStrategy, ProbeOrder, SplitStrategy,
+    BfTreeConfig, BitAllocation, DuplicateHandling, FilterLayout, KStrategy, ProbeOrder,
+    SplitStrategy,
 };
 use crate::tree::BfTree;
 
@@ -93,6 +94,13 @@ impl BfTreeBuilder {
     /// Per-filter bit budgeting.
     pub fn bit_allocation(mut self, alloc: BitAllocation) -> Self {
         self.config.bit_allocation = alloc;
+        self
+    }
+
+    /// Probe layout of the leaf filters (standard vs cache-line
+    /// blocked; see [`FilterLayout`]).
+    pub fn filter_layout(mut self, layout: FilterLayout) -> Self {
+        self.config.filter_layout = layout;
         self
     }
 

@@ -179,7 +179,15 @@ mod tests {
     fn intersection_reads_no_more_pages_than_either_side() {
         let (heap, a, b) = setup();
         let pk = 7_777u64;
-        let single = a.probe_impl(pk, &heap, PK_OFFSET, None, None, false);
+        let single = a.probe_impl(
+            pk,
+            &heap,
+            PK_OFFSET,
+            None,
+            None,
+            false,
+            &mut crate::tree::ProbeScratch::default(),
+        );
         let both = probe_intersection(
             IndexPredicate {
                 tree: &a,

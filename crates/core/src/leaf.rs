@@ -1,5 +1,6 @@
 //! The BF-leaf (§4.1): Bloom filters over a page range.
 
+use bftree_bloom::hash::KeyFingerprint;
 use bftree_bloom::BloomGroup;
 use bftree_storage::PageId;
 
@@ -62,7 +63,7 @@ impl BfLeaf {
             crate::config::BitAllocation::Uniform => {
                 let per_filter_keys = (n_distinct.max(1)).div_ceil(s as u64);
                 let k = config.k_for((total_bits / s as u64).max(1), per_filter_keys);
-                BloomGroup::new(total_bits, s, k, config.seed)
+                BloomGroup::new_with_layout(total_bits, s, k, config.seed, config.filter_layout)
             }
             crate::config::BitAllocation::Proportional => {
                 // Weight each bucket by the keys it will receive, so
@@ -74,7 +75,13 @@ impl BfLeaf {
                 }
                 // The global bits-per-key ratio sets k (Equation 1).
                 let k = config.k_for(total_bits, n_distinct.max(1));
-                BloomGroup::new_weighted(total_bits, &weights, k, config.seed)
+                BloomGroup::new_weighted_with_layout(
+                    total_bits,
+                    &weights,
+                    k,
+                    config.seed,
+                    config.filter_layout,
+                )
             }
         };
 
@@ -122,7 +129,7 @@ impl BfLeaf {
             next: None,
             prev: None,
             deleted: Vec::new(),
-            group: BloomGroup::new(total_bits, 1, k, config.seed),
+            group: BloomGroup::new_with_layout(total_bits, 1, k, config.seed, config.filter_layout),
             pages_per_bf: config.pages_per_bf,
         }
     }
@@ -171,9 +178,26 @@ impl BfLeaf {
     /// pages (expanded from matching buckets) to `out`, in ascending
     /// pid order. Returns the number of filters probed.
     pub fn matching_pages(&self, key: u64, out: &mut Vec<PageId>) -> u64 {
+        let fp = KeyFingerprint::new(&key, self.group.seed());
         let mut buckets = Vec::new();
-        self.group.matching_buckets_into(&key, &mut buckets);
-        for b in buckets {
+        self.matching_pages_fp(&fp, out, &mut buckets)
+    }
+
+    /// [`Self::matching_pages`] over a precomputed fingerprint and a
+    /// caller-provided bucket buffer — the allocation-free entry the
+    /// probe pipeline uses: a batched probe hashes each key once and
+    /// sweeps every candidate leaf with the same fingerprint (probe
+    /// positions depend only on member geometry, and all leaves share
+    /// the tree's hash seed).
+    pub fn matching_pages_fp(
+        &self,
+        fp: &KeyFingerprint,
+        out: &mut Vec<PageId>,
+        buckets: &mut Vec<usize>,
+    ) -> u64 {
+        buckets.clear();
+        self.group.matching_buckets_fp_into(fp, buckets);
+        for &b in buckets.iter() {
             let start = self.min_pid + b as u64 * self.pages_per_bf;
             let end = (start + self.pages_per_bf - 1).min(self.max_pid);
             for pid in start..=end {

@@ -65,10 +65,11 @@ pub mod tree;
 pub use bftree_access::{AccessMethod, BuildError, IndexStats, Probe, ProbeError, RangeScan};
 pub use builder::BfTreeBuilder;
 pub use config::{
-    BfTreeConfig, BitAllocation, DuplicateHandling, KStrategy, ProbeOrder, SplitStrategy,
+    BfTreeConfig, BitAllocation, DuplicateHandling, FilterLayout, KStrategy, ProbeOrder,
+    SplitStrategy,
 };
 pub use intersect::{probe_intersection, IndexPredicate};
 pub use leaf::BfLeaf;
 pub use page_image::PageImageError;
 pub use stats::{ProbeResult, ProbeStats};
-pub use tree::BfTree;
+pub use tree::{BfTree, ProbeScratch};

@@ -138,6 +138,23 @@ impl IoStats {
         MY_SIM_NS.with(|c| c.set(c.get() + ns));
     }
 
+    /// Record `n` random page reads of `bytes` each, costing `ns`
+    /// each, as **one** counter operation — the bulk form batched
+    /// replays use so a multi-page charge costs one round of atomics
+    /// instead of `n`. Totals are exactly `n` applications of
+    /// [`IoStats::record_random_read`].
+    #[inline]
+    pub fn record_random_reads(&self, n: u64, ns: u64, bytes: u64) {
+        if n == 0 {
+            return;
+        }
+        let s = &self.shards[shard_index()];
+        s.random_reads.fetch_add(n, Ordering::Relaxed);
+        s.bytes_read.fetch_add(n * bytes, Ordering::Relaxed);
+        s.sim_ns.fetch_add(n * ns, Ordering::Relaxed);
+        MY_SIM_NS.with(|c| c.set(c.get() + n * ns));
+    }
+
     /// Record a sequential page read of `bytes` costing `ns`.
     #[inline]
     pub fn record_seq_read(&self, ns: u64, bytes: u64) {

@@ -123,6 +123,25 @@ impl SimDevice {
             .record_random_read(self.profile.random_read_ns, PAGE_SIZE as u64);
     }
 
+    /// Charge a set of randomly-located reads at once. On a cold
+    /// device (nothing to look up per page) the whole set lands in one
+    /// counter operation; devices with a cache fall back to per-page
+    /// charging so hit accounting stays exact. Totals always equal
+    /// charging each page with [`SimDevice::read_random`].
+    pub fn read_random_many(&self, pages: impl ExactSizeIterator<Item = PageId>) {
+        if matches!(self.cache, CacheBackend::None) {
+            self.stats.record_random_reads(
+                pages.len() as u64,
+                self.profile.random_read_ns,
+                PAGE_SIZE as u64,
+            );
+        } else {
+            for page in pages {
+                self.read_random(page);
+            }
+        }
+    }
+
     /// Charge the next page of a sequential run.
     #[inline]
     pub fn read_seq(&self, page: PageId) {
