@@ -13,11 +13,14 @@
 //! read-mostly mixes (the paper's clustered-data setting) the write
 //! lock is rarely held and probe concurrency is preserved.
 
-use std::sync::RwLock;
+use std::sync::{RwLock, RwLockReadGuard};
 
 use bftree_storage::{IoContext, PageId, Relation};
 
-use crate::{AccessMethod, BuildError, IndexStats, Probe, ProbeError, RangeScan};
+use crate::{
+    AccessMethod, BuildError, Continuation, IndexStats, MatchSink, Probe, ProbeError, ProbeIo,
+    RangeCursor, RangeScan, ScanIo,
+};
 
 /// A shared-read / exclusive-write wrapper around any
 /// [`AccessMethod`], for mixed probe/insert service from many threads.
@@ -31,9 +34,9 @@ use crate::{AccessMethod, BuildError, IndexStats, Probe, ProbeError, RangeScan};
 /// # impl AccessMethod for Noop {
 /// #     fn name(&self) -> &'static str { "noop" }
 /// #     fn build(&mut self, _: &Relation) -> Result<(), bftree_access::BuildError> { Ok(()) }
-/// #     fn probe(&self, _: u64, _: &Relation, _: &IoContext) -> Result<bftree_access::Probe, bftree_access::ProbeError> { Ok(Default::default()) }
-/// #     fn probe_first(&self, k: u64, r: &Relation, io: &IoContext) -> Result<bftree_access::Probe, bftree_access::ProbeError> { self.probe(k, r, io) }
-/// #     fn range_scan(&self, _: u64, _: u64, _: &Relation, _: &IoContext) -> Result<bftree_access::RangeScan, bftree_access::ProbeError> { Ok(Default::default()) }
+/// #     fn probe_into(&self, _: u64, _: &Relation, _: &IoContext, _: &mut dyn bftree_access::MatchSink) -> Result<bftree_access::ProbeIo, bftree_access::ProbeError> { Ok(Default::default()) }
+/// #     fn range_cursor<'c>(&'c self, lo: u64, hi: u64, _: &'c Relation, io: &'c IoContext) -> Result<Box<dyn bftree_access::RangeCursor + 'c>, bftree_access::ProbeError> { Ok(Box::new(bftree_access::PageBatchCursor::new(Vec::new(), &io.data, (lo, hi, lo), None))) }
+/// #     fn resume_range_cursor<'c>(&'c self, c: &bftree_access::Continuation, rel: &'c Relation, io: &'c IoContext) -> Result<Box<dyn bftree_access::RangeCursor + 'c>, bftree_access::ProbeError> { self.range_cursor(c.key(), c.hi(), rel, io) }
 /// #     fn insert(&mut self, _: u64, _: (u64, usize), _: &Relation) -> Result<(), bftree_access::ProbeError> { Ok(()) }
 /// #     fn delete(&mut self, _: u64, _: &Relation) -> Result<u64, bftree_access::ProbeError> { Ok(0) }
 /// #     fn size_bytes(&self) -> u64 { 0 }
@@ -70,6 +73,60 @@ impl<A: AccessMethod> ConcurrentIndex<A> {
     /// [`AccessMethod::probe`] under a shared read lock.
     pub fn probe(&self, key: u64, rel: &Relation, io: &IoContext) -> Result<Probe, ProbeError> {
         self.read().probe(key, rel, io)
+    }
+
+    /// [`AccessMethod::probe_into`] under a shared read lock: the lock
+    /// is held only for the probe, but the sink's early termination
+    /// still stops the index's I/O immediately.
+    pub fn probe_into(
+        &self,
+        key: u64,
+        rel: &Relation,
+        io: &IoContext,
+        sink: &mut dyn MatchSink,
+    ) -> Result<ProbeIo, ProbeError> {
+        self.read().probe_into(key, rel, io, sink)
+    }
+
+    /// [`AccessMethod::range_scan_into`] under a shared read lock.
+    pub fn range_scan_into(
+        &self,
+        lo: u64,
+        hi: u64,
+        rel: &Relation,
+        io: &IoContext,
+        sink: &mut dyn MatchSink,
+    ) -> Result<ScanIo, ProbeError> {
+        self.read().range_scan_into(lo, hi, rel, io, sink)
+    }
+
+    /// [`AccessMethod::range_cursor`] under a shared read lock **held
+    /// by the returned cursor**: writers block until the cursor is
+    /// dropped, which is what keeps a paginated pull consistent while
+    /// other threads keep probing (reads share the lock).
+    pub fn range_cursor<'c>(
+        &'c self,
+        lo: u64,
+        hi: u64,
+        rel: &'c Relation,
+        io: &'c IoContext,
+    ) -> Result<ConcurrentRangeCursor<'c, A>, ProbeError> {
+        ConcurrentRangeCursor::open(self.read(), rel, io, |index, rel, io| {
+            index.range_cursor(lo, hi, rel, io)
+        })
+    }
+
+    /// [`AccessMethod::resume_range_cursor`] under a shared read lock
+    /// held by the returned cursor.
+    pub fn resume_range_cursor<'c>(
+        &'c self,
+        cont: &Continuation,
+        rel: &'c Relation,
+        io: &'c IoContext,
+    ) -> Result<ConcurrentRangeCursor<'c, A>, ProbeError> {
+        ConcurrentRangeCursor::open(self.read(), rel, io, |index, rel, io| {
+            index.resume_range_cursor(cont, rel, io)
+        })
     }
 
     /// [`AccessMethod::probe_first`] under a shared read lock.
@@ -147,6 +204,63 @@ impl<A: AccessMethod> ConcurrentIndex<A> {
     }
 }
 
+/// A [`RangeCursor`] over a [`ConcurrentIndex`] that **owns the read
+/// guard**: the wrapped index cannot be mutated (or rebuilt under the
+/// cursor's feet) until the cursor is dropped, while other readers
+/// keep sharing the lock. Forwards every cursor operation to the
+/// index's native cursor.
+#[must_use]
+pub struct ConcurrentRangeCursor<'c, A: AccessMethod> {
+    // Field order is load-bearing: `cursor` borrows the index behind
+    // `_guard` and must drop first.
+    cursor: Box<dyn RangeCursor + 'c>,
+    _guard: RwLockReadGuard<'c, A>,
+}
+
+impl<'c, A: AccessMethod> ConcurrentRangeCursor<'c, A> {
+    fn open(
+        guard: RwLockReadGuard<'c, A>,
+        rel: &'c Relation,
+        io: &'c IoContext,
+        make: impl FnOnce(
+            &'c A,
+            &'c Relation,
+            &'c IoContext,
+        ) -> Result<Box<dyn RangeCursor + 'c>, ProbeError>,
+    ) -> Result<Self, ProbeError> {
+        // SAFETY: the reference points at the index inside the
+        // `RwLock` owned by the `ConcurrentIndex` borrowed for `'c`,
+        // so the referent outlives `'c`; the read guard stored next
+        // to the cursor keeps every writer out for the cursor's whole
+        // life, and the cursor (declared first) drops before the
+        // guard releases the lock.
+        let index: &'c A = unsafe { &*(&*guard as *const A) };
+        let cursor = make(index, rel, io)?;
+        Ok(Self {
+            cursor,
+            _guard: guard,
+        })
+    }
+}
+
+impl<A: AccessMethod> RangeCursor for ConcurrentRangeCursor<'_, A> {
+    fn next_page_matches(&mut self) -> Option<&[(PageId, usize)]> {
+        self.cursor.next_page_matches()
+    }
+
+    fn advance(&mut self) {
+        self.cursor.advance()
+    }
+
+    fn continuation(&self) -> Option<Continuation> {
+        self.cursor.continuation()
+    }
+
+    fn io(&self) -> ScanIo {
+        self.cursor.io()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -174,42 +288,65 @@ mod tests {
             Ok(())
         }
 
-        fn probe(&self, key: u64, _: &Relation, _: &IoContext) -> Result<Probe, ProbeError> {
-            let matches = self
-                .entries
-                .iter()
-                .filter(|(k, _)| *k == key)
-                .map(|&(_, loc)| loc)
-                .collect::<Vec<_>>();
-            Ok(Probe {
-                pages_read: matches.len() as u64,
-                matches,
-                false_reads: 0,
-            })
-        }
-
-        fn probe_first(
+        fn probe_into(
             &self,
             key: u64,
-            rel: &Relation,
-            io: &IoContext,
-        ) -> Result<Probe, ProbeError> {
-            let mut p = self.probe(key, rel, io)?;
-            p.matches.truncate(1);
-            Ok(p)
-        }
-
-        fn range_scan(
-            &self,
-            lo: u64,
-            hi: u64,
             _: &Relation,
             _: &IoContext,
-        ) -> Result<RangeScan, ProbeError> {
+            sink: &mut dyn MatchSink,
+        ) -> Result<ProbeIo, ProbeError> {
+            let mut io = ProbeIo::default();
+            for &(_, (pid, slot)) in self.entries.iter().filter(|(k, _)| *k == key) {
+                io.pages_read += 1;
+                if sink.push(pid, slot).is_break() {
+                    break;
+                }
+            }
+            Ok(io)
+        }
+
+        fn range_cursor<'c>(
+            &'c self,
+            lo: u64,
+            hi: u64,
+            _: &'c Relation,
+            io: &'c IoContext,
+        ) -> Result<Box<dyn RangeCursor + 'c>, ProbeError> {
             if lo > hi {
                 return Err(ProbeError::InvertedRange { lo, hi });
             }
-            Ok(RangeScan::default())
+            let matches = self
+                .entries
+                .iter()
+                .filter(|&&(k, _)| k >= lo && k <= hi)
+                .map(|&(_, loc)| loc)
+                .collect();
+            Ok(Box::new(crate::PageBatchCursor::new(
+                matches,
+                &io.data,
+                (lo, hi, lo),
+                None,
+            )))
+        }
+
+        fn resume_range_cursor<'c>(
+            &'c self,
+            cont: &Continuation,
+            _rel: &'c Relation,
+            io: &'c IoContext,
+        ) -> Result<Box<dyn RangeCursor + 'c>, ProbeError> {
+            let matches = self
+                .entries
+                .iter()
+                .filter(|&&(k, _)| k >= cont.lo() && k <= cont.hi())
+                .map(|&(_, loc)| loc)
+                .collect();
+            Ok(Box::new(crate::PageBatchCursor::new(
+                matches,
+                &io.data,
+                (cont.lo(), cont.hi(), cont.key()),
+                Some((cont.page(), cont.slot())),
+            )))
         }
 
         fn insert(
@@ -292,6 +429,57 @@ mod tests {
         let shared = ConcurrentIndex::new(VecIndex::default());
         shared.build(&rel).unwrap();
         assert_eq!(shared.into_inner().entries.len(), 500);
+    }
+
+    #[test]
+    fn cursor_holds_the_read_lock_without_blocking_readers() {
+        let rel = relation();
+        let io = IoContext::unmetered();
+        let shared = ConcurrentIndex::new(VecIndex::default());
+        shared.build(&rel).unwrap();
+
+        let mut cursor = shared.range_cursor(0, 49, &rel, &io).unwrap();
+        // Readers share the lock while the cursor pins it.
+        std::thread::scope(|s| {
+            let (shared, rel, io) = (&shared, &rel, &io);
+            s.spawn(move || assert!(shared.probe(7, rel, io).unwrap().found()));
+        });
+        let mut got = Vec::new();
+        while let Some(page) = cursor.next_page_matches() {
+            got.extend_from_slice(page);
+            cursor.advance();
+        }
+        assert_eq!(got.len(), 50);
+        assert!(cursor.continuation().is_none(), "drained");
+        // Writers proceed once the cursor (and its guard) is gone.
+        drop(cursor);
+        shared.insert(10_000, (0, 0), &rel).unwrap();
+        assert!(shared.probe(10_000, &rel, &io).unwrap().found());
+    }
+
+    #[test]
+    fn concurrent_cursor_resumes_from_a_continuation() {
+        let rel = relation();
+        let io = IoContext::unmetered();
+        let shared = ConcurrentIndex::new(VecIndex::default());
+        shared.build(&rel).unwrap();
+
+        let mut head = Vec::new();
+        let token = {
+            let mut cursor =
+                crate::RangeCursorExt::limit(shared.range_cursor(0, 99, &rel, &io).unwrap(), 30);
+            while let Some(page) = cursor.next_page_matches() {
+                head.extend_from_slice(page);
+                cursor.advance();
+            }
+            cursor.continuation().expect("70 matches pending")
+        };
+        let mut rest_cursor = shared.resume_range_cursor(&token, &rel, &io).unwrap();
+        while let Some(page) = rest_cursor.next_page_matches() {
+            head.extend_from_slice(page);
+            rest_cursor.advance();
+        }
+        assert_eq!(head.len(), 100, "prefix + resume covers the range");
     }
 
     #[test]

@@ -8,6 +8,16 @@
 //! index/data devices), so harnesses, examples, and future backends
 //! write `&dyn AccessMethod` instead of one code path per index.
 //!
+//! The read path is **streaming-first**: the required cores are
+//! [`AccessMethod::probe_into`] (pushes matches into a [`MatchSink`],
+//! stopping all I/O the moment the sink breaks) and
+//! [`AccessMethod::range_cursor`] (a pull-based [`RangeCursor`]
+//! fetching one data page per pull, with [`RangeCursorExt::limit`]
+//! and resumable [`Continuation`] tokens for pagination). The
+//! familiar materializing forms — `probe`, `probe_first`,
+//! `range_scan`, `probe_batch` — are provided wrappers over those
+//! cores with identical I/O.
+//!
 //! ```
 //! use bftree_access::{AccessMethod, Probe};
 //! use bftree_storage::{Duplicates, HeapFile, IoContext, Relation, TupleLayout};
@@ -26,8 +36,15 @@
 #![warn(missing_docs)]
 
 pub mod concurrent;
+pub mod cursor;
+pub mod sink;
 
-pub use concurrent::ConcurrentIndex;
+pub use concurrent::{ConcurrentIndex, ConcurrentRangeCursor};
+pub use cursor::{
+    scan_page_in_range, Continuation, Limited, PageBatchCursor, ProbeIo, RangeCursor,
+    RangeCursorExt, ScanIo,
+};
+pub use sink::{stream_sorted_matches, FirstMatch, FnSink, LimitSink, MatchSink};
 
 use bftree_storage::{IoContext, PageId, Relation, RelationError};
 
@@ -137,6 +154,7 @@ pub fn check_relation(rel: &Relation) -> Result<(), ProbeError> {
 
 /// Outcome of a point probe, uniform across access methods.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[must_use]
 pub struct Probe {
     /// Matching tuples as `(page id, slot)` pairs.
     pub matches: Vec<(PageId, usize)>,
@@ -156,6 +174,7 @@ impl Probe {
 
 /// Outcome of a range scan, uniform across access methods.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[must_use]
 pub struct RangeScan {
     /// Matching tuples as `(page id, slot)` pairs, in page order.
     pub matches: Vec<(PageId, usize)>,
@@ -208,13 +227,57 @@ pub trait AccessMethod: Send + Sync {
     /// handling from [`Relation::duplicates`].
     fn build(&mut self, rel: &Relation) -> Result<(), BuildError>;
 
+    /// Stream every tuple whose indexed attribute equals `key` into
+    /// `sink`, in ascending `(page, slot)` order per candidate page
+    /// run. **This is the probe core**; [`AccessMethod::probe`] and
+    /// [`AccessMethod::probe_first`] are materializing wrappers over
+    /// it.
+    ///
+    /// **Early termination contract:** the moment the sink returns
+    /// [`std::ops::ControlFlow::Break`], the implementation stops —
+    /// no further data page is fetched and no further index I/O is
+    /// charged. (The page that produced the breaking match has
+    /// already been read.) A full consumption charges exactly what
+    /// the materializing [`AccessMethod::probe`] charges.
+    fn probe_into(
+        &self,
+        key: u64,
+        rel: &Relation,
+        io: &IoContext,
+        sink: &mut dyn MatchSink,
+    ) -> Result<ProbeIo, ProbeError>;
+
     /// Find every tuple whose indexed attribute equals `key`.
-    fn probe(&self, key: u64, rel: &Relation, io: &IoContext) -> Result<Probe, ProbeError>;
+    ///
+    /// Thin materializing wrapper over [`AccessMethod::probe_into`]
+    /// with a collect-everything sink; identical I/O by construction.
+    fn probe(&self, key: u64, rel: &Relation, io: &IoContext) -> Result<Probe, ProbeError> {
+        let mut matches: Vec<(PageId, usize)> = Vec::new();
+        let stats = self.probe_into(key, rel, io, &mut matches)?;
+        Ok(Probe {
+            matches,
+            pages_read: stats.pages_read,
+            false_reads: stats.false_reads,
+        })
+    }
 
     /// [`AccessMethod::probe`] with the paper's primary-key shortcut:
     /// stop at the first match ("as soon as the tuple is found the
     /// search ends"). Only meaningful for unique attributes.
-    fn probe_first(&self, key: u64, rel: &Relation, io: &IoContext) -> Result<Probe, ProbeError>;
+    ///
+    /// The default drives [`AccessMethod::probe_into`] with a
+    /// [`FirstMatch`] sink, whose break stops all further I/O;
+    /// implementations with a cheaper single-result index path (or an
+    /// early-exit page-ordering heuristic) override it.
+    fn probe_first(&self, key: u64, rel: &Relation, io: &IoContext) -> Result<Probe, ProbeError> {
+        let mut first = FirstMatch::default();
+        let stats = self.probe_into(key, rel, io, &mut first)?;
+        Ok(Probe {
+            matches: first.found.into_iter().collect(),
+            pages_read: stats.pages_read,
+            false_reads: stats.false_reads,
+        })
+    }
 
     /// Probe a whole batch of keys, returning one [`Probe`] per key in
     /// input order.
@@ -244,14 +307,84 @@ pub trait AccessMethod: Send + Sync {
         keys.iter().map(|&key| self.probe(key, rel, io)).collect()
     }
 
+    /// Open a pull-based cursor over every tuple whose indexed
+    /// attribute lies in `[lo, hi]`, delivered one data page per pull
+    /// in ascending page order. **This is the range-scan core**;
+    /// [`AccessMethod::range_scan`] drains it, [`RangeCursorExt::limit`]
+    /// caps it, and [`RangeCursor::continuation`] +
+    /// [`AccessMethod::resume_range_cursor`] paginate it.
+    ///
+    /// Creation may charge the index descent; data pages are charged
+    /// strictly on demand, one per [`RangeCursor::next_page_matches`],
+    /// so a caller that stops early never pays for the rest of the
+    /// range. A full drain on cold devices charges bit-identical
+    /// `IoStats` to [`AccessMethod::range_scan`] (which is defined as
+    /// that drain).
+    fn range_cursor<'c>(
+        &'c self,
+        lo: u64,
+        hi: u64,
+        rel: &'c Relation,
+        io: &'c IoContext,
+    ) -> Result<Box<dyn RangeCursor + 'c>, ProbeError>;
+
+    /// Re-open a range cursor at the exact `(key, page, slot)`
+    /// frontier captured in `cont`, yielding precisely the matches the
+    /// producing cursor had not delivered — the previously consumed
+    /// prefix is neither rescanned on the data device nor re-delivered.
+    fn resume_range_cursor<'c>(
+        &'c self,
+        cont: &Continuation,
+        rel: &'c Relation,
+        io: &'c IoContext,
+    ) -> Result<Box<dyn RangeCursor + 'c>, ProbeError>;
+
     /// Find every tuple whose indexed attribute lies in `[lo, hi]`.
+    ///
+    /// Thin materializing wrapper draining
+    /// [`AccessMethod::range_cursor`]; identical I/O by construction.
     fn range_scan(
         &self,
         lo: u64,
         hi: u64,
         rel: &Relation,
         io: &IoContext,
-    ) -> Result<RangeScan, ProbeError>;
+    ) -> Result<RangeScan, ProbeError> {
+        let mut cursor = self.range_cursor(lo, hi, rel, io)?;
+        let mut matches: Vec<(PageId, usize)> = Vec::new();
+        while let Some(page) = cursor.next_page_matches() {
+            matches.extend_from_slice(page);
+            cursor.advance();
+        }
+        let io_totals = cursor.io();
+        Ok(RangeScan {
+            matches,
+            pages_read: io_totals.pages_read,
+            overhead_pages: io_totals.overhead_pages,
+        })
+    }
+
+    /// Stream `[lo, hi]` matches into `sink`, page by page, stopping
+    /// all I/O the moment the sink breaks. Returns the pages charged.
+    fn range_scan_into(
+        &self,
+        lo: u64,
+        hi: u64,
+        rel: &Relation,
+        io: &IoContext,
+        sink: &mut dyn MatchSink,
+    ) -> Result<ScanIo, ProbeError> {
+        let mut cursor = self.range_cursor(lo, hi, rel, io)?;
+        'pages: while let Some(page) = cursor.next_page_matches() {
+            for &(pid, slot) in page {
+                if sink.push(pid, slot).is_break() {
+                    break 'pages;
+                }
+            }
+            cursor.advance();
+        }
+        Ok(cursor.io())
+    }
 
     /// Register a new tuple at heap location `(pid, slot)` carrying
     /// `key`. The tuple must already be in `rel`'s heap.
@@ -293,6 +426,16 @@ impl<A: AccessMethod + ?Sized> AccessMethod for Box<A> {
         (**self).build(rel)
     }
 
+    fn probe_into(
+        &self,
+        key: u64,
+        rel: &Relation,
+        io: &IoContext,
+        sink: &mut dyn MatchSink,
+    ) -> Result<ProbeIo, ProbeError> {
+        (**self).probe_into(key, rel, io, sink)
+    }
+
     fn probe(&self, key: u64, rel: &Relation, io: &IoContext) -> Result<Probe, ProbeError> {
         (**self).probe(key, rel, io)
     }
@@ -310,6 +453,25 @@ impl<A: AccessMethod + ?Sized> AccessMethod for Box<A> {
         (**self).probe_batch(keys, rel, io)
     }
 
+    fn range_cursor<'c>(
+        &'c self,
+        lo: u64,
+        hi: u64,
+        rel: &'c Relation,
+        io: &'c IoContext,
+    ) -> Result<Box<dyn RangeCursor + 'c>, ProbeError> {
+        (**self).range_cursor(lo, hi, rel, io)
+    }
+
+    fn resume_range_cursor<'c>(
+        &'c self,
+        cont: &Continuation,
+        rel: &'c Relation,
+        io: &'c IoContext,
+    ) -> Result<Box<dyn RangeCursor + 'c>, ProbeError> {
+        (**self).resume_range_cursor(cont, rel, io)
+    }
+
     fn range_scan(
         &self,
         lo: u64,
@@ -318,6 +480,17 @@ impl<A: AccessMethod + ?Sized> AccessMethod for Box<A> {
         io: &IoContext,
     ) -> Result<RangeScan, ProbeError> {
         (**self).range_scan(lo, hi, rel, io)
+    }
+
+    fn range_scan_into(
+        &self,
+        lo: u64,
+        hi: u64,
+        rel: &Relation,
+        io: &IoContext,
+        sink: &mut dyn MatchSink,
+    ) -> Result<ScanIo, ProbeError> {
+        (**self).range_scan_into(lo, hi, rel, io, sink)
     }
 
     fn insert(&mut self, key: u64, loc: (PageId, usize), rel: &Relation) -> Result<(), ProbeError> {

@@ -246,18 +246,6 @@ impl BloomGroup {
         (0..self.k).all(|i| self.get_bit(base + off + fp.probe(i, window)))
     }
 
-    /// Probe **all** buckets with one hashed key — the BF-leaf inner
-    /// loop of Algorithm 1 — returning the indices of matching buckets.
-    #[deprecated(
-        since = "0.2.0",
-        note = "allocates a fresh Vec per probe; use matching_buckets_into"
-    )]
-    pub fn matching_buckets<K: BloomKey>(&self, key: &K) -> Vec<usize> {
-        let mut out = Vec::new();
-        self.matching_buckets_into(key, &mut out);
-        out
-    }
-
     /// Probe all buckets, appending matches to a caller-provided
     /// buffer (the hot path avoids per-probe allocation). The key is
     /// hashed once; its `k` in-filter offsets are then tested against
@@ -600,8 +588,7 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn matching_buckets_into_matches_allocating_version() {
+    fn matching_buckets_into_matches_per_bucket_contains() {
         let mut g = BloomGroup::new(1 << 14, 10, 3, 2);
         for key in 0u64..500 {
             g.insert((key % 10) as usize, &key);
@@ -610,7 +597,8 @@ mod tests {
         for key in 0u64..600 {
             buf.clear();
             g.matching_buckets_into(&key, &mut buf);
-            assert_eq!(buf, g.matching_buckets(&key));
+            let reference: Vec<usize> = (0..g.len()).filter(|&b| g.contains(b, &key)).collect();
+            assert_eq!(buf, reference);
         }
     }
 

@@ -4,13 +4,19 @@
 //! The probe logic that used to live in the bench harness's
 //! `run_btree` — the §6.3 duplicate-run walk under
 //! [`DuplicateMode::FirstRef`], the sorted-batch page fetches under
-//! [`DuplicateMode::PerTuple`] — lives here now, so every caller gets
-//! the paper-faithful I/O pattern for free.
+//! [`DuplicateMode::PerTuple`] — lives here, rethreaded onto the
+//! streaming read API: probes drive a [`MatchSink`] (and stop
+//! fetching the moment it breaks), range scans are pull-based
+//! cursors. The materializing `probe`/`range_scan` forms are the
+//! trait's default wrappers over these cores.
 
 use bftree_access::{
-    check_relation, AccessMethod, BuildError, IndexStats, Probe, ProbeError, RangeScan,
+    check_relation, scan_page_in_range, stream_sorted_matches, AccessMethod, BuildError,
+    Continuation, IndexStats, MatchSink, PageBatchCursor, Probe, ProbeError, ProbeIo, RangeCursor,
+    ScanIo,
 };
-use bftree_storage::{Duplicates, HeapFile, IoContext, PageId, Relation};
+use bftree_storage::tuple::AttrOffset;
+use bftree_storage::{Duplicates, HeapFile, IoContext, PageId, Relation, SimDevice};
 
 use crate::node::{BTreeConfig, DuplicateMode};
 use crate::tree::BPlusTree;
@@ -44,17 +50,150 @@ pub fn relation_entries(rel: &Relation, mode: DuplicateMode) -> Vec<(u64, TupleR
     entries
 }
 
-/// Scan `pid` for `key`, appending matches; returns tuples examined.
-fn page_matches(
+/// Stream `pid`'s slots matching `key` into `sink`.
+fn push_page_matches(
     heap: &HeapFile,
     pid: PageId,
-    attr: bftree_storage::tuple::AttrOffset,
+    attr: AttrOffset,
     key: u64,
-    out: &mut Vec<(PageId, usize)>,
-) {
+    sink: &mut dyn MatchSink,
+) -> std::ops::ControlFlow<()> {
     let mut slots = Vec::new();
     heap.scan_page_for(pid, attr, key, &mut slots);
-    out.extend(slots.into_iter().map(|s| (pid, s)));
+    for slot in slots {
+        sink.push(pid, slot)?;
+    }
+    std::ops::ControlFlow::Continue(())
+}
+
+/// The FirstRef-mode range cursor: duplicates are contiguous in the
+/// heap, so after the index names the first page the scan is a pure
+/// page walk guided by each page's attribute range — which is what
+/// makes **resume index-free**: the continuation's page frontier is
+/// all the state there is.
+#[must_use]
+struct RunCursor<'c> {
+    heap: &'c HeapFile,
+    attr: AttrOffset,
+    data: &'c SimDevice,
+    lo: u64,
+    hi: u64,
+    /// Next page to fetch (`None` once exhausted).
+    pid: Option<PageId>,
+    prev: Option<PageId>,
+    /// Sub-page resume point.
+    resume: Option<(PageId, usize)>,
+    buf: Vec<(PageId, usize)>,
+    loaded: bool,
+    /// The loaded page ends past `hi` (the run stops after it).
+    last_of_run: bool,
+    counters: ScanIo,
+}
+
+impl<'c> RunCursor<'c> {
+    fn new(
+        start: Option<PageId>,
+        lo: u64,
+        hi: u64,
+        rel: &'c Relation,
+        io: &'c IoContext,
+        resume: Option<(PageId, usize)>,
+    ) -> Self {
+        Self {
+            heap: rel.heap(),
+            attr: rel.attr(),
+            data: &io.data,
+            lo,
+            hi,
+            pid: start,
+            prev: None,
+            resume,
+            buf: Vec::new(),
+            loaded: false,
+            last_of_run: false,
+            counters: ScanIo::default(),
+        }
+    }
+}
+
+impl RangeCursor for RunCursor<'_> {
+    fn next_page_matches(&mut self) -> Option<&[(PageId, usize)]> {
+        if self.loaded {
+            return Some(&self.buf);
+        }
+        let pid = self.pid?;
+        if pid >= self.heap.page_count() {
+            self.pid = None;
+            return None;
+        }
+        let Some((page_lo, page_hi)) = self.heap.page_attr_range(pid, self.attr) else {
+            self.pid = None;
+            return None;
+        };
+        if page_lo > self.hi {
+            self.pid = None;
+            return None;
+        }
+        match self.prev {
+            Some(q) if pid == q + 1 => self.data.read_seq(pid),
+            _ => self.data.read_random(pid),
+        }
+        self.counters.pages_read += 1;
+        self.buf.clear();
+        let any = scan_page_in_range(
+            self.heap,
+            self.attr,
+            pid,
+            self.lo,
+            self.hi,
+            self.resume,
+            &mut self.buf,
+        );
+        if !any {
+            self.counters.overhead_pages += 1;
+        }
+        self.last_of_run = page_hi > self.hi;
+        self.loaded = true;
+        Some(&self.buf)
+    }
+
+    fn advance(&mut self) {
+        if !self.loaded {
+            return;
+        }
+        self.loaded = false;
+        self.buf.clear();
+        let pid = self.pid.expect("loaded implies a frontier page");
+        self.prev = Some(pid);
+        self.pid = (!self.last_of_run).then(|| pid + 1);
+    }
+
+    fn continuation(&self) -> Option<Continuation> {
+        let page = self.pid?;
+        let slot = match self.resume {
+            Some((p, s)) if p == page => s,
+            _ => 0,
+        };
+        // FirstRef resume never re-descends; `key` is informational.
+        Some(Continuation::from_parts(
+            self.lo, self.hi, self.lo, page, slot,
+        ))
+    }
+
+    fn io(&self) -> ScanIo {
+        self.counters
+    }
+}
+
+impl BPlusTree {
+    /// The per-tuple match list of `[lo, hi]` as a page-sorted
+    /// `(page, slot)` vector (index I/O charged here).
+    fn per_tuple_range_matches(&self, lo: u64, hi: u64, io: &IoContext) -> Vec<(PageId, usize)> {
+        self.range(lo, hi, Some(&io.index))
+            .into_iter()
+            .map(|(_, t)| (t.pid(), t.slot()))
+            .collect()
+    }
 }
 
 impl AccessMethod for BPlusTree {
@@ -73,47 +212,63 @@ impl AccessMethod for BPlusTree {
         Ok(())
     }
 
-    fn probe(&self, key: u64, rel: &Relation, io: &IoContext) -> Result<Probe, ProbeError> {
+    fn probe_into(
+        &self,
+        key: u64,
+        rel: &Relation,
+        io: &IoContext,
+        sink: &mut dyn MatchSink,
+    ) -> Result<ProbeIo, ProbeError> {
         check_relation(rel)?;
         let heap = rel.heap();
         let attr = rel.attr();
-        let mut result = Probe::default();
+        let mut stats = ProbeIo::default();
         if self.config().duplicates == DuplicateMode::FirstRef {
             // Duplicates are contiguous: read forward from the first
             // reference's page while pages still contain the key
             // (§6.3: the probe "will read all the consecutive tuples
-            // that have the same value as the search key").
+            // that have the same value as the search key"), stopping
+            // early if the sink does.
             if let Some(tref) = self.search(key, Some(&io.index)) {
                 let mut pid = tref.pid();
                 io.data.read_random(pid);
-                result.pages_read += 1;
-                page_matches(heap, pid, attr, key, &mut result.matches);
+                stats.pages_read += 1;
+                if push_page_matches(heap, pid, attr, key, sink).is_break() {
+                    return Ok(stats);
+                }
                 while pid + 1 < heap.page_count() {
                     match heap.page_attr_range(pid + 1, attr) {
                         Some((lo, _)) if lo <= key => {
                             pid += 1;
                             io.data.read_seq(pid);
-                            result.pages_read += 1;
-                            page_matches(heap, pid, attr, key, &mut result.matches);
+                            stats.pages_read += 1;
+                            if push_page_matches(heap, pid, attr, key, sink).is_break() {
+                                return Ok(stats);
+                            }
                         }
                         _ => break,
                     }
                 }
             }
         } else {
-            let trefs = self.search_all(key, Some(&io.index));
-            if !trefs.is_empty() {
-                result.matches = trefs.iter().map(|t| (t.pid(), t.slot())).collect();
-                let mut pages: Vec<PageId> = trefs.iter().map(|t| t.pid()).collect();
-                pages.sort_unstable();
-                pages.dedup();
-                result.pages_read = pages.len() as u64;
-                io.data.read_sorted_batch(&pages);
-            }
+            // Per-tuple mode: the index names every match; the heap
+            // fetch is a sorted page batch, charged page by page so an
+            // early-breaking sink never pays for the tail.
+            stats = stream_sorted_matches(
+                self.search_all(key, Some(&io.index))
+                    .into_iter()
+                    .map(|t| (t.pid(), t.slot()))
+                    .collect(),
+                &io.data,
+                sink,
+            );
         }
-        Ok(result)
+        Ok(stats)
     }
 
+    /// Override: a first-match probe needs only [`BPlusTree::search`]
+    /// (one descent, one data page), not the duplicate-run machinery
+    /// of the streaming core.
     fn probe_first(&self, key: u64, rel: &Relation, io: &IoContext) -> Result<Probe, ProbeError> {
         check_relation(rel)?;
         let mut result = Probe::default();
@@ -125,67 +280,66 @@ impl AccessMethod for BPlusTree {
         Ok(result)
     }
 
-    fn range_scan(
-        &self,
+    fn range_cursor<'c>(
+        &'c self,
         lo: u64,
         hi: u64,
-        rel: &Relation,
-        io: &IoContext,
-    ) -> Result<RangeScan, ProbeError> {
+        rel: &'c Relation,
+        io: &'c IoContext,
+    ) -> Result<Box<dyn RangeCursor + 'c>, ProbeError> {
         check_relation(rel)?;
         if lo > hi {
             return Err(ProbeError::InvertedRange { lo, hi });
         }
-        let heap = rel.heap();
-        let attr = rel.attr();
-        let entries = self.range(lo, hi, Some(&io.index));
-        let mut result = RangeScan::default();
-        let Some(&(_, first)) = entries.first() else {
-            return Ok(result);
-        };
         if self.config().duplicates == DuplicateMode::FirstRef {
             // The tree stores first references only; duplicates are
-            // contiguous in the heap, so scan pages from the first
-            // reference until a page starts past `hi`.
-            let mut pid = first.pid();
-            let mut prev: Option<PageId> = None;
-            while pid < heap.page_count() {
-                match heap.page_attr_range(pid, attr) {
-                    Some((page_lo, page_hi)) if page_lo <= hi => {
-                        match prev {
-                            Some(q) if pid == q + 1 => io.data.read_seq(pid),
-                            _ => io.data.read_random(pid),
-                        }
-                        prev = Some(pid);
-                        result.pages_read += 1;
-                        let mut any = false;
-                        for slot in 0..heap.tuples_in_page(pid) {
-                            let v = heap.attr(pid, slot, attr);
-                            if v >= lo && v <= hi {
-                                result.matches.push((pid, slot));
-                                any = true;
-                            }
-                        }
-                        if !any {
-                            result.overhead_pages += 1;
-                        }
-                        if page_hi > hi {
-                            break; // the run ends inside this page
-                        }
-                        pid += 1;
-                    }
-                    _ => break,
-                }
-            }
+            // contiguous in the heap, so the scan is a page walk from
+            // the first in-range reference until a page starts past
+            // `hi`. `seek_ge` charges one descent, not the whole
+            // range's leaf walk — cursor creation stays O(height)
+            // however wide the range is.
+            let start = self.seek_ge(lo, hi, Some(&io.index)).map(|(_, t)| t.pid());
+            Ok(Box::new(RunCursor::new(start, lo, hi, rel, io, None)))
         } else {
-            result.matches = entries.iter().map(|&(_, t)| (t.pid(), t.slot())).collect();
-            let mut pages: Vec<PageId> = entries.iter().map(|&(_, t)| t.pid()).collect();
-            pages.sort_unstable();
-            pages.dedup();
-            result.pages_read = pages.len() as u64;
-            io.data.read_sorted_batch(&pages);
+            let matches = self.per_tuple_range_matches(lo, hi, io);
+            Ok(Box::new(PageBatchCursor::new(
+                matches,
+                &io.data,
+                (lo, hi, lo),
+                None,
+            )))
         }
-        Ok(result)
+    }
+
+    fn resume_range_cursor<'c>(
+        &'c self,
+        cont: &Continuation,
+        rel: &'c Relation,
+        io: &'c IoContext,
+    ) -> Result<Box<dyn RangeCursor + 'c>, ProbeError> {
+        check_relation(rel)?;
+        let (lo, hi) = (cont.lo(), cont.hi());
+        let frontier = Some((cont.page(), cont.slot()));
+        if self.config().duplicates == DuplicateMode::FirstRef {
+            // Contiguity makes resume index-free: re-enter the page
+            // walk at the frontier page, no descent, no prefix pages.
+            Ok(Box::new(RunCursor::new(
+                Some(cont.page()),
+                lo,
+                hi,
+                rel,
+                io,
+                frontier,
+            )))
+        } else {
+            let matches = self.per_tuple_range_matches(lo, hi, io);
+            Ok(Box::new(PageBatchCursor::new(
+                matches,
+                &io.data,
+                (lo, hi, cont.key()),
+                frontier,
+            )))
+        }
     }
 
     fn insert(&mut self, key: u64, loc: (PageId, usize), rel: &Relation) -> Result<(), ProbeError> {
@@ -223,6 +377,7 @@ impl AccessMethod for BPlusTree {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bftree_access::RangeCursorExt;
     use bftree_storage::tuple::{ATT1_OFFSET, PK_OFFSET};
     use bftree_storage::TupleLayout;
 
@@ -279,5 +434,31 @@ mod tests {
         // The same tuples through the unique PK index.
         let r = AccessMethod::range_scan(&per_tuple, 70, 146, &rel_u, &io).unwrap();
         assert_eq!(r.matches.len(), 77);
+    }
+
+    #[test]
+    fn firstref_cursor_resumes_without_index_io() {
+        let rel = relation(Duplicates::Contiguous);
+        let tree = built(&rel);
+        let io = IoContext::unmetered();
+        let full = AccessMethod::range_scan(&tree, 50, 120, &rel, &io).unwrap();
+
+        let mut cursor = tree.range_cursor(50, 120, &rel, &io).unwrap().limit(40);
+        let mut head = Vec::new();
+        while let Some(page) = cursor.next_page_matches() {
+            head.extend_from_slice(page);
+            cursor.advance();
+        }
+        assert_eq!(head.len(), 40);
+        let token = cursor.continuation().expect("remainder pending");
+
+        let mut rest_cursor = tree.resume_range_cursor(&token, &rel, &io).unwrap();
+        let mut rest = Vec::new();
+        while let Some(page) = rest_cursor.next_page_matches() {
+            rest.extend_from_slice(page);
+            rest_cursor.advance();
+        }
+        head.extend(rest);
+        assert_eq!(head, full.matches, "prefix + resume == full scan");
     }
 }

@@ -369,6 +369,33 @@ impl BPlusTree {
         }
     }
 
+    /// The first entry with key in `[lo, hi]`, if any — the streaming
+    /// complement of [`BPlusTree::range`] for callers that only need
+    /// the start of the run (a paginated range cursor locating its
+    /// first data page). Charges the descent plus one index read per
+    /// extra leaf traversed before the first in-range key, never the
+    /// whole range's leaf walk.
+    pub fn seek_ge(&self, lo: u64, hi: u64, dev: Option<&SimDevice>) -> Option<(u64, TupleRef)> {
+        assert!(lo <= hi);
+        let mut leaf = self.descend_leftmost(lo, dev);
+        loop {
+            let Node::Leaf { keys, refs, next } = &self.nodes[leaf as usize] else {
+                unreachable!("descend returns leaves");
+            };
+            let start = keys.partition_point(|&k| k < lo);
+            if start < keys.len() {
+                return (keys[start] <= hi).then(|| (keys[start], refs[start]));
+            }
+            match next {
+                Some(n) => {
+                    leaf = *n;
+                    self.charge(dev, leaf);
+                }
+                None => return None,
+            }
+        }
+    }
+
     /// All entries with key in `[lo, hi]`, in key order. Charges the
     /// initial descent plus one index read per extra leaf touched.
     pub fn range(&self, lo: u64, hi: u64, dev: Option<&SimDevice>) -> Vec<(u64, TupleRef)> {
@@ -883,6 +910,37 @@ mod tests {
             assert_eq!(all.len(), 50, "key {k}");
             assert!(all.iter().all(|r| r.pid() == k));
         }
+    }
+
+    #[test]
+    fn seek_ge_finds_the_range_start_without_the_full_walk() {
+        use bftree_storage::DeviceKind;
+        let t = BPlusTree::bulk_build(
+            small_config(),
+            (0..500u64).map(|k| (k * 3, TupleRef::new(k, 0))),
+        );
+        for (lo, hi) in [
+            (0u64, 1_500u64),
+            (7, 1_400),
+            (299, 299),
+            (1_498, 1_600),
+            (1_600, 2_000),
+        ] {
+            assert_eq!(
+                t.seek_ge(lo, hi, None),
+                t.range(lo, hi, None).first().copied(),
+                "range [{lo}, {hi}]"
+            );
+        }
+        // A wide range charges the descent only, not the leaf walk.
+        let (seek_dev, range_dev) = (
+            SimDevice::cold(DeviceKind::Ssd),
+            SimDevice::cold(DeviceKind::Ssd),
+        );
+        let _ = t.seek_ge(0, 1_500, Some(&seek_dev));
+        let _ = t.range(0, 1_500, Some(&range_dev));
+        assert_eq!(seek_dev.snapshot().device_reads() as usize, t.height());
+        assert!(range_dev.snapshot().device_reads() > seek_dev.snapshot().device_reads());
     }
 
     #[test]

@@ -278,8 +278,10 @@ pub struct BufferManager {
 }
 
 /// RAII pin: the pinned frame is immune to eviction until the guard
-/// drops.
+/// drops. Dropping the guard unpins immediately, so an unused guard
+/// protects nothing — hence `#[must_use]`.
 #[derive(Debug)]
+#[must_use = "the pin lasts only while the guard is held"]
 pub struct PinGuard<'a> {
     manager: &'a BufferManager,
     shard: usize,

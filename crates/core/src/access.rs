@@ -4,11 +4,13 @@
 use std::cell::RefCell;
 
 use bftree_access::{
-    check_relation, AccessMethod, BuildError, IndexStats, Probe, ProbeError, RangeScan,
+    check_relation, AccessMethod, BuildError, Continuation, FirstMatch, IndexStats, MatchSink,
+    Probe, ProbeError, ProbeIo, RangeCursor,
 };
 use bftree_storage::{IoContext, PageId, Relation};
 
 use crate::builder::BfTreeBuilder;
+use crate::scan::BfRangeCursor;
 use crate::stats::ProbeResult;
 use crate::tree::{BfTree, ProbeScratch};
 
@@ -49,10 +51,16 @@ impl AccessMethod for BfTree {
         Ok(())
     }
 
-    fn probe(&self, key: u64, rel: &Relation, io: &IoContext) -> Result<Probe, ProbeError> {
+    fn probe_into(
+        &self,
+        key: u64,
+        rel: &Relation,
+        io: &IoContext,
+        sink: &mut dyn MatchSink,
+    ) -> Result<ProbeIo, ProbeError> {
         check_relation(rel)?;
-        Ok(with_scratch(|scratch| {
-            self.probe_impl(
+        let r = with_scratch(|scratch| {
+            self.probe_sink_impl(
                 key,
                 rel.heap(),
                 rel.attr(),
@@ -60,15 +68,25 @@ impl AccessMethod for BfTree {
                 Some(&io.data),
                 false,
                 scratch,
+                sink,
             )
+        });
+        Ok(ProbeIo {
+            pages_read: r.pages_read,
+            false_reads: r.false_reads,
         })
-        .into())
     }
 
+    /// Override: the paper's first-match shortcut also switches the
+    /// candidate-page order to interpolated distance (near-uniform
+    /// ordered data puts the true page first), which only pays when
+    /// the probe stops at the first hit — the generic
+    /// [`FirstMatch`]-sink default cannot know to do that.
     fn probe_first(&self, key: u64, rel: &Relation, io: &IoContext) -> Result<Probe, ProbeError> {
         check_relation(rel)?;
-        Ok(with_scratch(|scratch| {
-            self.probe_impl(
+        let mut first = FirstMatch::default();
+        let r = with_scratch(|scratch| {
+            self.probe_sink_impl(
                 key,
                 rel.heap(),
                 rel.attr(),
@@ -76,9 +94,14 @@ impl AccessMethod for BfTree {
                 Some(&io.data),
                 true,
                 scratch,
+                &mut first,
             )
+        });
+        Ok(Probe {
+            matches: first.found.into_iter().collect(),
+            pages_read: r.pages_read,
+            false_reads: r.false_reads,
         })
-        .into())
     }
 
     fn probe_batch(
@@ -104,30 +127,28 @@ impl AccessMethod for BfTree {
         Ok(out)
     }
 
-    fn range_scan(
-        &self,
+    fn range_cursor<'c>(
+        &'c self,
         lo: u64,
         hi: u64,
-        rel: &Relation,
-        io: &IoContext,
-    ) -> Result<RangeScan, ProbeError> {
+        rel: &'c Relation,
+        io: &'c IoContext,
+    ) -> Result<Box<dyn RangeCursor + 'c>, ProbeError> {
         check_relation(rel)?;
         if lo > hi {
             return Err(ProbeError::InvertedRange { lo, hi });
         }
-        let r = self.range_scan_impl(
-            lo,
-            hi,
-            rel.heap(),
-            rel.attr(),
-            Some(&io.index),
-            Some(&io.data),
-        );
-        Ok(RangeScan {
-            matches: r.matches,
-            pages_read: r.pages_read,
-            overhead_pages: r.overhead_pages,
-        })
+        Ok(Box::new(BfRangeCursor::open(self, lo, hi, rel, io)))
+    }
+
+    fn resume_range_cursor<'c>(
+        &'c self,
+        cont: &Continuation,
+        rel: &'c Relation,
+        io: &'c IoContext,
+    ) -> Result<Box<dyn RangeCursor + 'c>, ProbeError> {
+        check_relation(rel)?;
+        Ok(Box::new(BfRangeCursor::resume(self, cont, rel, io)))
     }
 
     fn insert(&mut self, key: u64, loc: (PageId, usize), rel: &Relation) -> Result<(), ProbeError> {

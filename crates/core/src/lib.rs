@@ -46,7 +46,9 @@
 //! * [`leaf`] — the BF-leaf (§4.1).
 //! * [`tree`] — bulk load, Algorithm 1 (search), Algorithm 3 (insert),
 //!   Algorithm 2 (split), deletes.
-//! * [`scan`] — range scans over partitions (§7, Figure 13).
+//! * [`scan`] — range scans over partitions (§7, Figure 13): the
+//!   pull-based [`scan::BfRangeCursor`] core plus the §7
+//!   boundary-probing scan.
 //! * [`stats`] — probe statistics: false reads, pages fetched, BFs
 //!   probed (Table 3).
 

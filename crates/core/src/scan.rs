@@ -6,7 +6,13 @@
 //! Figure 13 measures. The §7 optimization — enumerate the boundary
 //! values and probe the BFs to fetch only useful pages — is
 //! implemented as [`BfTree::scan_range_probing`].
+//!
+//! The scan core itself is the pull-based [`BfRangeCursor`]: the
+//! partition walk paused between data pages, with a resumable
+//! continuation frontier. `AccessMethod::range_scan` is its full
+//! drain.
 
+use bftree_access::{scan_page_in_range, Continuation, RangeCursor, ScanIo};
 use bftree_storage::tuple::AttrOffset;
 use bftree_storage::{HeapFile, IoContext, PageId, Relation, SimDevice};
 
@@ -26,42 +32,218 @@ pub struct RangeScanResult {
     pub leaves_visited: u64,
 }
 
-impl BfTree {
-    pub(crate) fn range_scan_impl(
-        &self,
+/// The BF-Tree's native [`RangeCursor`]: the partition walk of the old
+/// materializing scan, paused between data pages.
+///
+/// Creation charges the index descent to the first overlapping leaf;
+/// each [`RangeCursor::next_page_matches`] charges exactly one data
+/// page (plus the leaf read whenever the walk enters the next
+/// partition), so early termination — a `limit(k)` pagination pull —
+/// stops the scan's I/O at a bounded prefix of the range. A full
+/// drain performs, charge for charge in the same order, what the
+/// materializing `AccessMethod::range_scan` wrapper reports.
+///
+/// The continuation frontier is `(leaf min key, next data page)`;
+/// resuming re-descends to that leaf and re-enters the page walk at
+/// exactly the frontier page, so the consumed prefix of the range is
+/// never re-read from the data device.
+#[must_use]
+pub struct BfRangeCursor<'c> {
+    tree: &'c BfTree,
+    rel: &'c Relation,
+    io: &'c IoContext,
+    lo: u64,
+    hi: u64,
+    /// Next leaf to enter (not yet charged).
+    pending: Option<u32>,
+    /// Entered leaf: `(arena idx, next page, last page)`.
+    current: Option<(u32, PageId, PageId)>,
+    /// Cross-leaf page dedup frontier (overlapping leaf ranges), also
+    /// the resume frontier: pages below it are never read.
+    frontier: Option<PageId>,
+    /// Sub-page resume point: skip slots below it on that one page.
+    resume: Option<(PageId, usize)>,
+    buf: Vec<(PageId, usize)>,
+    loaded: bool,
+    done: bool,
+    counters: ScanIo,
+}
+
+impl<'c> BfRangeCursor<'c> {
+    pub(crate) fn open(
+        tree: &'c BfTree,
         lo: u64,
         hi: u64,
-        heap: &HeapFile,
-        attr: AttrOffset,
-        idx_dev: Option<&SimDevice>,
-        data_dev: Option<&SimDevice>,
-    ) -> RangeScanResult {
-        assert!(lo <= hi);
-        let mut result = RangeScanResult::default();
-        let Some(start) = self.first_overlapping_leaf(lo, idx_dev) else {
-            return result;
-        };
-        let mut next_pid: Option<PageId> = None; // dedup overlapping leaf ranges
-        let mut idx = Some(start);
-        while let Some(i) = idx {
-            let leaf = self.leaf(i);
-            if leaf.n_keys > 0 && leaf.min_key > hi {
-                break;
-            }
-            if let Some(d) = idx_dev {
-                d.read_random(Self::leaf_page_id(i));
-            }
-            result.leaves_visited += 1;
-            let from = next_pid.map_or(leaf.min_pid, |n| n.max(leaf.min_pid));
-            for pid in from..=leaf.max_pid.min(heap.page_count().saturating_sub(1)) {
-                self.scan_data_page(pid, lo, hi, heap, attr, data_dev, &mut result);
-            }
-            next_pid = Some(leaf.max_pid + 1);
-            idx = leaf.next;
-        }
-        result
+        rel: &'c Relation,
+        io: &'c IoContext,
+    ) -> Self {
+        Self::with_frontier(tree, lo, lo, hi, rel, io, None)
     }
 
+    pub(crate) fn resume(
+        tree: &'c BfTree,
+        cont: &Continuation,
+        rel: &'c Relation,
+        io: &'c IoContext,
+    ) -> Self {
+        Self::with_frontier(
+            tree,
+            cont.key(),
+            cont.lo(),
+            cont.hi(),
+            rel,
+            io,
+            Some((cont.page(), cont.slot())),
+        )
+    }
+
+    fn with_frontier(
+        tree: &'c BfTree,
+        entry_key: u64,
+        lo: u64,
+        hi: u64,
+        rel: &'c Relation,
+        io: &'c IoContext,
+        resume: Option<(PageId, usize)>,
+    ) -> Self {
+        let pending = tree.first_overlapping_leaf(entry_key, Some(&io.index));
+        Self {
+            tree,
+            rel,
+            io,
+            lo,
+            hi,
+            pending,
+            current: None,
+            frontier: resume.map(|(page, _)| page),
+            resume,
+            buf: Vec::new(),
+            loaded: false,
+            done: pending.is_none(),
+            counters: ScanIo::default(),
+        }
+    }
+
+    /// Fetch page `pid`: one sequential read (the partition walk is a
+    /// sequential sweep, exactly as the materializing scan charged it).
+    fn read_page(&mut self, pid: PageId) {
+        self.io.data.read_seq(pid);
+        self.counters.pages_read += 1;
+        self.buf.clear();
+        let any = scan_page_in_range(
+            self.rel.heap(),
+            self.rel.attr(),
+            pid,
+            self.lo,
+            self.hi,
+            self.resume,
+            &mut self.buf,
+        );
+        if !any {
+            self.counters.overhead_pages += 1;
+        }
+    }
+}
+
+impl RangeCursor for BfRangeCursor<'_> {
+    fn next_page_matches(&mut self) -> Option<&[(PageId, usize)]> {
+        if self.done {
+            return None;
+        }
+        if self.loaded {
+            return Some(&self.buf);
+        }
+        loop {
+            if let Some((leaf_idx, next, last)) = self.current {
+                if next <= last {
+                    self.read_page(next);
+                    self.loaded = true;
+                    return Some(&self.buf);
+                }
+                // Partition exhausted: move to the right sibling. The
+                // frontier only ever advances — on a resume whose
+                // descent landed left of the token's partition (a
+                // duplicate run spanning a leaf boundary), the token's
+                // page frontier is AHEAD of this leaf's range and must
+                // survive the skip, or already-delivered pages would
+                // be re-read and re-delivered.
+                let leaf = self.tree.leaf(leaf_idx);
+                self.frontier = Some(
+                    self.frontier
+                        .map_or(leaf.max_pid + 1, |f| f.max(leaf.max_pid + 1)),
+                );
+                self.pending = leaf.next;
+                self.current = None;
+            }
+            let Some(i) = self.pending.take() else {
+                self.done = true;
+                return None;
+            };
+            let leaf = self.tree.leaf(i);
+            if leaf.n_keys > 0 && leaf.min_key > self.hi {
+                self.done = true;
+                return None;
+            }
+            self.io.index.read_random(BfTree::leaf_page_id(i));
+            let from = self.frontier.map_or(leaf.min_pid, |n| n.max(leaf.min_pid));
+            let last = leaf
+                .max_pid
+                .min(self.rel.heap().page_count().saturating_sub(1));
+            self.current = Some((i, from, last));
+        }
+    }
+
+    fn advance(&mut self) {
+        if !self.loaded {
+            return;
+        }
+        self.loaded = false;
+        self.buf.clear();
+        if let Some((_, next, _)) = &mut self.current {
+            *next += 1;
+        }
+    }
+
+    fn continuation(&self) -> Option<Continuation> {
+        if self.done {
+            return None;
+        }
+        let (leaf_idx, page) = match (self.current, self.pending) {
+            // Mid-partition: resume at the next unconsumed page.
+            (Some((i, next, last)), _) if next <= last => (i, next),
+            // Partition drained: resume past its page range (never
+            // behind the standing frontier — see the monotone update
+            // in `next_page_matches`).
+            (Some((i, _, _)), _) => (
+                i,
+                self.frontier.map_or(self.tree.leaf(i).max_pid + 1, |f| {
+                    f.max(self.tree.leaf(i).max_pid + 1)
+                }),
+            ),
+            // Not yet entered (fresh or between leaves).
+            (None, Some(i)) => (
+                i,
+                self.frontier.map_or(self.tree.leaf(i).min_pid, |n| {
+                    n.max(self.tree.leaf(i).min_pid)
+                }),
+            ),
+            (None, None) => return None,
+        };
+        let leaf = self.tree.leaf(leaf_idx);
+        let key = leaf.min_key.max(self.lo).min(self.hi);
+        let slot = match self.resume {
+            Some((p, s)) if p == page => s,
+            _ => 0,
+        };
+        Some(Continuation::from_parts(self.lo, self.hi, key, page, slot))
+    }
+
+    fn io(&self) -> ScanIo {
+        self.counters
+    }
+}
+
+impl BfTree {
     /// The §7 boundary-probing range scan over the new handle API:
     /// like `AccessMethod::range_scan`, but boundary partitions are
     /// probed per value (capped at `max_enumeration` enumerated keys

@@ -2,7 +2,9 @@
 //! split (Algorithm 2), delete.
 
 use std::collections::HashSet;
+use std::ops::ControlFlow;
 
+use bftree_access::MatchSink;
 use bftree_bloom::hash::KeyFingerprint;
 use bftree_btree::{BPlusTree, BTreeConfig, DuplicateMode, TupleRef};
 use bftree_storage::tuple::AttrOffset;
@@ -303,13 +305,11 @@ impl BfTree {
 
     /// Algorithm 1: probe for `key`, returning every matching tuple.
     ///
-    /// Charges index reads (internal descent + one read per BF-leaf
-    /// visited) to `idx_dev` and data-page fetches to `data_dev`
-    /// (sorted batch: adjacent pages at sequential cost, as the paper's
-    /// Equation 13 models). `scratch` supplies the working buffers, so
-    /// the path allocates nothing once they are warm. The public entry
-    /// points are `AccessMethod::probe`/`probe_first` over a `Relation`
-    /// and an `IoContext`.
+    /// Thin materializing wrapper over [`Self::probe_sink_impl`] with
+    /// a collect-everything sink; identical I/O by construction. Kept
+    /// for the in-crate equivalence tests (the trait path streams
+    /// through the sink form instead).
+    #[cfg_attr(not(test), allow(dead_code))]
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn probe_impl(
         &self,
@@ -321,12 +321,53 @@ impl BfTree {
         stop_at_first: bool,
         scratch: &mut ProbeScratch,
     ) -> ProbeResult {
+        let mut matches: Vec<(PageId, usize)> = Vec::new();
+        let mut result = self.probe_sink_impl(
+            key,
+            heap,
+            attr,
+            idx_dev,
+            data_dev,
+            stop_at_first,
+            scratch,
+            &mut matches,
+        );
+        result.matches = matches;
+        result
+    }
+
+    /// Algorithm 1 as a streaming core: every match is pushed into
+    /// `sink` the moment its page has been scanned, and the probe
+    /// stops charging I/O the moment the sink breaks (or, with
+    /// `stop_at_first`, after the first matching page).
+    ///
+    /// Charges index reads (internal descent + one read per BF-leaf
+    /// visited) to `idx_dev` and data-page fetches to `data_dev`
+    /// (sorted batch: adjacent pages at sequential cost, as the
+    /// paper's Equation 13 models). `scratch` supplies the working
+    /// buffers, so the path allocates nothing once they are warm. The
+    /// public entry points are `AccessMethod::probe_into` /
+    /// `probe` / `probe_first` over a `Relation` and an `IoContext`.
+    /// The returned [`ProbeResult`] carries the counters; its
+    /// `matches` vector stays empty (the sink received them).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn probe_sink_impl(
+        &self,
+        key: u64,
+        heap: &HeapFile,
+        attr: AttrOffset,
+        idx_dev: Option<&SimDevice>,
+        data_dev: Option<&SimDevice>,
+        stop_at_first: bool,
+        scratch: &mut ProbeScratch,
+        sink: &mut dyn MatchSink,
+    ) -> ProbeResult {
         let mut result = ProbeResult::default();
         let fp = KeyFingerprint::new(&key, self.config.seed);
         let mut candidates = std::mem::take(&mut scratch.candidates);
         self.candidate_leaves_into(key, idx_dev, &mut candidates);
         for &leaf_idx in &candidates {
-            if self.probe_leaf(
+            let flow = self.probe_leaf(
                 key,
                 &fp,
                 leaf_idx,
@@ -336,8 +377,10 @@ impl BfTree {
                 data_dev,
                 stop_at_first,
                 scratch,
+                sink,
                 &mut result,
-            ) {
+            );
+            if flow.is_break() {
                 break;
             }
         }
@@ -454,10 +497,14 @@ impl BfTree {
                     slot,
                 } = entry;
                 let resolved = windows.len() == pages.len();
+                // The batch contract materializes every match, so the
+                // per-key sink is the result's own vector (taken out
+                // to satisfy the borrow checker); it never breaks.
+                let mut collected = std::mem::take(&mut result.matches);
                 for &(leaf_idx, start, end) in segs.iter() {
                     let leaf = &self.leaves[leaf_idx as usize];
                     let (start, end) = (start as usize, end as usize);
-                    self.probe_leaf_data(
+                    let flow = self.probe_leaf_data(
                         *key,
                         leaf,
                         &pages[start..end],
@@ -468,9 +515,12 @@ impl BfTree {
                         false,
                         true,
                         &mut scratch.slots,
+                        &mut collected,
                         result,
                     );
+                    debug_assert!(flow.is_continue(), "vec sinks never break");
                 }
+                result.matches = collected;
                 sink(*slot as usize, std::mem::take(result));
             }
             // Stage one: route the next key, sweep its candidate
@@ -566,8 +616,9 @@ impl BfTree {
     }
 
     /// Probe one candidate leaf: filter sweep, candidate-page fetch,
-    /// duplicate-run following. Returns `true` when a first-match probe
-    /// is satisfied and the caller must stop visiting leaves.
+    /// duplicate-run following. Breaks when the sink stops the probe
+    /// (or a first-match probe is satisfied) and the caller must stop
+    /// visiting leaves.
     #[allow(clippy::too_many_arguments)]
     fn probe_leaf(
         &self,
@@ -580,15 +631,16 @@ impl BfTree {
         data_dev: Option<&SimDevice>,
         stop_at_first: bool,
         scratch: &mut ProbeScratch,
+        sink: &mut dyn MatchSink,
         result: &mut ProbeResult,
-    ) -> bool {
+    ) -> ControlFlow<()> {
         let leaf = &self.leaves[leaf_idx as usize];
         if let Some(d) = idx_dev {
             d.read_random(Self::leaf_page_id(leaf_idx));
         }
         result.leaves_visited += 1;
         if !leaf.covers_key(key) {
-            return false;
+            return ControlFlow::Continue(());
         }
         let ProbeScratch {
             buckets,
@@ -624,15 +676,19 @@ impl BfTree {
             stop_at_first,
             false,
             slots,
+            sink,
             result,
         )
     }
 
     /// The data phase of one `(key, leaf)` probe: fetch the candidate
     /// pages (ascending runs at sequential cost), scan them for
-    /// matches, and follow duplicate runs. Shared verbatim by the
-    /// scalar path and stage two of the batched pipeline, which is
-    /// what makes their charging identical by construction.
+    /// matches — pushing each into `sink` — and follow duplicate
+    /// runs. Shared verbatim by the scalar path and stage two of the
+    /// batched pipeline, which is what makes their charging identical
+    /// by construction. Breaks (and stops fetching) the moment the
+    /// sink does, or after the first matching page under
+    /// `stop_at_first`.
     #[allow(clippy::too_many_arguments)]
     fn probe_leaf_data(
         &self,
@@ -646,8 +702,9 @@ impl BfTree {
         stop_at_first: bool,
         warm_pages: bool,
         slots: &mut Vec<usize>,
+        sink: &mut dyn MatchSink,
         result: &mut ProbeResult,
-    ) -> bool {
+    ) -> ControlFlow<()> {
         let deleted = leaf.is_deleted(key);
         let mut prev_fetched: Option<PageId> = None;
         // Highest page consumed while following a duplicate run. Runs
@@ -704,10 +761,10 @@ impl BfTree {
                 result.false_reads += 1;
             } else {
                 for &slot in slots.iter() {
-                    result.matches.push((pid, slot));
+                    sink.push(pid, slot)?;
                 }
                 if stop_at_first {
-                    return true;
+                    return ControlFlow::Break(());
                 }
                 if self.config.duplicates == DuplicateHandling::FirstPageOnly {
                     // Only the first covering page is in the
@@ -730,13 +787,13 @@ impl BfTree {
                         slots.clear();
                         result.tuples_scanned += scan(cur, slots);
                         for &slot in slots.iter() {
-                            result.matches.push((cur, slot));
+                            sink.push(cur, slot)?;
                         }
                     }
                 }
             }
         }
-        false
+        ControlFlow::Continue(())
     }
 
     /// Algorithm 3: insert `key` residing on data page `pid`.

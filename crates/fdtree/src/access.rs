@@ -2,46 +2,13 @@
 //! unified index interface.
 
 use bftree_access::{
-    check_relation, AccessMethod, BuildError, IndexStats, Probe, ProbeError, RangeScan,
+    check_relation, stream_sorted_matches, AccessMethod, BuildError, Continuation, IndexStats,
+    MatchSink, PageBatchCursor, Probe, ProbeError, ProbeIo, RangeCursor,
 };
 use bftree_btree::{relation_entries, DuplicateMode, TupleRef};
 use bftree_storage::{IoContext, PageId, Relation};
 
 use crate::FdTree;
-
-/// Fetch the heap pages behind `matches` as one sorted batch and fill
-/// in the fetch counters (exact index: no false reads).
-fn fetch<T: Default + Fetched>(matches: Vec<(PageId, usize)>, io: &IoContext) -> T {
-    let mut pages: Vec<PageId> = matches.iter().map(|&(pid, _)| pid).collect();
-    pages.sort_unstable();
-    pages.dedup();
-    io.data.read_sorted_batch(&pages);
-    T::with(matches, pages.len() as u64)
-}
-
-trait Fetched {
-    fn with(matches: Vec<(PageId, usize)>, pages_read: u64) -> Self;
-}
-
-impl Fetched for Probe {
-    fn with(matches: Vec<(PageId, usize)>, pages_read: u64) -> Self {
-        Probe {
-            matches,
-            pages_read,
-            false_reads: 0,
-        }
-    }
-}
-
-impl Fetched for RangeScan {
-    fn with(matches: Vec<(PageId, usize)>, pages_read: u64) -> Self {
-        RangeScan {
-            matches,
-            pages_read,
-            overhead_pages: 0,
-        }
-    }
-}
 
 impl AccessMethod for FdTree {
     fn name(&self) -> &'static str {
@@ -56,15 +23,25 @@ impl AccessMethod for FdTree {
         Ok(())
     }
 
-    fn probe(&self, key: u64, rel: &Relation, io: &IoContext) -> Result<Probe, ProbeError> {
+    fn probe_into(
+        &self,
+        key: u64,
+        rel: &Relation,
+        io: &IoContext,
+        sink: &mut dyn MatchSink,
+    ) -> Result<ProbeIo, ProbeError> {
         check_relation(rel)?;
         let trefs = self.search_all(key, Some(&io.index));
-        Ok(fetch(
+        Ok(stream_sorted_matches(
             trefs.iter().map(|t| (t.pid(), t.slot())).collect(),
-            io,
+            &io.data,
+            sink,
         ))
     }
 
+    /// Override: a first-match probe walks one fence path
+    /// ([`FdTree::search`], exactly one page per level) instead of the
+    /// duplicate-spill walk of [`FdTree::search_all`].
     fn probe_first(&self, key: u64, rel: &Relation, io: &IoContext) -> Result<Probe, ProbeError> {
         check_relation(rel)?;
         let mut result = Probe::default();
@@ -76,22 +53,45 @@ impl AccessMethod for FdTree {
         Ok(result)
     }
 
-    fn range_scan(
-        &self,
+    fn range_cursor<'c>(
+        &'c self,
         lo: u64,
         hi: u64,
-        rel: &Relation,
-        io: &IoContext,
-    ) -> Result<RangeScan, ProbeError> {
+        rel: &'c Relation,
+        io: &'c IoContext,
+    ) -> Result<Box<dyn RangeCursor + 'c>, ProbeError> {
         check_relation(rel)?;
         if lo > hi {
             return Err(ProbeError::InvertedRange { lo, hi });
         }
         let entries = self.range_entries(lo, hi, Some(&io.index));
-        Ok(fetch(
+        Ok(Box::new(PageBatchCursor::new(
             entries.iter().map(|&(_, t)| (t.pid(), t.slot())).collect(),
-            io,
-        ))
+            &io.data,
+            (lo, hi, lo),
+            None,
+        )))
+    }
+
+    fn resume_range_cursor<'c>(
+        &'c self,
+        cont: &Continuation,
+        rel: &'c Relation,
+        io: &'c IoContext,
+    ) -> Result<Box<dyn RangeCursor + 'c>, ProbeError> {
+        check_relation(rel)?;
+        // Matches interleave levels in page order, so a key bound
+        // cannot prune the re-entry (a small key may sit on a late
+        // page of another level): re-run the index query — per-level
+        // binary searches plus the span reads — and let the page
+        // frontier drop everything the prefix already delivered.
+        let entries = self.range_entries(cont.lo(), cont.hi(), Some(&io.index));
+        Ok(Box::new(PageBatchCursor::new(
+            entries.iter().map(|&(_, t)| (t.pid(), t.slot())).collect(),
+            &io.data,
+            (cont.lo(), cont.hi(), cont.key()),
+            Some((cont.page(), cont.slot())),
+        )))
     }
 
     fn insert(&mut self, key: u64, loc: (PageId, usize), rel: &Relation) -> Result<(), ProbeError> {

@@ -6,7 +6,8 @@
 //! the data-page fetches they trigger hit `io.data`.
 
 use bftree_access::{
-    check_relation, AccessMethod, BuildError, IndexStats, Probe, ProbeError, RangeScan,
+    check_relation, stream_sorted_matches, AccessMethod, BuildError, Continuation, IndexStats,
+    MatchSink, PageBatchCursor, Probe, ProbeError, ProbeIo, RangeCursor,
 };
 use bftree_btree::TupleRef;
 use bftree_storage::{IoContext, PageId, Relation};
@@ -17,6 +18,26 @@ use crate::HashIndex;
 /// destroys order, so ranges are answered by probing every key in the
 /// interval — only sensible for small, dense domains.
 const RANGE_ENUMERATION_CAP: u64 = 1 << 20;
+
+impl HashIndex {
+    /// Enumerate `[lo, hi]` (the hash index's only range strategy)
+    /// into a match list, or fail for non-enumerable spans.
+    fn enumerate_range(&self, lo: u64, hi: u64) -> Result<Vec<(PageId, usize)>, ProbeError> {
+        if lo > hi {
+            return Err(ProbeError::InvertedRange { lo, hi });
+        }
+        if hi - lo >= RANGE_ENUMERATION_CAP {
+            return Err(ProbeError::Unsupported {
+                what: "hash-index range scan over a non-enumerable interval",
+            });
+        }
+        let mut matches: Vec<(PageId, usize)> = Vec::new();
+        for key in lo..=hi {
+            matches.extend(self.get_all(key).iter().map(|t| (t.pid(), t.slot())));
+        }
+        Ok(matches)
+    }
+}
 
 impl AccessMethod for HashIndex {
     fn name(&self) -> &'static str {
@@ -33,21 +54,26 @@ impl AccessMethod for HashIndex {
         Ok(())
     }
 
-    fn probe(&self, key: u64, rel: &Relation, io: &IoContext) -> Result<Probe, ProbeError> {
+    fn probe_into(
+        &self,
+        key: u64,
+        rel: &Relation,
+        io: &IoContext,
+        sink: &mut dyn MatchSink,
+    ) -> Result<ProbeIo, ProbeError> {
         check_relation(rel)?;
-        let trefs = self.get_all(key);
-        let mut result = Probe::default();
-        if !trefs.is_empty() {
-            result.matches = trefs.iter().map(|t| (t.pid(), t.slot())).collect();
-            let mut pages: Vec<PageId> = trefs.iter().map(|t| t.pid()).collect();
-            pages.sort_unstable();
-            pages.dedup();
-            result.pages_read = pages.len() as u64;
-            io.data.read_sorted_batch(&pages);
-        }
-        Ok(result)
+        Ok(stream_sorted_matches(
+            self.get_all(key)
+                .iter()
+                .map(|t| (t.pid(), t.slot()))
+                .collect(),
+            &io.data,
+            sink,
+        ))
     }
 
+    /// Override: one bucket lookup, one data page — no need to sort
+    /// the full duplicate set the streaming core would.
     fn probe_first(&self, key: u64, rel: &Relation, io: &IoContext) -> Result<Probe, ProbeError> {
         check_relation(rel)?;
         let mut result = Probe::default();
@@ -59,35 +85,40 @@ impl AccessMethod for HashIndex {
         Ok(result)
     }
 
-    fn range_scan(
-        &self,
+    fn range_cursor<'c>(
+        &'c self,
         lo: u64,
         hi: u64,
-        rel: &Relation,
-        io: &IoContext,
-    ) -> Result<RangeScan, ProbeError> {
+        rel: &'c Relation,
+        io: &'c IoContext,
+    ) -> Result<Box<dyn RangeCursor + 'c>, ProbeError> {
         check_relation(rel)?;
-        if lo > hi {
-            return Err(ProbeError::InvertedRange { lo, hi });
-        }
-        if hi - lo >= RANGE_ENUMERATION_CAP {
-            return Err(ProbeError::Unsupported {
-                what: "hash-index range scan over a non-enumerable interval",
-            });
-        }
-        let mut matches: Vec<(PageId, usize)> = Vec::new();
-        for key in lo..=hi {
-            matches.extend(self.get_all(key).iter().map(|t| (t.pid(), t.slot())));
-        }
-        matches.sort_unstable();
-        let mut pages: Vec<PageId> = matches.iter().map(|&(pid, _)| pid).collect();
-        pages.dedup();
-        io.data.read_sorted_batch(&pages);
-        Ok(RangeScan {
+        let matches = self.enumerate_range(lo, hi)?;
+        Ok(Box::new(PageBatchCursor::new(
             matches,
-            pages_read: pages.len() as u64,
-            overhead_pages: 0,
-        })
+            &io.data,
+            (lo, hi, lo),
+            None,
+        )))
+    }
+
+    fn resume_range_cursor<'c>(
+        &'c self,
+        cont: &Continuation,
+        rel: &'c Relation,
+        io: &'c IoContext,
+    ) -> Result<Box<dyn RangeCursor + 'c>, ProbeError> {
+        check_relation(rel)?;
+        // Hashing scatters keys across pages, so the whole interval
+        // is re-enumerated (pure in-memory work) and the data-page
+        // frontier drops everything already delivered.
+        let matches = self.enumerate_range(cont.lo(), cont.hi())?;
+        Ok(Box::new(PageBatchCursor::new(
+            matches,
+            &io.data,
+            (cont.lo(), cont.hi(), cont.key()),
+            Some((cont.page(), cont.slot())),
+        )))
     }
 
     fn insert(&mut self, key: u64, loc: (PageId, usize), rel: &Relation) -> Result<(), ProbeError> {

@@ -39,7 +39,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let tree = BfTree::builder().fpp(fpp).build(&relation)?;
         let io = IoContext::cold(StorageConfig::SsdSsd);
         for key in (0..100_000u64).step_by(257) {
-            AccessMethod::probe_first(&tree, key, &relation, &io)?;
+            let _ = AccessMethod::probe_first(&tree, key, &relation, &io)?;
         }
         let n = (100_000u64).div_ceil(257);
         let us = io.sim_us() / n as f64;

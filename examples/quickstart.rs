@@ -7,6 +7,7 @@
 //! ```
 
 use bftree::{AccessMethod, BfTree};
+use bftree_access::{RangeCursor, RangeCursorExt};
 use bftree_btree::{BPlusTree, BTreeConfig};
 use bftree_storage::tuple::PK_OFFSET;
 use bftree_storage::{Duplicates, HeapFile, IoContext, Relation, TupleLayout};
@@ -73,5 +74,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         scan.pages_read,
         scan.overhead_pages
     );
+
+    // 7. Or stream the same range as pages of 10: a limit(10) cursor
+    //    reads only the data pages behind the rows it delivers, and
+    //    the continuation token re-enters the scan exactly where the
+    //    previous request stopped.
+    let mut cursor = index.range_cursor(1_000, 2_000, &relation, &io)?.limit(10);
+    let mut first_page = Vec::new();
+    while let Some(rows) = cursor.next_page_matches() {
+        first_page.extend_from_slice(rows);
+        cursor.advance();
+    }
+    assert_eq!(first_page.len(), 10);
+    let token = cursor.continuation().expect("991 matches still pending");
+    println!(
+        "paginated range [1000, 2000]: first {} rows from {} page read(s); resume token {:?}",
+        first_page.len(),
+        cursor.io().pages_read,
+        token
+    );
+    let _next_request = index.resume_range_cursor(&token, &relation, &io)?;
     Ok(())
 }

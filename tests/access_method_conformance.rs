@@ -1,10 +1,14 @@
 //! Trait-conformance suite: one shared battery — build → probe
 //! hit/miss → duplicates → range scan → insert → delete — run against
-//! every [`AccessMethod`] implementation. A new backend passes this
-//! suite or it isn't an access method.
+//! every [`AccessMethod`] implementation, plus the streaming-read
+//! contracts: draining a range cursor equals the materializing scan
+//! with bit-identical cold-device I/O, and a breaking sink stops the
+//! I/O. A new backend passes this suite or it isn't an access method.
+
+use std::ops::ControlFlow;
 
 use bftree::BfTree;
-use bftree_access::{AccessMethod, ConcurrentIndex, IndexStats};
+use bftree_access::{AccessMethod, ConcurrentIndex, FnSink, IndexStats, RangeCursor};
 use bftree_btree::{BPlusTree, BTreeConfig};
 use bftree_fdtree::FdTree;
 use bftree_hashindex::HashIndex;
@@ -282,6 +286,149 @@ fn concurrent_mixed_inserts_are_linearizable() {
                 p.matches.contains(&loc),
                 "{name}: concurrently inserted key {key} lost"
             );
+        }
+    }
+}
+
+/// Streaming conformance, materializing side: for every index and
+/// both duplicate layouts, fully draining a [`RangeCursor`] yields
+/// `range_scan`'s matches element for element and — on cold devices —
+/// bit-identical `IoStats` on both the index and the data device.
+/// (`range_scan` *is* the drain by default; this pins any override.)
+#[test]
+fn range_cursor_drain_equals_range_scan_bit_for_bit() {
+    for duplicates in [Duplicates::Unique, Duplicates::Contiguous] {
+        let rel = relation(duplicates);
+        for mut index in all_indexes(&rel) {
+            let name = index.name();
+            index.build(&rel).unwrap();
+            for (lo, hi) in [(0u64, 37u64), (100, 400), (N * 2, N * 3), (250, 250)] {
+                let io_scan = IoContext::cold(StorageConfig::SsdHdd);
+                let scan = index.range_scan(lo, hi, &rel, &io_scan).unwrap();
+
+                let io_cursor = IoContext::cold(StorageConfig::SsdHdd);
+                let mut cursor = index.range_cursor(lo, hi, &rel, &io_cursor).unwrap();
+                let mut matches = Vec::new();
+                while let Some(page) = cursor.next_page_matches() {
+                    matches.extend_from_slice(page);
+                    cursor.advance();
+                }
+                let cio = cursor.io();
+                drop(cursor);
+
+                assert_eq!(matches, scan.matches, "{name}: [{lo}, {hi}] matches");
+                assert_eq!(cio.pages_read, scan.pages_read, "{name}: pages_read");
+                assert_eq!(
+                    cio.overhead_pages, scan.overhead_pages,
+                    "{name}: overhead_pages"
+                );
+                for (cursor_dev, scan_dev, which) in [
+                    (
+                        io_cursor.index.snapshot(),
+                        io_scan.index.snapshot(),
+                        "index",
+                    ),
+                    (io_cursor.data.snapshot(), io_scan.data.snapshot(), "data"),
+                ] {
+                    assert_eq!(
+                        cursor_dev.device_reads(),
+                        scan_dev.device_reads(),
+                        "{name}: {which} device reads, range [{lo}, {hi}]"
+                    );
+                    assert_eq!(
+                        cursor_dev.sim_ns, scan_dev.sim_ns,
+                        "{name}: {which} sim_ns, range [{lo}, {hi}]"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Streaming conformance, push side: a sink that breaks after the
+/// first match stops the probe's data I/O at no more pages than the
+/// full probe; a collect-everything sink equals `probe` exactly.
+#[test]
+fn probe_into_respects_sink_control_flow() {
+    for duplicates in [Duplicates::Unique, Duplicates::Contiguous] {
+        let rel = relation(duplicates);
+        for mut index in all_indexes(&rel) {
+            let name = index.name();
+            index.build(&rel).unwrap();
+            for key in [0u64, 1, 100, N / CARD / 2, N * 10] {
+                // Full consumption == probe, matches and counters.
+                let io_probe = IoContext::cold(StorageConfig::SsdHdd);
+                let p = index.probe(key, &rel, &io_probe).unwrap();
+                let io_sink = IoContext::cold(StorageConfig::SsdHdd);
+                let mut collected = Vec::new();
+                let s = index
+                    .probe_into(key, &rel, &io_sink, &mut collected)
+                    .unwrap();
+                assert_eq!(collected, p.matches, "{name}: probe_into({key}) matches");
+                assert_eq!(s.pages_read, p.pages_read, "{name}: pages_read({key})");
+                assert_eq!(s.false_reads, p.false_reads, "{name}: false_reads({key})");
+                assert_eq!(
+                    io_sink.data.snapshot().sim_ns,
+                    io_probe.data.snapshot().sim_ns,
+                    "{name}: full-consumption data charges ({key})"
+                );
+
+                // Early break: no more data pages than the full probe.
+                let io_first = IoContext::cold(StorageConfig::SsdHdd);
+                let mut first = bftree_access::FirstMatch::default();
+                let sf = index.probe_into(key, &rel, &io_first, &mut first).unwrap();
+                assert!(
+                    sf.pages_read <= s.pages_read,
+                    "{name}: first-match probe read more pages ({key})"
+                );
+                assert_eq!(first.found.is_some(), p.found(), "{name}: found({key})");
+            }
+        }
+    }
+}
+
+/// Streaming conformance, scan side: a sink breaking after `k`
+/// matches makes `range_scan_into` read strictly fewer data pages
+/// than the full scan on a range whose result spans many pages.
+#[test]
+fn range_scan_into_stops_reading_when_the_sink_breaks() {
+    for duplicates in [Duplicates::Unique, Duplicates::Contiguous] {
+        let rel = relation(duplicates);
+        let (lo, hi) = (
+            10u64,
+            if duplicates == Duplicates::Unique {
+                2_000
+            } else {
+                300
+            },
+        );
+        for mut index in all_indexes(&rel) {
+            let name = index.name();
+            index.build(&rel).unwrap();
+            let io_full = IoContext::cold(StorageConfig::SsdHdd);
+            let full = index.range_scan(lo, hi, &rel, &io_full).unwrap();
+            assert!(full.pages_read > 3, "{name}: range too small to test");
+
+            let io_lim = IoContext::cold(StorageConfig::SsdHdd);
+            let mut taken = 0u64;
+            let mut sink = FnSink(|_pid, _slot| {
+                taken += 1;
+                if taken < 5 {
+                    ControlFlow::Continue(())
+                } else {
+                    ControlFlow::Break(())
+                }
+            });
+            let s = index
+                .range_scan_into(lo, hi, &rel, &io_lim, &mut sink)
+                .unwrap();
+            assert!(
+                s.pages_read < full.pages_read,
+                "{name}: early break must stop the page walk ({} vs {})",
+                s.pages_read,
+                full.pages_read
+            );
+            assert_eq!(taken, 5, "{name}: sink saw exactly k matches");
         }
     }
 }
