@@ -175,6 +175,18 @@ impl<A: AccessMethod> ConcurrentIndex<A> {
         self.write().insert(key, loc, rel)
     }
 
+    /// [`AccessMethod::insert_batch`] under **one** exclusive write
+    /// lock: the whole batch lands atomically with respect to
+    /// concurrent probes, and the lock is paid once instead of per
+    /// entry.
+    pub fn insert_batch(
+        &self,
+        entries: &[(u64, (PageId, usize))],
+        rel: &Relation,
+    ) -> Result<(), ProbeError> {
+        self.write().insert_batch(entries, rel)
+    }
+
     /// [`AccessMethod::delete`] under the exclusive write lock.
     pub fn delete(&self, key: u64, rel: &Relation) -> Result<u64, ProbeError> {
         self.write().delete(key, rel)

@@ -124,6 +124,8 @@ pub struct ThreadStats {
     pub false_reads: u64,
     /// Inserts executed (mixed streams only).
     pub inserts: u64,
+    /// Deletes executed (mixed streams only).
+    pub deletes: u64,
     /// Simulated nanoseconds this thread charged.
     pub sim_ns: u64,
 }
@@ -363,6 +365,12 @@ pub fn run_mixed_parallel<A: AccessMethod>(
                                     .expect("insert of a pre-loaded tuple");
                                 stats.inserts += 1;
                             }
+                            Op::Delete(key) => {
+                                index
+                                    .delete(key, rel)
+                                    .expect("delete under a validated relation");
+                                stats.deletes += 1;
+                            }
                         }
                         hist.record(thread_sim_ns() - op_start);
                         stats.ops += 1;
@@ -382,6 +390,64 @@ pub fn run_mixed_parallel<A: AccessMethod>(
         wall_start.elapsed().as_secs_f64(),
         io.snapshot_total(),
     )
+}
+
+/// Exactness cross-check for a mixed run's **final state**: replay
+/// every write of `streams` into `reference` single-threaded, then
+/// compare sorted probe answers for every written key. Per-op results
+/// of the concurrent run legitimately race (a probe may or may not see
+/// a concurrent insert), but [`crate::mixed_streams`-style] streams
+/// give each thread disjoint write keys, so the final state is
+/// interleaving-invariant and must match the serial replay exactly.
+/// Returns the first divergence as an error string.
+///
+/// [`crate::mixed_streams`-style]: bftree_workloads::mixed_streams
+pub fn verify_mixed_final_state<A: AccessMethod>(
+    index: &ConcurrentIndex<A>,
+    reference: &mut dyn AccessMethod,
+    rel: &Relation,
+    streams: &[Vec<Op>],
+    locate: &(dyn Fn(u64) -> (PageId, usize) + Sync),
+) -> Result<(), String> {
+    let io = IoContext::unmetered();
+    let mut touched: Vec<u64> = Vec::new();
+    for stream in streams {
+        for &op in stream {
+            match op {
+                Op::Probe(_) => {}
+                Op::Insert(key) => {
+                    reference
+                        .insert(key, locate(key), rel)
+                        .map_err(|e| e.to_string())?;
+                    touched.push(key);
+                }
+                Op::Delete(key) => {
+                    reference.delete(key, rel).map_err(|e| e.to_string())?;
+                    touched.push(key);
+                }
+            }
+        }
+    }
+    touched.sort_unstable();
+    touched.dedup();
+    for &key in &touched {
+        let mut got = index
+            .probe(key, rel, &io)
+            .map_err(|e| e.to_string())?
+            .matches;
+        let mut want = reference
+            .probe(key, rel, &io)
+            .map_err(|e| e.to_string())?
+            .matches;
+        got.sort_unstable();
+        want.sort_unstable();
+        if got != want {
+            return Err(format!(
+                "key {key}: concurrent run answers {got:?}, serial replay {want:?}"
+            ));
+        }
+    }
+    Ok(())
 }
 
 /// Merge per-worker results into one [`ParallelRunResult`].
@@ -570,6 +636,7 @@ mod tests {
             KeyPopularity::Zipfian { theta: 0.99 },
             OpMix::YCSB_A,
             &insert_keys,
+            &[],
             200,
             4,
             11,
@@ -584,6 +651,43 @@ mod tests {
         let io = IoContext::unmetered();
         for &k in &insert_keys {
             assert!(shared.probe(k, &rel, &io).unwrap().found(), "key {k}");
+        }
+    }
+
+    #[test]
+    fn write_heavy_mixed_run_matches_a_serial_replay_exactly() {
+        let mut rel = relation();
+        let domain: Vec<u64> = (0..4_000).collect();
+        let insert_keys: Vec<u64> = (100_000..100_160u64).collect();
+        let locs: std::collections::HashMap<u64, (PageId, usize)> = insert_keys
+            .iter()
+            .map(|&k| (k, rel.heap_mut().append_record(k, k)))
+            .collect();
+        // Deletes target base keys, spread across the domain.
+        let delete_keys: Vec<u64> = (0..40u64).map(|i| i * 97).collect();
+        let index = build_index(IndexKind::BfTree, &rel, 1e-4);
+        let shared = ConcurrentIndex::new(index);
+        let streams = bftree_workloads::mixed_streams(
+            &domain,
+            KeyPopularity::Uniform,
+            OpMix::WRITE_HEAVY,
+            &insert_keys,
+            &delete_keys,
+            100,
+            4,
+            13,
+        );
+        let io = IoContext::cold(StorageConfig::SsdSsd);
+        let r = run_mixed_parallel(&shared, &rel, &streams, &io, &|k| locs[&k]);
+        let deleted: u64 = r.per_thread.iter().map(|t| t.deletes).sum();
+        assert_eq!(deleted, delete_keys.len() as u64, "every delete executed");
+        let mut reference = build_index(IndexKind::BfTree, &rel, 1e-4);
+        verify_mixed_final_state(&shared, &mut reference, &rel, &streams, &|k| locs[&k])
+            .expect("concurrent final state diverged from the serial replay");
+        // Deleted keys really miss now.
+        let io = IoContext::unmetered();
+        for &k in &delete_keys {
+            assert!(!shared.probe(k, &rel, &io).unwrap().found(), "key {k}");
         }
     }
 }

@@ -157,6 +157,17 @@ impl AccessMethod for BfTree {
         Ok(())
     }
 
+    fn insert_batch(
+        &mut self,
+        entries: &[(u64, (PageId, usize))],
+        rel: &Relation,
+    ) -> Result<(), ProbeError> {
+        check_relation(rel)?;
+        let batch: Vec<(u64, PageId)> = entries.iter().map(|&(key, (pid, _))| (key, pid)).collect();
+        BfTree::insert_batch(self, &batch, Some(rel.heap()), rel.attr());
+        Ok(())
+    }
+
     fn delete(&mut self, key: u64, rel: &Relation) -> Result<u64, ProbeError> {
         check_relation(rel)?;
         Ok(BfTree::delete(self, key) as u64)

@@ -45,34 +45,48 @@ pub struct DeviceProfile {
     pub seq_read_ns: u64,
     /// Latency of a page write (sequential, as in bulk loads).
     pub write_ns: u64,
+    /// Latency of a durability barrier (`fsync`): the device drains
+    /// its volatile write cache and acknowledges persistence. This is
+    /// what a write-ahead log pays per commit, over and above the page
+    /// writes themselves.
+    pub fsync_ns: u64,
 }
 
 impl DeviceProfile {
     /// Profile for `kind` with the paper-calibrated constants.
     pub fn of(kind: DeviceKind) -> Self {
         match kind {
-            // DRAM: ~100ns row access; a 4 KB copy is ~200 ns.
+            // DRAM: ~100ns row access; a 4 KB copy is ~200 ns. An
+            // fsync barrier is a no-op (nothing volatile below it) —
+            // charge one row access.
             DeviceKind::Memory => DeviceProfile {
                 kind,
                 random_read_ns: 200,
                 seq_read_ns: 100,
                 write_ns: 200,
+                fsync_ns: 100,
             },
             // 80 kIOPS random reads -> 12.5 us; 550 MB/s sequential ->
-            // 4096/550e6 s ≈ 7.4 us; SATA SSD page write ~ 60 us.
+            // 4096/550e6 s ≈ 7.4 us; SATA SSD page write ~ 60 us. A
+            // SATA FLUSH CACHE on a consumer-class SSD lands in the
+            // hundreds of microseconds.
             DeviceKind::Ssd => DeviceProfile {
                 kind,
                 random_read_ns: 12_500,
                 seq_read_ns: 7_400,
                 write_ns: 60_000,
+                fsync_ns: 500_000,
             },
             // 10 kRPM: ~3 ms avg rotational + ~4.5 ms seek ≈ 7.5 ms
             // random read; 106 MB/s sequential -> 4096/106e6 ≈ 38.6 us.
+            // Draining the write cache costs about one full rotation
+            // plus settle (~8 ms) — why HDD-backed logs group-commit.
             DeviceKind::Hdd => DeviceProfile {
                 kind,
                 random_read_ns: 7_500_000,
                 seq_read_ns: 38_600,
                 write_ns: 38_600,
+                fsync_ns: 8_000_000,
             },
         }
     }
@@ -220,6 +234,22 @@ mod tests {
         let max_hdd_iops = hdds.iter().map(|d| d.iops).fold(0.0, f64::max);
         let min_ssd_iops = ssds.iter().map(|d| d.iops).fold(f64::MAX, f64::min);
         assert!(min_ssd_iops / max_hdd_iops > 100.0);
+    }
+
+    #[test]
+    fn fsync_cost_orders_like_the_media() {
+        // The barrier is what per-record durability pays; it must be
+        // negligible in memory, noticeable on SSD, and dominant on HDD
+        // (one rotation's worth — the classical group-commit motive).
+        let m = DeviceProfile::memory();
+        let s = DeviceProfile::ssd();
+        let h = DeviceProfile::hdd();
+        assert!(m.fsync_ns < s.fsync_ns && s.fsync_ns < h.fsync_ns);
+        assert!(
+            s.fsync_ns > s.write_ns,
+            "an SSD flush outweighs the page write it persists"
+        );
+        assert!(h.fsync_ns >= h.random_read_ns, "HDD flush ≈ a full seek");
     }
 
     #[test]

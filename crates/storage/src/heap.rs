@@ -86,6 +86,33 @@ impl HeapFile {
         self.append(&t)
     }
 
+    /// A copy of this heap file cut back to its first `n_tuples`
+    /// tuples — the file as it stood before later appends. Crash
+    /// recovery uses this to rebuild an index over the heap frontier a
+    /// WAL checkpoint recorded, then replay logged inserts on top.
+    /// `n_tuples` beyond the current count clamps to a full copy.
+    pub fn truncated(&self, n_tuples: u64) -> HeapFile {
+        let n = n_tuples.min(self.n_tuples);
+        let per = self.tuples_per_page() as u64;
+        let n_pages = n.div_ceil(per) as usize;
+        let mut pages: Vec<Page> = self.pages[..n_pages].to_vec();
+        // Zero the dropped tail of the last kept page so the copy is
+        // byte-identical to the heap before the extra appends.
+        if let Some(last) = pages.last_mut() {
+            let kept = (n - (n_pages as u64 - 1) * per) as usize;
+            let from = kept * self.layout.tuple_size();
+            for b in &mut last.bytes_mut()[from..] {
+                *b = 0;
+            }
+        }
+        HeapFile {
+            layout: self.layout,
+            page_size: self.page_size,
+            pages,
+            n_tuples: n,
+        }
+    }
+
     /// Number of tuples stored in `pid` (full pages except possibly the
     /// last).
     pub fn tuples_in_page(&self, pid: PageId) -> usize {

@@ -32,6 +32,7 @@ struct Shard {
     cache_evictions: AtomicU64,
     bytes_read: AtomicU64,
     bytes_written: AtomicU64,
+    fsyncs: AtomicU64,
     sim_ns: AtomicU64,
 }
 
@@ -110,6 +111,8 @@ pub struct IoSnapshot {
     pub bytes_read: u64,
     /// Bytes transferred by writes.
     pub bytes_written: u64,
+    /// Durability barriers (`fsync`) issued against the device.
+    pub fsyncs: u64,
     /// Accumulated simulated time, nanoseconds.
     pub sim_ns: u64,
 }
@@ -185,6 +188,16 @@ impl IoStats {
         MY_SIM_NS.with(|c| c.set(c.get() + ns));
     }
 
+    /// Record a durability barrier costing `ns` (no bytes move — the
+    /// device drains what the preceding writes left in its cache).
+    #[inline]
+    pub fn record_fsync(&self, ns: u64) {
+        let s = &self.shards[shard_index()];
+        s.fsyncs.fetch_add(1, Ordering::Relaxed);
+        s.sim_ns.fetch_add(ns, Ordering::Relaxed);
+        MY_SIM_NS.with(|c| c.set(c.get() + ns));
+    }
+
     /// Record `n` buffer-pool evictions caused by admitting this
     /// device's misses (bookkeeping only; the victim's write-back cost
     /// is not modelled — pages here are clean by construction).
@@ -208,6 +221,7 @@ impl IoStats {
             out.cache_evictions += s.cache_evictions.load(Ordering::Relaxed);
             out.bytes_read += s.bytes_read.load(Ordering::Relaxed);
             out.bytes_written += s.bytes_written.load(Ordering::Relaxed);
+            out.fsyncs += s.fsyncs.load(Ordering::Relaxed);
             out.sim_ns += s.sim_ns.load(Ordering::Relaxed);
         }
         out
@@ -223,6 +237,7 @@ impl IoStats {
             s.cache_evictions.store(0, Ordering::Relaxed);
             s.bytes_read.store(0, Ordering::Relaxed);
             s.bytes_written.store(0, Ordering::Relaxed);
+            s.fsyncs.store(0, Ordering::Relaxed);
             s.sim_ns.store(0, Ordering::Relaxed);
         }
     }
@@ -239,6 +254,7 @@ impl IoSnapshot {
             cache_evictions: self.cache_evictions - earlier.cache_evictions,
             bytes_read: self.bytes_read - earlier.bytes_read,
             bytes_written: self.bytes_written - earlier.bytes_written,
+            fsyncs: self.fsyncs - earlier.fsyncs,
             sim_ns: self.sim_ns - earlier.sim_ns,
         }
     }
@@ -253,6 +269,7 @@ impl IoSnapshot {
             cache_evictions: self.cache_evictions + other.cache_evictions,
             bytes_read: self.bytes_read + other.bytes_read,
             bytes_written: self.bytes_written + other.bytes_written,
+            fsyncs: self.fsyncs + other.fsyncs,
             sim_ns: self.sim_ns + other.sim_ns,
         }
     }
@@ -398,6 +415,7 @@ mod tests {
             cache_evictions: 8,
             bytes_read: 6,
             bytes_written: 7,
+            fsyncs: 9,
             sim_ns: 5,
         };
         let b = IoSnapshot {
@@ -408,10 +426,12 @@ mod tests {
             cache_evictions: 80,
             bytes_read: 60,
             bytes_written: 70,
+            fsyncs: 90,
             sim_ns: 50,
         };
         let c = a.plus(&b);
         assert_eq!(c.random_reads, 11);
+        assert_eq!(c.fsyncs, 99);
         assert_eq!(c.cache_evictions, 88);
         assert_eq!(c.bytes_read, 66);
         assert_eq!(c.sim_ns, 55);

@@ -8,8 +8,10 @@
 
 use std::sync::Arc;
 
+use crate::context::IoContext;
 use crate::heap::HeapFile;
-use crate::tuple::AttrOffset;
+use crate::page::PageId;
+use crate::tuple::{AttrOffset, ATT1_OFFSET, PK_OFFSET};
 
 /// A relation shared across probe threads. `Relation` is immutable
 /// through `&self` and contains no interior mutability, so an `Arc` of
@@ -134,6 +136,43 @@ impl Relation {
         self.attr
     }
 
+    /// Append one tuple carrying `key` on the **indexed** attribute
+    /// (and `attr` on the other conventional attribute), extending the
+    /// heap file and charging write I/O to `io`'s data device. Returns
+    /// the new tuple's `(page, slot)` location — exactly what
+    /// `AccessMethod::insert` wants next.
+    ///
+    /// Cost model: tuples pack into pages, and the data device is
+    /// charged one page write each time the append opens a fresh page
+    /// (slot 0) — bulk-load charging, the same the heap was built
+    /// under. The heap page is durable from this call on; crash
+    /// recovery only has to recover *index* visibility of the tuple
+    /// (see `bftree-wal`), never its bytes.
+    ///
+    /// The caller keeps the ordering/partitioning contract of
+    /// [`Relation::duplicates`]; appends at the tail satisfy it for
+    /// monotone keys (the paper's implicit clustering by creation
+    /// time, §1.1).
+    pub fn append_tuple(&mut self, key: u64, attr: u64, io: &IoContext) -> (PageId, usize) {
+        let layout = self.heap.layout();
+        let (pk, att1) = if self.attr == ATT1_OFFSET {
+            (attr, key)
+        } else {
+            (key, attr)
+        };
+        let mut tuple = layout.make_tuple(pk, att1);
+        if self.attr != PK_OFFSET && self.attr != ATT1_OFFSET {
+            // Unconventional offset: the indexed value must still land
+            // on the attribute the index reads.
+            layout.write_attr(&mut tuple, self.attr, key);
+        }
+        let loc = self.heap.append(&tuple);
+        if loc.1 == 0 {
+            io.data.write(loc.0);
+        }
+        loc
+    }
+
     /// How duplicate keys are laid out.
     pub fn duplicates(&self) -> Duplicates {
         self.duplicates
@@ -217,6 +256,34 @@ mod tests {
                 });
             }
         });
+    }
+
+    #[test]
+    fn append_tuple_places_key_on_indexed_attr_and_charges_page_writes() {
+        let io = IoContext::unmetered();
+        // PK-indexed: key lands at PK_OFFSET.
+        let heap = HeapFile::new(TupleLayout::new(2048)); // 2 tuples/page
+        let mut rel = Relation::new(heap, PK_OFFSET, Duplicates::Unique).unwrap();
+        let a = rel.append_tuple(10, 1, &io);
+        let b = rel.append_tuple(11, 1, &io);
+        let c = rel.append_tuple(12, 1, &io);
+        assert_eq!((a, b, c), ((0, 0), (0, 1), (1, 0)));
+        assert_eq!(rel.heap().attr(0, 1, rel.attr()), 11);
+        // Slot-0 appends opened pages 0 and 1: two page writes.
+        assert_eq!(io.data.snapshot().writes, 2);
+
+        // ATT1-indexed: key lands at ATT1_OFFSET, attr on the PK.
+        let heap = HeapFile::new(TupleLayout::new(256));
+        let mut rel = Relation::new(heap, ATT1_OFFSET, Duplicates::Contiguous).unwrap();
+        let loc = rel.append_tuple(77, 5, &io);
+        assert_eq!(rel.heap().attr(loc.0, loc.1, ATT1_OFFSET), 77);
+        assert_eq!(rel.heap().attr(loc.0, loc.1, PK_OFFSET), 5);
+
+        // Unconventional offset: the indexed value still lands there.
+        let heap = HeapFile::new(TupleLayout::new(256));
+        let mut rel = Relation::new(heap, AttrOffset(24), Duplicates::Unique).unwrap();
+        let loc = rel.append_tuple(99, 3, &io);
+        assert_eq!(rel.heap().attr(loc.0, loc.1, AttrOffset(24)), 99);
     }
 
     #[test]

@@ -176,6 +176,16 @@ impl SimDevice {
             .record_write(self.profile.write_ns, PAGE_SIZE as u64);
     }
 
+    /// Charge a durability barrier: the device drains its volatile
+    /// write cache and acknowledges that every preceding
+    /// [`SimDevice::write`] is persistent. What a write-ahead log pays
+    /// per commit — see `DeviceProfile::fsync_ns` for the per-medium
+    /// cost and why group commit exists.
+    #[inline]
+    pub fn fsync(&self) {
+        self.stats.record_fsync(self.profile.fsync_ns);
+    }
+
     /// Pre-load `pages` into the pool (warm-up) without charging.
     pub fn prewarm<I: IntoIterator<Item = PageId>>(&self, pages: I) {
         match &self.cache {

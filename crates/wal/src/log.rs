@@ -1,0 +1,288 @@
+//! The log itself: append, durability modes, sync accounting, and the
+//! torn-tail-tolerant recovery reader.
+
+use bftree_storage::{PageId, SimDevice, PAGE_SIZE};
+
+use crate::record::{crc32, WalRecord, FRAME_HEADER, MAX_PAYLOAD};
+
+/// When an appended record becomes durable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DurabilityMode {
+    /// Every append writes and fsyncs immediately — the strongest (and
+    /// most expensive) guarantee: no acknowledged record is ever lost.
+    PerRecord,
+    /// Appends accumulate; the log syncs when the window fills. The
+    /// window is sized in records and bytes (whichever trips first) —
+    /// the size-window half of classical group commit. Time windows do
+    /// not exist here: the clock is simulated, so "every N ms" has no
+    /// deterministic meaning, and a size window bounds the exposed
+    /// tail just as well.
+    GroupCommit {
+        /// Sync after this many buffered records.
+        max_records: usize,
+        /// … or after this many buffered bytes, whichever first.
+        max_bytes: usize,
+    },
+    /// Appends never sync on their own; only explicit [`Wal::sync`]
+    /// calls (e.g. at a checkpoint) make records durable. The cheapest
+    /// mode and the weakest: a crash loses everything since the last
+    /// explicit sync.
+    Async,
+}
+
+impl DurabilityMode {
+    /// Harness label ("per-record", "group-commit", "async").
+    pub fn label(&self) -> &'static str {
+        match self {
+            DurabilityMode::PerRecord => "per-record",
+            DurabilityMode::GroupCommit { .. } => "group-commit",
+            DurabilityMode::Async => "async",
+        }
+    }
+}
+
+/// A write-ahead log over one simulated device.
+///
+/// The log is an append-only byte image; [`Wal::append`] frames a
+/// [`WalRecord`] onto it and [`Wal::sync`] makes the tail durable,
+/// charging the device sequential page writes for the dirty byte range
+/// (page-granular, like an `O_DIRECT` log file) plus one fsync
+/// barrier. [`Wal::durable_bytes`] is the prefix a crash is guaranteed
+/// to preserve; [`Wal::bytes`] is the full image — after a real crash
+/// anything between the two may or may not have reached the medium,
+/// which is exactly the space of outcomes the kill-at-every-record
+/// recovery tests enumerate.
+#[derive(Debug)]
+pub struct Wal {
+    buf: Vec<u8>,
+    mode: DurabilityMode,
+    device: SimDevice,
+    /// Bytes guaranteed durable (prefix length).
+    synced_len: usize,
+    /// Records appended since the last sync.
+    pending_records: usize,
+    records: u64,
+    syncs: u64,
+}
+
+impl Wal {
+    /// Open a fresh log on `device`, writing (and always syncing) the
+    /// genesis checkpoint: the base index covers the first
+    /// `tuple_count` heap tuples, everything after is replayed from
+    /// here. A log whose creation was never durable cannot promise
+    /// anything, so genesis ignores the durability mode.
+    pub fn open(device: SimDevice, mode: DurabilityMode, tuple_count: u64) -> Self {
+        let mut wal = Self {
+            buf: Vec::new(),
+            mode,
+            device,
+            synced_len: 0,
+            pending_records: 0,
+            records: 0,
+            syncs: 0,
+        };
+        wal.push_record(&WalRecord::Checkpoint {
+            tuple_count,
+            flushed_ops: 0,
+        });
+        wal.sync();
+        wal
+    }
+
+    fn push_record(&mut self, rec: &WalRecord) -> u64 {
+        rec.encode_frame(&mut self.buf);
+        self.pending_records += 1;
+        self.records += 1;
+        self.buf.len() as u64
+    }
+
+    /// Append one record, returning its end offset (the LSN a reader
+    /// truncating at record boundaries would cut at). Depending on the
+    /// mode this may sync immediately (per-record), when the group
+    /// window fills, or never (async).
+    pub fn append(&mut self, rec: &WalRecord) -> u64 {
+        let lsn = self.push_record(rec);
+        match self.mode {
+            DurabilityMode::PerRecord => self.sync(),
+            DurabilityMode::GroupCommit {
+                max_records,
+                max_bytes,
+            } => {
+                if self.pending_records >= max_records
+                    || self.buf.len() - self.synced_len >= max_bytes
+                {
+                    self.sync();
+                }
+            }
+            DurabilityMode::Async => {}
+        }
+        lsn
+    }
+
+    /// Force the whole log durable: write the dirty page range
+    /// sequentially, then fsync. No-op when nothing is pending.
+    pub fn sync(&mut self) {
+        if self.buf.len() == self.synced_len {
+            return;
+        }
+        // Page-granular log file: the sync rewrites every page the
+        // dirty byte range [synced_len, len) touches — including the
+        // partially-filled boundary page a previous sync already
+        // wrote, exactly like an O_DIRECT log appending in place.
+        let first = self.synced_len / PAGE_SIZE;
+        let last = (self.buf.len() - 1) / PAGE_SIZE;
+        for page in first..=last {
+            self.device.write(page as PageId);
+        }
+        self.device.fsync();
+        self.synced_len = self.buf.len();
+        self.pending_records = 0;
+        self.syncs += 1;
+    }
+
+    /// The full log image (what survives a clean shutdown).
+    pub fn bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// The durable prefix (what any crash is guaranteed to preserve).
+    pub fn durable_bytes(&self) -> &[u8] {
+        &self.buf[..self.synced_len]
+    }
+
+    /// Total appended bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been appended (never true: the genesis
+    /// checkpoint is written at open).
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Bytes guaranteed durable.
+    pub fn synced_len(&self) -> usize {
+        self.synced_len
+    }
+
+    /// Records appended since the last sync (the crash-exposed tail).
+    pub fn pending_records(&self) -> usize {
+        self.pending_records
+    }
+
+    /// Total records appended, including checkpoints.
+    pub fn record_count(&self) -> u64 {
+        self.records
+    }
+
+    /// Syncs performed (each = one fsync barrier on the device).
+    pub fn sync_count(&self) -> u64 {
+        self.syncs
+    }
+
+    /// The device the log charges (its `IoSnapshot` quantifies the
+    /// durability cost of the chosen mode).
+    pub fn device(&self) -> &SimDevice {
+        &self.device
+    }
+
+    /// The configured durability mode.
+    pub fn mode(&self) -> DurabilityMode {
+        self.mode
+    }
+}
+
+/// Why a [`WalReader`] stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TailState {
+    /// The log ended exactly on a record boundary.
+    Clean,
+    /// The bytes from `valid_len` on are not a well-formed record —
+    /// an incomplete frame, an implausible length, a checksum
+    /// mismatch, or an unknown tag. Recovery treats everything before
+    /// `valid_len` as the log and discards the tail, which is the
+    /// contract a crashed append requires.
+    Torn {
+        /// Length of the longest well-formed prefix.
+        valid_len: usize,
+    },
+}
+
+/// Streaming reader over a log byte image. Yields `(end_offset,
+/// record)` pairs — `end_offset` is the boundary after the record,
+/// which is what a kill-at-every-boundary test truncates at — and
+/// stops cleanly at the first sign of a torn tail.
+#[derive(Debug)]
+pub struct WalReader<'a> {
+    bytes: &'a [u8],
+    at: usize,
+    tail: TailState,
+}
+
+impl<'a> WalReader<'a> {
+    /// Read `bytes` from the start.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Self {
+            bytes,
+            at: 0,
+            tail: TailState::Clean,
+        }
+    }
+
+    /// Current byte offset (a record boundary).
+    pub fn offset(&self) -> usize {
+        self.at
+    }
+
+    /// How the log ended. Meaningful once the iterator returns `None`.
+    pub fn tail(&self) -> TailState {
+        self.tail
+    }
+
+    /// Drain `bytes` into the record list plus the tail verdict.
+    pub fn drain(bytes: &'a [u8]) -> (Vec<(usize, WalRecord)>, TailState) {
+        let mut reader = WalReader::new(bytes);
+        let mut out = Vec::new();
+        for item in reader.by_ref() {
+            out.push(item);
+        }
+        (out, reader.tail())
+    }
+
+    fn torn(&mut self) -> Option<(usize, WalRecord)> {
+        self.tail = TailState::Torn { valid_len: self.at };
+        None
+    }
+}
+
+impl Iterator for WalReader<'_> {
+    type Item = (usize, WalRecord);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.tail != TailState::Clean {
+            return None;
+        }
+        if self.at == self.bytes.len() {
+            return None;
+        }
+        let rest = &self.bytes[self.at..];
+        if rest.len() < FRAME_HEADER {
+            return self.torn();
+        }
+        let len = u32::from_le_bytes(rest[0..4].try_into().expect("4 bytes")) as usize;
+        if len == 0 || len > MAX_PAYLOAD || rest.len() < FRAME_HEADER + len {
+            return self.torn();
+        }
+        let crc = u32::from_le_bytes(rest[4..8].try_into().expect("4 bytes"));
+        let payload = &rest[FRAME_HEADER..FRAME_HEADER + len];
+        if crc32(payload) != crc {
+            return self.torn();
+        }
+        let Some(rec) = WalRecord::decode_payload(payload) else {
+            return self.torn();
+        };
+        self.at += FRAME_HEADER + len;
+        Some((self.at, rec))
+    }
+}

@@ -68,6 +68,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         KeyPopularity::Zipfian { theta: 0.99 },
         OpMix::YCSB_B,
         &insert_keys,
+        &[],
         2_000,
         4,
         7,

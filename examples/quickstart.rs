@@ -7,10 +7,12 @@
 //! ```
 
 use bftree::{AccessMethod, BfTree};
-use bftree_access::{RangeCursor, RangeCursorExt};
+use bftree_access::{DurableConfig, DurableIndex, RangeCursor, RangeCursorExt};
 use bftree_btree::{BPlusTree, BTreeConfig};
 use bftree_storage::tuple::PK_OFFSET;
-use bftree_storage::{Duplicates, HeapFile, IoContext, Relation, TupleLayout};
+use bftree_storage::{
+    DeviceKind, Duplicates, HeapFile, IoContext, Relation, SimDevice, TupleLayout,
+};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. A relation of 256-byte tuples, ordered on its primary key —
@@ -93,6 +95,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         cursor.io().pages_read,
         token
     );
-    let _next_request = index.resume_range_cursor(&token, &relation, &io)?;
+    let next_request = index.resume_range_cursor(&token, &relation, &io)?;
+    drop((cursor, next_request)); // release the borrows on `tree`
+
+    // 8. Make the write path durable: wrap any index in a WAL + ingest
+    //    memtable. Writes hit the log first (group-committed), are
+    //    served from the memtable immediately, and bulk-flush into the
+    //    base index; `DurableIndex::recover` replays a crashed log
+    //    back to identical answers (see tests/write_path_recovery.rs).
+    let mut relation = relation;
+    let mut durable = DurableIndex::new(
+        tree,
+        &relation,
+        SimDevice::cold(DeviceKind::Ssd),
+        DurableConfig::default(),
+    );
+    let key = 1_000_000u64;
+    let loc = relation.append_tuple(key, key, &io);
+    durable.insert(key, loc, &relation)?;
+    assert!(durable.probe_first(key, &relation, &io)?.found());
+    println!(
+        "durable insert({key}): logged {} bytes ({}), served from the memtable",
+        durable.wal().len(),
+        durable.wal().mode().label(),
+    );
     Ok(())
 }

@@ -17,6 +17,10 @@
 //! * [`btree`](bftree_btree) — B+-Tree baseline.
 //! * [`hashindex`](bftree_hashindex) — in-memory hash-index baseline.
 //! * [`fdtree`](bftree_fdtree) — FD-Tree baseline.
+//! * [`wal`](bftree_wal) — write-ahead log: checksummed records,
+//!   per-record/group-commit/async durability, torn-tail recovery
+//!   reader (the durable write path under
+//!   [`bftree_access::DurableIndex`]).
 //! * [`model`](bftree_model) — Section-5 analytical model.
 //! * [`workloads`](bftree_workloads) — synthetic R / TPCH / SHD.
 //!
@@ -52,4 +56,5 @@ pub use bftree_fdtree;
 pub use bftree_hashindex;
 pub use bftree_model;
 pub use bftree_storage;
+pub use bftree_wal;
 pub use bftree_workloads;

@@ -8,17 +8,26 @@
 use std::ops::ControlFlow;
 
 use bftree::BfTree;
-use bftree_access::{AccessMethod, ConcurrentIndex, FnSink, IndexStats, RangeCursor};
+use bftree_access::{
+    AccessMethod, ConcurrentIndex, DurableConfig, DurableIndex, FnSink, IndexStats, RangeCursor,
+};
 use bftree_btree::{BPlusTree, BTreeConfig};
 use bftree_fdtree::FdTree;
 use bftree_hashindex::HashIndex;
 use bftree_storage::tuple::{ATT1_OFFSET, PK_OFFSET};
-use bftree_storage::{Duplicates, HeapFile, IoContext, Relation, StorageConfig, TupleLayout};
+use bftree_storage::{
+    DeviceKind, Duplicates, HeapFile, IoContext, Relation, SimDevice, StorageConfig, TupleLayout,
+};
+use bftree_wal::DurabilityMode;
 
 const N: u64 = 5_000;
 const CARD: u64 = 7;
 
 /// Every implementation under test, freshly constructed (unbuilt).
+/// The durable wrapper rides along as a fifth implementation: an
+/// access method in its own right (WAL + memtable in front of a
+/// BF-Tree), with a tiny flush batch so the battery's writes cross
+/// flush boundaries mid-test.
 fn all_indexes(rel: &Relation) -> Vec<Box<dyn AccessMethod>> {
     vec![
         Box::new(
@@ -30,6 +39,21 @@ fn all_indexes(rel: &Relation) -> Vec<Box<dyn AccessMethod>> {
         Box::new(BPlusTree::new(BTreeConfig::paper_default())),
         Box::new(HashIndex::with_capacity(16, 0xC0FFEE)),
         Box::new(FdTree::new()),
+        Box::new(DurableIndex::new(
+            BfTree::builder()
+                .fpp(1e-4)
+                .empty(rel)
+                .expect("valid config"),
+            rel,
+            SimDevice::cold(DeviceKind::Ssd),
+            DurableConfig {
+                flush_batch: 3,
+                durability: DurabilityMode::GroupCommit {
+                    max_records: 4,
+                    max_bytes: 4 * 1024,
+                },
+            },
+        )),
     ]
 }
 

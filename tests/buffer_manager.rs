@@ -248,3 +248,45 @@ fn memory_index_device_stays_uncached_under_shared_budget() {
     assert_eq!(io.index.snapshot().device_reads(), 2);
     assert_eq!(io.index.kind(), DeviceKind::Memory);
 }
+
+/// The durable write path's ingest memtable competes with cached data
+/// pages for the same memory: reserving its worst-case footprint
+/// shrinks the shared page budget by exactly the capacity estimate,
+/// and is a no-op on contexts without a shared manager.
+#[test]
+fn durable_memtable_reserves_from_the_shared_budget() {
+    use bftree_access::{DurableConfig, DurableIndex};
+    use bftree_wal::DurabilityMode;
+
+    let mut heap = HeapFile::new(TupleLayout::new(256));
+    for pk in 0..2_000u64 {
+        heap.append_record(pk, pk);
+    }
+    let rel = Relation::new(heap, PK_OFFSET, Duplicates::Unique).unwrap();
+    let inner = build_index(IndexKind::BfTree, &rel, 1e-4);
+    let index = DurableIndex::new(
+        inner,
+        &rel,
+        SimDevice::cold(DeviceKind::Ssd),
+        DurableConfig {
+            flush_batch: 256,
+            durability: DurabilityMode::GroupCommit {
+                max_records: 64,
+                max_bytes: 16 * 1024,
+            },
+        },
+    );
+
+    let budget = 64 * PAGE;
+    let io = IoContext::with_shared_budget(StorageConfig::SsdSsd, budget, PolicyKind::Lru);
+    let remaining = index.reserve_memtable_budget(&io);
+    assert!(index.memtable_capacity_bytes() > 0);
+    assert_eq!(
+        remaining,
+        budget - index.memtable_capacity_bytes(),
+        "reservation must shrink the page budget by the memtable capacity"
+    );
+
+    // No shared manager, nothing to reserve.
+    assert_eq!(index.reserve_memtable_budget(&IoContext::unmetered()), 0);
+}

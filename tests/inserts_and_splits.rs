@@ -172,3 +172,45 @@ fn overfill_raises_current_fpp() {
         "measured {overfilled} vs Eq-14 {eq14}"
     );
 }
+
+/// `BfTree::insert_batch` (the memtable-flush path) must route
+/// bit-identically to inserting the same sorted batch one record at a
+/// time: identical structure counters and identical probe outcomes,
+/// across enough volume that the floor-leaf cache is both reused and
+/// invalidated by splits many times over.
+#[test]
+fn insert_batch_matches_serial_sorted_inserts() {
+    let n = 25_000u64;
+    let rel = grow_relation(n);
+    let config = BfTreeConfig {
+        fpp: 1e-3,
+        ..BfTreeConfig::ordered_default()
+    };
+    let entries: Vec<(u64, (u64, usize))> = rel
+        .heap()
+        .iter_attr(PK_OFFSET)
+        .map(|(pid, slot, key)| (key, (pid, slot)))
+        .collect();
+
+    let mut serial = BfTree::new(config);
+    for &(key, loc) in &entries {
+        AccessMethod::insert(&mut serial, key, loc, &rel).unwrap();
+    }
+    serial.check_invariants();
+
+    let mut batched = BfTree::new(config);
+    for chunk in entries.chunks(4_096) {
+        AccessMethod::insert_batch(&mut batched, chunk, &rel).unwrap();
+    }
+    batched.check_invariants();
+
+    assert_eq!(batched.leaf_pages(), serial.leaf_pages(), "same splits");
+    assert_eq!(batched.n_keys(), serial.n_keys());
+    for key in (0..n + 50).step_by(37) {
+        assert_eq!(
+            finds(&batched, key, &rel),
+            finds(&serial, key, &rel),
+            "key {key}"
+        );
+    }
+}
