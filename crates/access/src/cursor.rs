@@ -16,7 +16,7 @@
 //!
 //! [`AccessMethod::range_scan`]: crate::AccessMethod::range_scan
 
-use bftree_storage::{PageId, SimDevice};
+use bftree_storage::{PageDevice, PageId};
 
 /// I/O accounting of a cursor or sink-driven scan.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -335,7 +335,7 @@ pub fn scan_page_in_range(
 #[must_use]
 pub struct PageBatchCursor<'c> {
     matches: Vec<(PageId, usize)>,
-    data: &'c SimDevice,
+    data: &'c PageDevice,
     /// Start of the frontier page group.
     at: usize,
     /// End of the loaded page group (valid while `loaded`).
@@ -355,7 +355,7 @@ impl<'c> PageBatchCursor<'c> {
     /// [`Continuation`] — drops everything already delivered.
     pub fn new(
         mut matches: Vec<(PageId, usize)>,
-        data: &'c SimDevice,
+        data: &'c PageDevice,
         (lo, hi, key_hint): (u64, u64, u64),
         frontier: Option<(PageId, usize)>,
     ) -> Self {
@@ -448,13 +448,13 @@ mod tests {
         assert!(Continuation::decode(&above).is_none());
     }
 
-    fn batch_cursor<'c>(dev: &'c SimDevice, ms: &[(PageId, usize)]) -> PageBatchCursor<'c> {
+    fn batch_cursor<'c>(dev: &'c PageDevice, ms: &[(PageId, usize)]) -> PageBatchCursor<'c> {
         PageBatchCursor::new(ms.to_vec(), dev, (0, 1000, 0), None)
     }
 
     #[test]
     fn page_batch_cursor_groups_pages_and_charges_like_a_sorted_batch() {
-        let dev = SimDevice::cold(DeviceKind::Ssd);
+        let dev = PageDevice::cold(DeviceKind::Ssd);
         let ms = vec![(10u64, 0usize), (10, 2), (11, 1), (40, 0)];
         let mut c = batch_cursor(&dev, &ms);
         assert_eq!(c.next_page_matches().unwrap(), &[(10, 0), (10, 2)]);
@@ -475,7 +475,7 @@ mod tests {
 
     #[test]
     fn limited_cursor_stops_fetching_and_tokenizes_the_cut() {
-        let dev = SimDevice::cold(DeviceKind::Ssd);
+        let dev = PageDevice::cold(DeviceKind::Ssd);
         let ms = vec![(1u64, 0usize), (1, 1), (1, 2), (2, 0), (3, 0)];
         let mut c = batch_cursor(&dev, &ms).limit(2);
         assert_eq!(c.next_page_matches().unwrap(), &[(1, 0), (1, 1)]);
@@ -486,7 +486,7 @@ mod tests {
         assert_eq!((token.page(), token.slot()), (1, 2), "sub-page frontier");
 
         // Resuming from the token yields exactly the remainder.
-        let dev2 = SimDevice::cold(DeviceKind::Ssd);
+        let dev2 = PageDevice::cold(DeviceKind::Ssd);
         let mut r = PageBatchCursor::new(
             ms,
             &dev2,
@@ -503,7 +503,7 @@ mod tests {
 
     #[test]
     fn limit_on_a_page_boundary_advances_cleanly() {
-        let dev = SimDevice::cold(DeviceKind::Ssd);
+        let dev = PageDevice::cold(DeviceKind::Ssd);
         let ms = vec![(1u64, 0usize), (1, 1), (2, 0)];
         let mut c = batch_cursor(&dev, &ms).limit(2);
         assert_eq!(c.next_page_matches().unwrap().len(), 2);
@@ -516,7 +516,7 @@ mod tests {
 
     #[test]
     fn limit_zero_reads_nothing() {
-        let dev = SimDevice::cold(DeviceKind::Ssd);
+        let dev = PageDevice::cold(DeviceKind::Ssd);
         let mut c = batch_cursor(&dev, &[(1, 0), (2, 0)]).limit(0);
         assert!(c.next_page_matches().is_none());
         assert_eq!(dev.snapshot().device_reads(), 0);

@@ -32,7 +32,7 @@ use std::collections::BTreeMap;
 use std::ops::ControlFlow;
 
 use bftree_storage::tuple::AttrOffset;
-use bftree_storage::{HeapFile, IoContext, PageId, Relation, SimDevice};
+use bftree_storage::{HeapFile, IoContext, PageDevice, PageId, Relation};
 use bftree_wal::{DurabilityMode, TailState, Wal, WalReader, WalRecord};
 
 use crate::cursor::{Continuation, ProbeIo, RangeCursor, ScanIo};
@@ -168,7 +168,12 @@ impl<A: AccessMethod> DurableIndex<A> {
     /// to a fresh WAL on `log_device`. The genesis checkpoint (synced
     /// immediately) records `rel`'s current tuple count as the base
     /// the log's records extend.
-    pub fn new(inner: A, rel: &Relation, log_device: SimDevice, config: DurableConfig) -> Self {
+    pub fn new(
+        inner: A,
+        rel: &Relation,
+        log_device: impl Into<PageDevice>,
+        config: DurableConfig,
+    ) -> Self {
         let base_tuples = rel.heap().tuple_count();
         Self {
             inner,
@@ -197,7 +202,7 @@ impl<A: AccessMethod> DurableIndex<A> {
         mut inner: A,
         rel: &Relation,
         log_image: &[u8],
-        log_device: SimDevice,
+        log_device: impl Into<PageDevice>,
         config: DurableConfig,
     ) -> Result<(Self, RecoveryReport), RecoverError> {
         let (records, tail) = WalReader::drain(log_image);
@@ -558,7 +563,7 @@ struct MergedCursor<'c> {
     consumed_adds: usize,
     /// Last delivered page (adjacency chain for charging adds pages).
     prev: Option<PageId>,
-    data: &'c SimDevice,
+    data: &'c PageDevice,
     heap: &'c HeapFile,
     attr: AttrOffset,
     /// Keys with a buffered delete, sorted (filter for base matches).
@@ -890,7 +895,7 @@ mod tests {
         DurableIndex::new(
             inner,
             rel,
-            SimDevice::cold(DeviceKind::Ssd),
+            PageDevice::cold(DeviceKind::Ssd),
             DurableConfig {
                 flush_batch,
                 durability: DurabilityMode::Async,
@@ -1028,7 +1033,7 @@ mod tests {
             MiniIndex::default(),
             &rel,
             &image,
-            SimDevice::cold(DeviceKind::Ssd),
+            PageDevice::cold(DeviceKind::Ssd),
             idx.config(),
         )
         .unwrap();
@@ -1063,7 +1068,7 @@ mod tests {
             MiniIndex::default(),
             &rel,
             cut,
-            SimDevice::cold(DeviceKind::Ssd),
+            PageDevice::cold(DeviceKind::Ssd),
             idx.config(),
         )
         .unwrap();
@@ -1083,7 +1088,7 @@ mod tests {
             MiniIndex::default(),
             &rel,
             &[],
-            SimDevice::cold(DeviceKind::Ssd),
+            PageDevice::cold(DeviceKind::Ssd),
             DurableConfig::default(),
         ) {
             Ok(_) => panic!("empty image must not recover"),

@@ -18,7 +18,7 @@
 
 use std::ops::ControlFlow;
 
-use bftree_storage::{PageId, SimDevice};
+use bftree_storage::{PageDevice, PageId};
 
 use crate::ProbeIo;
 
@@ -123,7 +123,7 @@ impl MatchSink for LimitSink<'_> {
 /// [`PageBatchCursor`]: crate::PageBatchCursor
 pub fn stream_sorted_matches(
     mut matches: Vec<(PageId, usize)>,
-    data: &SimDevice,
+    data: &PageDevice,
     sink: &mut dyn MatchSink,
 ) -> ProbeIo {
     matches.sort_unstable();
@@ -156,7 +156,7 @@ mod tests {
 
     #[test]
     fn stream_sorted_matches_charges_like_a_sorted_batch_until_the_break() {
-        let dev = SimDevice::cold(DeviceKind::Ssd);
+        let dev = PageDevice::cold(DeviceKind::Ssd);
         let ms = vec![(40u64, 0usize), (10, 0), (10, 2), (11, 1), (90, 0)];
         let mut taken: Vec<(PageId, usize)> = Vec::new();
         let mut sink = LimitSink::new(&mut taken, 4);

@@ -1,0 +1,351 @@
+//! Calibration experiment: the simulator's nanoseconds next to real
+//! wall-clock on the file backend, for the two workloads the repo's
+//! perf story leans on.
+//!
+//! Every committed `BENCH_*.json` number so far is simulated — the
+//! analytic `DeviceProfile` cost model. This experiment runs the
+//! probe-pipeline and write-path workloads **twice each**: once on the
+//! pure simulator, once on the file backend (real page files, CRC-32
+//! verified reads, real `fdatasync`), and emits a sim-ns-vs-wall-clock
+//! table (`BENCH_calibration.json`). Because the file backend drives
+//! its real I/O off the very accesses the simulator charges, the two
+//! runs of a workload are asserted to have **identical** device
+//! operation counts — the rows differ only in clocks, which is what
+//! makes the comparison meaningful.
+//!
+//! How to read a row: `sim_us_per_op` is the modeled device time,
+//! `wall_us_per_op` the measured end-to-end time (CPU included), and
+//! `wall/sim` their ratio. On the sim backend the ratio is the pure
+//! CPU overhead per modeled nanosecond; on the file backend it adds
+//! what the bytes actually cost on this machine's storage. The file
+//! rows also break out measured read/write/fsync nanoseconds from the
+//! page stores themselves.
+//!
+//! Probe rows are measured on re-reads of already-materialized files
+//! (steady state); write rows include the log file growing from
+//! nothing, like any fresh WAL.
+//!
+//! Flags: `--smoke` (tiny scale for CI), `--dir=<path>` (keep the
+//! page files for inspection; default is a self-cleaning tempdir).
+//! Environment: `BFTREE_SCALE_MB`, `BFTREE_PROBES` as everywhere.
+
+use std::time::Instant;
+
+use bftree::BfTree;
+use bftree_access::{DurableConfig, DurableIndex};
+use bftree_bench::scale::{n_probes, relation_mb};
+use bftree_bench::{
+    fmt_f, relation_r_pk, run_probes_batched, AccessMethod, JsonObject, Relation, Report,
+    StorageArgs, StorageConfig,
+};
+use bftree_storage::{DeviceKind, IoSnapshot, WallSnapshot};
+use bftree_wal::DurabilityMode;
+use bftree_workloads::{mixed_stream, probes_from_domain, KeyPopularity, Op, OpMix};
+
+const PROBE_BATCH: usize = 4096;
+
+/// One calibration cell: a workload on a backend.
+struct Row {
+    workload: &'static str,
+    backend: &'static str,
+    ops: u64,
+    io: IoSnapshot,
+    wall_seconds: f64,
+    /// Measured file-store counters (file backend only).
+    file: Option<WallSnapshot>,
+}
+
+impl Row {
+    fn sim_us_per_op(&self) -> f64 {
+        self.io.sim_us() / self.ops.max(1) as f64
+    }
+
+    fn wall_us_per_op(&self) -> f64 {
+        self.wall_seconds * 1e6 / self.ops.max(1) as f64
+    }
+
+    fn wall_over_sim(&self) -> f64 {
+        self.wall_us_per_op() / self.sim_us_per_op().max(f64::MIN_POSITIVE)
+    }
+}
+
+/// Sum of the wall counters of every file-backed device in sight.
+fn wall_of(devices: &[&bftree_storage::PageDevice]) -> Option<WallSnapshot> {
+    let mut any = false;
+    let mut total = WallSnapshot::default();
+    for dev in devices {
+        if let Some(w) = dev.wall() {
+            any = true;
+            total = WallSnapshot {
+                reads: total.reads + w.reads,
+                writes: total.writes + w.writes,
+                materialized: total.materialized + w.materialized,
+                sync_requests: total.sync_requests + w.sync_requests,
+                syncs_issued: total.syncs_issued + w.syncs_issued,
+                read_ns: total.read_ns + w.read_ns,
+                write_ns: total.write_ns + w.write_ns,
+                sync_ns: total.sync_ns + w.sync_ns,
+            };
+        }
+    }
+    any.then_some(total)
+}
+
+/// The probe-pipeline workload on one backend: batched uniform probes
+/// against a PK BF-Tree on SSD/SSD cold devices. An untimed first
+/// pass materializes the page files; the measured pass then reads
+/// them back, so the file row times verified re-reads, not `creat`.
+fn probe_row(
+    storage: &StorageArgs,
+    index: &dyn AccessMethod,
+    rel: &Relation,
+    probes: &[u64],
+) -> Row {
+    let io = storage.io_cold(StorageConfig::SsdSsd);
+    run_probes_batched(index, rel, probes, &io, PROBE_BATCH);
+    io.reset();
+    let wall_before = wall_of(&[&io.index, &io.data]);
+    let result = run_probes_batched(index, rel, probes, &io, PROBE_BATCH);
+    let file = match (wall_of(&[&io.index, &io.data]), wall_before) {
+        (Some(now), Some(before)) => Some(now.since(&before)),
+        _ => None,
+    };
+    Row {
+        workload: "probe_pipeline",
+        backend: storage.label(),
+        ops: probes.len() as u64,
+        io: io.snapshot_total(),
+        wall_seconds: result.wall_seconds,
+        file,
+    }
+}
+
+/// The write-path workload on one backend: the write-heavy mix
+/// through a group-commit `DurableIndex<BfTree>` with a dedicated SSD
+/// log device, final drain included.
+fn write_row(storage: &StorageArgs, base: &Relation, ops: &[Op]) -> Row {
+    let mut rel = base.clone();
+    let inner = BfTree::builder()
+        .fpp(1e-4)
+        .build(&rel)
+        .expect("harness configuration is valid");
+    let mut index = DurableIndex::new(
+        inner,
+        &rel,
+        storage.log_device(DeviceKind::Ssd),
+        DurableConfig {
+            flush_batch: 256,
+            durability: DurabilityMode::GroupCommit {
+                max_records: 64,
+                max_bytes: 16 * 1024,
+            },
+        },
+    );
+    let io = storage.io_cold(StorageConfig::SsdSsd);
+    let start = Instant::now();
+    for op in ops {
+        match *op {
+            Op::Probe(k) => {
+                let _ = index.probe(k, &rel, &io).expect("valid relation");
+            }
+            Op::Insert(k) => {
+                let loc = rel.append_tuple(k, k, &io);
+                index.insert(k, loc, &rel).expect("valid relation");
+            }
+            Op::Delete(k) => {
+                index.delete(k, &rel).expect("valid relation");
+            }
+        }
+    }
+    index.flush(&rel).expect("final drain");
+    let wall_seconds = start.elapsed().as_secs_f64();
+    let log = index.wal().device().clone();
+    Row {
+        workload: "write_path",
+        backend: storage.label(),
+        ops: ops.len() as u64,
+        io: io.snapshot_total().plus(&log.snapshot()),
+        wall_seconds,
+        file: wall_of(&[&io.index, &io.data, &log]),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    if smoke {
+        // Tiny but non-degenerate scale for CI; explicit env still wins.
+        if std::env::var("BFTREE_SCALE_MB").is_err() {
+            std::env::set_var("BFTREE_SCALE_MB", "8");
+        }
+        if std::env::var("BFTREE_PROBES").is_err() {
+            std::env::set_var("BFTREE_PROBES", "200");
+        }
+    }
+    let sim = StorageArgs::parse(["--storage=sim".to_string()]);
+    let file = StorageArgs::parse(
+        ["--storage=file".to_string()]
+            .into_iter()
+            .chain(args.iter().filter(|a| a.starts_with("--dir")).cloned()),
+    );
+
+    let n_probe_ops = n_probes() * 20;
+    let n_write_ops = n_probes() * 10;
+    let ds = relation_r_pk();
+    let n_keys = ds.relation.heap().tuple_count();
+    let domain: Vec<u64> = (0..n_keys).collect();
+    let probes = probes_from_domain(&domain, n_probe_ops, 0xCA11);
+    let insert_keys: Vec<u64> = (0..(n_write_ops as u64 * 2 / 5))
+        .map(|i| n_keys + i)
+        .collect();
+    let delete_keys: Vec<u64> = (0..(n_write_ops as u64 / 10))
+        .map(|i| (i * 499) % n_keys)
+        .collect();
+    let write_ops = mixed_stream(
+        &domain,
+        KeyPopularity::Uniform,
+        OpMix::WRITE_HEAVY,
+        &insert_keys,
+        &delete_keys,
+        n_write_ops,
+        0xCA12,
+    );
+    let index = BfTree::builder()
+        .fpp(1e-4)
+        .build(&ds.relation)
+        .expect("harness configuration is valid");
+    println!(
+        "calibration: relation R {} MB ({} keys); probe workload = {} uniform probes\n\
+         (batch {PROBE_BATCH}, SSD/SSD cold), write workload = {} write-heavy ops\n\
+         (group-commit WAL on a dedicated SSD device); each workload runs on the sim\n\
+         and file backends with asserted-identical device operation counts\n",
+        relation_mb(),
+        n_keys,
+        probes.len(),
+        write_ops.len(),
+    );
+
+    let rows = vec![
+        probe_row(&sim, &index, &ds.relation, &probes),
+        probe_row(&file, &index, &ds.relation, &probes),
+        write_row(&sim, &ds.relation, &write_ops),
+        write_row(&file, &ds.relation, &write_ops),
+    ];
+
+    // The whole point: the backends did the same device operations.
+    for pair in rows.chunks(2) {
+        let (s, f) = (&pair[0], &pair[1]);
+        assert_eq!(s.workload, f.workload);
+        assert_eq!(
+            (s.io.random_reads, s.io.seq_reads, s.io.writes, s.io.fsyncs),
+            (f.io.random_reads, f.io.seq_reads, f.io.writes, f.io.fsyncs),
+            "{}: backends diverged in device operation counts",
+            s.workload
+        );
+        assert_eq!(
+            s.io.sim_ns, f.io.sim_ns,
+            "{}: simulated clocks diverged",
+            s.workload
+        );
+    }
+
+    let mut report = Report::new(
+        "Calibration: simulated device time vs measured wall-clock",
+        &[
+            "workload",
+            "backend",
+            "ops",
+            "dev_reads",
+            "dev_writes",
+            "fsyncs",
+            "sim_us/op",
+            "wall_us/op",
+            "wall/sim",
+        ],
+    );
+    for r in &rows {
+        report.row(&[
+            r.workload.to_string(),
+            r.backend.to_string(),
+            r.ops.to_string(),
+            r.io.device_reads().to_string(),
+            r.io.writes.to_string(),
+            r.io.fsyncs.to_string(),
+            fmt_f(r.sim_us_per_op()),
+            fmt_f(r.wall_us_per_op()),
+            fmt_f(r.wall_over_sim()),
+        ]);
+    }
+    report.print();
+    for r in rows.iter().filter(|r| r.file.is_some()) {
+        let w = r.file.as_ref().expect("filtered");
+        println!(
+            "{} on file backend: {} file reads ({} us), {} file writes ({} us, {} materialized),\n\
+             {} fsync barriers issued ({} us)",
+            r.workload,
+            w.reads,
+            fmt_f(w.read_ns as f64 / 1e3),
+            w.writes,
+            fmt_f(w.write_ns as f64 / 1e3),
+            w.materialized,
+            w.syncs_issued,
+            fmt_f(w.sync_ns as f64 / 1e3),
+        );
+    }
+
+    let row_json = |r: &Row| {
+        let mut obj = JsonObject::new()
+            .field("workload", r.workload)
+            .field("backend", r.backend)
+            .field("ops", r.ops)
+            .field("device_reads", r.io.device_reads())
+            .field("device_writes", r.io.writes)
+            .field("fsyncs", r.io.fsyncs)
+            .field("sim_ns", r.io.sim_ns)
+            .field("sim_us_per_op", r.sim_us_per_op())
+            .field("wall_seconds", r.wall_seconds)
+            .field("wall_us_per_op", r.wall_us_per_op())
+            .field("wall_over_sim", r.wall_over_sim());
+        if let Some(w) = &r.file {
+            obj = obj.field(
+                "file_io",
+                JsonObject::new()
+                    .field("reads", w.reads)
+                    .field("writes", w.writes)
+                    .field("materialized", w.materialized)
+                    .field("sync_requests", w.sync_requests)
+                    .field("syncs_issued", w.syncs_issued)
+                    .field("read_ns", w.read_ns)
+                    .field("write_ns", w.write_ns)
+                    .field("sync_ns", w.sync_ns),
+            );
+        }
+        obj
+    };
+    let json = JsonObject::new()
+        .field("experiment", "calibration")
+        .field(
+            "workload",
+            JsonObject::new()
+                .field("relation_mb", relation_mb())
+                .field("relation_keys", n_keys)
+                .field("probe_ops", probes.len() as u64)
+                .field("probe_batch", PROBE_BATCH as u64)
+                .field("write_ops", write_ops.len() as u64)
+                .field("smoke", smoke)
+                .field("storage", "ssd_ssd_cold_plus_ssd_log"),
+        )
+        .field(
+            "rows",
+            rows.iter().map(row_json).collect::<Vec<JsonObject>>(),
+        )
+        .field(
+            "summary",
+            JsonObject::new()
+                .field("backend_counts_identical", true)
+                .field("probe_file_wall_over_sim", rows[1].wall_over_sim())
+                .field("write_file_wall_over_sim", rows[3].wall_over_sim()),
+        );
+    std::fs::write("BENCH_calibration.json", json.render()).expect("write calibration table");
+    println!("\nwrote BENCH_calibration.json ({} rows)", rows.len());
+}

@@ -38,8 +38,8 @@
 use bftree::{BfTree, FilterLayout};
 use bftree_bench::scale::{n_probes, relation_mb};
 use bftree_bench::{
-    build_index, fmt_f, relation_r_pk, run_probes_batched, AccessMethod, IndexKind, IoContext,
-    JsonObject, Report, RunResult, StorageConfig,
+    build_index, fmt_f, relation_r_pk, run_probes_batched, AccessMethod, IndexKind, JsonObject,
+    Report, RunResult, StorageArgs, StorageConfig,
 };
 use bftree_storage::IoSnapshot;
 use bftree_workloads::probes_from_domain;
@@ -85,16 +85,18 @@ fn build_bftree_layout(
 }
 
 fn main() {
+    let storage = StorageArgs::from_cli();
     let total_probes = n_probes() * 100;
     let ds = relation_r_pk();
     let n_keys = ds.relation.heap().tuple_count();
     let domain: Vec<u64> = (0..n_keys).collect();
     let probes = probes_from_domain(&domain, total_probes, 0xF1FE);
     println!(
-        "relation R: {} MB ({} keys), PK index, SSD/SSD cold, {} uniform probes;\n\
+        "relation R: {} MB ({} keys), PK index, SSD/SSD cold ({} backend), {} uniform probes;\n\
          every batched cell is asserted I/O-identical to its scalar twin\n",
         relation_mb(),
         n_keys,
+        storage.label(),
         total_probes,
     );
 
@@ -139,7 +141,7 @@ fn main() {
         }
     }
     for index in &indexes {
-        warm_up(index.as_ref(), &ds.relation, &probes);
+        warm_up(index.as_ref(), &ds.relation, &probes, &storage);
     }
 
     // Rep-major measurement with a rotated cell order per pass: each
@@ -156,7 +158,7 @@ fn main() {
         let shift = rep * pass.len() / REPS;
         pass.rotate_left(shift);
         for &(at, (idx, label, fpp, layout, batch_size)) in &pass {
-            let io = IoContext::cold(StorageConfig::SsdSsd);
+            let io = storage.io_cold(StorageConfig::SsdSsd);
             let result = run_probes_batched(
                 indexes[idx].as_ref(),
                 &ds.relation,
@@ -301,8 +303,13 @@ fn main() {
 
 /// A scalar pass over a prefix of the workload so every cell measures
 /// steady-state wall-clock (scratch grown, heap/file caches touched).
-fn warm_up(index: &dyn AccessMethod, rel: &bftree_bench::Relation, probes: &[u64]) {
-    let io = IoContext::cold(StorageConfig::SsdSsd);
+fn warm_up(
+    index: &dyn AccessMethod,
+    rel: &bftree_bench::Relation,
+    probes: &[u64],
+    storage: &StorageArgs,
+) {
+    let io = storage.io_cold(StorageConfig::SsdSsd);
     let take = probes.len().min(20_000);
     run_probes_batched(index, rel, &probes[..take], &io, 1);
 }

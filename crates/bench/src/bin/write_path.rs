@@ -33,9 +33,9 @@ use bftree_access::{DurableConfig, DurableIndex};
 use bftree_bench::scale::{n_probes, relation_mb};
 use bftree_bench::{
     build_index, fmt_f, relation_r_pk, AccessMethod, IndexKind, IoContext, JsonObject, Relation,
-    Report, StorageConfig,
+    Report, StorageArgs, StorageConfig,
 };
-use bftree_storage::{DeviceKind, SimDevice};
+use bftree_storage::DeviceKind;
 use bftree_wal::DurabilityMode;
 use bftree_workloads::{mixed_stream, KeyPopularity, Op, OpMix};
 
@@ -84,19 +84,20 @@ fn run_cell(
     flush_batch: usize,
     base: &Relation,
     ops: &[Op],
+    storage: &StorageArgs,
 ) -> Cell {
     let mut rel = base.clone();
     let inner = build_index(kind, &rel, 1e-4);
     let mut index = DurableIndex::new(
         inner,
         &rel,
-        SimDevice::cold(DeviceKind::Ssd),
+        storage.log_device(DeviceKind::Ssd),
         DurableConfig {
             flush_batch,
             durability: mode,
         },
     );
-    let io = IoContext::cold(StorageConfig::SsdSsd);
+    let io = storage.io_cold(StorageConfig::SsdSsd);
     let start = Instant::now();
     for op in ops {
         match *op {
@@ -163,6 +164,7 @@ fn run_cell(
 }
 
 fn main() {
+    let storage = StorageArgs::from_cli();
     let n_ops = n_probes() * 10;
     let ds = relation_r_pk();
     let n_keys = ds.relation.heap().tuple_count();
@@ -184,11 +186,12 @@ fn main() {
         0xBF06,
     );
     println!(
-        "relation R: {} MB ({} keys), SSD/SSD cold + SSD log, {} ops of the write-heavy mix\n\
+        "relation R: {} MB ({} keys), SSD/SSD cold + SSD log ({} backend), {} ops of the write-heavy mix\n\
          (50% probes / 40% inserts / 10% deletes); every cell drains its memtable at the end\n\
          and asserts exactness on inserted, deleted, and untouched base keys\n",
         relation_mb(),
         n_keys,
+        storage.label(),
         ops.len(),
     );
 
@@ -210,7 +213,7 @@ fn main() {
     for kind in IndexKind::ALL {
         for mode in MODES {
             for batch in FLUSH_BATCHES {
-                let cell = run_cell(kind, mode, batch, &ds.relation, &ops);
+                let cell = run_cell(kind, mode, batch, &ds.relation, &ops, &storage);
                 report.row(&[
                     cell.index.to_string(),
                     cell.mode.to_string(),

@@ -37,6 +37,7 @@ pub mod microbench;
 pub mod parallel;
 pub mod report;
 pub mod scale;
+pub mod storage_args;
 
 pub use bftree_access::{AccessMethod, ConcurrentIndex};
 pub use bftree_storage::{IoContext, Relation, StorageConfig};
@@ -55,3 +56,4 @@ pub use parallel::{
     ParallelRunResult, ThreadStats,
 };
 pub use report::{fmt_f, fmt_fpp, Report};
+pub use storage_args::StorageArgs;

@@ -4,7 +4,7 @@
 //! [`run_probes_parallel`] fans per-thread key streams out over
 //! [`std::thread::scope`] against one shared `&dyn AccessMethod`; the
 //! read path is lock-free end to end (the trait is `Send + Sync`, and
-//! cold [`SimDevice`](bftree_storage::SimDevice)s record into sharded
+//! cold [`PageDevice`](bftree_storage::PageDevice)s record into sharded
 //! counters). [`run_mixed_parallel`] serves YCSB-style mixed
 //! read/insert streams through a [`ConcurrentIndex`] (readers share,
 //! writers exclude).

@@ -1,0 +1,180 @@
+//! Backend selection for experiment binaries: `--storage=sim|file
+//! [--dir=<path>]` (or the `BFTREE_STORAGE`/`BFTREE_DIR` environment
+//! variables, so harness scripts can flip a whole sweep at once).
+//!
+//! Every experiment defaults to the simulator. With `--storage=file`
+//! each device the experiment creates is backed by its own page store
+//! file: a fresh subdirectory per created context or log device, so a
+//! "cold device" is cold on disk too and cross-cell contamination is
+//! impossible. Files live under `--dir` when given (left in place for
+//! inspection), otherwise under a self-cleaning scratch directory.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bftree_storage::{
+    Backend, DeviceKind, IoContext, PageDevice, PolicyKind, ScratchDir, StorageConfig,
+};
+
+/// Parsed backend selection (see the [module docs](self)).
+#[derive(Debug)]
+pub struct StorageArgs {
+    file: bool,
+    root: PathBuf,
+    /// Keeps the scratch directory alive (and cleaned up on exit)
+    /// when no `--dir` was given.
+    _scratch: Option<ScratchDir>,
+    /// Distinguishes the per-context subdirectories.
+    contexts: AtomicU64,
+}
+
+impl StorageArgs {
+    /// Parse the process's arguments and environment. Unrecognized
+    /// arguments are ignored (they belong to the binary).
+    ///
+    /// # Panics
+    ///
+    /// On `--storage=` values other than `sim`/`file`.
+    pub fn from_cli() -> Self {
+        let mut args: Vec<String> = std::env::args().skip(1).collect();
+        if let Ok(v) = std::env::var("BFTREE_STORAGE") {
+            args.push(format!("--storage={v}"));
+        }
+        if let Ok(v) = std::env::var("BFTREE_DIR") {
+            args.push(format!("--dir={v}"));
+        }
+        Self::parse(args)
+    }
+
+    /// Parse an explicit argument list (`--storage=file`,
+    /// `--storage file`, `--dir=...`, `--dir ...`; later wins).
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Self {
+        let mut storage = String::from("sim");
+        let mut dir: Option<PathBuf> = None;
+        let mut args = args.into_iter().peekable();
+        while let Some(arg) = args.next() {
+            let mut take = |key: &str| -> Option<String> {
+                if let Some(v) = arg.strip_prefix(&format!("{key}=")) {
+                    return Some(v.to_string());
+                }
+                if arg == key {
+                    return args.next();
+                }
+                None
+            };
+            if let Some(v) = take("--storage") {
+                storage = v;
+            } else if let Some(v) = take("--dir") {
+                dir = Some(PathBuf::from(v));
+            }
+        }
+        let file = match storage.as_str() {
+            "sim" => false,
+            "file" => true,
+            other => panic!("--storage must be `sim` or `file`, got `{other}`"),
+        };
+        let (root, scratch) = match (file, dir) {
+            (true, Some(dir)) => (dir, None),
+            (true, None) => {
+                let scratch = ScratchDir::new("bench").expect("scratch dir for file backend");
+                (scratch.path().to_path_buf(), Some(scratch))
+            }
+            (false, _) => (PathBuf::new(), None),
+        };
+        Self {
+            file,
+            root,
+            _scratch: scratch,
+            contexts: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether the file backend was selected.
+    pub fn is_file(&self) -> bool {
+        self.file
+    }
+
+    /// Short backend name (`"sim"` / `"file"`).
+    pub fn label(&self) -> &'static str {
+        if self.file {
+            "file"
+        } else {
+            "sim"
+        }
+    }
+
+    /// A [`Backend`] rooted in a fresh subdirectory — each call gets
+    /// its own, so every context starts on genuinely cold files.
+    pub fn backend(&self) -> Backend {
+        if !self.file {
+            return Backend::Sim;
+        }
+        let n = self.contexts.fetch_add(1, Ordering::Relaxed);
+        Backend::file(self.root.join(format!("ctx{n}")))
+    }
+
+    /// Cold devices for `config` on the selected backend (the drop-in
+    /// replacement for `IoContext::cold` in experiment binaries).
+    pub fn io_cold(&self, config: StorageConfig) -> IoContext {
+        IoContext::cold_on(&self.backend(), config).expect("backend devices")
+    }
+
+    /// Shared-budget devices for `config` on the selected backend.
+    pub fn io_with_shared_budget(
+        &self,
+        config: StorageConfig,
+        budget_bytes: u64,
+        policy: PolicyKind,
+    ) -> IoContext {
+        IoContext::with_shared_budget_on(&self.backend(), config, budget_bytes, policy)
+            .expect("backend devices")
+    }
+
+    /// A cold log device of `kind` on the selected backend (what a
+    /// `DurableIndex` logs to).
+    pub fn log_device(&self, kind: DeviceKind) -> PageDevice {
+        self.backend().device(kind, "wal").expect("backend devices")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_to_sim() {
+        let s = StorageArgs::parse(Vec::new());
+        assert!(!s.is_file());
+        assert_eq!(s.label(), "sim");
+        assert!(s.io_cold(StorageConfig::SsdSsd).index.file().is_none());
+    }
+
+    #[test]
+    fn parses_both_argument_shapes() {
+        for args in [
+            vec!["--storage=file".to_string()],
+            vec!["--storage".to_string(), "file".to_string()],
+            vec!["--smoke".to_string(), "--storage=file".to_string()],
+        ] {
+            assert!(StorageArgs::parse(args).is_file());
+        }
+    }
+
+    #[test]
+    fn file_backend_materializes_distinct_cold_contexts() {
+        let s = StorageArgs::parse(vec!["--storage=file".to_string()]);
+        let a = s.io_cold(StorageConfig::SsdSsd);
+        let b = s.io_cold(StorageConfig::SsdSsd);
+        let store_a = a.data.file().expect("file-backed").store();
+        let store_b = b.data.file().expect("file-backed").store();
+        assert_ne!(store_a.path(), store_b.path(), "fresh files per context");
+        a.data.read_random(1);
+        assert_eq!(store_a.wall().reads, 1);
+        assert_eq!(store_b.wall().reads, 0);
+        assert!(s.log_device(DeviceKind::Ssd).file().is_some());
+        assert!(
+            s.log_device(DeviceKind::Memory).file().is_none(),
+            "memory devices stay simulated"
+        );
+    }
+}

@@ -16,7 +16,7 @@ use bftree_access::{
     ScanIo,
 };
 use bftree_storage::tuple::AttrOffset;
-use bftree_storage::{Duplicates, HeapFile, IoContext, PageId, Relation, SimDevice};
+use bftree_storage::{Duplicates, HeapFile, IoContext, PageDevice, PageId, Relation};
 
 use crate::node::{BTreeConfig, DuplicateMode};
 use crate::tree::BPlusTree;
@@ -75,7 +75,7 @@ fn push_page_matches(
 struct RunCursor<'c> {
     heap: &'c HeapFile,
     attr: AttrOffset,
-    data: &'c SimDevice,
+    data: &'c PageDevice,
     lo: u64,
     hi: u64,
     /// Next page to fetch (`None` once exhausted).

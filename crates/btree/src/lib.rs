@@ -17,7 +17,7 @@
 //!   paper's measured trees sit at ≈ 0.81, which the harness passes in
 //!   when reproducing Table 2.
 //!
-//! Every node visit is charged to a [`bftree_storage::SimDevice`], so
+//! Every node visit is charged to a [`bftree_storage::PageDevice`], so
 //! the harness can place the index on memory / SSD / HDD.
 
 #![warn(missing_docs)]

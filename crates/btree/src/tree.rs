@@ -1,6 +1,6 @@
 //! The B+-Tree proper: bulk load, search, range scan, insert, delete.
 
-use bftree_storage::SimDevice;
+use bftree_storage::PageDevice;
 
 use crate::node::{BTreeConfig, DuplicateMode, Node, NodeId};
 use crate::tupleref::TupleRef;
@@ -9,7 +9,7 @@ use crate::tupleref::TupleRef;
 ///
 /// Nodes live in an arena; a node's arena index doubles as its page id
 /// within the index file, which is what gets charged to the index
-/// [`SimDevice`] on traversal.
+/// [`PageDevice`] on traversal.
 #[derive(Debug, Clone)]
 pub struct BPlusTree {
     config: BTreeConfig,
@@ -200,7 +200,7 @@ impl BPlusTree {
     }
 
     #[inline]
-    fn charge(&self, dev: Option<&SimDevice>, node: NodeId) {
+    fn charge(&self, dev: Option<&PageDevice>, node: NodeId) {
         if let Some(dev) = dev {
             dev.read_random(node as u64);
         }
@@ -211,7 +211,7 @@ impl BPlusTree {
     /// for point search and insert even under duplicate keys (any
     /// leaf holding `key` has min ≤ `key`, and all later leaves have
     /// min > `key`).
-    fn descend(&self, key: u64, dev: Option<&SimDevice>) -> NodeId {
+    fn descend(&self, key: u64, dev: Option<&PageDevice>) -> NodeId {
         let mut id = self.root;
         loop {
             self.charge(dev, id);
@@ -229,7 +229,7 @@ impl BPlusTree {
     /// [`Self::search_all`], [`Self::range`] and [`Self::delete`],
     /// which then scan rightward across sibling links — necessary when
     /// a run of duplicates spans several leaves (separators repeat).
-    fn descend_leftmost(&self, key: u64, dev: Option<&SimDevice>) -> NodeId {
+    fn descend_leftmost(&self, key: u64, dev: Option<&PageDevice>) -> NodeId {
         let mut id = self.root;
         loop {
             self.charge(dev, id);
@@ -245,7 +245,7 @@ impl BPlusTree {
 
     /// Point search: the first entry with exactly `key`, if any.
     /// Charges `height` random index reads to `dev`.
-    pub fn search(&self, key: u64, dev: Option<&SimDevice>) -> Option<TupleRef> {
+    pub fn search(&self, key: u64, dev: Option<&PageDevice>) -> Option<TupleRef> {
         let leaf = self.descend(key, dev);
         if let Node::Leaf { keys, refs, .. } = &self.nodes[leaf as usize] {
             let at = keys.partition_point(|&k| k < key);
@@ -260,7 +260,7 @@ impl BPlusTree {
     /// Charges `height` random index reads. This is how the BF-Tree's
     /// upper structure routes a probe to the BF-leaf whose key range
     /// covers it.
-    pub fn search_le(&self, key: u64, dev: Option<&SimDevice>) -> Option<(u64, TupleRef)> {
+    pub fn search_le(&self, key: u64, dev: Option<&PageDevice>) -> Option<(u64, TupleRef)> {
         let leaf = self.descend(key, dev);
         let Node::Leaf { keys, refs, .. } = &self.nodes[leaf as usize] else {
             unreachable!("descend returns leaves");
@@ -288,7 +288,12 @@ impl BPlusTree {
     }
 
     /// [`Self::descend`] that also records the charged node path.
-    fn descend_capture(&self, key: u64, dev: Option<&SimDevice>, path: &mut Vec<NodeId>) -> NodeId {
+    fn descend_capture(
+        &self,
+        key: u64,
+        dev: Option<&PageDevice>,
+        path: &mut Vec<NodeId>,
+    ) -> NodeId {
         let mut id = self.root;
         loop {
             self.charge(dev, id);
@@ -343,7 +348,7 @@ impl BPlusTree {
 
     /// All entries with exactly `key`, following leaf links across
     /// page boundaries (meaningful in `PerTuple` mode).
-    pub fn search_all(&self, key: u64, dev: Option<&SimDevice>) -> Vec<TupleRef> {
+    pub fn search_all(&self, key: u64, dev: Option<&PageDevice>) -> Vec<TupleRef> {
         let mut out = Vec::new();
         let mut leaf = self.descend_leftmost(key, dev);
         loop {
@@ -375,7 +380,7 @@ impl BPlusTree {
     /// first data page). Charges the descent plus one index read per
     /// extra leaf traversed before the first in-range key, never the
     /// whole range's leaf walk.
-    pub fn seek_ge(&self, lo: u64, hi: u64, dev: Option<&SimDevice>) -> Option<(u64, TupleRef)> {
+    pub fn seek_ge(&self, lo: u64, hi: u64, dev: Option<&PageDevice>) -> Option<(u64, TupleRef)> {
         assert!(lo <= hi);
         let mut leaf = self.descend_leftmost(lo, dev);
         loop {
@@ -398,7 +403,7 @@ impl BPlusTree {
 
     /// All entries with key in `[lo, hi]`, in key order. Charges the
     /// initial descent plus one index read per extra leaf touched.
-    pub fn range(&self, lo: u64, hi: u64, dev: Option<&SimDevice>) -> Vec<(u64, TupleRef)> {
+    pub fn range(&self, lo: u64, hi: u64, dev: Option<&PageDevice>) -> Vec<(u64, TupleRef)> {
         assert!(lo <= hi);
         let mut out = Vec::new();
         let mut leaf = self.descend_leftmost(lo, dev);
@@ -426,7 +431,7 @@ impl BPlusTree {
     /// Insert `(key, tref)`. Splits full nodes on the way back up;
     /// grows a new root when the old root splits. Charges a descent
     /// plus one write per dirtied node.
-    pub fn insert(&mut self, key: u64, tref: TupleRef, dev: Option<&SimDevice>) {
+    pub fn insert(&mut self, key: u64, tref: TupleRef, dev: Option<&PageDevice>) {
         if self.config.duplicates == DuplicateMode::FirstRef && self.search(key, None).is_some() {
             return;
         }
@@ -456,7 +461,7 @@ impl BPlusTree {
         node: NodeId,
         key: u64,
         tref: TupleRef,
-        dev: Option<&SimDevice>,
+        dev: Option<&PageDevice>,
     ) -> Option<(u64, NodeId)> {
         self.charge(dev, node);
         match &mut self.nodes[node as usize] {
@@ -496,7 +501,7 @@ impl BPlusTree {
         }
     }
 
-    fn split_leaf(&mut self, node: NodeId, dev: Option<&SimDevice>) -> (u64, NodeId) {
+    fn split_leaf(&mut self, node: NodeId, dev: Option<&PageDevice>) -> (u64, NodeId) {
         let new_id = self.nodes.len() as NodeId;
         let Node::Leaf { keys, refs, next } = &mut self.nodes[node as usize] else {
             unreachable!()
@@ -518,7 +523,7 @@ impl BPlusTree {
         (sep, new_id)
     }
 
-    fn split_internal(&mut self, node: NodeId, dev: Option<&SimDevice>) -> (u64, NodeId) {
+    fn split_internal(&mut self, node: NodeId, dev: Option<&PageDevice>) -> (u64, NodeId) {
         let new_id = self.nodes.len() as NodeId;
         let Node::Internal { keys, children } = &mut self.nodes[node as usize] else {
             unreachable!()
@@ -542,7 +547,7 @@ impl BPlusTree {
     /// an entry was removed. Underfull nodes are left in place (no
     /// rebalancing), the common practice for read-mostly warehousing
     /// trees; the paper likewise never merges nodes.
-    pub fn delete(&mut self, key: u64, tref: TupleRef, dev: Option<&SimDevice>) -> bool {
+    pub fn delete(&mut self, key: u64, tref: TupleRef, dev: Option<&PageDevice>) -> bool {
         let mut leaf = self.descend_leftmost(key, dev);
         loop {
             let Node::Leaf { keys, refs, next } = &mut self.nodes[leaf as usize] else {
@@ -690,7 +695,7 @@ pub struct FloorCursor<'t> {
 impl FloorCursor<'_> {
     /// [`BPlusTree::search_le`], amortized. Identical result and
     /// identical index-read charging for any key sequence.
-    pub fn search_le(&mut self, key: u64, dev: Option<&SimDevice>) -> Option<(u64, TupleRef)> {
+    pub fn search_le(&mut self, key: u64, dev: Option<&PageDevice>) -> Option<(u64, TupleRef)> {
         if self.valid && key >= self.lo && self.hi.is_none_or(|h| key < h) {
             self.hits += 1;
             if let Some(d) = dev {
@@ -721,7 +726,7 @@ impl FloorCursor<'_> {
 
     /// Full [`BPlusTree::search_le`] replica that records the charged
     /// path and the validity interval.
-    fn resolve(&mut self, key: u64, dev: Option<&SimDevice>) -> Option<(u64, TupleRef)> {
+    fn resolve(&mut self, key: u64, dev: Option<&PageDevice>) -> Option<(u64, TupleRef)> {
         let tree = self.tree;
         self.valid = false;
         self.path.clear();
@@ -846,8 +851,8 @@ mod tests {
             .map(|i| i.wrapping_mul(2654435761) % 16_000)
             .collect();
         for stream in [&ascending, &scattered] {
-            let dev_cursor = SimDevice::cold(DeviceKind::Ssd);
-            let dev_scalar = SimDevice::cold(DeviceKind::Ssd);
+            let dev_cursor = PageDevice::cold(DeviceKind::Ssd);
+            let dev_scalar = PageDevice::cold(DeviceKind::Ssd);
             let mut cursor = t.floor_cursor();
             for &key in stream.iter() {
                 let got = cursor.search_le(key, Some(&dev_cursor));
@@ -934,8 +939,8 @@ mod tests {
         }
         // A wide range charges the descent only, not the leaf walk.
         let (seek_dev, range_dev) = (
-            SimDevice::cold(DeviceKind::Ssd),
-            SimDevice::cold(DeviceKind::Ssd),
+            PageDevice::cold(DeviceKind::Ssd),
+            PageDevice::cold(DeviceKind::Ssd),
         );
         let _ = t.seek_ge(0, 1_500, Some(&seek_dev));
         let _ = t.range(0, 1_500, Some(&range_dev));
@@ -1016,9 +1021,9 @@ mod tests {
 
     #[test]
     fn device_charging_counts_height_reads() {
-        use bftree_storage::{DeviceKind, SimDevice};
+        use bftree_storage::{DeviceKind, PageDevice};
         let t = BPlusTree::bulk_build(BTreeConfig::paper_default(), refs(100_000));
-        let dev = SimDevice::cold(DeviceKind::Ssd);
+        let dev = PageDevice::cold(DeviceKind::Ssd);
         t.search(12345, Some(&dev));
         assert_eq!(dev.snapshot().random_reads as usize, t.height());
     }

@@ -8,7 +8,7 @@
 //! typically much smaller than both."
 
 use bftree_storage::tuple::AttrOffset;
-use bftree_storage::{HeapFile, PageId, SimDevice};
+use bftree_storage::{HeapFile, PageDevice, PageId};
 
 use crate::stats::ProbeResult;
 use crate::tree::BfTree;
@@ -28,7 +28,7 @@ pub struct IndexPredicate<'a> {
 impl IndexPredicate<'_> {
     /// Candidate data pages per this index alone (filters only — no
     /// data access), charging one leaf read per visited leaf.
-    fn candidate_pages(&self, idx_dev: Option<&SimDevice>) -> Vec<PageId> {
+    fn candidate_pages(&self, idx_dev: Option<&PageDevice>) -> Vec<PageId> {
         let mut pages = Vec::new();
         for leaf_idx in self.tree.candidate_leaves(self.key, idx_dev) {
             let leaf = self.tree.leaf(leaf_idx);
@@ -55,8 +55,8 @@ pub fn probe_intersection(
     a: IndexPredicate<'_>,
     b: IndexPredicate<'_>,
     heap: &HeapFile,
-    idx_dev: Option<&SimDevice>,
-    data_dev: Option<&SimDevice>,
+    idx_dev: Option<&PageDevice>,
+    data_dev: Option<&PageDevice>,
 ) -> ProbeResult {
     let pa = a.candidate_pages(idx_dev);
     let pb = b.candidate_pages(idx_dev);
@@ -211,7 +211,7 @@ mod tests {
     fn device_charging_is_bounded_by_page_count() {
         use bftree_storage::DeviceKind;
         let (heap, a, b) = setup();
-        let data = SimDevice::cold(DeviceKind::Ssd);
+        let data = PageDevice::cold(DeviceKind::Ssd);
         let r = probe_intersection(
             IndexPredicate {
                 tree: &a,

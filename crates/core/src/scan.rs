@@ -14,7 +14,7 @@
 
 use bftree_access::{scan_page_in_range, Continuation, RangeCursor, ScanIo};
 use bftree_storage::tuple::AttrOffset;
-use bftree_storage::{HeapFile, IoContext, PageId, Relation, SimDevice};
+use bftree_storage::{HeapFile, IoContext, PageDevice, PageId, Relation};
 
 use crate::tree::BfTree;
 
@@ -274,8 +274,8 @@ impl BfTree {
         hi: u64,
         heap: &HeapFile,
         attr: AttrOffset,
-        idx_dev: Option<&SimDevice>,
-        data_dev: Option<&SimDevice>,
+        idx_dev: Option<&PageDevice>,
+        data_dev: Option<&PageDevice>,
         max_enumeration: u64,
     ) -> RangeScanResult {
         assert!(lo <= hi);
@@ -343,7 +343,7 @@ impl BfTree {
         result
     }
 
-    fn first_overlapping_leaf(&self, lo: u64, idx_dev: Option<&SimDevice>) -> Option<u32> {
+    fn first_overlapping_leaf(&self, lo: u64, idx_dev: Option<&PageDevice>) -> Option<u32> {
         let candidates = self.candidate_leaves(lo, idx_dev);
         match candidates.first() {
             Some(&first) => Some(first),
@@ -366,7 +366,7 @@ impl BfTree {
         hi: u64,
         heap: &HeapFile,
         attr: AttrOffset,
-        data_dev: Option<&SimDevice>,
+        data_dev: Option<&PageDevice>,
         result: &mut RangeScanResult,
     ) {
         if let Some(d) = data_dev {

@@ -8,7 +8,7 @@ use bftree_access::MatchSink;
 use bftree_bloom::hash::KeyFingerprint;
 use bftree_btree::{BPlusTree, BTreeConfig, DuplicateMode, TupleRef};
 use bftree_storage::tuple::AttrOffset;
-use bftree_storage::{HeapFile, PageId, SimDevice};
+use bftree_storage::{HeapFile, PageDevice, PageId};
 
 use crate::config::{BfTreeConfig, DuplicateHandling, SplitStrategy};
 use crate::leaf::BfLeaf;
@@ -266,7 +266,7 @@ impl BfTree {
 
     /// Candidate leaves for `key`: the floor leaf plus left siblings
     /// while a duplicate run spans leaves, in left-to-right order.
-    pub(crate) fn candidate_leaves(&self, key: u64, idx_dev: Option<&SimDevice>) -> Vec<u32> {
+    pub(crate) fn candidate_leaves(&self, key: u64, idx_dev: Option<&PageDevice>) -> Vec<u32> {
         let mut out = Vec::new();
         self.candidate_leaves_into(key, idx_dev, &mut out);
         out
@@ -276,7 +276,7 @@ impl BfTree {
     pub(crate) fn candidate_leaves_into(
         &self,
         key: u64,
-        idx_dev: Option<&SimDevice>,
+        idx_dev: Option<&PageDevice>,
         out: &mut Vec<u32>,
     ) {
         out.clear();
@@ -316,8 +316,8 @@ impl BfTree {
         key: u64,
         heap: &HeapFile,
         attr: AttrOffset,
-        idx_dev: Option<&SimDevice>,
-        data_dev: Option<&SimDevice>,
+        idx_dev: Option<&PageDevice>,
+        data_dev: Option<&PageDevice>,
         stop_at_first: bool,
         scratch: &mut ProbeScratch,
     ) -> ProbeResult {
@@ -356,8 +356,8 @@ impl BfTree {
         key: u64,
         heap: &HeapFile,
         attr: AttrOffset,
-        idx_dev: Option<&SimDevice>,
-        data_dev: Option<&SimDevice>,
+        idx_dev: Option<&PageDevice>,
+        data_dev: Option<&PageDevice>,
         stop_at_first: bool,
         scratch: &mut ProbeScratch,
         sink: &mut dyn MatchSink,
@@ -425,8 +425,8 @@ impl BfTree {
         keys: &[u64],
         heap: &HeapFile,
         attr: AttrOffset,
-        idx_dev: Option<&SimDevice>,
-        data_dev: Option<&SimDevice>,
+        idx_dev: Option<&PageDevice>,
+        data_dev: Option<&PageDevice>,
         scratch: &mut ProbeScratch,
     ) -> Vec<ProbeResult> {
         // Thin materializing wrapper over `probe_batch_each`, kept for
@@ -451,8 +451,8 @@ impl BfTree {
         keys: &[u64],
         heap: &HeapFile,
         attr: AttrOffset,
-        idx_dev: Option<&SimDevice>,
-        data_dev: Option<&SimDevice>,
+        idx_dev: Option<&PageDevice>,
+        data_dev: Option<&PageDevice>,
         scratch: &mut ProbeScratch,
         mut sink: impl FnMut(usize, ProbeResult),
     ) {
@@ -627,8 +627,8 @@ impl BfTree {
         leaf_idx: u32,
         heap: &HeapFile,
         attr: AttrOffset,
-        idx_dev: Option<&SimDevice>,
-        data_dev: Option<&SimDevice>,
+        idx_dev: Option<&PageDevice>,
+        data_dev: Option<&PageDevice>,
         stop_at_first: bool,
         scratch: &mut ProbeScratch,
         sink: &mut dyn MatchSink,
@@ -698,7 +698,7 @@ impl BfTree {
         windows: Option<&[(u32, u32)]>,
         heap: &HeapFile,
         attr: AttrOffset,
-        data_dev: Option<&SimDevice>,
+        data_dev: Option<&PageDevice>,
         stop_at_first: bool,
         warm_pages: bool,
         slots: &mut Vec<usize>,
@@ -1139,8 +1139,8 @@ mod tests {
 
         let scratch = &mut ProbeScratch::default();
         let (idx_s, data_s) = (
-            SimDevice::cold(DeviceKind::Ssd),
-            SimDevice::cold(DeviceKind::Hdd),
+            PageDevice::cold(DeviceKind::Ssd),
+            PageDevice::cold(DeviceKind::Hdd),
         );
         let scalar: Vec<ProbeResult> = keys
             .iter()
@@ -1158,8 +1158,8 @@ mod tests {
             .collect();
 
         let (idx_b, data_b) = (
-            SimDevice::cold(DeviceKind::Ssd),
-            SimDevice::cold(DeviceKind::Hdd),
+            PageDevice::cold(DeviceKind::Ssd),
+            PageDevice::cold(DeviceKind::Hdd),
         );
         let batch = tree.probe_batch_impl(
             &keys,

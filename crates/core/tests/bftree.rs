@@ -7,7 +7,7 @@ use bftree::scan::exact_range_pages;
 use bftree::{AccessMethod, BfTree, KStrategy, SplitStrategy};
 use bftree_storage::tuple::{ATT1_OFFSET, PK_OFFSET};
 use bftree_storage::{
-    DeviceKind, Duplicates, HeapFile, IoContext, Relation, SimDevice, TupleLayout,
+    DeviceKind, Duplicates, HeapFile, IoContext, PageDevice, Relation, TupleLayout,
 };
 
 /// The paper's synthetic relation R scaled down: 256 B tuples, unique
@@ -141,8 +141,8 @@ fn device_charging_follows_algorithm_1() {
     let rel = pk_relation(100_000, 11);
     let t = BfTree::builder().fpp(1e-6).build(&rel).unwrap();
     let io = IoContext::new(
-        SimDevice::cold(DeviceKind::Ssd),
-        SimDevice::cold(DeviceKind::Hdd),
+        PageDevice::cold(DeviceKind::Ssd),
+        PageDevice::cold(DeviceKind::Hdd),
     );
     let r = AccessMethod::probe_first(&t, 4_242, &rel, &io).unwrap();
     assert!(r.found());
@@ -329,8 +329,8 @@ fn warm_index_cache_absorbs_internal_reads() {
     let rel = pk_relation(100_000, 11);
     let t = BfTree::builder().fpp(1e-4).build(&rel).unwrap();
     let io = IoContext::new(
-        SimDevice::new(DeviceProfile::ssd(), CacheMode::Lru(1 << 20)),
-        SimDevice::cold(DeviceKind::Memory),
+        PageDevice::new(DeviceProfile::ssd(), CacheMode::Lru(1 << 20)),
+        PageDevice::cold(DeviceKind::Memory),
     );
     io.prewarm_index(t.upper_page_ids());
     let r = AccessMethod::probe_first(&t, 55_555, &rel, &io).unwrap();

@@ -27,7 +27,7 @@
 pub mod access;
 
 use bftree_btree::TupleRef;
-use bftree_storage::SimDevice;
+use bftree_storage::PageDevice;
 
 /// An entry within an FD-Tree page: a data record or a fence.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -174,7 +174,7 @@ impl FdTree {
 
     /// Point search: first match for `key`, charging one random read
     /// per level to `dev`.
-    pub fn search(&self, key: u64, dev: Option<&SimDevice>) -> Option<TupleRef> {
+    pub fn search(&self, key: u64, dev: Option<&PageDevice>) -> Option<TupleRef> {
         // Head tree: in-memory data entries first.
         if let Ok(at) = self.head.binary_search_by_key(&key, |e| e.0) {
             return Some(self.head[at].1);
@@ -209,7 +209,7 @@ impl FdTree {
 
     /// All matches for `key` (duplicates may sit at multiple levels and
     /// in adjacent pages of a level).
-    pub fn search_all(&self, key: u64, dev: Option<&SimDevice>) -> Vec<TupleRef> {
+    pub fn search_all(&self, key: u64, dev: Option<&PageDevice>) -> Vec<TupleRef> {
         let mut out: Vec<TupleRef> = self
             .head
             .iter()
@@ -262,7 +262,12 @@ impl FdTree {
     /// All entries with key in `[lo, hi]`, in key order. Each level is
     /// a sorted run, so the touched span costs one random read plus
     /// sequential reads for the following pages of the run.
-    pub fn range_entries(&self, lo: u64, hi: u64, dev: Option<&SimDevice>) -> Vec<(u64, TupleRef)> {
+    pub fn range_entries(
+        &self,
+        lo: u64,
+        hi: u64,
+        dev: Option<&PageDevice>,
+    ) -> Vec<(u64, TupleRef)> {
         assert!(lo <= hi);
         let mut out: Vec<(u64, TupleRef)> = self
             .head
@@ -491,7 +496,7 @@ mod tests {
     #[test]
     fn search_charges_one_read_per_level() {
         let t = FdTree::bulk_build(entries(1_000_000));
-        let dev = SimDevice::cold(DeviceKind::Ssd);
+        let dev = PageDevice::cold(DeviceKind::Ssd);
         t.search(123_456, Some(&dev));
         assert_eq!(
             dev.snapshot().random_reads,

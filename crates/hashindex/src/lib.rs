@@ -12,7 +12,7 @@
 pub mod access;
 
 use bftree_btree::TupleRef;
-use bftree_storage::SimDevice;
+use bftree_storage::PageDevice;
 
 /// A bucket-chained hash index from u64 keys to tuple references.
 #[derive(Debug, Clone)]
@@ -125,7 +125,7 @@ impl HashIndex {
 
     /// Probe + fetch: look up `key` and charge the data page read to
     /// `data_dev`, mirroring what the harness does for tree probes.
-    pub fn probe_and_fetch(&self, key: u64, data_dev: &SimDevice) -> Option<TupleRef> {
+    pub fn probe_and_fetch(&self, key: u64, data_dev: &PageDevice) -> Option<TupleRef> {
         let r = self.get(key)?;
         data_dev.read_random(r.pid());
         Some(r)
@@ -196,7 +196,7 @@ mod tests {
     #[test]
     fn probe_and_fetch_charges_one_data_read() {
         let idx = HashIndex::build((0u64..100).map(|k| (k, TupleRef::new(k, 0))), 0);
-        let dev = SimDevice::cold(DeviceKind::Ssd);
+        let dev = PageDevice::cold(DeviceKind::Ssd);
         assert!(idx.probe_and_fetch(50, &dev).is_some());
         assert!(idx.probe_and_fetch(1_000, &dev).is_none());
         let s = dev.snapshot();

@@ -1,0 +1,505 @@
+//! [`PageDevice`]: the pluggable device front the rest of the stack
+//! charges page accesses to.
+//!
+//! Two implementations sit behind one enum:
+//!
+//! * [`SimDevice`] — the analytic cost model every paper experiment
+//!   runs on. Semantics (and the bit-identical `IoStats` the tests
+//!   pin) are untouched.
+//! * [`FileDevice`] — the same simulated accounting **plus** real
+//!   byte-hitting I/O against a [`FileStore`]. The inner `SimDevice`
+//!   stays the single source of truth for counters and cache
+//!   decisions; the file is touched exactly when the simulator says
+//!   the access reached the device. That makes cold-device operation
+//!   counts identical across backends *by construction* — the
+//!   property the backend-conformance suite asserts.
+//!
+//! An enum (not a trait object) keeps the hot probe path a
+//! predictable branch instead of a virtual call; the probe-pipeline
+//! bench pins wall-clock speedups that a vtable would erode.
+//!
+//! [`Backend`] is the user-facing selector (`--storage=sim|file`)
+//! that materializes devices for either world.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use bftree_bufferpool::{BufferManager, PoolId};
+
+use crate::device::{DeviceKind, DeviceProfile};
+use crate::file::{DeviceError, FileStore, SyncPolicy, WallSnapshot};
+use crate::io::IoSnapshot;
+use crate::page::PageId;
+use crate::sim::{CacheMode, SimDevice};
+
+/// A device whose charges also hit a real file: an inner [`SimDevice`]
+/// makes every accounting and caching decision, and each access the
+/// simulator reports as reaching the device triggers a verified read
+/// (or a checksummed write) against the shared [`FileStore`].
+///
+/// Cloning is cheap and shares the stats, the cache, and the store.
+#[derive(Debug, Clone)]
+pub struct FileDevice {
+    sim: SimDevice,
+    store: Arc<FileStore>,
+}
+
+impl FileDevice {
+    /// A cold file-backed device of the given kind.
+    pub fn cold(kind: DeviceKind, store: Arc<FileStore>) -> Self {
+        Self {
+            sim: SimDevice::cold(kind),
+            store,
+        }
+    }
+
+    /// A file-backed device with an explicit profile and cache mode.
+    pub fn new(profile: DeviceProfile, cache: CacheMode, store: Arc<FileStore>) -> Self {
+        Self {
+            sim: SimDevice::new(profile, cache),
+            store,
+        }
+    }
+
+    /// A file-backed device whose re-reads are absorbed by `pool` of
+    /// the shared `manager` (see [`SimDevice::with_shared_cache`]).
+    /// Cache hits never touch the file — only device-reaching misses
+    /// do.
+    pub fn with_shared_cache(
+        profile: DeviceProfile,
+        manager: Arc<BufferManager>,
+        pool: PoolId,
+        store: Arc<FileStore>,
+    ) -> Self {
+        Self {
+            sim: SimDevice::with_shared_cache(profile, manager, pool),
+            store,
+        }
+    }
+
+    /// The inner simulated device (counters, cache, profile).
+    pub fn sim(&self) -> &SimDevice {
+        &self.sim
+    }
+
+    /// The backing page store.
+    pub fn store(&self) -> &Arc<FileStore> {
+        &self.store
+    }
+
+    /// Charge a random read; if it reaches the device, perform a
+    /// verified file read (materializing the page on first access).
+    #[inline]
+    pub fn read_random(&self, page: PageId) {
+        if self.sim.read_random(page) {
+            self.store.charged_read(page);
+        }
+    }
+
+    /// Charge a set of random reads (totals identical to per-page
+    /// [`FileDevice::read_random`]; the file sees one read per page).
+    pub fn read_random_many(&self, pages: impl ExactSizeIterator<Item = PageId>) {
+        for page in pages {
+            self.read_random(page);
+        }
+    }
+
+    /// Charge a sequential read; device-reaching accesses hit the
+    /// file.
+    #[inline]
+    pub fn read_seq(&self, page: PageId) {
+        if self.sim.read_seq(page) {
+            self.store.charged_read(page);
+        }
+    }
+
+    /// Charge a sorted batch with the same adjacency rule as
+    /// [`SimDevice::read_sorted_batch`]: first page random, adjacent
+    /// successors sequential, duplicates free.
+    pub fn read_sorted_batch(&self, pages: &[PageId]) {
+        let mut prev: Option<PageId> = None;
+        for &p in pages {
+            match prev {
+                Some(q) if p == q + 1 => self.read_seq(p),
+                Some(q) if p == q => {} // duplicate, already fetched
+                _ => self.read_random(p),
+            }
+            prev = Some(p);
+        }
+    }
+
+    /// Charge a page write and stamp a fresh checksummed image into
+    /// the store.
+    #[inline]
+    pub fn write(&self, page: PageId) {
+        self.sim.write(page);
+        self.store.charged_write(page);
+    }
+
+    /// Charge a page write carrying real bytes (the WAL's path): the
+    /// simulator books the same write it always did; the store
+    /// persists `bytes` as the page's payload.
+    pub fn write_bytes(&self, page: PageId, bytes: &[u8]) {
+        self.sim.write(page);
+        self.store
+            .write_page(page, bytes)
+            .expect("writing log bytes to the page store");
+    }
+
+    /// Charge a durability barrier; the store's [`SyncPolicy`] decides
+    /// whether a real `fdatasync` is issued.
+    #[inline]
+    pub fn fsync(&self) {
+        self.sim.fsync();
+        self.store.sync().expect("fsync on the page store");
+    }
+
+    /// Wall-clock counters of the backing store.
+    pub fn wall(&self) -> WallSnapshot {
+        self.store.wall()
+    }
+}
+
+/// The pluggable device: every layer above storage charges one of
+/// these. `Sim` is the analytic model; `File` additionally performs
+/// real verified I/O. Cloning is cheap and shares all state.
+#[derive(Debug, Clone)]
+pub enum PageDevice {
+    /// Purely simulated (the default everywhere).
+    Sim(SimDevice),
+    /// Simulated accounting + real file I/O.
+    File(FileDevice),
+}
+
+impl From<SimDevice> for PageDevice {
+    fn from(dev: SimDevice) -> Self {
+        PageDevice::Sim(dev)
+    }
+}
+
+impl From<FileDevice> for PageDevice {
+    fn from(dev: FileDevice) -> Self {
+        PageDevice::File(dev)
+    }
+}
+
+impl PageDevice {
+    /// A cold simulated device of the given kind.
+    pub fn cold(kind: DeviceKind) -> Self {
+        PageDevice::Sim(SimDevice::cold(kind))
+    }
+
+    /// A simulated device with an explicit profile and cache mode.
+    pub fn new(profile: DeviceProfile, cache: CacheMode) -> Self {
+        PageDevice::Sim(SimDevice::new(profile, cache))
+    }
+
+    /// A simulated device charging a pool of a shared
+    /// [`BufferManager`] (see [`SimDevice::with_shared_cache`]).
+    pub fn with_shared_cache(
+        profile: DeviceProfile,
+        manager: Arc<BufferManager>,
+        pool: PoolId,
+    ) -> Self {
+        PageDevice::Sim(SimDevice::with_shared_cache(profile, manager, pool))
+    }
+
+    /// The inner simulated device (both variants have one).
+    pub fn sim(&self) -> &SimDevice {
+        match self {
+            PageDevice::Sim(dev) => dev,
+            PageDevice::File(dev) => dev.sim(),
+        }
+    }
+
+    /// The file-backed device, when this is one.
+    pub fn file(&self) -> Option<&FileDevice> {
+        match self {
+            PageDevice::Sim(_) => None,
+            PageDevice::File(dev) => Some(dev),
+        }
+    }
+
+    /// Short backend name (`"sim"` / `"file"`).
+    pub fn backend_label(&self) -> &'static str {
+        match self {
+            PageDevice::Sim(_) => "sim",
+            PageDevice::File(_) => "file",
+        }
+    }
+
+    /// The device's latency profile.
+    pub fn profile(&self) -> DeviceProfile {
+        self.sim().profile()
+    }
+
+    /// The device medium.
+    pub fn kind(&self) -> DeviceKind {
+        self.sim().kind()
+    }
+
+    /// Charge a randomly-located read of `page`.
+    #[inline]
+    pub fn read_random(&self, page: PageId) {
+        match self {
+            PageDevice::Sim(dev) => {
+                dev.read_random(page);
+            }
+            PageDevice::File(dev) => dev.read_random(page),
+        }
+    }
+
+    /// Charge a set of randomly-located reads at once (see
+    /// [`SimDevice::read_random_many`]).
+    pub fn read_random_many(&self, pages: impl ExactSizeIterator<Item = PageId>) {
+        match self {
+            PageDevice::Sim(dev) => dev.read_random_many(pages),
+            PageDevice::File(dev) => dev.read_random_many(pages),
+        }
+    }
+
+    /// Charge the next page of a sequential run.
+    #[inline]
+    pub fn read_seq(&self, page: PageId) {
+        match self {
+            PageDevice::Sim(dev) => {
+                dev.read_seq(page);
+            }
+            PageDevice::File(dev) => dev.read_seq(page),
+        }
+    }
+
+    /// Charge a sorted batch of page reads (see
+    /// [`SimDevice::read_sorted_batch`]).
+    pub fn read_sorted_batch(&self, pages: &[PageId]) {
+        match self {
+            PageDevice::Sim(dev) => dev.read_sorted_batch(pages),
+            PageDevice::File(dev) => dev.read_sorted_batch(pages),
+        }
+    }
+
+    /// Charge a page write.
+    #[inline]
+    pub fn write(&self, page: PageId) {
+        match self {
+            PageDevice::Sim(dev) => dev.write(page),
+            PageDevice::File(dev) => dev.write(page),
+        }
+    }
+
+    /// Charge a page write carrying real bytes. The simulated cost and
+    /// counters are exactly those of [`PageDevice::write`]; only a
+    /// file backend persists the bytes.
+    pub fn write_bytes(&self, page: PageId, bytes: &[u8]) {
+        match self {
+            PageDevice::Sim(dev) => dev.write(page),
+            PageDevice::File(dev) => dev.write_bytes(page, bytes),
+        }
+    }
+
+    /// Charge a durability barrier (see [`SimDevice::fsync`]).
+    #[inline]
+    pub fn fsync(&self) {
+        match self {
+            PageDevice::Sim(dev) => dev.fsync(),
+            PageDevice::File(dev) => dev.fsync(),
+        }
+    }
+
+    /// Pre-load `pages` into the pool (warm-up) without charging —
+    /// and without touching any file.
+    pub fn prewarm<I: IntoIterator<Item = PageId>>(&self, pages: I) {
+        self.sim().prewarm(pages);
+    }
+
+    /// Snapshot of the accumulated simulated statistics.
+    pub fn snapshot(&self) -> IoSnapshot {
+        self.sim().snapshot()
+    }
+
+    /// Wall-clock counters, when this device is file-backed.
+    pub fn wall(&self) -> Option<WallSnapshot> {
+        self.file().map(|dev| dev.wall())
+    }
+
+    /// Reset simulated statistics (keeps cache contents and file
+    /// contents).
+    pub fn reset_stats(&self) {
+        self.sim().reset_stats();
+    }
+
+    /// Drop all cached pages of this device.
+    pub fn drop_caches(&self) {
+        self.sim().drop_caches();
+    }
+
+    /// Whether charging this device takes no lock. File-backed
+    /// devices always serialize on the store's mutex.
+    pub fn is_lock_free(&self) -> bool {
+        match self {
+            PageDevice::Sim(dev) => dev.is_lock_free(),
+            PageDevice::File(_) => false,
+        }
+    }
+
+    /// The shared buffer manager this device charges, if any.
+    pub fn shared_cache(&self) -> Option<(&Arc<BufferManager>, PoolId)> {
+        self.sim().shared_cache()
+    }
+}
+
+/// Which backend to materialize devices on — what `--storage=sim|file`
+/// parses into.
+#[derive(Debug, Clone)]
+pub enum Backend {
+    /// Simulated devices only (the default).
+    Sim,
+    /// File-backed devices: each named device gets a page store under
+    /// `dir`. Memory-kind devices stay simulated — a memory device
+    /// *is* RAM, and timing file I/O for it would poison the
+    /// calibration.
+    File {
+        /// Directory holding the per-device `<name>.bfs` stores.
+        dir: PathBuf,
+        /// Fsync batching for every store this backend creates.
+        policy: SyncPolicy,
+    },
+}
+
+impl Backend {
+    /// The file backend rooted at `dir` with per-request fsync.
+    pub fn file(dir: impl Into<PathBuf>) -> Self {
+        Backend::File {
+            dir: dir.into(),
+            policy: SyncPolicy::PerRequest,
+        }
+    }
+
+    /// Short name (`"sim"` / `"file"`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Backend::Sim => "sim",
+            Backend::File { .. } => "file",
+        }
+    }
+
+    /// Open (or create) the named page store, when this backend is
+    /// file-based.
+    pub fn store_for(&self, name: &str) -> Result<Option<Arc<FileStore>>, DeviceError> {
+        match self {
+            Backend::Sim => Ok(None),
+            Backend::File { dir, policy } => {
+                std::fs::create_dir_all(dir).map_err(DeviceError::Io)?;
+                let store = FileStore::open_or_create(dir.join(format!("{name}.bfs")), *policy)?;
+                Ok(Some(Arc::new(store)))
+            }
+        }
+    }
+
+    /// A cold device of the given kind named `name` (the name keys the
+    /// backing store file). Memory-kind devices are always simulated.
+    pub fn device(&self, kind: DeviceKind, name: &str) -> Result<PageDevice, DeviceError> {
+        if kind == DeviceKind::Memory {
+            return Ok(PageDevice::cold(kind));
+        }
+        Ok(match self.store_for(name)? {
+            None => PageDevice::cold(kind),
+            Some(store) => PageDevice::File(FileDevice::cold(kind, store)),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::file::ScratchDir;
+
+    fn file_dev(kind: DeviceKind, dir: &ScratchDir, name: &str) -> FileDevice {
+        let store = FileStore::create(
+            dir.path().join(format!("{name}.bfs")),
+            SyncPolicy::PerRequest,
+        )
+        .expect("create store");
+        FileDevice::cold(kind, Arc::new(store))
+    }
+
+    #[test]
+    fn file_device_counts_match_sim_device_cold() {
+        let dir = ScratchDir::new("backend-counts").unwrap();
+        let sim = PageDevice::cold(DeviceKind::Ssd);
+        let file = PageDevice::File(file_dev(DeviceKind::Ssd, &dir, "d"));
+        for dev in [&sim, &file] {
+            dev.read_random(1);
+            dev.read_random(1);
+            dev.read_random_many([7u64, 8, 9].into_iter());
+            dev.read_sorted_batch(&[10, 11, 11, 13]);
+            dev.write(2);
+            dev.fsync();
+        }
+        let a = sim.snapshot();
+        let b = file.snapshot();
+        assert_eq!(a.random_reads, b.random_reads);
+        assert_eq!(a.seq_reads, b.seq_reads);
+        assert_eq!(a.writes, b.writes);
+        assert_eq!(a.fsyncs, b.fsyncs);
+        assert_eq!(a.sim_ns, b.sim_ns, "simulated clock identical too");
+    }
+
+    #[test]
+    fn file_device_really_touches_the_file() {
+        let dir = ScratchDir::new("backend-touch").unwrap();
+        let dev = file_dev(DeviceKind::Ssd, &dir, "d");
+        dev.read_random(1);
+        dev.read_random(1);
+        dev.write(2);
+        dev.fsync();
+        let w = dev.wall();
+        assert_eq!(w.reads, 2);
+        assert_eq!(w.materialized, 1, "page 1 stamped once");
+        assert_eq!(w.writes, 2, "materialization + explicit write");
+        assert_eq!(w.syncs_issued, 1);
+        assert!(dev.store().contains(1) && dev.store().contains(2));
+    }
+
+    #[test]
+    fn warm_file_device_only_hits_file_on_misses() {
+        let dir = ScratchDir::new("backend-warm").unwrap();
+        let store =
+            Arc::new(FileStore::create(dir.path().join("d.bfs"), SyncPolicy::PerRequest).unwrap());
+        let dev = FileDevice::new(DeviceProfile::ssd(), CacheMode::Lru(8), store);
+        dev.read_random(1);
+        dev.read_random(1);
+        dev.read_random(1);
+        assert_eq!(dev.sim().snapshot().cache_hits, 2);
+        assert_eq!(dev.wall().reads, 1, "hits never reach the file");
+    }
+
+    #[test]
+    fn write_bytes_persists_payload_on_file_backend() {
+        let dir = ScratchDir::new("backend-bytes").unwrap();
+        let dev = file_dev(DeviceKind::Ssd, &dir, "log");
+        dev.write_bytes(0, b"log page zero");
+        assert_eq!(dev.store().read_page(0).unwrap(), b"log page zero");
+        // Sim variant books the same write without needing a store.
+        let sim = PageDevice::cold(DeviceKind::Ssd);
+        sim.write_bytes(0, b"log page zero");
+        assert_eq!(sim.snapshot().writes, 1);
+    }
+
+    #[test]
+    fn backend_selector_materializes_devices() {
+        let dir = ScratchDir::new("backend-select").unwrap();
+        let sim = Backend::Sim.device(DeviceKind::Ssd, "x").unwrap();
+        assert!(sim.file().is_none());
+        let backend = Backend::file(dir.path());
+        let dev = backend.device(DeviceKind::Ssd, "x").unwrap();
+        assert_eq!(dev.backend_label(), "file");
+        let mem = backend.device(DeviceKind::Memory, "m").unwrap();
+        assert!(mem.file().is_none(), "memory devices stay simulated");
+        // Reopening the same name finds the same store file.
+        dev.write(5);
+        drop(dev);
+        let again = backend.device(DeviceKind::Ssd, "x").unwrap();
+        assert!(again.file().unwrap().store().contains(5));
+    }
+}

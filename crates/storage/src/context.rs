@@ -6,9 +6,11 @@ use std::sync::Arc;
 
 use bftree_bufferpool::{BufferManager, BufferStats, PolicyKind};
 
+use crate::backend::{Backend, FileDevice, PageDevice};
 use crate::device::{DeviceKind, DeviceProfile};
+use crate::file::DeviceError;
 use crate::page::PageId;
-use crate::sim::{CacheMode, SimDevice};
+use crate::sim::CacheMode;
 
 /// One of the paper's index/data device placements.
 ///
@@ -105,17 +107,20 @@ impl std::fmt::Display for StorageConfig {
 #[derive(Debug, Clone)]
 pub struct IoContext {
     /// Device holding index nodes.
-    pub index: SimDevice,
+    pub index: PageDevice,
     /// Device holding the heap file.
-    pub data: SimDevice,
+    pub data: PageDevice,
     /// Shared buffer manager both devices charge, when built with
     /// [`IoContext::with_shared_budget`].
     manager: Option<Arc<BufferManager>>,
 }
 
 impl IoContext {
-    /// An explicit device pair.
-    pub fn new(index: SimDevice, data: SimDevice) -> Self {
+    /// An explicit device pair ([`crate::SimDevice`]s and
+    /// [`FileDevice`]s both convert into [`PageDevice`]).
+    pub fn new(index: impl Into<PageDevice>, data: impl Into<PageDevice>) -> Self {
+        let index = index.into();
+        let data = data.into();
         let manager = index
             .shared_cache()
             .or_else(|| data.shared_cache())
@@ -130,10 +135,22 @@ impl IoContext {
     /// Cold devices for `config` — the paper's default O_DIRECT runs.
     pub fn cold(config: StorageConfig) -> Self {
         Self {
-            index: SimDevice::cold(config.index_kind()),
-            data: SimDevice::cold(config.data_kind()),
+            index: PageDevice::cold(config.index_kind()),
+            data: PageDevice::cold(config.data_kind()),
             manager: None,
         }
+    }
+
+    /// Cold devices for `config` on an explicit [`Backend`]:
+    /// `Backend::Sim` is exactly [`IoContext::cold`]; a file backend
+    /// puts each non-memory device in its own page store (`index.bfs`
+    /// / `data.bfs`) under the backend's directory.
+    pub fn cold_on(backend: &Backend, config: StorageConfig) -> Result<Self, DeviceError> {
+        Ok(Self {
+            index: backend.device(config.index_kind(), "index")?,
+            data: backend.device(config.data_kind(), "data")?,
+            manager: None,
+        })
     }
 
     /// One buffer manager with a single `budget_bytes` memory budget
@@ -151,23 +168,41 @@ impl IoContext {
         budget_bytes: u64,
         policy: PolicyKind,
     ) -> Self {
+        Self::with_shared_budget_on(&Backend::Sim, config, budget_bytes, policy)
+            .expect("sim backend cannot fail")
+    }
+
+    /// [`IoContext::with_shared_budget`] on an explicit [`Backend`]:
+    /// file-backed devices keep the same shared-pool accounting, and
+    /// only pool misses reach their page stores.
+    pub fn with_shared_budget_on(
+        backend: &Backend,
+        config: StorageConfig,
+        budget_bytes: u64,
+        policy: PolicyKind,
+    ) -> Result<Self, DeviceError> {
         let manager = Arc::new(BufferManager::new(budget_bytes, policy));
-        let device = |kind: DeviceKind, label: &str| {
+        let device = |kind: DeviceKind, label: &str| -> Result<PageDevice, DeviceError> {
             if kind == DeviceKind::Memory {
-                SimDevice::cold(kind)
-            } else {
-                SimDevice::with_shared_cache(
-                    DeviceProfile::of(kind),
-                    Arc::clone(&manager),
-                    manager.register_pool(label),
-                )
+                return Ok(PageDevice::cold(kind));
             }
+            let profile = DeviceProfile::of(kind);
+            let pool = manager.register_pool(label);
+            Ok(match backend.store_for(label)? {
+                None => PageDevice::with_shared_cache(profile, Arc::clone(&manager), pool),
+                Some(store) => PageDevice::File(FileDevice::with_shared_cache(
+                    profile,
+                    Arc::clone(&manager),
+                    pool,
+                    store,
+                )),
+            })
         };
-        Self {
-            index: device(config.index_kind(), "index"),
-            data: device(config.data_kind(), "data"),
+        Ok(Self {
+            index: device(config.index_kind(), "index")?,
+            data: device(config.data_kind(), "data")?,
             manager: Some(manager),
-        }
+        })
     }
 
     /// The shared buffer manager, when this context was built with
@@ -198,11 +233,11 @@ impl IoContext {
     /// move only through the index component).
     pub fn warm(config: StorageConfig, upper_pages: usize) -> Self {
         Self {
-            index: SimDevice::new(
+            index: PageDevice::new(
                 DeviceProfile::of(config.index_kind()),
                 CacheMode::Lru(upper_pages.max(1)),
             ),
-            data: SimDevice::cold(config.data_kind()),
+            data: PageDevice::cold(config.data_kind()),
             manager: None,
         }
     }
@@ -212,8 +247,8 @@ impl IoContext {
     /// (the replacement for the old `None` device arguments).
     pub fn unmetered() -> Self {
         Self {
-            index: SimDevice::cold(DeviceKind::Memory),
-            data: SimDevice::cold(DeviceKind::Memory),
+            index: PageDevice::cold(DeviceKind::Memory),
+            data: PageDevice::cold(DeviceKind::Memory),
             manager: None,
         }
     }

@@ -1,0 +1,1043 @@
+//! [`FileStore`]: a real, byte-hitting page store behind the device
+//! abstraction.
+//!
+//! Every number the simulator produces comes from an analytic cost
+//! model; this module is the half of the calibration story that
+//! actually touches the medium. A `FileStore` keeps fixed-size page
+//! slots in one file, each slot carrying a header with a CRC-32
+//! checksum and a page LSN that are **verified on every read** — a
+//! flipped bit, a torn (short) page, or a zeroed header surfaces as a
+//! typed [`DeviceError`], never as silent garbage.
+//!
+//! # File layout
+//!
+//! ```text
+//! +--------------+----------------+----------------+----
+//! |  superblock  |    slot 0      |    slot 1      | ...
+//! |  (4096 B)    | header+payload | header+payload |
+//! +--------------+----------------+----------------+----
+//! ```
+//!
+//! * **superblock** — magic, version, page size, slot count, free-list
+//!   head, and the next page id to hand out; rewritten whenever the
+//!   allocation state changes, so a drop + reopen finds the same free
+//!   list and id horizon.
+//! * **slot** — a 40-byte header (`magic, state, page_id, lsn,
+//!   payload_len, crc32, next_free`) followed by up to
+//!   [`PAGE_SIZE`] payload bytes. The CRC
+//!   covers `page_id ++ lsn ++ payload_len ++ payload`, so header
+//!   tampering and payload corruption both fail the same check.
+//! * **free list** — freed slots form a linked stack through their
+//!   `next_free` header field, head in the superblock. [`FileStore::alloc`]
+//!   pops the list before growing the file, so freed space is always
+//!   reused first.
+//!
+//! # Durability
+//!
+//! Writes are plain `pwrite`s — no `O_DSYNC` — and become durable
+//! through explicit [`FileStore::sync`] barriers whose frequency a
+//! [`SyncPolicy`] batches, mirroring the WAL's `DurabilityMode`
+//! shapes (per-request, windowed, deferred). Wall-clock nanoseconds of
+//! every read, write, and issued fsync accumulate in a
+//! [`WallSnapshot`], the measured twin of the simulator's `sim_ns`.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io;
+use std::os::unix::fs::FileExt;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::page::{PageId, PAGE_SIZE};
+
+/// Superblock magic ("BFPS" little-endian).
+const SUPER_MAGIC: u32 = 0x5350_4642;
+/// Page-header magic ("BFPG" little-endian).
+const PAGE_MAGIC: u32 = 0x4750_4642;
+/// On-disk format version.
+const VERSION: u32 = 1;
+/// Superblock size (one page-sized region before slot 0).
+const SUPER_SIZE: u64 = PAGE_SIZE as u64;
+/// Per-slot header bytes.
+pub const PAGE_HEADER: usize = 40;
+/// Bytes per slot: header plus a full page of payload capacity.
+const SLOT_SIZE: u64 = (PAGE_HEADER + PAGE_SIZE) as u64;
+/// "No slot" sentinel in free-list links.
+const NO_SLOT: u64 = u64::MAX;
+
+/// Slot state: holds a live page.
+const STATE_LIVE: u32 = 1;
+/// Slot state: on the free list.
+const STATE_FREE: u32 = 2;
+
+/// CRC-32 (IEEE 802.3, reflected), table-driven; the same polynomial
+/// the WAL frames use, built at compile time so the crate stays
+/// dependency-free.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = {
+        let mut table = [0u32; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut c = i as u32;
+            let mut k = 0;
+            while k < 8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+                k += 1;
+            }
+            table[i] = c;
+            i += 1;
+        }
+        table
+    };
+    let mut c = !0u32;
+    for &b in bytes {
+        c = TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+/// Why a [`FileStore`] operation failed. Every corruption mode the
+/// fault-injection battery exercises has its own variant — callers
+/// can tell a flipped bit from a torn write from a zeroed header.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum DeviceError {
+    /// The page id was never written (and never allocated) here.
+    UnknownPage {
+        /// The requested page.
+        page: PageId,
+    },
+    /// The slot ended before its header + payload did — a torn write
+    /// or a truncated file.
+    ShortRead {
+        /// The requested page.
+        page: PageId,
+        /// Bytes the slot should have held.
+        wanted: usize,
+        /// Bytes actually readable.
+        got: usize,
+    },
+    /// The slot header is not a valid page header (bad magic, bad
+    /// state, or a page id that does not match the slot map) — what a
+    /// zeroed or overwritten header reads as.
+    BadHeader {
+        /// The requested page.
+        page: PageId,
+        /// What exactly was wrong.
+        reason: &'static str,
+    },
+    /// Header and structure parse, but the CRC-32 over
+    /// `page_id ++ lsn ++ payload_len ++ payload` does not match — a
+    /// flipped bit somewhere in the covered bytes.
+    ChecksumMismatch {
+        /// The requested page.
+        page: PageId,
+        /// CRC stored in the header.
+        expected: u32,
+        /// CRC computed over the bytes read.
+        actual: u32,
+    },
+    /// The page was freed; reading it is a use-after-free.
+    FreedPage {
+        /// The requested page.
+        page: PageId,
+    },
+    /// The payload exceeds one page.
+    PayloadTooLarge {
+        /// The requested page.
+        page: PageId,
+        /// Offending payload length.
+        len: usize,
+    },
+    /// The superblock is not a `FileStore` image (wrong magic,
+    /// version, or page size).
+    BadSuperblock {
+        /// What exactly was wrong.
+        reason: &'static str,
+    },
+    /// An underlying I/O error.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeviceError::UnknownPage { page } => write!(f, "page {page} was never written"),
+            DeviceError::ShortRead { page, wanted, got } => {
+                write!(f, "short read of page {page}: wanted {wanted}, got {got}")
+            }
+            DeviceError::BadHeader { page, reason } => {
+                write!(f, "bad header for page {page}: {reason}")
+            }
+            DeviceError::ChecksumMismatch {
+                page,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "checksum mismatch on page {page}: header {expected:#010x}, computed {actual:#010x}"
+            ),
+            DeviceError::FreedPage { page } => write!(f, "page {page} is freed"),
+            DeviceError::PayloadTooLarge { page, len } => {
+                write!(f, "payload of {len} bytes for page {page} exceeds a page")
+            }
+            DeviceError::BadSuperblock { reason } => write!(f, "bad superblock: {reason}"),
+            DeviceError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DeviceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for DeviceError {
+    fn from(e: io::Error) -> Self {
+        DeviceError::Io(e)
+    }
+}
+
+/// When [`FileStore::sync`] requests reach the medium — the file
+/// store's mirror of the WAL's `DurabilityMode` shapes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncPolicy {
+    /// Every sync request issues a real `fdatasync` (the per-record
+    /// shape).
+    PerRequest,
+    /// Collapse sync requests: one real `fdatasync` per window of
+    /// this many requests (the group-commit shape). The window
+    /// counter resets on every issued barrier, including forced
+    /// [`FileStore::flush`]es.
+    Window {
+        /// Requests per issued barrier.
+        requests: usize,
+    },
+    /// Sync requests are counted but never issued on their own; only
+    /// [`FileStore::flush`] reaches the medium (the async shape).
+    Deferred,
+}
+
+/// Wall-clock I/O counters of a [`FileStore`] — the measured twin of
+/// the simulator's `IoSnapshot`, also usable as a delta via
+/// [`WallSnapshot::since`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct WallSnapshot {
+    /// Page reads issued against the file.
+    pub reads: u64,
+    /// Page writes issued against the file (materializations
+    /// included).
+    pub writes: u64,
+    /// Pages materialized on first access (subset of `writes`).
+    pub materialized: u64,
+    /// Sync requests received (before batching).
+    pub sync_requests: u64,
+    /// `fdatasync` barriers actually issued.
+    pub syncs_issued: u64,
+    /// Wall nanoseconds spent in reads.
+    pub read_ns: u64,
+    /// Wall nanoseconds spent in writes.
+    pub write_ns: u64,
+    /// Wall nanoseconds spent in issued syncs.
+    pub sync_ns: u64,
+}
+
+impl WallSnapshot {
+    /// Total wall nanoseconds across reads, writes, and syncs.
+    pub fn wall_ns(&self) -> u64 {
+        self.read_ns + self.write_ns + self.sync_ns
+    }
+
+    /// Counter-wise difference `self - earlier`.
+    pub fn since(&self, earlier: &WallSnapshot) -> WallSnapshot {
+        WallSnapshot {
+            reads: self.reads - earlier.reads,
+            writes: self.writes - earlier.writes,
+            materialized: self.materialized - earlier.materialized,
+            sync_requests: self.sync_requests - earlier.sync_requests,
+            syncs_issued: self.syncs_issued - earlier.syncs_issued,
+            read_ns: self.read_ns - earlier.read_ns,
+            write_ns: self.write_ns - earlier.write_ns,
+            sync_ns: self.sync_ns - earlier.sync_ns,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct WallStats {
+    reads: AtomicU64,
+    writes: AtomicU64,
+    materialized: AtomicU64,
+    sync_requests: AtomicU64,
+    syncs_issued: AtomicU64,
+    read_ns: AtomicU64,
+    write_ns: AtomicU64,
+    sync_ns: AtomicU64,
+}
+
+impl WallStats {
+    fn snapshot(&self) -> WallSnapshot {
+        WallSnapshot {
+            reads: self.reads.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            materialized: self.materialized.load(Ordering::Relaxed),
+            sync_requests: self.sync_requests.load(Ordering::Relaxed),
+            syncs_issued: self.syncs_issued.load(Ordering::Relaxed),
+            read_ns: self.read_ns.load(Ordering::Relaxed),
+            write_ns: self.write_ns.load(Ordering::Relaxed),
+            sync_ns: self.sync_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// One parsed slot header.
+#[derive(Debug, Clone, Copy)]
+struct SlotHeader {
+    magic: u32,
+    state: u32,
+    page_id: u64,
+    lsn: u64,
+    payload_len: u32,
+    crc: u32,
+    next_free: u64,
+}
+
+impl SlotHeader {
+    fn decode(b: &[u8; PAGE_HEADER]) -> Self {
+        let u32_at = |i: usize| u32::from_le_bytes(b[i..i + 4].try_into().expect("4 bytes"));
+        let u64_at = |i: usize| u64::from_le_bytes(b[i..i + 8].try_into().expect("8 bytes"));
+        Self {
+            magic: u32_at(0),
+            state: u32_at(4),
+            page_id: u64_at(8),
+            lsn: u64_at(16),
+            payload_len: u32_at(24),
+            crc: u32_at(28),
+            next_free: u64_at(32),
+        }
+    }
+
+    fn encode(&self) -> [u8; PAGE_HEADER] {
+        let mut out = [0u8; PAGE_HEADER];
+        out[0..4].copy_from_slice(&self.magic.to_le_bytes());
+        out[4..8].copy_from_slice(&self.state.to_le_bytes());
+        out[8..16].copy_from_slice(&self.page_id.to_le_bytes());
+        out[16..24].copy_from_slice(&self.lsn.to_le_bytes());
+        out[24..28].copy_from_slice(&self.payload_len.to_le_bytes());
+        out[28..32].copy_from_slice(&self.crc.to_le_bytes());
+        out[32..40].copy_from_slice(&self.next_free.to_le_bytes());
+        out
+    }
+}
+
+/// CRC coverage: `page_id ++ lsn ++ payload_len ++ payload`, all
+/// little-endian — so a tampered id, lsn, or length fails the same
+/// check a flipped payload bit does.
+fn page_crc(page_id: u64, lsn: u64, payload: &[u8]) -> u32 {
+    let mut covered = Vec::with_capacity(20 + payload.len());
+    covered.extend_from_slice(&page_id.to_le_bytes());
+    covered.extend_from_slice(&lsn.to_le_bytes());
+    covered.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    covered.extend_from_slice(payload);
+    crc32(&covered)
+}
+
+/// Mutable state behind the store's lock.
+#[derive(Debug)]
+struct Inner {
+    file: File,
+    /// Live page id → slot index.
+    map: HashMap<PageId, u64>,
+    slot_count: u64,
+    free_head: u64,
+    free_len: u64,
+    /// Next page id [`FileStore::alloc`] hands out.
+    next_id: u64,
+    /// Next page LSN (monotone across the whole store).
+    next_lsn: u64,
+    /// Sync requests since the last issued barrier.
+    pending_syncs: u64,
+}
+
+/// A page-granular file store: checksummed slots, a persistent free
+/// list, batched fsync, and wall-clock accounting. See the
+/// [module docs](self) for the layout.
+///
+/// All methods take `&self`; a mutex serializes file access and a
+/// clone-shared handle (via `Arc`) may be used from many threads.
+#[derive(Debug)]
+pub struct FileStore {
+    path: PathBuf,
+    inner: Mutex<Inner>,
+    policy: SyncPolicy,
+    wall: WallStats,
+}
+
+impl FileStore {
+    /// Create a fresh store at `path` (truncating any existing file).
+    pub fn create(path: impl Into<PathBuf>, policy: SyncPolicy) -> Result<Self, DeviceError> {
+        let path = path.into();
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)?;
+        let store = Self {
+            path,
+            inner: Mutex::new(Inner {
+                file,
+                map: HashMap::new(),
+                slot_count: 0,
+                free_head: NO_SLOT,
+                free_len: 0,
+                next_id: 0,
+                next_lsn: 1,
+                pending_syncs: 0,
+            }),
+            policy,
+            wall: WallStats::default(),
+        };
+        store.persist_superblock(&mut store.lock())?;
+        Ok(store)
+    }
+
+    /// Open an existing store, rebuilding the page map (and the LSN
+    /// horizon) from the slot headers. Allocation state — free list,
+    /// slot count, next page id — comes back exactly as persisted.
+    pub fn open(path: impl Into<PathBuf>, policy: SyncPolicy) -> Result<Self, DeviceError> {
+        let path = path.into();
+        let file = OpenOptions::new().read(true).write(true).open(&path)?;
+        let mut sb = [0u8; 56];
+        let got = read_full_at(&file, &mut sb, 0)?;
+        if got < sb.len() {
+            return Err(DeviceError::BadSuperblock {
+                reason: "file shorter than a superblock",
+            });
+        }
+        let u32_at = |i: usize| u32::from_le_bytes(sb[i..i + 4].try_into().expect("4 bytes"));
+        let u64_at = |i: usize| u64::from_le_bytes(sb[i..i + 8].try_into().expect("8 bytes"));
+        if u32_at(0) != SUPER_MAGIC {
+            return Err(DeviceError::BadSuperblock {
+                reason: "wrong magic",
+            });
+        }
+        if u32_at(4) != VERSION {
+            return Err(DeviceError::BadSuperblock {
+                reason: "unknown version",
+            });
+        }
+        if u64_at(8) != PAGE_SIZE as u64 {
+            return Err(DeviceError::BadSuperblock {
+                reason: "page size mismatch",
+            });
+        }
+        let slot_count = u64_at(16);
+        let free_head = u64_at(24);
+        let next_id = u64_at(32);
+        let free_len = u64_at(40);
+
+        // Rebuild the live map and the LSN horizon from slot headers.
+        let mut map = HashMap::new();
+        let mut max_lsn = 0u64;
+        for slot in 0..slot_count {
+            let mut hb = [0u8; PAGE_HEADER];
+            let got = read_full_at(&file, &mut hb, slot_offset(slot))?;
+            if got < PAGE_HEADER {
+                // Truncated tail slot: unreadable pages surface as
+                // typed errors at read time, not at open time.
+                break;
+            }
+            let h = SlotHeader::decode(&hb);
+            if h.magic == PAGE_MAGIC && h.state == STATE_LIVE {
+                map.insert(h.page_id, slot);
+                max_lsn = max_lsn.max(h.lsn);
+            }
+        }
+        Ok(Self {
+            path,
+            inner: Mutex::new(Inner {
+                file,
+                map,
+                slot_count,
+                free_head,
+                free_len,
+                next_id,
+                next_lsn: max_lsn + 1,
+                pending_syncs: 0,
+            }),
+            policy,
+            wall: WallStats::default(),
+        })
+    }
+
+    /// Open `path` if it is a store, otherwise create it.
+    pub fn open_or_create(
+        path: impl Into<PathBuf>,
+        policy: SyncPolicy,
+    ) -> Result<Self, DeviceError> {
+        let path = path.into();
+        if path.exists() {
+            Self::open(path, policy)
+        } else {
+            Self::create(path, policy)
+        }
+    }
+
+    /// The backing file's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn persist_superblock(&self, inner: &mut Inner) -> Result<(), DeviceError> {
+        let mut sb = [0u8; 56];
+        sb[0..4].copy_from_slice(&SUPER_MAGIC.to_le_bytes());
+        sb[4..8].copy_from_slice(&VERSION.to_le_bytes());
+        sb[8..16].copy_from_slice(&(PAGE_SIZE as u64).to_le_bytes());
+        sb[16..24].copy_from_slice(&inner.slot_count.to_le_bytes());
+        sb[24..32].copy_from_slice(&inner.free_head.to_le_bytes());
+        sb[32..40].copy_from_slice(&inner.next_id.to_le_bytes());
+        sb[40..48].copy_from_slice(&inner.free_len.to_le_bytes());
+        inner.file.write_all_at(&sb, 0)?;
+        Ok(())
+    }
+
+    /// Allocate a fresh page id backed by a slot: the free list is
+    /// popped first; only when it is empty does the file grow. The
+    /// page is written immediately (live header, empty payload), so
+    /// the allocation itself survives a reopen.
+    pub fn alloc(&self) -> Result<PageId, DeviceError> {
+        let mut inner = self.lock();
+        let page = inner.next_id;
+        inner.next_id += 1;
+        self.write_locked(&mut inner, page, &[], false)?;
+        Ok(page)
+    }
+
+    /// Free `page`: its slot joins the free list (persisted) and the
+    /// id stops resolving. Freeing an unknown page is an error.
+    pub fn free(&self, page: PageId) -> Result<(), DeviceError> {
+        let mut inner = self.lock();
+        let slot = inner
+            .map
+            .remove(&page)
+            .ok_or(DeviceError::UnknownPage { page })?;
+        let header = SlotHeader {
+            magic: PAGE_MAGIC,
+            state: STATE_FREE,
+            page_id: page,
+            lsn: 0,
+            payload_len: 0,
+            crc: 0,
+            next_free: inner.free_head,
+        };
+        let t = Instant::now();
+        inner
+            .file
+            .write_all_at(&header.encode(), slot_offset(slot))?;
+        self.wall
+            .write_ns
+            .fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        self.wall.writes.fetch_add(1, Ordering::Relaxed);
+        inner.free_head = slot;
+        inner.free_len += 1;
+        self.persist_superblock(&mut inner)
+    }
+
+    /// Whether `page` currently resolves to a live slot.
+    pub fn contains(&self, page: PageId) -> bool {
+        self.lock().map.contains_key(&page)
+    }
+
+    /// Live pages.
+    pub fn live_pages(&self) -> u64 {
+        self.lock().map.len() as u64
+    }
+
+    /// Slots on the free list.
+    pub fn free_slots(&self) -> u64 {
+        self.lock().free_len
+    }
+
+    /// Total slots the file holds (live + free).
+    pub fn slot_count(&self) -> u64 {
+        self.lock().slot_count
+    }
+
+    /// Read and verify `page`, returning its payload. Every failure
+    /// mode is a typed [`DeviceError`]; no bytes are returned unless
+    /// the header parses, the id matches, and the checksum holds.
+    pub fn read_page(&self, page: PageId) -> Result<Vec<u8>, DeviceError> {
+        let inner = self.lock();
+        let slot = *inner
+            .map
+            .get(&page)
+            .ok_or(DeviceError::UnknownPage { page })?;
+        let t = Instant::now();
+        let mut buf = vec![0u8; SLOT_SIZE as usize];
+        let got = read_full_at(&inner.file, &mut buf, slot_offset(slot))?;
+        self.wall
+            .read_ns
+            .fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        self.wall.reads.fetch_add(1, Ordering::Relaxed);
+        if got < PAGE_HEADER {
+            return Err(DeviceError::ShortRead {
+                page,
+                wanted: PAGE_HEADER,
+                got,
+            });
+        }
+        let h = SlotHeader::decode(buf[..PAGE_HEADER].try_into().expect("header bytes"));
+        if h.magic != PAGE_MAGIC {
+            return Err(DeviceError::BadHeader {
+                page,
+                reason: "wrong page magic",
+            });
+        }
+        match h.state {
+            STATE_LIVE => {}
+            STATE_FREE => return Err(DeviceError::FreedPage { page }),
+            _ => {
+                return Err(DeviceError::BadHeader {
+                    page,
+                    reason: "unknown slot state",
+                })
+            }
+        }
+        if h.page_id != page {
+            return Err(DeviceError::BadHeader {
+                page,
+                reason: "slot holds a different page id",
+            });
+        }
+        let len = h.payload_len as usize;
+        if len > PAGE_SIZE {
+            return Err(DeviceError::BadHeader {
+                page,
+                reason: "payload length exceeds a page",
+            });
+        }
+        if got < PAGE_HEADER + len {
+            return Err(DeviceError::ShortRead {
+                page,
+                wanted: PAGE_HEADER + len,
+                got,
+            });
+        }
+        let payload = &buf[PAGE_HEADER..PAGE_HEADER + len];
+        let actual = page_crc(h.page_id, h.lsn, payload);
+        if actual != h.crc {
+            return Err(DeviceError::ChecksumMismatch {
+                page,
+                expected: h.crc,
+                actual,
+            });
+        }
+        Ok(payload.to_vec())
+    }
+
+    /// The stored LSN of `page` (bumps on every write).
+    pub fn page_lsn(&self, page: PageId) -> Result<u64, DeviceError> {
+        let inner = self.lock();
+        let slot = *inner
+            .map
+            .get(&page)
+            .ok_or(DeviceError::UnknownPage { page })?;
+        let mut hb = [0u8; PAGE_HEADER];
+        let got = read_full_at(&inner.file, &mut hb, slot_offset(slot))?;
+        if got < PAGE_HEADER {
+            return Err(DeviceError::ShortRead {
+                page,
+                wanted: PAGE_HEADER,
+                got,
+            });
+        }
+        Ok(SlotHeader::decode(&hb).lsn)
+    }
+
+    /// Write `payload` as the new contents of `page` (allocating a
+    /// slot on first write — free list first, then growth), stamping
+    /// a fresh LSN and checksum. Returns the page's new LSN.
+    pub fn write_page(&self, page: PageId, payload: &[u8]) -> Result<u64, DeviceError> {
+        let mut inner = self.lock();
+        self.write_locked(&mut inner, page, payload, false)
+    }
+
+    fn write_locked(
+        &self,
+        inner: &mut Inner,
+        page: PageId,
+        payload: &[u8],
+        materialize: bool,
+    ) -> Result<u64, DeviceError> {
+        if payload.len() > PAGE_SIZE {
+            return Err(DeviceError::PayloadTooLarge {
+                page,
+                len: payload.len(),
+            });
+        }
+        let (slot, superblock_dirty) = match inner.map.get(&page) {
+            Some(&slot) => (slot, false),
+            None if inner.free_head != NO_SLOT => {
+                // Reuse a freed slot before growing the file.
+                let slot = inner.free_head;
+                let mut hb = [0u8; PAGE_HEADER];
+                let got = read_full_at(&inner.file, &mut hb, slot_offset(slot))?;
+                if got < PAGE_HEADER {
+                    return Err(DeviceError::ShortRead {
+                        page,
+                        wanted: PAGE_HEADER,
+                        got,
+                    });
+                }
+                inner.free_head = SlotHeader::decode(&hb).next_free;
+                inner.free_len -= 1;
+                inner.map.insert(page, slot);
+                (slot, true)
+            }
+            None => {
+                let slot = inner.slot_count;
+                inner.slot_count += 1;
+                inner.map.insert(page, slot);
+                (slot, true)
+            }
+        };
+        let lsn = inner.next_lsn;
+        inner.next_lsn += 1;
+        let header = SlotHeader {
+            magic: PAGE_MAGIC,
+            state: STATE_LIVE,
+            page_id: page,
+            lsn,
+            payload_len: payload.len() as u32,
+            crc: page_crc(page, lsn, payload),
+            next_free: NO_SLOT,
+        };
+        let t = Instant::now();
+        let mut frame = Vec::with_capacity(PAGE_HEADER + payload.len());
+        frame.extend_from_slice(&header.encode());
+        frame.extend_from_slice(payload);
+        inner.file.write_all_at(&frame, slot_offset(slot))?;
+        self.wall
+            .write_ns
+            .fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        self.wall.writes.fetch_add(1, Ordering::Relaxed);
+        if materialize {
+            self.wall.materialized.fetch_add(1, Ordering::Relaxed);
+        }
+        if superblock_dirty {
+            self.persist_superblock(inner)?;
+        }
+        Ok(lsn)
+    }
+
+    /// A full-page deterministic payload for `page` — what the device
+    /// front writes when an index charges a page the store has never
+    /// seen (the simulator's pages have no caller-supplied bytes).
+    fn stamped_payload(page: PageId, seed: u64) -> Vec<u8> {
+        let mut payload = vec![0u8; PAGE_SIZE];
+        for (i, chunk) in payload.chunks_exact_mut(8).enumerate() {
+            let word = page
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(seed)
+                .wrapping_add(i as u64);
+            chunk.copy_from_slice(&word.to_le_bytes());
+        }
+        payload
+    }
+
+    /// Hot-path read for device charging: materialize the page on
+    /// first access, then read and verify it.
+    ///
+    /// # Panics
+    ///
+    /// On a verification failure — the charging API (`read_random`
+    /// and friends) is infallible by contract, so corruption found
+    /// under it is unrecoverable here. Fallible callers use
+    /// [`FileStore::read_page`], which returns the typed error.
+    pub fn charged_read(&self, page: PageId) {
+        {
+            let mut inner = self.lock();
+            if !inner.map.contains_key(&page) {
+                let payload = Self::stamped_payload(page, inner.next_lsn);
+                self.write_locked(&mut inner, page, &payload, true)
+                    .expect("materializing a charged page");
+            }
+        }
+        if let Err(e) = self.read_page(page) {
+            panic!("verified read of charged page failed: {e}");
+        }
+    }
+
+    /// Hot-path write for device charging: stamp a fresh deterministic
+    /// image (the simulator carries no payload bytes).
+    pub fn charged_write(&self, page: PageId) {
+        let mut inner = self.lock();
+        let payload = Self::stamped_payload(page, inner.next_lsn);
+        self.write_locked(&mut inner, page, &payload, false)
+            .expect("writing a charged page");
+    }
+
+    /// Request a durability barrier; the [`SyncPolicy`] decides
+    /// whether a real `fdatasync` is issued now.
+    pub fn sync(&self) -> Result<(), DeviceError> {
+        let mut inner = self.lock();
+        self.wall.sync_requests.fetch_add(1, Ordering::Relaxed);
+        inner.pending_syncs += 1;
+        let issue = match self.policy {
+            SyncPolicy::PerRequest => true,
+            SyncPolicy::Window { requests } => inner.pending_syncs >= requests.max(1) as u64,
+            SyncPolicy::Deferred => false,
+        };
+        if issue {
+            self.issue_sync(&mut inner)?;
+        }
+        Ok(())
+    }
+
+    /// Force a real barrier regardless of policy (and reset the
+    /// batching window).
+    pub fn flush(&self) -> Result<(), DeviceError> {
+        let mut inner = self.lock();
+        self.issue_sync(&mut inner)
+    }
+
+    fn issue_sync(&self, inner: &mut Inner) -> Result<(), DeviceError> {
+        let t = Instant::now();
+        inner.file.sync_data()?;
+        self.wall
+            .sync_ns
+            .fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        self.wall.syncs_issued.fetch_add(1, Ordering::Relaxed);
+        inner.pending_syncs = 0;
+        Ok(())
+    }
+
+    /// The configured fsync batching policy.
+    pub fn policy(&self) -> SyncPolicy {
+        self.policy
+    }
+
+    /// Wall-clock counters so far.
+    pub fn wall(&self) -> WallSnapshot {
+        self.wall.snapshot()
+    }
+}
+
+impl Drop for FileStore {
+    fn drop(&mut self) {
+        // Best-effort: leave allocation state and data findable for a
+        // reopen. Crash durability is what `sync`/`flush` are for.
+        let mut inner = self.lock();
+        let _ = self.persist_superblock(&mut inner);
+        let _ = inner.file.sync_data();
+    }
+}
+
+fn slot_offset(slot: u64) -> u64 {
+    SUPER_SIZE + slot * SLOT_SIZE
+}
+
+/// `read_at` until `buf` is full or EOF; returns bytes read (a short
+/// count means the file ended — exactly the torn-write signal the
+/// caller turns into [`DeviceError::ShortRead`]).
+fn read_full_at(file: &File, buf: &mut [u8], mut offset: u64) -> Result<usize, DeviceError> {
+    let mut done = 0;
+    while done < buf.len() {
+        match file.read_at(&mut buf[done..], offset) {
+            Ok(0) => break,
+            Ok(n) => {
+                done += n;
+                offset += n as u64;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(done)
+}
+
+/// A self-cleaning scratch directory under the system temp dir —
+/// what tests and the calibration harness put their page files in.
+/// The directory is removed on drop (best-effort).
+#[derive(Debug)]
+pub struct ScratchDir {
+    path: PathBuf,
+}
+
+impl ScratchDir {
+    /// Create `…/bftree-<tag>-<pid>-<n>`.
+    pub fn new(tag: &str) -> io::Result<Self> {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!("bftree-{tag}-{}-{n}", std::process::id()));
+        std::fs::create_dir_all(&path)?;
+        Ok(Self { path })
+    }
+
+    /// The directory's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(tag: &str) -> (ScratchDir, PathBuf) {
+        let dir = ScratchDir::new(tag).expect("temp dir");
+        let path = dir.path().join("pages.bfs");
+        (dir, path)
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn write_read_round_trips_with_verification() {
+        let (_dir, path) = scratch("roundtrip");
+        let store = FileStore::create(&path, SyncPolicy::PerRequest).unwrap();
+        let lsn1 = store.write_page(7, b"hello pages").unwrap();
+        assert_eq!(store.read_page(7).unwrap(), b"hello pages");
+        let lsn2 = store.write_page(7, b"rewritten").unwrap();
+        assert!(lsn2 > lsn1, "LSN is monotone across rewrites");
+        assert_eq!(store.read_page(7).unwrap(), b"rewritten");
+        assert_eq!(store.page_lsn(7).unwrap(), lsn2);
+    }
+
+    #[test]
+    fn unknown_and_oversized_pages_are_typed_errors() {
+        let (_dir, path) = scratch("typed");
+        let store = FileStore::create(&path, SyncPolicy::PerRequest).unwrap();
+        assert!(matches!(
+            store.read_page(99),
+            Err(DeviceError::UnknownPage { page: 99 })
+        ));
+        let big = vec![0u8; PAGE_SIZE + 1];
+        assert!(matches!(
+            store.write_page(1, &big),
+            Err(DeviceError::PayloadTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn reopen_preserves_pages_and_allocation_state() {
+        let (_dir, path) = scratch("reopen");
+        {
+            let store = FileStore::create(&path, SyncPolicy::PerRequest).unwrap();
+            store.write_page(1, b"one").unwrap();
+            store.write_page(2, b"two").unwrap();
+            let a = store.alloc().unwrap();
+            store.free(a).unwrap();
+        }
+        let store = FileStore::open(&path, SyncPolicy::PerRequest).unwrap();
+        assert_eq!(store.read_page(1).unwrap(), b"one");
+        assert_eq!(store.read_page(2).unwrap(), b"two");
+        assert_eq!(store.free_slots(), 1, "free list survives reopen");
+        let before = store.slot_count();
+        store.write_page(50, b"reuse me").unwrap();
+        assert_eq!(store.slot_count(), before, "freed slot reused, no growth");
+    }
+
+    #[test]
+    fn freed_pages_stop_resolving_and_slots_get_reused() {
+        let (_dir, path) = scratch("freelist");
+        let store = FileStore::create(&path, SyncPolicy::PerRequest).unwrap();
+        store.write_page(10, b"a").unwrap();
+        store.write_page(11, b"b").unwrap();
+        let slots = store.slot_count();
+        store.free(10).unwrap();
+        assert!(matches!(
+            store.read_page(10),
+            Err(DeviceError::UnknownPage { .. })
+        ));
+        store.write_page(12, b"c").unwrap();
+        assert_eq!(store.slot_count(), slots, "slot of 10 recycled for 12");
+        assert_eq!(store.read_page(11).unwrap(), b"b", "neighbor untouched");
+    }
+
+    #[test]
+    fn sync_policy_batches_barriers() {
+        let (_dir, path) = scratch("syncpolicy");
+        let store = FileStore::create(&path, SyncPolicy::Window { requests: 4 }).unwrap();
+        for _ in 0..7 {
+            store.sync().unwrap();
+        }
+        let w = store.wall();
+        assert_eq!(w.sync_requests, 7);
+        assert_eq!(w.syncs_issued, 1, "one window of 4 tripped");
+        store.flush().unwrap();
+        assert_eq!(store.wall().syncs_issued, 2, "flush forces a barrier");
+    }
+
+    #[test]
+    fn deferred_policy_only_flushes_explicitly() {
+        let (_dir, path) = scratch("deferred");
+        let store = FileStore::create(&path, SyncPolicy::Deferred).unwrap();
+        for _ in 0..100 {
+            store.sync().unwrap();
+        }
+        assert_eq!(store.wall().syncs_issued, 0);
+        store.flush().unwrap();
+        assert_eq!(store.wall().syncs_issued, 1);
+    }
+
+    #[test]
+    fn charged_reads_materialize_then_verify() {
+        let (_dir, path) = scratch("charged");
+        let store = FileStore::create(&path, SyncPolicy::Deferred).unwrap();
+        store.charged_read(1234);
+        store.charged_read(1234);
+        let w = store.wall();
+        assert_eq!(w.materialized, 1, "second access reuses the slot");
+        assert_eq!(w.reads, 2);
+        assert!(store.contains(1234));
+    }
+
+    #[test]
+    fn wall_snapshot_deltas_subtract() {
+        let (_dir, path) = scratch("delta");
+        let store = FileStore::create(&path, SyncPolicy::PerRequest).unwrap();
+        store.write_page(1, b"x").unwrap();
+        let a = store.wall();
+        store.read_page(1).unwrap();
+        let d = store.wall().since(&a);
+        assert_eq!(d.reads, 1);
+        assert_eq!(d.writes, 0);
+        assert!(d.wall_ns() >= d.read_ns);
+    }
+
+    #[test]
+    fn opening_garbage_is_a_bad_superblock() {
+        let (_dir, path) = scratch("garbage");
+        std::fs::write(&path, b"not a page store").unwrap();
+        assert!(matches!(
+            FileStore::open(&path, SyncPolicy::PerRequest),
+            Err(DeviceError::BadSuperblock { .. })
+        ));
+    }
+}

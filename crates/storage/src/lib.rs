@@ -26,6 +26,14 @@
 //!   attribute + duplicate layout, the handle access methods build on.
 //! * [`context`] — [`context::IoContext`]: the index/data device pair a
 //!   query charges, and the paper's five [`context::StorageConfig`]s.
+//! * [`backend`] — [`backend::PageDevice`]: the pluggable device front.
+//!   Every layer charges a `PageDevice`; the [`backend::Backend`]
+//!   selector decides whether that is the pure simulator or a
+//!   [`backend::FileDevice`] that mirrors every device-reaching access
+//!   with real, checksum-verified file I/O.
+//! * [`mod@file`] — [`file::FileStore`]: the byte-hitting page store
+//!   (CRC-32 page headers, persistent free list, batched fsync,
+//!   wall-clock counters) behind the file backend.
 //!
 //! "Response times" reported by the benchmark harness are the simulated
 //! nanoseconds accumulated here, making every experiment reproducible
@@ -34,9 +42,11 @@
 
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod buffer;
 pub mod context;
 pub mod device;
+pub mod file;
 pub mod heap;
 pub mod io;
 pub mod page;
@@ -45,10 +55,12 @@ pub mod search;
 pub mod sim;
 pub mod tuple;
 
+pub use backend::{Backend, FileDevice, PageDevice};
 pub use bftree_bufferpool::{BufferManager, BufferStats, PolicyKind, PoolId};
 pub use buffer::{BufferPool, PoolAccess};
 pub use context::{IoContext, StorageConfig};
 pub use device::{DeviceKind, DeviceProfile};
+pub use file::{DeviceError, FileStore, ScratchDir, SyncPolicy, WallSnapshot, PAGE_HEADER};
 pub use heap::HeapFile;
 pub use io::{thread_sim_ns, IoSnapshot, IoStats};
 pub use page::{PageId, PAGE_SIZE};

@@ -7,8 +7,8 @@
 //! step reads one page (charged to the optional device) and compares
 //! against the page's key range.
 
+use crate::backend::PageDevice;
 use crate::heap::HeapFile;
-use crate::sim::SimDevice;
 use crate::tuple::AttrOffset;
 use crate::PageId;
 
@@ -27,7 +27,7 @@ pub fn binary_search(
     heap: &HeapFile,
     attr: AttrOffset,
     key: u64,
-    dev: Option<&SimDevice>,
+    dev: Option<&PageDevice>,
 ) -> SearchResult {
     let mut result = SearchResult::default();
     if heap.page_count() == 0 {
@@ -63,7 +63,7 @@ pub fn interpolation_search(
     heap: &HeapFile,
     attr: AttrOffset,
     key: u64,
-    dev: Option<&SimDevice>,
+    dev: Option<&PageDevice>,
 ) -> SearchResult {
     let mut result = SearchResult::default();
     if heap.page_count() == 0 {
@@ -122,7 +122,7 @@ fn read_range(
     heap: &HeapFile,
     attr: AttrOffset,
     pid: PageId,
-    dev: Option<&SimDevice>,
+    dev: Option<&PageDevice>,
     result: &mut SearchResult,
 ) -> Option<(u64, u64)> {
     if let Some(d) = dev {
@@ -140,7 +140,7 @@ fn collect_run(
     attr: AttrOffset,
     key: u64,
     pid: PageId,
-    dev: Option<&SimDevice>,
+    dev: Option<&PageDevice>,
     result: &mut SearchResult,
 ) {
     let mut first = pid;

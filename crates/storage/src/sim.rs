@@ -113,14 +113,18 @@ impl SimDevice {
         self.profile.kind
     }
 
-    /// Charge a randomly-located read of `page`.
+    /// Charge a randomly-located read of `page`. Returns whether the
+    /// access reached the device (`false` = absorbed by a cache) — the
+    /// signal a file backend uses to mirror exactly the device-reaching
+    /// accesses with real I/O.
     #[inline]
-    pub fn read_random(&self, page: PageId) {
+    pub fn read_random(&self, page: PageId) -> bool {
         if self.cache_absorbs(page) {
-            return;
+            return false;
         }
         self.stats
             .record_random_read(self.profile.random_read_ns, PAGE_SIZE as u64);
+        true
     }
 
     /// Charge a set of randomly-located reads at once. On a cold
@@ -142,14 +146,16 @@ impl SimDevice {
         }
     }
 
-    /// Charge the next page of a sequential run.
+    /// Charge the next page of a sequential run. Returns whether the
+    /// access reached the device (see [`SimDevice::read_random`]).
     #[inline]
-    pub fn read_seq(&self, page: PageId) {
+    pub fn read_seq(&self, page: PageId) -> bool {
         if self.cache_absorbs(page) {
-            return;
+            return false;
         }
         self.stats
             .record_seq_read(self.profile.seq_read_ns, PAGE_SIZE as u64);
+        true
     }
 
     /// Charge a batch of page reads given as a sorted list: the first
@@ -161,19 +167,46 @@ impl SimDevice {
         let mut prev: Option<PageId> = None;
         for &p in pages {
             match prev {
-                Some(q) if p == q + 1 => self.read_seq(p),
+                Some(q) if p == q + 1 => {
+                    self.read_seq(p);
+                }
                 Some(q) if p == q => {} // duplicate, already fetched
-                _ => self.read_random(p),
+                _ => {
+                    self.read_random(p);
+                }
             }
             prev = Some(p);
         }
     }
 
-    /// Charge a page write.
+    /// Charge a page write. The device write is always charged
+    /// (write-through); on warm and shared-pool devices the written
+    /// page is installed into (or refreshed in) the pool, so a
+    /// read-after-write is a hit — the accounting the buffer manager
+    /// expects. Installation never books a cache hit (nothing was
+    /// served from memory), but admissions that displace pages record
+    /// their evictions.
     #[inline]
-    pub fn write(&self, _page: PageId) {
+    pub fn write(&self, page: PageId) {
         self.stats
             .record_write(self.profile.write_ns, PAGE_SIZE as u64);
+        match &self.cache {
+            CacheBackend::None => {}
+            CacheBackend::Private(pool) => {
+                let access = pool
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .touch(page, PAGE_SIZE as u64);
+                if !access.hit {
+                    self.stats.record_cache_evictions(access.evicted);
+                }
+            }
+            CacheBackend::Shared { manager, pool } => {
+                if let Access::Miss { evicted } = manager.touch(*pool, page, PAGE_SIZE as u64) {
+                    self.stats.record_cache_evictions(evicted.len() as u64);
+                }
+            }
+        }
     }
 
     /// Charge a durability barrier: the device drains its volatile
@@ -346,6 +379,72 @@ mod tests {
         assert_eq!(s.writes, 1);
         assert_eq!(s.bytes_written, PAGE_SIZE as u64);
         assert_eq!(s.sim_ns, DeviceProfile::ssd().write_ns);
+    }
+
+    #[test]
+    fn write_installs_page_in_private_pool() {
+        let dev = SimDevice::new(DeviceProfile::ssd(), CacheMode::Lru(8));
+        dev.write(3);
+        dev.read_random(3);
+        let s = dev.snapshot();
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.cache_hits, 1, "read-after-write is a hit");
+        assert_eq!(s.random_reads, 0, "the re-read never reached the device");
+    }
+
+    #[test]
+    fn write_installation_records_evictions_but_never_hits() {
+        let dev = SimDevice::new(DeviceProfile::ssd(), CacheMode::Lru(2));
+        dev.read_random(1);
+        dev.read_random(2);
+        dev.write(3); // admitting 3 evicts 1
+        let s = dev.snapshot();
+        assert_eq!(s.cache_evictions, 1);
+        assert_eq!(s.cache_hits, 0, "installation is not a served read");
+        dev.write(3); // already resident: refresh, no eviction
+        assert_eq!(dev.snapshot().cache_evictions, 1);
+    }
+
+    #[test]
+    fn write_installs_page_in_shared_pool() {
+        use bftree_bufferpool::{BufferManager, PolicyKind};
+
+        let mgr = Arc::new(BufferManager::with_shards(
+            4 * PAGE_SIZE as u64,
+            PolicyKind::Lru,
+            1,
+        ));
+        let dev = SimDevice::with_shared_cache(
+            DeviceProfile::ssd(),
+            Arc::clone(&mgr),
+            mgr.register_pool("data"),
+        );
+        dev.write(9);
+        dev.read_random(9);
+        let s = dev.snapshot();
+        assert_eq!(s.cache_hits, 1, "shared pool serves the re-read");
+        assert_eq!(s.random_reads, 0);
+    }
+
+    #[test]
+    fn cold_write_stays_cacheless() {
+        let dev = SimDevice::cold(DeviceKind::Ssd);
+        dev.write(3);
+        dev.read_random(3);
+        let s = dev.snapshot();
+        assert_eq!(s.cache_hits, 0);
+        assert_eq!(s.random_reads, 1, "cold devices never absorb");
+    }
+
+    #[test]
+    fn reads_report_whether_they_reached_the_device() {
+        let warm = SimDevice::new(DeviceProfile::ssd(), CacheMode::Lru(8));
+        assert!(warm.read_random(1), "first access misses");
+        assert!(!warm.read_random(1), "second access absorbed");
+        assert!(warm.read_seq(2));
+        assert!(!warm.read_seq(2));
+        let cold = SimDevice::cold(DeviceKind::Ssd);
+        assert!(cold.read_random(1) && cold.read_random(1));
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The log itself: append, durability modes, sync accounting, and the
 //! torn-tail-tolerant recovery reader.
 
-use bftree_storage::{PageId, SimDevice, PAGE_SIZE};
+use bftree_storage::{PageDevice, PageId, PAGE_SIZE};
 
 use crate::record::{crc32, WalRecord, FRAME_HEADER, MAX_PAYLOAD};
 
@@ -56,7 +56,7 @@ impl DurabilityMode {
 pub struct Wal {
     buf: Vec<u8>,
     mode: DurabilityMode,
-    device: SimDevice,
+    device: PageDevice,
     /// Bytes guaranteed durable (prefix length).
     synced_len: usize,
     /// Records appended since the last sync.
@@ -71,11 +71,11 @@ impl Wal {
     /// `tuple_count` heap tuples, everything after is replayed from
     /// here. A log whose creation was never durable cannot promise
     /// anything, so genesis ignores the durability mode.
-    pub fn open(device: SimDevice, mode: DurabilityMode, tuple_count: u64) -> Self {
+    pub fn open(device: impl Into<PageDevice>, mode: DurabilityMode, tuple_count: u64) -> Self {
         let mut wal = Self {
             buf: Vec::new(),
             mode,
-            device,
+            device: device.into(),
             synced_len: 0,
             pending_records: 0,
             records: 0,
@@ -132,7 +132,12 @@ impl Wal {
         let first = self.synced_len / PAGE_SIZE;
         let last = (self.buf.len() - 1) / PAGE_SIZE;
         for page in first..=last {
-            self.device.write(page as PageId);
+            // Simulated devices book the write; a file backend also
+            // persists the page's real bytes, so the on-disk image
+            // tracks the durable prefix exactly.
+            let lo = page * PAGE_SIZE;
+            let hi = self.buf.len().min(lo + PAGE_SIZE);
+            self.device.write_bytes(page as PageId, &self.buf[lo..hi]);
         }
         self.device.fsync();
         self.synced_len = self.buf.len();
@@ -183,13 +188,31 @@ impl Wal {
 
     /// The device the log charges (its `IoSnapshot` quantifies the
     /// durability cost of the chosen mode).
-    pub fn device(&self) -> &SimDevice {
+    pub fn device(&self) -> &PageDevice {
         &self.device
     }
 
     /// The configured durability mode.
     pub fn mode(&self) -> DurabilityMode {
         self.mode
+    }
+
+    /// Read the log image back from a file-backed device: concatenate
+    /// page payloads `0, 1, 2, …` until a page is missing or fails
+    /// verification. A corrupt or torn page ends the image at the last
+    /// good page boundary — recovery's reader then truncates to the
+    /// last record boundary within it, so the "longest valid prefix"
+    /// contract survives real on-disk corruption. Returns `None` on
+    /// simulated devices (which persist no bytes).
+    pub fn load_image(device: &PageDevice) -> Option<Vec<u8>> {
+        let file = device.file()?;
+        let mut image = Vec::new();
+        let mut page: PageId = 0;
+        while let Ok(payload) = file.store().read_page(page) {
+            image.extend_from_slice(&payload);
+            page += 1;
+        }
+        Some(image)
     }
 }
 

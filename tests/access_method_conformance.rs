@@ -16,7 +16,8 @@ use bftree_fdtree::FdTree;
 use bftree_hashindex::HashIndex;
 use bftree_storage::tuple::{ATT1_OFFSET, PK_OFFSET};
 use bftree_storage::{
-    DeviceKind, Duplicates, HeapFile, IoContext, Relation, SimDevice, StorageConfig, TupleLayout,
+    Backend, DeviceKind, Duplicates, HeapFile, IoContext, IoSnapshot, PageDevice, Relation,
+    ScratchDir, StorageConfig, TupleLayout,
 };
 use bftree_wal::DurabilityMode;
 
@@ -29,7 +30,17 @@ const CARD: u64 = 7;
 /// BF-Tree), with a tiny flush batch so the battery's writes cross
 /// flush boundaries mid-test.
 fn all_indexes(rel: &Relation) -> Vec<Box<dyn AccessMethod>> {
-    vec![
+    all_indexes_on(rel, &Backend::Sim).0
+}
+
+/// The same battery of implementations, with the durable wrapper's
+/// log device taken from `backend` (sim or file-backed). Returns the
+/// log device alongside so tests can compare its counters.
+fn all_indexes_on(rel: &Relation, backend: &Backend) -> (Vec<Box<dyn AccessMethod>>, PageDevice) {
+    let log = backend
+        .device(DeviceKind::Ssd, "wal")
+        .expect("log device materializes");
+    let indexes: Vec<Box<dyn AccessMethod>> = vec![
         Box::new(
             BfTree::builder()
                 .fpp(1e-4)
@@ -45,7 +56,7 @@ fn all_indexes(rel: &Relation) -> Vec<Box<dyn AccessMethod>> {
                 .empty(rel)
                 .expect("valid config"),
             rel,
-            SimDevice::cold(DeviceKind::Ssd),
+            log.clone(),
             DurableConfig {
                 flush_batch: 3,
                 durability: DurabilityMode::GroupCommit {
@@ -54,7 +65,8 @@ fn all_indexes(rel: &Relation) -> Vec<Box<dyn AccessMethod>> {
                 },
             },
         )),
-    ]
+    ];
+    (indexes, log)
 }
 
 /// A relation with a unique ordered PK and a contiguous-duplicate ATT1.
@@ -482,4 +494,124 @@ fn implementations_agree_pairwise() {
             "probe({probe}): outcomes diverge: {outcomes:?}"
         );
     }
+}
+
+/// One storage backend under test: the pure simulator, or file-backed
+/// page stores in a scratch directory. Each device-creating call gets
+/// a fresh subdirectory so every context is cold on disk and no two
+/// open stores alias one file.
+struct BackendLab {
+    scratch: Option<ScratchDir>,
+    created: std::cell::Cell<u64>,
+}
+
+impl BackendLab {
+    fn both() -> Vec<BackendLab> {
+        vec![
+            BackendLab {
+                scratch: None,
+                created: std::cell::Cell::new(0),
+            },
+            BackendLab {
+                scratch: Some(ScratchDir::new("conformance").expect("scratch dir")),
+                created: std::cell::Cell::new(0),
+            },
+        ]
+    }
+
+    fn label(&self) -> &'static str {
+        if self.scratch.is_some() {
+            "file"
+        } else {
+            "sim"
+        }
+    }
+
+    fn backend(&self) -> Backend {
+        match &self.scratch {
+            None => Backend::Sim,
+            Some(s) => {
+                let n = self.created.get();
+                self.created.set(n + 1);
+                Backend::file(s.path().join(format!("c{n}")))
+            }
+        }
+    }
+
+    fn io_cold(&self) -> IoContext {
+        IoContext::cold_on(&self.backend(), StorageConfig::SsdSsd).expect("backend devices")
+    }
+}
+
+/// Backend conformance: the same probe/scan/insert/delete workload,
+/// driven per index on cold devices, produces **identical** I/O
+/// counters — reads, writes, fsyncs, simulated clock, snapshot for
+/// snapshot — whether the devices are pure simulation or file-backed
+/// page stores. This is the contract that makes the file backend a
+/// calibration instrument rather than a second cost model.
+#[test]
+fn battery_io_counts_are_backend_invariant() {
+    /// Per-backend evidence: (label, per-index named snapshots, file reads).
+    type BackendRun = (&'static str, Vec<(String, IoSnapshot)>, u64);
+    let base = relation(Duplicates::Unique);
+    let mut per_backend: Vec<BackendRun> = Vec::new();
+    for lab in BackendLab::both() {
+        let (indexes, log) = all_indexes_on(&base, &lab.backend());
+        let mut rows = Vec::new();
+        let mut file_reads = 0u64;
+        for mut index in indexes {
+            let mut rel = base.clone();
+            let name = index.name().to_string();
+            index
+                .build(&rel)
+                .unwrap_or_else(|e| panic!("{name}: build failed: {e}"));
+            let io = lab.io_cold();
+            // Probes over hits and misses, point and first-match.
+            for key in (0..2 * N).step_by(97) {
+                let _ = index.probe(key, &rel, &io).unwrap();
+            }
+            let _ = index.probe_first(3, &rel, &io).unwrap();
+            // Range scans: small, large, and empty.
+            for (lo, hi) in [(0u64, 80u64), (1_000, 1_500), (N * 3, N * 4)] {
+                let _ = index.range_scan(lo, hi, &rel, &io).unwrap();
+            }
+            // Writes: appended tuples registered in the index (the
+            // durable implementation logs and fsyncs these), then a
+            // delete.
+            for i in 0..20 {
+                let key = N * CARD + 10 + i;
+                let loc = rel.append_tuple(key, key, &io);
+                index.insert(key, loc, &rel).unwrap();
+            }
+            index.delete(N * CARD + 10, &rel).unwrap();
+            rows.push((name, io.snapshot_total()));
+            for dev in [&io.index, &io.data] {
+                if let Some(w) = dev.wall() {
+                    file_reads += w.reads;
+                }
+            }
+        }
+        rows.push(("wal-log".to_string(), log.snapshot()));
+        per_backend.push((lab.label(), rows, file_reads));
+    }
+
+    let (_, sim_rows, sim_file_reads) = &per_backend[0];
+    let (_, file_rows, file_file_reads) = &per_backend[1];
+    assert_eq!(sim_rows.len(), file_rows.len());
+    for (s, f) in sim_rows.iter().zip(file_rows) {
+        assert_eq!(s.0, f.0, "index order diverged between backends");
+        assert_eq!(
+            s.1, f.1,
+            "{}: cold-device I/O counters must be identical on sim and file backends",
+            s.0
+        );
+    }
+    assert_eq!(
+        *sim_file_reads, 0u64,
+        "the sim backend must not touch files"
+    );
+    assert!(
+        *file_file_reads > 0,
+        "the file backend must actually read its page stores"
+    );
 }
