@@ -107,10 +107,85 @@ pub struct RecoveryReport {
     pub replayed_inserts: u64,
     /// Delete records replayed.
     pub replayed_deletes: u64,
+    /// Log bytes replayed (everything after the genesis checkpoint in
+    /// the surviving well-formed prefix).
+    pub bytes_replayed: u64,
+    /// Wall-clock time the replay loop took, in nanoseconds. Replay is
+    /// CPU + simulated I/O, so this is host time, not sim time.
+    pub replay_wall_ns: u64,
     /// How the surviving log image ended (a torn tail is normal after
     /// a crash: the incomplete record was, by definition, never
     /// acknowledged as durable).
     pub tail: TailState,
+}
+
+impl RecoveryReport {
+    /// Records replayed (inserts + deletes).
+    pub fn replayed_records(&self) -> u64 {
+        self.replayed_inserts + self.replayed_deletes
+    }
+
+    /// Replay throughput in records per wall-clock second (0 when the
+    /// replay was too fast for the clock to resolve).
+    pub fn records_per_sec(&self) -> f64 {
+        let secs = bftree_obs::ns_to_secs(self.replay_wall_ns);
+        if secs > 0.0 {
+            self.replayed_records() as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+impl bftree_obs::MetricSource for RecoveryReport {
+    fn collect(&self, reg: &mut bftree_obs::MetricsRegistry) {
+        reg.counter(
+            "bftree_recovery_replayed_inserts_total",
+            "Insert records replayed during recovery.",
+            &[],
+            self.replayed_inserts,
+        );
+        reg.counter(
+            "bftree_recovery_replayed_deletes_total",
+            "Delete records replayed during recovery.",
+            &[],
+            self.replayed_deletes,
+        );
+        reg.counter(
+            "bftree_recovery_bytes_replayed_total",
+            "Log bytes replayed after the genesis checkpoint.",
+            &[],
+            self.bytes_replayed,
+        );
+        reg.gauge(
+            "bftree_recovery_base_tuples",
+            "Heap tuples covered by the genesis checkpoint.",
+            &[],
+            self.base_tuples as f64,
+        );
+        reg.gauge(
+            "bftree_recovery_replay_wall_seconds",
+            "Wall-clock seconds the replay loop took.",
+            &[],
+            bftree_obs::ns_to_secs(self.replay_wall_ns),
+        );
+        reg.gauge(
+            "bftree_recovery_records_per_sec",
+            "Replay throughput in records per wall-clock second.",
+            &[],
+            self.records_per_sec(),
+        );
+        reg.gauge(
+            "bftree_recovery_tail_clean",
+            "1 when the surviving log ended on a record boundary, 0 when torn.",
+            &[],
+            if self.tail == TailState::Clean {
+                1.0
+            } else {
+                0.0
+            },
+        );
+    }
 }
 
 /// Why recovery failed.
@@ -216,6 +291,10 @@ impl<A: AccessMethod> DurableIndex<A> {
         let mut recovered = Self::new(inner, &base_rel, log_device, config);
         let mut replayed_inserts = 0;
         let mut replayed_deletes = 0;
+        let genesis_end = records[0].0;
+        let replayed_end = records.last().map_or(genesis_end, |&(end, _)| end);
+        let mut replay_span = bftree_obs::span(bftree_obs::SpanKind::RecoveryReplay);
+        let replay_timer = bftree_obs::WallTimer::start();
         for &(_, rec) in &records[1..] {
             match rec {
                 WalRecord::Insert { key, page, slot } => {
@@ -236,10 +315,14 @@ impl<A: AccessMethod> DurableIndex<A> {
                 WalRecord::Checkpoint { .. } => {}
             }
         }
+        replay_span.set_detail(replayed_inserts + replayed_deletes);
+        drop(replay_span);
         let report = RecoveryReport {
             base_tuples: tuple_count,
             replayed_inserts,
             replayed_deletes,
+            bytes_replayed: (replayed_end - genesis_end) as u64,
+            replay_wall_ns: replay_timer.elapsed_ns(),
             tail,
         };
         Ok((recovered, report))
@@ -294,6 +377,8 @@ impl<A: AccessMethod> DurableIndex<A> {
         if self.mem.ops == 0 {
             return Ok(0);
         }
+        let mut span = bftree_obs::span(bftree_obs::SpanKind::MemtableFlush);
+        span.set_detail(self.mem.ops as u64);
         for (&key, state) in self.mem.keys.iter() {
             if state.wipe_base {
                 self.inner.delete(key, rel)?;
@@ -369,6 +454,43 @@ impl<A: AccessMethod> DurableIndex<A> {
         io.reserve_index_footprint(self.memtable_capacity_bytes())
     }
 
+    /// Register write-path state into `reg`: flush counters, memtable
+    /// occupancy gauges, and everything the wrapped WAL exposes
+    /// (records, syncs, durable prefix, log-device I/O).
+    pub fn register_metrics(&self, reg: &mut bftree_obs::MetricsRegistry) {
+        reg.counter(
+            "bftree_durable_flushes_total",
+            "Memtable flushes drained into the base index.",
+            &[],
+            self.flushes,
+        );
+        reg.counter(
+            "bftree_durable_flushed_ops_total",
+            "Operations drained across all memtable flushes.",
+            &[],
+            self.flushed_ops,
+        );
+        reg.gauge(
+            "bftree_durable_buffered_ops",
+            "Operations buffered in the memtable since the last flush.",
+            &[],
+            self.mem.ops as f64,
+        );
+        reg.gauge(
+            "bftree_durable_memtable_bytes",
+            "Estimated resident bytes of the current memtable.",
+            &[],
+            self.mem.bytes() as f64,
+        );
+        reg.gauge(
+            "bftree_durable_base_tuples",
+            "Heap tuples the base index was built over.",
+            &[],
+            self.base_tuples as f64,
+        );
+        reg.collect_from(&self.wal);
+    }
+
     fn merged_cursor<'c>(
         &'c self,
         base: Box<dyn RangeCursor + 'c>,
@@ -409,6 +531,12 @@ impl<A: AccessMethod> DurableIndex<A> {
             lo,
             hi,
         }
+    }
+}
+
+impl<A: AccessMethod> bftree_obs::MetricSource for DurableIndex<A> {
+    fn collect(&self, reg: &mut bftree_obs::MetricsRegistry) {
+        self.register_metrics(reg);
     }
 }
 

@@ -254,6 +254,7 @@ pub trait AccessMethod: Send + Sync {
     /// Thin materializing wrapper over [`AccessMethod::probe_into`]
     /// with a collect-everything sink; identical I/O by construction.
     fn probe(&self, key: u64, rel: &Relation, io: &IoContext) -> Result<Probe, ProbeError> {
+        let _span = bftree_obs::span(bftree_obs::SpanKind::Probe);
         let mut matches: Vec<(PageId, usize)> = Vec::new();
         let stats = self.probe_into(key, rel, io, &mut matches)?;
         Ok(Probe {
@@ -272,6 +273,7 @@ pub trait AccessMethod: Send + Sync {
     /// implementations with a cheaper single-result index path (or an
     /// early-exit page-ordering heuristic) override it.
     fn probe_first(&self, key: u64, rel: &Relation, io: &IoContext) -> Result<Probe, ProbeError> {
+        let _span = bftree_obs::span(bftree_obs::SpanKind::Probe);
         let mut first = FirstMatch::default();
         let stats = self.probe_into(key, rel, io, &mut first)?;
         Ok(Probe {
@@ -306,6 +308,8 @@ pub trait AccessMethod: Send + Sync {
         rel: &Relation,
         io: &IoContext,
     ) -> Result<Vec<Probe>, ProbeError> {
+        let mut span = bftree_obs::span(bftree_obs::SpanKind::BatchProbe);
+        span.set_detail(keys.len() as u64);
         keys.iter().map(|&key| self.probe(key, rel, io)).collect()
     }
 
@@ -352,9 +356,21 @@ pub trait AccessMethod: Send + Sync {
         rel: &Relation,
         io: &IoContext,
     ) -> Result<RangeScan, ProbeError> {
-        let mut cursor = self.range_cursor(lo, hi, rel, io)?;
+        // The positioning descent reads overhead pages too; span it
+        // as the zeroth pull so every read lands in the span tree.
+        let mut cursor = {
+            let _pull = bftree_obs::span(bftree_obs::SpanKind::RangePagePull);
+            self.range_cursor(lo, hi, rel, io)?
+        };
         let mut matches: Vec<(PageId, usize)> = Vec::new();
-        while let Some(page) = cursor.next_page_matches() {
+        loop {
+            // One span per pull: the final (empty) pull is spanned too,
+            // because it may still read an overhead page.
+            let mut pull = bftree_obs::span(bftree_obs::SpanKind::RangePagePull);
+            let Some(page) = cursor.next_page_matches() else {
+                break;
+            };
+            pull.set_detail(page.len() as u64);
             matches.extend_from_slice(page);
             cursor.advance();
         }
@@ -376,8 +392,16 @@ pub trait AccessMethod: Send + Sync {
         io: &IoContext,
         sink: &mut dyn MatchSink,
     ) -> Result<ScanIo, ProbeError> {
-        let mut cursor = self.range_cursor(lo, hi, rel, io)?;
-        'pages: while let Some(page) = cursor.next_page_matches() {
+        let mut cursor = {
+            let _pull = bftree_obs::span(bftree_obs::SpanKind::RangePagePull);
+            self.range_cursor(lo, hi, rel, io)?
+        };
+        'pages: loop {
+            let mut pull = bftree_obs::span(bftree_obs::SpanKind::RangePagePull);
+            let Some(page) = cursor.next_page_matches() else {
+                break;
+            };
+            pull.set_detail(page.len() as u64);
             for &(pid, slot) in page {
                 if sink.push(pid, slot).is_break() {
                     break 'pages;

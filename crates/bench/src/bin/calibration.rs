@@ -182,6 +182,9 @@ fn main() {
             std::env::set_var("BFTREE_PROBES", "200");
         }
     }
+    // Only for `--metrics-out` / `BFTREE_METRICS_OUT`; the two
+    // backends below are pinned regardless of `--storage`.
+    let cli = StorageArgs::from_cli();
     let sim = StorageArgs::parse(["--storage=sim".to_string()]);
     let file = StorageArgs::parse(
         ["--storage=file".to_string()]
@@ -348,4 +351,10 @@ fn main() {
         );
     std::fs::write("BENCH_calibration.json", json.render()).expect("write calibration table");
     println!("\nwrote BENCH_calibration.json ({} rows)", rows.len());
+
+    let mut registry = bftree_obs::MetricsRegistry::new();
+    for r in &rows {
+        r.io.register_metrics(&mut registry, &format!("{}/{}", r.workload, r.backend));
+    }
+    cli.write_metrics(&registry);
 }

@@ -27,7 +27,7 @@
 use bftree_bench::scale::{n_probes, relation_mb};
 use bftree_bench::{
     build_index, fmt_f, relation_r_pk, run_probes_parallel, IndexKind, IoContext, Report,
-    StorageConfig,
+    StorageArgs, StorageConfig,
 };
 use bftree_storage::{PolicyKind, PAGE_SIZE};
 use bftree_workloads::{popular_probe_streams, KeyPopularity};
@@ -40,6 +40,8 @@ const THREADS: usize = 8;
 const BUDGET_FRACTIONS: [f64; 4] = [0.10, 0.20, 0.40, 1.25];
 
 fn main() {
+    let storage = StorageArgs::from_cli();
+    let mut registry = bftree_obs::MetricsRegistry::new();
     let total_ops = n_probes() * 16;
     let ds = relation_r_pk();
     let data_bytes = ds.relation.heap().page_count() * PAGE_SIZE as u64;
@@ -118,6 +120,15 @@ fn main() {
                 assert!(exact, "{} {policy}: cache counters diverged", kind.label());
 
                 means[slot] = r.latencies.mean_ns() as f64 / 1e3;
+                r.io_total.register_metrics(
+                    &mut registry,
+                    &format!(
+                        "{}/{}/{}mb",
+                        kind.label(),
+                        policy.label(),
+                        budget / (1 << 20)
+                    ),
+                );
                 report.row(&[
                     policy.label().to_string(),
                     fmt_f(budget as f64 / (1 << 20) as f64),
@@ -164,4 +175,5 @@ fn main() {
          devices' sharded IoStats view - exact in all {} cells.",
         report.len()
     );
+    storage.write_metrics(&registry);
 }

@@ -293,6 +293,19 @@ fn main() {
     std::fs::write("BENCH_probe_pipeline.json", json.render()).expect("write perf baseline");
     println!("\nwrote BENCH_probe_pipeline.json ({} cells)", cells.len());
 
+    let mut registry = bftree_obs::MetricsRegistry::new();
+    for cell in &cells {
+        let label = format!(
+            "{}/{:.0e}/{}/b{}",
+            cell.index,
+            cell.fpp.unwrap_or(0.0),
+            cell.layout,
+            cell.batch_size
+        );
+        cell.io.register_metrics(&mut registry, &label);
+    }
+    storage.write_metrics(&registry);
+
     if std::env::var("BFTREE_ASSERT_SPEEDUP").is_ok() {
         assert!(
             speedup >= SPEEDUP_TARGET,

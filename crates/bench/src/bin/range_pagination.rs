@@ -32,8 +32,9 @@ use bftree_access::{Continuation, RangeCursor, RangeCursorExt};
 use bftree_bench::scale::{n_probes, relation_mb};
 use bftree_bench::{
     build_index, fmt_f, relation_r_pk, AccessMethod, IndexKind, IoContext, JsonObject, Relation,
-    Report, StorageConfig,
+    Report, StorageArgs, StorageConfig,
 };
+use bftree_storage::IoSnapshot;
 use bftree_workloads::range_queries;
 
 const LIMITS: [u64; 4] = [1, 10, 100, 1000];
@@ -87,6 +88,8 @@ fn request(
 }
 
 fn main() {
+    let storage = StorageArgs::from_cli();
+    let mut registry = bftree_obs::MetricsRegistry::new();
     let n_queries = (n_probes() / 50).max(4);
     let ds = relation_r_pk();
     let n_keys = ds.relation.heap().tuple_count();
@@ -125,6 +128,7 @@ fn main() {
         let mut full_pages = 0u64;
         let mut full_matches = 0u64;
         let mut full_us = 0.0;
+        let mut full_io = IoSnapshot::default();
         for q in &queries {
             let io = IoContext::cold(StorageConfig::SsdSsd);
             let r = index
@@ -133,8 +137,10 @@ fn main() {
             full_pages += r.pages_read;
             full_matches += r.matches.len() as u64;
             full_us += io.sim_us();
+            full_io = full_io.plus(&io.snapshot_total());
             full_results.push(r);
         }
+        full_io.register_metrics(&mut registry, &format!("{}/full", kind.label()));
         let nq = queries.len() as f64;
         cells.push(Cell {
             index: kind.label(),
@@ -157,6 +163,7 @@ fn main() {
             let mut pages = 0u64;
             let mut matches = 0u64;
             let mut us = 0.0;
+            let mut limit_io = IoSnapshot::default();
             for (q, full) in queries.iter().zip(&full_results) {
                 let io = IoContext::cold(StorageConfig::SsdSsd);
                 let (head, head_pages, token) =
@@ -164,6 +171,7 @@ fn main() {
                 pages += head_pages;
                 matches += head.len() as u64;
                 us += io.sim_us();
+                limit_io = limit_io.plus(&io.snapshot_total());
                 assert!(
                     head_pages <= full.pages_read,
                     "{}: limit({k}) read more pages than the full scan",
@@ -201,6 +209,7 @@ fn main() {
                     kind.label()
                 );
             }
+            limit_io.register_metrics(&mut registry, &format!("{}/limit{k}", kind.label()));
             cells.push(Cell {
                 index: kind.label(),
                 limit: Some(k),
@@ -282,4 +291,5 @@ fn main() {
         "\nwrote BENCH_range_pagination.json ({} cells)",
         cells.len()
     );
+    storage.write_metrics(&registry);
 }

@@ -18,13 +18,14 @@
 use bftree_bench::scale::{n_probes, relation_mb};
 use bftree_bench::{
     build_index, fmt_f, relation_r_pk, run_probes, run_probes_parallel, IndexKind, IoContext,
-    Report, StorageConfig,
+    Report, StorageArgs, StorageConfig,
 };
 use bftree_workloads::{popular_probe_streams, KeyPopularity};
 
 const THREAD_SWEEP: [usize; 5] = [1, 2, 4, 8, 16];
 
 fn main() {
+    let storage = StorageArgs::from_cli();
     let total_ops = n_probes() * 16;
     println!(
         "relation R: {} MB, PK index, SSD/SSD, Zipfian(0.99) probes, {} ops split across threads\n",
@@ -52,6 +53,7 @@ fn main() {
         ],
     );
 
+    let mut registry = bftree_obs::MetricsRegistry::new();
     for kind in IndexKind::ALL {
         let index = build_index(kind, &ds.relation, 1e-4);
         let mut base_throughput = None;
@@ -96,9 +98,11 @@ fn main() {
                 if exact { "exact" } else { "LOST-UPDATES" }.to_string(),
             ]);
             assert!(exact, "{}: I/O counters diverged", kind.label());
+            total.register_metrics(&mut registry, &format!("{}/t{}", kind.label(), threads));
         }
     }
     report.print();
+    storage.write_metrics(&registry);
 
     println!(
         "\nThroughput is ops/makespan in simulated time (one device channel per\n\

@@ -7,11 +7,13 @@
 use bftree_bench::scale::{n_probes, relation_mb};
 use bftree_bench::{
     baseline_btree, best_per_config, fmt_f, fmt_fpp, pk_probes, relation_r_pk, sweep_bftree,
-    IoContext, Report, StorageConfig,
+    IoContext, Report, StorageArgs, StorageConfig,
 };
 use bftree_storage::{binary_search, interpolation_search};
 
 fn main() {
+    let storage = StorageArgs::from_cli();
+    let mut registry = bftree_obs::MetricsRegistry::new();
     println!(
         "relation R: {} MB ({} probes, 100% hit)\n",
         relation_mb(),
@@ -45,11 +47,15 @@ fn main() {
             binary_search(ds.relation.heap(), ds.relation.attr(), key, Some(&io.data));
         }
         let bin_us = io.data.snapshot().sim_us() / probes.len() as f64;
+        io.snapshot_total()
+            .register_metrics(&mut registry, &format!("binary/{}", config.label()));
         io.reset();
         for &key in &probes {
             interpolation_search(ds.relation.heap(), ds.relation.attr(), key, Some(&io.data));
         }
         let interp_us = io.data.snapshot().sim_us() / probes.len() as f64;
+        io.snapshot_total()
+            .register_metrics(&mut registry, &format!("interp/{}", config.label()));
 
         report.row(&[
             config.label().into(),
@@ -60,6 +66,7 @@ fn main() {
         ]);
     }
     report.print();
+    storage.write_metrics(&registry);
     println!(
         "paper §7: interpolation search reaches log log N only on sorted, evenly \
          distributed values; the BF-Tree also serves merely-partitioned data."

@@ -85,6 +85,7 @@ fn run_cell(
     base: &Relation,
     ops: &[Op],
     storage: &StorageArgs,
+    registry: &mut bftree_obs::MetricsRegistry,
 ) -> Cell {
     let mut rel = base.clone();
     let inner = build_index(kind, &rel, 1e-4);
@@ -116,6 +117,11 @@ fn run_cell(
     index.flush(&rel).expect("final drain");
     let wall_seconds = start.elapsed().as_secs_f64();
     let log = index.wal().device().snapshot();
+    // Per-cell metrics snapshot: distinct device labels keep the
+    // series collision-free across the sweep.
+    let cell_label = format!("{}/{}/b{}", kind.label(), mode.label(), flush_batch);
+    io.snapshot_total().register_metrics(registry, &cell_label);
+    log.register_metrics(registry, &format!("{cell_label}/wal"));
 
     // Exactness: the drained index answers every touched key.
     let check = IoContext::unmetered();
@@ -210,10 +216,19 @@ fn main() {
         ],
     );
     let mut cells: Vec<Cell> = Vec::new();
+    let mut registry = bftree_obs::MetricsRegistry::new();
     for kind in IndexKind::ALL {
         for mode in MODES {
             for batch in FLUSH_BATCHES {
-                let cell = run_cell(kind, mode, batch, &ds.relation, &ops, &storage);
+                let cell = run_cell(
+                    kind,
+                    mode,
+                    batch,
+                    &ds.relation,
+                    &ops,
+                    &storage,
+                    &mut registry,
+                );
                 report.row(&[
                     cell.index.to_string(),
                     cell.mode.to_string(),
@@ -308,4 +323,5 @@ fn main() {
         );
     std::fs::write("BENCH_write_path.json", json.render()).expect("write perf baseline");
     println!("\nwrote BENCH_write_path.json ({} cells)", cells.len());
+    storage.write_metrics(&registry);
 }

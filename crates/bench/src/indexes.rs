@@ -106,7 +106,7 @@ pub fn run_probes(
     io: &IoContext,
 ) -> RunResult {
     io.reset();
-    let wall_start = std::time::Instant::now();
+    let wall_start = bftree_obs::WallTimer::start();
     let mut hits = 0u64;
     let mut false_reads = 0u64;
     for &key in probes {
@@ -125,7 +125,7 @@ pub fn run_probes(
         probes.len(),
         hits,
         false_reads,
-        wall_start.elapsed().as_secs_f64(),
+        wall_start.elapsed_secs(),
     )
 }
 
@@ -148,7 +148,7 @@ pub fn run_probes_batched(
     batch_size: usize,
 ) -> RunResult {
     io.reset();
-    let wall_start = std::time::Instant::now();
+    let wall_start = bftree_obs::WallTimer::start();
     let mut hits = 0u64;
     let mut false_reads = 0u64;
     if batch_size <= 1 {
@@ -176,7 +176,7 @@ pub fn run_probes_batched(
         probes.len(),
         hits,
         false_reads,
-        wall_start.elapsed().as_secs_f64(),
+        wall_start.elapsed_secs(),
     )
 }
 

@@ -22,96 +22,13 @@
 //! wall-clock throughput, which is also reported but informational.
 
 use bftree_access::{AccessMethod, ConcurrentIndex};
+use bftree_obs::WallTimer;
 use bftree_storage::{thread_sim_ns, IoContext, IoSnapshot, PageId, Relation};
 use bftree_workloads::Op;
 
-/// A log₂-bucketed latency histogram over simulated nanoseconds.
-///
-/// Bucket `i` holds operations with `ns` of bit length `i` (i.e.
-/// `2^(i-1) ≤ ns < 2^i`; zero-cost ops land in bucket 0), so quantile
-/// queries resolve to within a factor of two — plenty to tell a
-/// cache-hit probe from a one-I/O probe from a false-read probe.
-#[derive(Debug, Clone)]
-pub struct LatencyHistogram {
-    buckets: [u64; 64],
-    count: u64,
-    total_ns: u64,
-    max_ns: u64,
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl LatencyHistogram {
-    /// An empty histogram.
-    pub fn new() -> Self {
-        Self {
-            buckets: [0; 64],
-            count: 0,
-            total_ns: 0,
-            max_ns: 0,
-        }
-    }
-
-    /// Record one operation's simulated latency.
-    pub fn record(&mut self, ns: u64) {
-        let bucket = (64 - ns.leading_zeros()) as usize;
-        self.buckets[bucket.min(63)] += 1;
-        self.count += 1;
-        self.total_ns += ns;
-        self.max_ns = self.max_ns.max(ns);
-    }
-
-    /// Fold another histogram into this one (per-thread → run merge).
-    pub fn merge(&mut self, other: &LatencyHistogram) {
-        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
-            *a += b;
-        }
-        self.count += other.count;
-        self.total_ns += other.total_ns;
-        self.max_ns = self.max_ns.max(other.max_ns);
-    }
-
-    /// Number of recorded operations.
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    /// Mean latency in nanoseconds.
-    pub fn mean_ns(&self) -> f64 {
-        if self.count == 0 {
-            0.0
-        } else {
-            self.total_ns as f64 / self.count as f64
-        }
-    }
-
-    /// Largest recorded latency in nanoseconds.
-    pub fn max_ns(&self) -> u64 {
-        self.max_ns
-    }
-
-    /// Upper bound of the bucket holding quantile `q` ∈ [0, 1] —
-    /// within 2× of the true quantile.
-    pub fn quantile_ns(&self, q: f64) -> u64 {
-        assert!((0.0..=1.0).contains(&q), "quantile out of [0, 1]");
-        if self.count == 0 {
-            return 0;
-        }
-        let rank = ((q * self.count as f64).ceil() as u64).max(1);
-        let mut seen = 0u64;
-        for (i, &c) in self.buckets.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                return if i == 0 { 0 } else { 1u64 << i };
-            }
-        }
-        self.max_ns
-    }
-}
+// The histogram lives in `bftree-obs` now (shared with the metrics
+// registry); re-exported here so harness code keeps one import path.
+pub use bftree_obs::LatencyHistogram;
 
 /// What one worker thread did during a parallel run.
 #[derive(Debug, Clone, Copy, Default)]
@@ -214,7 +131,7 @@ pub fn run_probes_parallel(
     io: &IoContext,
 ) -> ParallelRunResult {
     io.reset();
-    let wall_start = std::time::Instant::now();
+    let wall_start = WallTimer::start();
     let worker_results: Vec<(ThreadStats, LatencyHistogram)> = std::thread::scope(|scope| {
         let handles: Vec<_> = streams
             .iter()
@@ -248,7 +165,7 @@ pub fn run_probes_parallel(
     });
     assemble(
         worker_results,
-        wall_start.elapsed().as_secs_f64(),
+        wall_start.elapsed_secs(),
         io.snapshot_total(),
     )
 }
@@ -270,7 +187,7 @@ pub fn run_probes_parallel_batched(
     batch_size: usize,
 ) -> ParallelRunResult {
     io.reset();
-    let wall_start = std::time::Instant::now();
+    let wall_start = WallTimer::start();
     let worker_results: Vec<(ThreadStats, LatencyHistogram)> = std::thread::scope(|scope| {
         let handles: Vec<_> = streams
             .iter()
@@ -319,7 +236,7 @@ pub fn run_probes_parallel_batched(
     });
     assemble(
         worker_results,
-        wall_start.elapsed().as_secs_f64(),
+        wall_start.elapsed_secs(),
         io.snapshot_total(),
     )
 }
@@ -337,7 +254,7 @@ pub fn run_mixed_parallel<A: AccessMethod>(
     locate: &(dyn Fn(u64) -> (PageId, usize) + Sync),
 ) -> ParallelRunResult {
     io.reset();
-    let wall_start = std::time::Instant::now();
+    let wall_start = WallTimer::start();
     let worker_results: Vec<(ThreadStats, LatencyHistogram)> = std::thread::scope(|scope| {
         let handles: Vec<_> = streams
             .iter()
@@ -387,7 +304,7 @@ pub fn run_mixed_parallel<A: AccessMethod>(
     });
     assemble(
         worker_results,
-        wall_start.elapsed().as_secs_f64(),
+        wall_start.elapsed_secs(),
         io.snapshot_total(),
     )
 }
@@ -458,10 +375,20 @@ fn assemble(
 ) -> ParallelRunResult {
     let mut latencies = LatencyHistogram::new();
     let mut per_thread = Vec::with_capacity(worker_results.len());
+    let mut recorded = 0u64;
     for (stats, hist) in worker_results {
+        recorded += hist.count();
         latencies.merge(&hist);
         per_thread.push(stats);
     }
+    // The merge must lose nothing: the merged histogram holds exactly
+    // the entries the workers recorded. (Batched runs record one entry
+    // per batch, so this is entries — not ops — on both sides.)
+    assert_eq!(
+        latencies.count(),
+        recorded,
+        "histogram merge lost or duplicated entries"
+    );
     ParallelRunResult {
         threads: per_thread.len(),
         total_ops: per_thread.iter().map(|t| t.ops).sum(),
@@ -490,43 +417,6 @@ mod tests {
             h.append_record(pk, pk / 11);
         }
         Relation::new(h, PK_OFFSET, Duplicates::Unique).unwrap()
-    }
-
-    #[test]
-    fn histogram_quantiles_bracket_recorded_values() {
-        let mut h = LatencyHistogram::new();
-        for ns in [100u64, 100, 100, 100, 100, 100, 100, 100, 100, 10_000] {
-            h.record(ns);
-        }
-        assert_eq!(h.count(), 10);
-        assert_eq!(h.max_ns(), 10_000);
-        let p50 = h.quantile_ns(0.5);
-        assert!((64..=256).contains(&p50), "p50 bucket holds 100ns: {p50}");
-        let p99 = h.quantile_ns(0.99);
-        assert!(p99 >= 8_192, "p99 reaches the outlier bucket: {p99}");
-        assert!((h.mean_ns() - 1_090.0).abs() < 1.0);
-    }
-
-    #[test]
-    fn histogram_merge_equals_single_feed() {
-        let mut a = LatencyHistogram::new();
-        let mut b = LatencyHistogram::new();
-        let mut all = LatencyHistogram::new();
-        for i in 0..1_000u64 {
-            if i % 2 == 0 {
-                a.record(i * 7)
-            } else {
-                b.record(i * 7)
-            }
-            all.record(i * 7);
-        }
-        a.merge(&b);
-        assert_eq!(a.count(), all.count());
-        assert_eq!(a.mean_ns(), all.mean_ns());
-        assert_eq!(a.max_ns(), all.max_ns());
-        for q in [0.5, 0.9, 0.99, 1.0] {
-            assert_eq!(a.quantile_ns(q), all.quantile_ns(q));
-        }
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Backend selection for experiment binaries: `--storage=sim|file
-//! [--dir=<path>]` (or the `BFTREE_STORAGE`/`BFTREE_DIR` environment
+//! [--dir=<path>] [--metrics-out=<path>]` (or the
+//! `BFTREE_STORAGE`/`BFTREE_DIR`/`BFTREE_METRICS_OUT` environment
 //! variables, so harness scripts can flip a whole sweep at once).
 //!
 //! Every experiment defaults to the simulator. With `--storage=file`
@@ -26,6 +27,9 @@ pub struct StorageArgs {
     _scratch: Option<ScratchDir>,
     /// Distinguishes the per-context subdirectories.
     contexts: AtomicU64,
+    /// Where to write the end-of-run Prometheus metrics snapshot
+    /// (`--metrics-out=<path>` / `BFTREE_METRICS_OUT`).
+    metrics_out: Option<PathBuf>,
 }
 
 impl StorageArgs {
@@ -43,6 +47,9 @@ impl StorageArgs {
         if let Ok(v) = std::env::var("BFTREE_DIR") {
             args.push(format!("--dir={v}"));
         }
+        if let Ok(v) = std::env::var("BFTREE_METRICS_OUT") {
+            args.push(format!("--metrics-out={v}"));
+        }
         Self::parse(args)
     }
 
@@ -51,6 +58,7 @@ impl StorageArgs {
     pub fn parse(args: impl IntoIterator<Item = String>) -> Self {
         let mut storage = String::from("sim");
         let mut dir: Option<PathBuf> = None;
+        let mut metrics_out: Option<PathBuf> = None;
         let mut args = args.into_iter().peekable();
         while let Some(arg) = args.next() {
             let mut take = |key: &str| -> Option<String> {
@@ -66,6 +74,8 @@ impl StorageArgs {
                 storage = v;
             } else if let Some(v) = take("--dir") {
                 dir = Some(PathBuf::from(v));
+            } else if let Some(v) = take("--metrics-out") {
+                metrics_out = Some(PathBuf::from(v));
             }
         }
         let file = match storage.as_str() {
@@ -86,7 +96,30 @@ impl StorageArgs {
             root,
             _scratch: scratch,
             contexts: AtomicU64::new(0),
+            metrics_out,
         }
+    }
+
+    /// Where `--metrics-out` points, if given.
+    pub fn metrics_out(&self) -> Option<&std::path::Path> {
+        self.metrics_out.as_deref()
+    }
+
+    /// Write `reg`'s Prometheus rendering to the `--metrics-out` path
+    /// (no-op when the flag was not given). Returns whether a file was
+    /// written.
+    pub fn write_metrics(&self, reg: &bftree_obs::MetricsRegistry) -> bool {
+        let Some(path) = self.metrics_out.as_deref() else {
+            return false;
+        };
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent).expect("metrics-out parent directory");
+            }
+        }
+        std::fs::write(path, reg.render_prometheus()).expect("write metrics snapshot");
+        eprintln!("metrics snapshot written to {}", path.display());
+        true
     }
 
     /// Whether the file backend was selected.
@@ -147,6 +180,23 @@ mod tests {
         assert!(!s.is_file());
         assert_eq!(s.label(), "sim");
         assert!(s.io_cold(StorageConfig::SsdSsd).index.file().is_none());
+    }
+
+    #[test]
+    fn parses_metrics_out_and_writes_a_snapshot() {
+        let s = StorageArgs::parse(Vec::new());
+        assert!(s.metrics_out().is_none());
+        assert!(!s.write_metrics(&bftree_obs::MetricsRegistry::new()));
+
+        let scratch = ScratchDir::new("metrics").unwrap();
+        let path = scratch.path().join("snap.prom");
+        let s = StorageArgs::parse(vec![format!("--metrics-out={}", path.display())]);
+        assert_eq!(s.metrics_out(), Some(path.as_path()));
+        let mut reg = bftree_obs::MetricsRegistry::new();
+        reg.counter("bftree_test_total", "A test counter.", &[], 7);
+        assert!(s.write_metrics(&reg));
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("bftree_test_total 7"));
     }
 
     #[test]

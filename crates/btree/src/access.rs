@@ -270,6 +270,7 @@ impl AccessMethod for BPlusTree {
     /// (one descent, one data page), not the duplicate-run machinery
     /// of the streaming core.
     fn probe_first(&self, key: u64, rel: &Relation, io: &IoContext) -> Result<Probe, ProbeError> {
+        let _span = bftree_obs::span(bftree_obs::SpanKind::Probe);
         check_relation(rel)?;
         let mut result = Probe::default();
         if let Some(tref) = self.search(key, Some(&io.index)) {

@@ -678,6 +678,56 @@ impl BufferManager {
     }
 }
 
+impl bftree_obs::MetricSource for BufferManager {
+    /// Register the manager's merged counters and residency (the
+    /// `bftree_buffer_*` family).
+    fn collect(&self, reg: &mut bftree_obs::MetricsRegistry) {
+        let s = self.stats();
+        reg.counter(
+            "bftree_buffer_hits_total",
+            "Accesses served from a resident frame",
+            &[],
+            s.hits,
+        );
+        reg.counter(
+            "bftree_buffer_misses_total",
+            "Accesses that found no resident frame",
+            &[],
+            s.misses,
+        );
+        reg.counter(
+            "bftree_buffer_evictions_total",
+            "Frames evicted to make room",
+            &[],
+            s.evictions,
+        );
+        reg.gauge(
+            "bftree_buffer_resident_bytes",
+            "Bytes currently resident",
+            &[],
+            s.resident_bytes as f64,
+        );
+        reg.gauge(
+            "bftree_buffer_resident_pages",
+            "Pages currently resident",
+            &[],
+            s.resident_pages as f64,
+        );
+        reg.gauge(
+            "bftree_buffer_budget_bytes",
+            "Total byte budget before reservations",
+            &[],
+            s.budget_bytes as f64,
+        );
+        reg.gauge(
+            "bftree_buffer_reserved_bytes",
+            "Bytes carved out by reservations",
+            &[],
+            s.reserved_bytes as f64,
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -83,6 +83,7 @@ impl AccessMethod for BfTree {
     /// the probe stops at the first hit — the generic
     /// [`FirstMatch`]-sink default cannot know to do that.
     fn probe_first(&self, key: u64, rel: &Relation, io: &IoContext) -> Result<Probe, ProbeError> {
+        let _span = bftree_obs::span(bftree_obs::SpanKind::Probe);
         check_relation(rel)?;
         let mut first = FirstMatch::default();
         let r = with_scratch(|scratch| {
@@ -110,6 +111,8 @@ impl AccessMethod for BfTree {
         rel: &Relation,
         io: &IoContext,
     ) -> Result<Vec<Probe>, ProbeError> {
+        let mut span = bftree_obs::span(bftree_obs::SpanKind::BatchProbe);
+        span.set_detail(keys.len() as u64);
         check_relation(rel)?;
         let mut out: Vec<Probe> = Vec::with_capacity(keys.len());
         out.resize_with(keys.len(), Probe::default);

@@ -197,6 +197,7 @@ impl BfLeaf {
     ) -> u64 {
         buckets.clear();
         self.group.matching_buckets_fp_into(fp, buckets);
+        bftree_obs::note_filter_probes(self.group.len() as u64);
         for &b in buckets.iter() {
             let start = self.min_pid + b as u64 * self.pages_per_bf;
             let end = (start + self.pages_per_bf - 1).min(self.max_pid);
@@ -249,6 +250,9 @@ impl BfLeaf {
                 out.push(pid);
             }
         }
+        // Attribute the workers' probes to the calling thread: op
+        // counters are thread-local and the open span lives here.
+        bftree_obs::note_filter_probes(s as u64);
         s as u64
     }
 

@@ -43,6 +43,7 @@ impl AccessMethod for FdTree {
     /// ([`FdTree::search`], exactly one page per level) instead of the
     /// duplicate-spill walk of [`FdTree::search_all`].
     fn probe_first(&self, key: u64, rel: &Relation, io: &IoContext) -> Result<Probe, ProbeError> {
+        let _span = bftree_obs::span(bftree_obs::SpanKind::Probe);
         check_relation(rel)?;
         let mut result = Probe::default();
         if let Some(tref) = self.search(key, Some(&io.index)) {

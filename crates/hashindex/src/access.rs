@@ -75,6 +75,7 @@ impl AccessMethod for HashIndex {
     /// Override: one bucket lookup, one data page — no need to sort
     /// the full duplicate set the streaming core would.
     fn probe_first(&self, key: u64, rel: &Relation, io: &IoContext) -> Result<Probe, ProbeError> {
+        let _span = bftree_obs::span(bftree_obs::SpanKind::Probe);
         check_relation(rel)?;
         let mut result = Probe::default();
         if let Some(tref) = self.get(key) {

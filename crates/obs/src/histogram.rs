@@ -1,0 +1,264 @@
+//! The log₂-bucketed latency histogram, promoted out of the bench
+//! crate so access methods, the metrics registry, and the harness all
+//! share one implementation.
+
+/// A log₂-bucketed latency histogram over simulated nanoseconds.
+///
+/// Bucket `i` holds operations with `ns` of bit length `i` (i.e.
+/// `2^(i-1) ≤ ns < 2^i`; zero-cost ops land in bucket 0), so quantile
+/// queries resolve to within a factor of two — plenty to tell a
+/// cache-hit probe from a one-I/O probe from a false-read probe.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    buckets: [u64; 64],
+    count: u64,
+    total_ns: u64,
+    max_ns: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: [0; 64],
+            count: 0,
+            total_ns: 0,
+            max_ns: 0,
+        }
+    }
+
+    /// Record one operation's simulated latency.
+    pub fn record(&mut self, ns: u64) {
+        let bucket = (64 - ns.leading_zeros()) as usize;
+        self.buckets[bucket.min(63)] += 1;
+        self.count += 1;
+        self.total_ns += ns;
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Fold another histogram into this one (per-thread → run merge).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.total_ns += other.total_ns;
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+
+    /// Number of recorded operations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean latency in nanoseconds.
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_ns as f64 / self.count as f64
+        }
+    }
+
+    /// Largest recorded latency in nanoseconds.
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns
+    }
+
+    /// Upper bound of the bucket holding quantile `q` ∈ [0, 1] —
+    /// within 2× of the true quantile.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q), "quantile out of [0, 1]");
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return if i == 0 { 0 } else { 1u64 << i };
+            }
+        }
+        self.max_ns
+    }
+
+    /// Occupancy of bucket `i` (operations with `ns` of bit length
+    /// `i`). Exposed so tests can pin the boundary rule.
+    pub fn bucket(&self, i: usize) -> u64 {
+        self.buckets[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A tiny deterministic generator (splitmix64) so the battery is
+    /// seeded without pulling in a rand crate.
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    #[test]
+    fn bucket_boundaries_follow_bit_length() {
+        let mut h = LatencyHistogram::new();
+        // Exact boundary battery: 0 → bucket 0; 2^(i-1) and 2^i - 1
+        // both land in bucket i.
+        h.record(0);
+        assert_eq!(h.bucket(0), 1);
+        for i in 1..=10usize {
+            let lo = 1u64 << (i - 1);
+            let hi = (1u64 << i) - 1;
+            let mut g = LatencyHistogram::new();
+            g.record(lo);
+            g.record(hi);
+            assert_eq!(g.bucket(i), 2, "2^{} and 2^{}-1 share bucket {i}", i - 1, i);
+        }
+        // The top bucket absorbs everything of bit length ≥ 63.
+        let mut top = LatencyHistogram::new();
+        top.record(1u64 << 63);
+        top.record(1u64 << 62);
+        assert_eq!(top.bucket(63), 2);
+    }
+
+    #[test]
+    fn merge_is_commutative_and_associative() {
+        let mut seed = 0xDEADBEEFu64;
+        let feed = |h: &mut LatencyHistogram, n: usize, s: &mut u64| {
+            for _ in 0..n {
+                h.record(splitmix64(s) >> 40);
+            }
+        };
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut c = LatencyHistogram::new();
+        feed(&mut a, 500, &mut seed);
+        feed(&mut b, 300, &mut seed);
+        feed(&mut c, 700, &mut seed);
+
+        // merge(a, b) == merge(b, a)
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab.count(), ba.count());
+        assert_eq!(ab.mean_ns(), ba.mean_ns());
+        assert_eq!(ab.max_ns(), ba.max_ns());
+        for i in 0..64 {
+            assert_eq!(ab.bucket(i), ba.bucket(i), "bucket {i}");
+        }
+
+        // (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c)
+        let mut left = ab.clone();
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        assert_eq!(left.count(), right.count());
+        assert_eq!(left.mean_ns(), right.mean_ns());
+        for q in [0.5, 0.9, 0.95, 0.99, 1.0] {
+            assert_eq!(left.quantile_ns(q), right.quantile_ns(q));
+        }
+        for i in 0..64 {
+            assert_eq!(left.bucket(i), right.bucket(i), "bucket {i}");
+        }
+    }
+
+    #[test]
+    fn quantiles_bracket_true_values_for_known_distributions() {
+        // Uniform over [1, 65536]: the reported quantile bucket bound
+        // must bracket the true quantile within the 2× contract.
+        let mut seed = 42u64;
+        let mut h = LatencyHistogram::new();
+        let mut values: Vec<u64> = Vec::new();
+        for _ in 0..10_000 {
+            let v = (splitmix64(&mut seed) % 65_536) + 1;
+            values.push(v);
+            h.record(v);
+        }
+        values.sort_unstable();
+        for q in [0.5, 0.9, 0.95, 0.99] {
+            let rank = ((q * values.len() as f64).ceil() as usize).max(1);
+            let truth = values[rank - 1];
+            let est = h.quantile_ns(q);
+            assert!(
+                est >= truth && est < truth.max(1) * 2,
+                "q={q}: estimate {est} must be in [true, 2·true) around {truth}"
+            );
+        }
+        let p100 = h.quantile_ns(1.0);
+        assert!(p100 >= h.max_ns() && p100 <= 2 * h.max_ns());
+
+        // A bimodal (cache-hit vs device-read) distribution: p50 sits
+        // in the low mode, p99 in the high mode.
+        let mut bi = LatencyHistogram::new();
+        for _ in 0..95 {
+            bi.record(100); // "cache hit"
+        }
+        for _ in 0..5 {
+            bi.record(100_000); // "device read"
+        }
+        assert!((64..=256).contains(&bi.quantile_ns(0.5)));
+        assert!(bi.quantile_ns(0.99) >= 65_536);
+    }
+
+    #[test]
+    fn empty_and_degenerate_histograms() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean_ns(), 0.0);
+        assert_eq!(h.quantile_ns(0.5), 0);
+        let mut z = LatencyHistogram::new();
+        z.record(0);
+        assert_eq!(z.quantile_ns(1.0), 0, "all-zero load stays in bucket 0");
+    }
+
+    #[test]
+    fn quantiles_bracket_recorded_values() {
+        let mut h = LatencyHistogram::new();
+        for ns in [100u64, 100, 100, 100, 100, 100, 100, 100, 100, 10_000] {
+            h.record(ns);
+        }
+        assert_eq!(h.count(), 10);
+        assert_eq!(h.max_ns(), 10_000);
+        let p50 = h.quantile_ns(0.5);
+        assert!((64..=256).contains(&p50), "p50 bucket holds 100ns: {p50}");
+        let p99 = h.quantile_ns(0.99);
+        assert!(p99 >= 8_192, "p99 reaches the outlier bucket: {p99}");
+        assert!((h.mean_ns() - 1_090.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn merge_equals_single_feed() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut all = LatencyHistogram::new();
+        for i in 0..1_000u64 {
+            if i % 2 == 0 {
+                a.record(i * 7)
+            } else {
+                b.record(i * 7)
+            }
+            all.record(i * 7);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert_eq!(a.mean_ns(), all.mean_ns());
+        assert_eq!(a.max_ns(), all.max_ns());
+        for q in [0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(a.quantile_ns(q), all.quantile_ns(q));
+        }
+    }
+}

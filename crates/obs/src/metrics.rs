@@ -1,0 +1,354 @@
+//! The metrics registry: one flat, pull-model collection point every
+//! layer registers its counters into, rendered as Prometheus text
+//! exposition or a JSON snapshot.
+//!
+//! Layers implement [`MetricSource`] (`IoContext`, `BufferManager`,
+//! `Wal`, `DurableIndex`, `FileStore`, `RecoveryReport`) and a binary
+//! calls [`MetricsRegistry::collect_from`] on each, then
+//! [`MetricsRegistry::render_prometheus`] / [`MetricsRegistry::to_json`].
+//! Live [`Counter`]s and [`Gauge`]s are provided for code that wants
+//! its own instruments rather than snapshotting existing state.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// What a metric's value means over time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonically non-decreasing (Prometheus `counter`).
+    Counter,
+    /// Point-in-time level (Prometheus `gauge`).
+    Gauge,
+}
+
+impl MetricKind {
+    fn prom(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+        }
+    }
+}
+
+/// One registered sample.
+#[derive(Debug, Clone)]
+pub struct Metric {
+    /// Metric family name (`bftree_io_random_reads_total`, …).
+    pub name: String,
+    /// Label pairs, rendered in insertion order.
+    pub labels: Vec<(String, String)>,
+    /// Counter or gauge.
+    pub kind: MetricKind,
+    /// Sample value.
+    pub value: f64,
+    /// One-line help text (first registration of a family wins).
+    pub help: &'static str,
+}
+
+/// A flat registry of samples; see the module docs for the flow.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    metrics: Vec<Metric>,
+}
+
+/// Anything that can dump its counters into a [`MetricsRegistry`].
+pub trait MetricSource {
+    /// Append this source's current samples to `reg`.
+    fn collect(&self, reg: &mut MetricsRegistry);
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a monotonic counter sample.
+    pub fn counter(&mut self, name: &str, help: &'static str, labels: &[(&str, &str)], value: u64) {
+        self.push(name, help, labels, MetricKind::Counter, value as f64);
+    }
+
+    /// Register a gauge sample.
+    pub fn gauge(&mut self, name: &str, help: &'static str, labels: &[(&str, &str)], value: f64) {
+        self.push(name, help, labels, MetricKind::Gauge, value);
+    }
+
+    fn push(
+        &mut self,
+        name: &str,
+        help: &'static str,
+        labels: &[(&str, &str)],
+        kind: MetricKind,
+        value: f64,
+    ) {
+        self.metrics.push(Metric {
+            name: name.to_string(),
+            labels: labels
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            kind,
+            value,
+            help,
+        });
+    }
+
+    /// Pull `source`'s samples into the registry.
+    pub fn collect_from(&mut self, source: &dyn MetricSource) {
+        source.collect(self);
+    }
+
+    /// Every registered sample, in registration order.
+    pub fn metrics(&self) -> &[Metric] {
+        &self.metrics
+    }
+
+    /// Look up the first sample whose name and labels match (tests and
+    /// report code).
+    pub fn value(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        self.metrics
+            .iter()
+            .find(|m| {
+                m.name == name
+                    && labels
+                        .iter()
+                        .all(|(k, v)| m.labels.iter().any(|(mk, mv)| mk == k && mv == v))
+            })
+            .map(|m| m.value)
+    }
+
+    /// Render the registry in Prometheus text exposition format:
+    /// `# HELP` / `# TYPE` once per family (first registration wins),
+    /// then one sample line per metric.
+    pub fn render_prometheus(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let mut seen: Vec<&str> = Vec::new();
+        for m in &self.metrics {
+            if !seen.contains(&m.name.as_str()) {
+                seen.push(&m.name);
+                if !m.help.is_empty() {
+                    writeln!(out, "# HELP {} {}", m.name, m.help).expect("write to String");
+                }
+                writeln!(out, "# TYPE {} {}", m.name, m.kind.prom()).expect("write to String");
+                for s in self.metrics.iter().filter(|s| s.name == m.name) {
+                    out.push_str(&s.name);
+                    if !s.labels.is_empty() {
+                        out.push('{');
+                        for (i, (k, v)) in s.labels.iter().enumerate() {
+                            if i > 0 {
+                                out.push(',');
+                            }
+                            write!(out, "{k}=\"{}\"", escape_label(v)).expect("write to String");
+                        }
+                        out.push('}');
+                    }
+                    writeln!(out, " {}", fmt_value(s.value)).expect("write to String");
+                }
+            }
+        }
+        out
+    }
+
+    /// Render the registry as a JSON snapshot:
+    /// `{"metrics":[{"name":…,"kind":…,"labels":{…},"value":…},…]}`.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::from("{\"metrics\":[");
+        for (i, m) in self.metrics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write!(
+                out,
+                "{{\"name\":\"{}\",\"kind\":\"{}\",\"labels\":{{",
+                escape_json(&m.name),
+                m.kind.prom()
+            )
+            .expect("write to String");
+            for (j, (k, v)) in m.labels.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                write!(out, "\"{}\":\"{}\"", escape_json(k), escape_json(v))
+                    .expect("write to String");
+            }
+            write!(out, "}},\"value\":{}}}", fmt_value(m.value)).expect("write to String");
+        }
+        out.push_str("]}\n");
+        out
+    }
+}
+
+/// Integers render without a fractional part; everything else as a
+/// plain decimal (both Prometheus- and JSON-legal).
+fn fmt_value(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 9e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn escape_json(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// A live monotonic counter (relaxed atomics; share via `Arc` or a
+/// `static`).
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A zeroed counter.
+    pub const fn new() -> Self {
+        Self(AtomicU64::new(0))
+    }
+
+    /// Add one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A live gauge holding an `f64` level (stored as bits in a relaxed
+/// atomic).
+#[derive(Debug)]
+pub struct Gauge(AtomicU64);
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Gauge {
+    /// A gauge at 0.0.
+    pub const fn new() -> Self {
+        Self(AtomicU64::new(0))
+    }
+
+    /// Set the level.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prometheus_rendering_groups_families() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter(
+            "bftree_io_reads_total",
+            "Device page reads",
+            &[("device", "index")],
+            10,
+        );
+        reg.counter(
+            "bftree_io_reads_total",
+            "Device page reads",
+            &[("device", "data")],
+            32,
+        );
+        reg.gauge("bftree_buffer_bytes", "Resident bytes", &[], 4096.5);
+        let text = reg.render_prometheus();
+        let type_lines = text
+            .lines()
+            .filter(|l| l.starts_with("# TYPE bftree_io_reads_total"))
+            .count();
+        assert_eq!(type_lines, 1, "one TYPE line per family:\n{text}");
+        assert!(text.contains("bftree_io_reads_total{device=\"index\"} 10"));
+        assert!(text.contains("bftree_io_reads_total{device=\"data\"} 32"));
+        assert!(text.contains("bftree_buffer_bytes 4096.5"));
+        assert!(text.contains("# HELP bftree_io_reads_total Device page reads"));
+        assert!(text.contains("# TYPE bftree_buffer_bytes gauge"));
+    }
+
+    #[test]
+    fn json_snapshot_is_complete() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter("a_total", "", &[("k", "v")], 7);
+        reg.gauge("b", "", &[], 1.25);
+        let json = reg.to_json();
+        assert!(json.contains(
+            "\"name\":\"a_total\",\"kind\":\"counter\",\"labels\":{\"k\":\"v\"},\"value\":7"
+        ));
+        assert!(json.contains("\"name\":\"b\",\"kind\":\"gauge\",\"labels\":{},\"value\":1.25"));
+    }
+
+    #[test]
+    fn value_lookup_matches_labels() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter("x_total", "", &[("d", "a")], 1);
+        reg.counter("x_total", "", &[("d", "b")], 2);
+        assert_eq!(reg.value("x_total", &[("d", "b")]), Some(2.0));
+        assert_eq!(reg.value("x_total", &[("d", "c")]), None);
+        assert_eq!(reg.value("missing", &[]), None);
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter("m_total", "", &[("path", "a\"b\\c")], 1);
+        let text = reg.render_prometheus();
+        assert!(text.contains("path=\"a\\\"b\\\\c\""));
+        let json = reg.to_json();
+        assert!(json.contains("a\\\"b\\\\c"));
+    }
+
+    #[test]
+    fn live_counter_and_gauge() {
+        let c = Counter::new();
+        let g = Gauge::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..1000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 4000);
+        g.set(2.5);
+        assert_eq!(g.get(), 2.5);
+    }
+
+    #[test]
+    fn source_collection() {
+        struct Fake;
+        impl MetricSource for Fake {
+            fn collect(&self, reg: &mut MetricsRegistry) {
+                reg.counter("fake_total", "A fake", &[], 3);
+            }
+        }
+        let mut reg = MetricsRegistry::new();
+        reg.collect_from(&Fake);
+        assert_eq!(reg.value("fake_total", &[]), Some(3.0));
+    }
+}

@@ -1,0 +1,224 @@
+//! Chrome `trace_event` serialization: a drained span list becomes a
+//! JSON file that opens directly in `chrome://tracing` or Perfetto.
+//!
+//! Events are emitted by a depth-first walk of the reconstructed span
+//! tree (per thread, children sorted by start time), so `B`/`E` pairs
+//! are structurally balanced and correctly nested even when adjacent
+//! timestamps tie — sorting raw events by timestamp cannot guarantee
+//! that.
+
+use crate::span::CompletedSpan;
+
+/// Serialize completed spans as Chrome `trace_event` JSON.
+///
+/// Duration spans become `B`/`E` pairs; the `E` event carries the
+/// span's attribution (`sim_ns`, `device_reads`, `cache_hits`,
+/// `fsyncs`, `filter_probes`, `detail`) as `args`. Timestamps are
+/// microseconds from the process epoch; `tid` is the recording
+/// thread.
+pub fn chrome_trace_json(spans: &[CompletedSpan]) -> String {
+    // Index children under their parent, roots under none.
+    let mut roots: Vec<usize> = Vec::new();
+    let mut children: std::collections::HashMap<u64, Vec<usize>> = std::collections::HashMap::new();
+    for (i, s) in spans.iter().enumerate() {
+        match s.parent {
+            Some(p) => children.entry(p).or_default().push(i),
+            None => roots.push(i),
+        }
+    }
+    let by_start = |&a: &usize, &b: &usize| {
+        let (sa, sb) = (&spans[a], &spans[b]);
+        (sa.thread, sa.start_wall_ns, sa.id).cmp(&(sb.thread, sb.start_wall_ns, sb.id))
+    };
+    roots.sort_by(by_start);
+    for v in children.values_mut() {
+        v.sort_by(|&a, &b| {
+            (spans[a].start_wall_ns, spans[a].id).cmp(&(spans[b].start_wall_ns, spans[b].id))
+        });
+    }
+
+    let mut out = String::with_capacity(256 + spans.len() * 160);
+    out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+    let mut first = true;
+    // Iterative DFS: (index, entering?) — emit B on the way down, E on
+    // the way back up.
+    let mut stack: Vec<(usize, bool)> = roots.iter().rev().map(|&i| (i, true)).collect();
+    while let Some((i, entering)) = stack.pop() {
+        let s = &spans[i];
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        if entering {
+            push_event(&mut out, s, 'B');
+            stack.push((i, false));
+            if let Some(kids) = children.get(&s.id) {
+                for &k in kids.iter().rev() {
+                    stack.push((k, true));
+                }
+            }
+        } else {
+            push_event(&mut out, s, 'E');
+        }
+    }
+    out.push_str("]}\n");
+    out
+}
+
+fn push_event(out: &mut String, s: &CompletedSpan, ph: char) {
+    use std::fmt::Write;
+    let ts = if ph == 'B' {
+        s.start_wall_ns
+    } else {
+        s.end_wall_ns
+    };
+    write!(
+        out,
+        "{{\"name\":\"{}\",\"cat\":\"bftree\",\"ph\":\"{}\",\"ts\":{:.3},\"pid\":1,\"tid\":{}",
+        s.kind.name(),
+        ph,
+        ts as f64 / 1e3,
+        s.thread
+    )
+    .expect("write to String");
+    if ph == 'E' {
+        write!(
+            out,
+            ",\"args\":{{\"sim_ns\":{},\"device_reads\":{},\"cache_hits\":{},\"fsyncs\":{},\"filter_probes\":{},\"detail\":{}}}",
+            s.sim_ns,
+            s.counters.device_reads,
+            s.counters.cache_hits,
+            s.counters.fsyncs,
+            s.counters.filter_probes,
+            s.detail
+        )
+        .expect("write to String");
+    }
+    out.push('}');
+}
+
+/// Structural sanity check on an emitted trace: every `B` has a
+/// matching `E` on the same thread, never closing below depth 0.
+/// Returns the total number of `B`/`E` pairs, or an error naming the
+/// first imbalance. (This is a purpose-built checker for the exact
+/// shape [`chrome_trace_json`] emits, not a general JSON parser.)
+pub fn check_balanced(trace: &str) -> Result<u64, String> {
+    let mut depth: std::collections::HashMap<u64, i64> = std::collections::HashMap::new();
+    let mut pairs = 0u64;
+    for (i, ev) in trace.split("{\"name\":").skip(1).enumerate() {
+        let ph = ev
+            .split("\"ph\":\"")
+            .nth(1)
+            .and_then(|r| r.chars().next())
+            .ok_or_else(|| format!("event {i}: no ph field"))?;
+        let tid: u64 = ev
+            .split("\"tid\":")
+            .nth(1)
+            .and_then(|r| {
+                r.split(|c: char| !c.is_ascii_digit())
+                    .next()
+                    .and_then(|d| d.parse().ok())
+            })
+            .ok_or_else(|| format!("event {i}: no tid field"))?;
+        let d = depth.entry(tid).or_insert(0);
+        match ph {
+            'B' => *d += 1,
+            'E' => {
+                *d -= 1;
+                if *d < 0 {
+                    return Err(format!("event {i}: E without B on tid {tid}"));
+                }
+                pairs += 1;
+            }
+            other => return Err(format!("event {i}: unexpected ph {other:?}")),
+        }
+    }
+    for (tid, d) in depth {
+        if d != 0 {
+            return Err(format!("tid {tid}: {d} unclosed span(s)"));
+        }
+    }
+    Ok(pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{OpCounters, SpanKind};
+
+    fn span(
+        id: u64,
+        parent: Option<u64>,
+        kind: SpanKind,
+        thread: u64,
+        start: u64,
+        end: u64,
+        reads: u64,
+    ) -> CompletedSpan {
+        CompletedSpan {
+            id,
+            parent,
+            kind,
+            thread,
+            start_wall_ns: start,
+            end_wall_ns: end,
+            sim_ns: end - start,
+            counters: OpCounters {
+                device_reads: reads,
+                ..OpCounters::default()
+            },
+            detail: 0,
+        }
+    }
+
+    #[test]
+    fn nested_spans_serialize_balanced_and_ordered() {
+        let spans = vec![
+            span(1, None, SpanKind::BatchProbe, 1, 0, 1000, 5),
+            span(2, Some(1), SpanKind::Probe, 1, 100, 400, 2),
+            span(3, Some(1), SpanKind::Probe, 1, 400, 900, 3),
+            span(4, None, SpanKind::Fsync, 2, 50, 60, 0),
+        ];
+        let json = chrome_trace_json(&spans);
+        assert_eq!(check_balanced(&json).expect("balanced"), 4);
+        // The child's B comes after the parent's B and before the
+        // parent's E (DFS order).
+        let b_outer = json.find("\"ph\":\"B\",\"ts\":0.000").unwrap();
+        let b_inner = json.find("\"ph\":\"B\",\"ts\":0.100").unwrap();
+        let e_outer = json.find("\"ph\":\"E\",\"ts\":1.000").unwrap();
+        assert!(b_outer < b_inner && b_inner < e_outer);
+        assert!(json.contains("\"name\":\"fsync\""));
+        assert!(json.contains("\"device_reads\":5"));
+        assert!(json.ends_with("]}\n"));
+    }
+
+    #[test]
+    fn equal_timestamps_still_nest_correctly() {
+        // A zero-duration child starting exactly at its parent's start:
+        // timestamp sorting would be ambiguous, the tree walk is not.
+        let spans = vec![
+            span(1, None, SpanKind::Probe, 1, 500, 500, 0),
+            span(2, Some(1), SpanKind::Fsync, 1, 500, 500, 0),
+        ];
+        let json = chrome_trace_json(&spans);
+        assert_eq!(check_balanced(&json).expect("balanced"), 2);
+        let order: Vec<&str> = json
+            .match_indices("\"ph\":\"")
+            .map(|(i, _)| &json[i + 6..i + 7])
+            .collect();
+        assert_eq!(order, ["B", "B", "E", "E"], "parent brackets child");
+    }
+
+    #[test]
+    fn empty_trace_is_valid() {
+        let json = chrome_trace_json(&[]);
+        assert_eq!(check_balanced(&json).expect("balanced"), 0);
+        assert!(json.contains("\"traceEvents\":[]"));
+    }
+
+    #[test]
+    fn imbalance_is_reported() {
+        let bad = "{\"traceEvents\":[{\"name\":\"x\",\"ph\":\"E\",\"ts\":1,\"tid\":3}]}";
+        assert!(check_balanced(bad).is_err());
+    }
+}

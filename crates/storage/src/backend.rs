@@ -300,6 +300,7 @@ impl PageDevice {
     /// Charge a durability barrier (see [`SimDevice::fsync`]).
     #[inline]
     pub fn fsync(&self) {
+        let _span = bftree_obs::span(bftree_obs::SpanKind::Fsync);
         match self {
             PageDevice::Sim(dev) => dev.fsync(),
             PageDevice::File(dev) => dev.fsync(),

@@ -275,6 +275,24 @@ impl IoContext {
     }
 }
 
+impl bftree_obs::MetricSource for IoContext {
+    /// Register both devices' counters (labelled `device="index"` /
+    /// `device="data"`), the shared buffer manager's stats when one is
+    /// attached, and any file stores behind the devices.
+    fn collect(&self, reg: &mut bftree_obs::MetricsRegistry) {
+        self.index.snapshot().register_metrics(reg, "index");
+        self.data.snapshot().register_metrics(reg, "data");
+        if let Some(manager) = self.manager.as_ref() {
+            reg.collect_from(manager.as_ref());
+        }
+        for (label, device) in [("index", &self.index), ("data", &self.data)] {
+            if let PageDevice::File(f) = device {
+                f.store().register_metrics(reg, label);
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -41,6 +41,7 @@
 //! every read, write, and issued fsync accumulate in a
 //! [`WallSnapshot`], the measured twin of the simulator's `sim_ns`.
 
+use bftree_obs::WallTimer;
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
 use std::io;
@@ -48,7 +49,6 @@ use std::os::unix::fs::FileExt;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
-use std::time::Instant;
 
 use crate::page::{PageId, PAGE_SIZE};
 
@@ -545,13 +545,13 @@ impl FileStore {
             crc: 0,
             next_free: inner.free_head,
         };
-        let t = Instant::now();
+        let t = WallTimer::start();
         inner
             .file
             .write_all_at(&header.encode(), slot_offset(slot))?;
         self.wall
             .write_ns
-            .fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            .fetch_add(t.elapsed_ns(), Ordering::Relaxed);
         self.wall.writes.fetch_add(1, Ordering::Relaxed);
         inner.free_head = slot;
         inner.free_len += 1;
@@ -587,12 +587,12 @@ impl FileStore {
             .map
             .get(&page)
             .ok_or(DeviceError::UnknownPage { page })?;
-        let t = Instant::now();
+        let t = WallTimer::start();
         let mut buf = vec![0u8; SLOT_SIZE as usize];
         let got = read_full_at(&inner.file, &mut buf, slot_offset(slot))?;
         self.wall
             .read_ns
-            .fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            .fetch_add(t.elapsed_ns(), Ordering::Relaxed);
         self.wall.reads.fetch_add(1, Ordering::Relaxed);
         if got < PAGE_HEADER {
             return Err(DeviceError::ShortRead {
@@ -727,14 +727,14 @@ impl FileStore {
             crc: page_crc(page, lsn, payload),
             next_free: NO_SLOT,
         };
-        let t = Instant::now();
+        let t = WallTimer::start();
         let mut frame = Vec::with_capacity(PAGE_HEADER + payload.len());
         frame.extend_from_slice(&header.encode());
         frame.extend_from_slice(payload);
         inner.file.write_all_at(&frame, slot_offset(slot))?;
         self.wall
             .write_ns
-            .fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            .fetch_add(t.elapsed_ns(), Ordering::Relaxed);
         self.wall.writes.fetch_add(1, Ordering::Relaxed);
         if materialize {
             self.wall.materialized.fetch_add(1, Ordering::Relaxed);
@@ -817,11 +817,11 @@ impl FileStore {
     }
 
     fn issue_sync(&self, inner: &mut Inner) -> Result<(), DeviceError> {
-        let t = Instant::now();
+        let t = WallTimer::start();
         inner.file.sync_data()?;
         self.wall
             .sync_ns
-            .fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            .fetch_add(t.elapsed_ns(), Ordering::Relaxed);
         self.wall.syncs_issued.fetch_add(1, Ordering::Relaxed);
         inner.pending_syncs = 0;
         Ok(())
@@ -835,6 +835,69 @@ impl FileStore {
     /// Wall-clock counters so far.
     pub fn wall(&self) -> WallSnapshot {
         self.wall.snapshot()
+    }
+
+    /// Register the store's wall-clock counters into a metrics
+    /// registry, labelled with the store's role (`index`, `data`,
+    /// `wal`, …). [`bftree_obs::MetricSource`] delegates here with an
+    /// empty label for standalone stores.
+    pub fn register_metrics(&self, reg: &mut bftree_obs::MetricsRegistry, store: &str) {
+        let w = self.wall();
+        let l = &[("store", store)];
+        reg.counter(
+            "bftree_file_reads_total",
+            "Page reads issued against the file",
+            l,
+            w.reads,
+        );
+        reg.counter(
+            "bftree_file_writes_total",
+            "Page writes issued against the file",
+            l,
+            w.writes,
+        );
+        reg.counter(
+            "bftree_file_materialized_total",
+            "Pages materialized on first access",
+            l,
+            w.materialized,
+        );
+        reg.counter(
+            "bftree_file_sync_requests_total",
+            "Sync requests received before batching",
+            l,
+            w.sync_requests,
+        );
+        reg.counter(
+            "bftree_file_syncs_issued_total",
+            "fdatasync barriers actually issued",
+            l,
+            w.syncs_issued,
+        );
+        reg.counter(
+            "bftree_file_read_ns_total",
+            "Wall nanoseconds spent in reads",
+            l,
+            w.read_ns,
+        );
+        reg.counter(
+            "bftree_file_write_ns_total",
+            "Wall nanoseconds spent in writes",
+            l,
+            w.write_ns,
+        );
+        reg.counter(
+            "bftree_file_sync_ns_total",
+            "Wall nanoseconds spent in issued syncs",
+            l,
+            w.sync_ns,
+        );
+    }
+}
+
+impl bftree_obs::MetricSource for FileStore {
+    fn collect(&self, reg: &mut bftree_obs::MetricsRegistry) {
+        self.register_metrics(reg, "");
     }
 }
 

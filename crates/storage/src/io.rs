@@ -8,15 +8,36 @@
 //! (parallelized BF probes) stays bookkeeping-free. [`IoStats::snapshot`]
 //! merges the shards into one [`IoSnapshot`].
 //!
-//! Per-*thread* accounting rides along: every charge also bumps a
-//! plain thread-local nanosecond counter, readable via
-//! [`thread_sim_ns`]. Deltas of that counter around an operation give
-//! the operation's simulated latency without touching shared state —
-//! this is what the parallel bench driver builds its latency
-//! histograms from.
+//! Per-*thread* accounting rides along: every charge also advances the
+//! thread-local simulated clock that lives in `bftree-obs`
+//! ([`thread_sim_ns`], re-exported here). Deltas of that counter
+//! around an operation give the operation's simulated latency without
+//! touching shared state — this is what the parallel bench driver
+//! builds its latency histograms from.
+//!
+//! The `record_*` methods are also the observability choke point:
+//! each one notes its operation to `bftree-obs` so open spans and
+//! `QueryTrace`s can attribute I/O to individual requests. The hooks
+//! never feed back into the counters here — I/O totals are
+//! bit-identical whether recording is on, off, or compiled out.
 
 use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Simulated nanoseconds charged *by the calling thread* across every
+/// device since the thread started. Monotone — take a delta around an
+/// operation to get that operation's simulated latency:
+///
+/// ```
+/// use bftree_storage::{thread_sim_ns, DeviceKind, SimDevice};
+///
+/// let dev = SimDevice::cold(DeviceKind::Ssd);
+/// let before = thread_sim_ns();
+/// dev.read_random(7);
+/// let latency_ns = thread_sim_ns() - before;
+/// assert!(latency_ns > 0);
+/// ```
+pub use bftree_obs::thread_sim_ns;
 
 /// One cache-line-aligned block of counters. The alignment keeps two
 /// shards from sharing a 64-byte line, which is the whole point of
@@ -39,30 +60,10 @@ struct Shard {
 thread_local! {
     /// This thread's shard index, assigned on first record.
     static MY_SHARD: Cell<usize> = const { Cell::new(usize::MAX) };
-    /// Simulated nanoseconds charged by this thread, across all
-    /// devices, since thread start. Monotone; callers take deltas.
-    static MY_SIM_NS: Cell<u64> = const { Cell::new(0) };
 }
 
 /// Process-wide round-robin source of shard assignments.
 static NEXT_SHARD: AtomicUsize = AtomicUsize::new(0);
-
-/// Simulated nanoseconds charged *by the calling thread* across every
-/// device since the thread started. Monotone — take a delta around an
-/// operation to get that operation's simulated latency:
-///
-/// ```
-/// use bftree_storage::{thread_sim_ns, DeviceKind, SimDevice};
-///
-/// let dev = SimDevice::cold(DeviceKind::Ssd);
-/// let before = thread_sim_ns();
-/// dev.read_random(7);
-/// let latency_ns = thread_sim_ns() - before;
-/// assert!(latency_ns > 0);
-/// ```
-pub fn thread_sim_ns() -> u64 {
-    MY_SIM_NS.with(|c| c.get())
-}
 
 #[inline]
 fn shard_index() -> usize {
@@ -138,7 +139,8 @@ impl IoStats {
         s.random_reads.fetch_add(1, Ordering::Relaxed);
         s.bytes_read.fetch_add(bytes, Ordering::Relaxed);
         s.sim_ns.fetch_add(ns, Ordering::Relaxed);
-        MY_SIM_NS.with(|c| c.set(c.get() + ns));
+        bftree_obs::add_thread_sim_ns(ns);
+        bftree_obs::note_device_reads(1);
     }
 
     /// Record `n` random page reads of `bytes` each, costing `ns`
@@ -155,7 +157,8 @@ impl IoStats {
         s.random_reads.fetch_add(n, Ordering::Relaxed);
         s.bytes_read.fetch_add(n * bytes, Ordering::Relaxed);
         s.sim_ns.fetch_add(n * ns, Ordering::Relaxed);
-        MY_SIM_NS.with(|c| c.set(c.get() + n * ns));
+        bftree_obs::add_thread_sim_ns(n * ns);
+        bftree_obs::note_device_reads(n);
     }
 
     /// Record a sequential page read of `bytes` costing `ns`.
@@ -165,7 +168,8 @@ impl IoStats {
         s.seq_reads.fetch_add(1, Ordering::Relaxed);
         s.bytes_read.fetch_add(bytes, Ordering::Relaxed);
         s.sim_ns.fetch_add(ns, Ordering::Relaxed);
-        MY_SIM_NS.with(|c| c.set(c.get() + ns));
+        bftree_obs::add_thread_sim_ns(ns);
+        bftree_obs::note_device_reads(1);
     }
 
     /// Record a page write of `bytes` costing `ns`.
@@ -175,7 +179,7 @@ impl IoStats {
         s.writes.fetch_add(1, Ordering::Relaxed);
         s.bytes_written.fetch_add(bytes, Ordering::Relaxed);
         s.sim_ns.fetch_add(ns, Ordering::Relaxed);
-        MY_SIM_NS.with(|c| c.set(c.get() + ns));
+        bftree_obs::add_thread_sim_ns(ns);
     }
 
     /// Record a buffer-pool hit costing `ns` (memory latency; no bytes
@@ -185,7 +189,8 @@ impl IoStats {
         let s = &self.shards[shard_index()];
         s.cache_hits.fetch_add(1, Ordering::Relaxed);
         s.sim_ns.fetch_add(ns, Ordering::Relaxed);
-        MY_SIM_NS.with(|c| c.set(c.get() + ns));
+        bftree_obs::add_thread_sim_ns(ns);
+        bftree_obs::note_cache_hits(1);
     }
 
     /// Record a durability barrier costing `ns` (no bytes move — the
@@ -195,7 +200,8 @@ impl IoStats {
         let s = &self.shards[shard_index()];
         s.fsyncs.fetch_add(1, Ordering::Relaxed);
         s.sim_ns.fetch_add(ns, Ordering::Relaxed);
-        MY_SIM_NS.with(|c| c.set(c.get() + ns));
+        bftree_obs::add_thread_sim_ns(ns);
+        bftree_obs::note_fsync();
     }
 
     /// Record `n` buffer-pool evictions caused by admitting this
@@ -207,6 +213,7 @@ impl IoStats {
             self.shards[shard_index()]
                 .cache_evictions
                 .fetch_add(n, Ordering::Relaxed);
+            bftree_obs::event(bftree_obs::SpanKind::Eviction, n);
         }
     }
 
@@ -304,6 +311,61 @@ impl IoSnapshot {
     /// Simulated time in microseconds.
     pub fn sim_us(&self) -> f64 {
         self.sim_ns as f64 / 1e3
+    }
+
+    /// Register this snapshot's counters into a metrics registry,
+    /// labelled with the device role (`index`, `data`, `wal`, …).
+    pub fn register_metrics(&self, reg: &mut bftree_obs::MetricsRegistry, device: &str) {
+        let l = &[("device", device)];
+        reg.counter(
+            "bftree_io_random_reads_total",
+            "Randomly-located page reads that reached the device",
+            l,
+            self.random_reads,
+        );
+        reg.counter(
+            "bftree_io_seq_reads_total",
+            "Sequential page reads that reached the device",
+            l,
+            self.seq_reads,
+        );
+        reg.counter("bftree_io_writes_total", "Page writes", l, self.writes);
+        reg.counter(
+            "bftree_io_cache_hits_total",
+            "Reads absorbed by the buffer pool",
+            l,
+            self.cache_hits,
+        );
+        reg.counter(
+            "bftree_io_cache_evictions_total",
+            "Buffer-pool evictions caused by this device's misses",
+            l,
+            self.cache_evictions,
+        );
+        reg.counter(
+            "bftree_io_bytes_read_total",
+            "Bytes transferred by device reads",
+            l,
+            self.bytes_read,
+        );
+        reg.counter(
+            "bftree_io_bytes_written_total",
+            "Bytes transferred by writes",
+            l,
+            self.bytes_written,
+        );
+        reg.counter(
+            "bftree_io_fsyncs_total",
+            "Durability barriers issued against the device",
+            l,
+            self.fsyncs,
+        );
+        reg.counter(
+            "bftree_io_sim_ns_total",
+            "Accumulated simulated nanoseconds",
+            l,
+            self.sim_ns,
+        );
     }
 }
 

@@ -101,6 +101,7 @@ impl Wal {
     /// mode this may sync immediately (per-record), when the group
     /// window fills, or never (async).
     pub fn append(&mut self, rec: &WalRecord) -> u64 {
+        let _span = bftree_obs::span(bftree_obs::SpanKind::WalAppend);
         let lsn = self.push_record(rec);
         match self.mode {
             DurabilityMode::PerRecord => self.sync(),
@@ -213,6 +214,43 @@ impl Wal {
             page += 1;
         }
         Some(image)
+    }
+}
+
+impl bftree_obs::MetricSource for Wal {
+    fn collect(&self, reg: &mut bftree_obs::MetricsRegistry) {
+        let mode = [("mode", self.mode.label())];
+        reg.counter(
+            "bftree_wal_records_total",
+            "Records appended to the write-ahead log, including checkpoints.",
+            &mode,
+            self.records,
+        );
+        reg.counter(
+            "bftree_wal_syncs_total",
+            "Sync barriers issued by the log (each is one device fsync).",
+            &mode,
+            self.syncs,
+        );
+        reg.gauge(
+            "bftree_wal_pending_records",
+            "Records appended since the last sync (the crash-exposed tail).",
+            &mode,
+            self.pending_records as f64,
+        );
+        reg.gauge(
+            "bftree_wal_len_bytes",
+            "Total appended log bytes (the full image).",
+            &mode,
+            self.buf.len() as f64,
+        );
+        reg.gauge(
+            "bftree_wal_synced_bytes",
+            "Durable log prefix in bytes (what any crash preserves).",
+            &mode,
+            self.synced_len as f64,
+        );
+        self.device.snapshot().register_metrics(reg, "wal");
     }
 }
 
