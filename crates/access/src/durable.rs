@@ -188,6 +188,70 @@ impl bftree_obs::MetricSource for RecoveryReport {
     }
 }
 
+/// Outcome of one [`DurableIndex::repair_quarantined`] sweep.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RepairReport {
+    /// Quarantined pages rewritten, verified, and released — across
+    /// the index, data, and log devices.
+    pub pages_repaired: u64,
+    /// Pages whose rewrite itself failed; they stay quarantined for a
+    /// later sweep.
+    pub pages_failed: u64,
+    /// WAL records whose frames the repaired log pages covered (the
+    /// "records replayed" of a log-page repair).
+    pub wal_records_replayed: u64,
+}
+
+impl RepairReport {
+    /// True when nothing was left quarantined by this sweep.
+    pub fn healed(&self) -> bool {
+        self.pages_failed == 0
+    }
+}
+
+/// A [`Probe`](crate::Probe) plus an honesty bit (see
+/// [`DurableIndex::probe_degraded`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DegradedProbe {
+    /// The matches that were reachable.
+    pub probe: crate::Probe,
+    /// `true` means the answer is authoritative: no page was
+    /// quarantined while probing and no match sits on a page awaiting
+    /// repair. `false` means matches may be missing — answer from
+    /// memtable + surviving base pages only.
+    pub complete: bool,
+    /// Match-bearing data pages currently in quarantine (their tuples
+    /// are in the answer, but the page needs repair before the next
+    /// cold read).
+    pub quarantined_matches: Vec<PageId>,
+}
+
+/// New-admission quarantine events across the context's file-backed
+/// devices (sim devices contribute 0).
+fn quarantine_events(io: &IoContext) -> u64 {
+    [&io.index, &io.data]
+        .into_iter()
+        .filter_map(|dev| dev.file())
+        .map(|file| file.store().quarantine().event_count())
+        .sum()
+}
+
+/// How many drained records of `image` have a frame overlapping the
+/// byte range `[lo, hi)` — the records a repaired log page covered.
+fn records_covering(image: &[u8], lo: usize, hi: usize) -> u64 {
+    let (records, _) = WalReader::drain(image);
+    let mut covered = 0u64;
+    let mut start = 0usize;
+    for &(end, _) in &records {
+        if start < hi && end > lo {
+            covered += 1;
+        }
+        start = end;
+    }
+    let _ = start;
+    covered
+}
+
 /// Why recovery failed.
 #[derive(Debug)]
 #[non_exhaustive]
@@ -407,6 +471,95 @@ impl<A: AccessMethod> DurableIndex<A> {
     /// durability cost of the configured mode).
     pub fn wal(&self) -> &Wal {
         &self.wal
+    }
+
+    /// Repair every quarantined page on the index, data, and log
+    /// devices. The two payload sources:
+    ///
+    /// * **log-device pages** are rewritten byte-exact from the WAL's
+    ///   in-memory image — the log *is* the authoritative copy of its
+    ///   own pages, so a bit-rotted log page is replayed from it
+    ///   directly (the report counts the WAL records whose frames the
+    ///   repaired pages covered);
+    /// * **index/data pages** are re-stamped with the store's
+    ///   deterministic page image, which is exactly the payload a
+    ///   fresh materialization would produce — the synthetic-image
+    ///   equivalent of rebuilding the page from the heap.
+    ///
+    /// Pages whose rewrite itself keeps failing stay quarantined and
+    /// are counted in `pages_failed`; a later sweep retries them.
+    /// Sim-only devices have nothing to repair. Safe to call at any
+    /// time — typically after a probe reported an incomplete answer or
+    /// a scrub pass found rot.
+    pub fn repair_quarantined(&self, io: &IoContext) -> RepairReport {
+        let mut span = bftree_obs::span(bftree_obs::SpanKind::Repair);
+        let mut report = RepairReport::default();
+        for dev in [&io.index, &io.data] {
+            let Some(file) = dev.file() else { continue };
+            let store = file.store();
+            for page in store.quarantine().pages() {
+                match store.repair_page(page, None) {
+                    Ok(_) => report.pages_repaired += 1,
+                    Err(_) => report.pages_failed += 1,
+                }
+            }
+        }
+        if let Some(file) = self.wal.device().file() {
+            let store = file.store();
+            let image = self.wal.bytes();
+            for page in store.quarantine().pages() {
+                let lo = (page as usize).saturating_mul(bftree_storage::PAGE_SIZE);
+                let hi = image.len().min(lo + bftree_storage::PAGE_SIZE);
+                let payload: &[u8] = if lo < hi { &image[lo..hi] } else { &[] };
+                match store.repair_page(page, Some(payload)) {
+                    Ok(_) => {
+                        report.pages_repaired += 1;
+                        report.wal_records_replayed += records_covering(image, lo, hi);
+                    }
+                    Err(_) => report.pages_failed += 1,
+                }
+            }
+        }
+        span.set_detail(report.pages_repaired);
+        report
+    }
+
+    /// A probe that reports *how much* of the answer it could reach
+    /// instead of pretending. The probe itself never panics under
+    /// faults — unreadable pages are quarantined by the storage layer
+    /// and their matches may be missing — so the caller learns from
+    /// [`DegradedProbe::complete`] whether the answer is authoritative
+    /// or partial (memtable + surviving base pages only). On a partial
+    /// answer, run [`DurableIndex::repair_quarantined`] and re-probe.
+    pub fn probe_degraded(
+        &self,
+        key: u64,
+        rel: &Relation,
+        io: &IoContext,
+    ) -> Result<DegradedProbe, ProbeError> {
+        let events_before = quarantine_events(io);
+        let probe = AccessMethod::probe(self, key, rel, io)?;
+        let tripped = quarantine_events(io) > events_before;
+        let quarantined_matches = match io.data.file() {
+            None => Vec::new(),
+            Some(file) => {
+                let q = file.store().quarantine();
+                let mut pages: Vec<PageId> = probe
+                    .matches
+                    .iter()
+                    .map(|&(pid, _)| pid)
+                    .filter(|&pid| q.contains(pid))
+                    .collect();
+                pages.dedup();
+                pages
+            }
+        };
+        let complete = !tripped && quarantined_matches.is_empty();
+        Ok(DegradedProbe {
+            probe,
+            complete,
+            quarantined_matches,
+        })
     }
 
     /// The wrapped base index.

@@ -45,7 +45,9 @@ pub use cursor::{
     scan_page_in_range, Continuation, Limited, PageBatchCursor, ProbeIo, RangeCursor,
     RangeCursorExt, ScanIo,
 };
-pub use durable::{DurableConfig, DurableIndex, RecoverError, RecoveryReport};
+pub use durable::{
+    DegradedProbe, DurableConfig, DurableIndex, RecoverError, RecoveryReport, RepairReport,
+};
 pub use sink::{stream_sorted_matches, FirstMatch, FnSink, LimitSink, MatchSink};
 
 use bftree_storage::{IoContext, PageId, Relation, RelationError};

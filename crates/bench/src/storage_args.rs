@@ -34,11 +34,11 @@ pub struct StorageArgs {
 
 impl StorageArgs {
     /// Parse the process's arguments and environment. Unrecognized
-    /// arguments are ignored (they belong to the binary).
-    ///
-    /// # Panics
-    ///
-    /// On `--storage=` values other than `sim`/`file`.
+    /// arguments are ignored (they belong to the binary). A bad
+    /// `--storage` value, a `--dir` with no value, or a `--dir` that
+    /// cannot be created or written prints one clear line to stderr
+    /// and exits with status 2 — an experiment binary must never greet
+    /// an operator's typo with a panic backtrace.
     pub fn from_cli() -> Self {
         let mut args: Vec<String> = std::env::args().skip(1).collect();
         if let Ok(v) = std::env::var("BFTREE_STORAGE") {
@@ -50,54 +50,84 @@ impl StorageArgs {
         if let Ok(v) = std::env::var("BFTREE_METRICS_OUT") {
             args.push(format!("--metrics-out={v}"));
         }
-        Self::parse(args)
+        match Self::try_parse(args) {
+            Ok(parsed) => parsed,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                std::process::exit(2);
+            }
+        }
     }
 
     /// Parse an explicit argument list (`--storage=file`,
     /// `--storage file`, `--dir=...`, `--dir ...`; later wins).
+    ///
+    /// # Panics
+    ///
+    /// On any [`StorageArgs::try_parse`] error — the in-process entry
+    /// point for tests; binaries go through [`StorageArgs::from_cli`],
+    /// which exits cleanly instead.
     pub fn parse(args: impl IntoIterator<Item = String>) -> Self {
+        Self::try_parse(args).unwrap_or_else(|msg| panic!("{msg}"))
+    }
+
+    /// Fallible parse: every operator mistake comes back as a one-line
+    /// message (bad `--storage`, a flag with no value, a `--dir` that
+    /// cannot be created or is not writable).
+    pub fn try_parse(args: impl IntoIterator<Item = String>) -> Result<Self, String> {
         let mut storage = String::from("sim");
         let mut dir: Option<PathBuf> = None;
         let mut metrics_out: Option<PathBuf> = None;
         let mut args = args.into_iter().peekable();
         while let Some(arg) = args.next() {
-            let mut take = |key: &str| -> Option<String> {
+            let mut matched: Option<(&str, Option<String>)> = None;
+            for key in ["--storage", "--dir", "--metrics-out"] {
                 if let Some(v) = arg.strip_prefix(&format!("{key}=")) {
-                    return Some(v.to_string());
+                    matched = Some((key, Some(v.to_string())));
+                    break;
                 }
                 if arg == key {
-                    return args.next();
+                    matched = Some((key, args.next()));
+                    break;
                 }
-                None
+            }
+            let Some((key, value)) = matched else {
+                continue;
             };
-            if let Some(v) = take("--storage") {
-                storage = v;
-            } else if let Some(v) = take("--dir") {
-                dir = Some(PathBuf::from(v));
-            } else if let Some(v) = take("--metrics-out") {
-                metrics_out = Some(PathBuf::from(v));
+            let Some(value) = value else {
+                return Err(format!("{key} requires a value (e.g. {key}=PATH)"));
+            };
+            match key {
+                "--storage" => storage = value,
+                "--dir" => dir = Some(PathBuf::from(value)),
+                "--metrics-out" => metrics_out = Some(PathBuf::from(value)),
+                _ => unreachable!("keys above are exhaustive"),
             }
         }
         let file = match storage.as_str() {
             "sim" => false,
             "file" => true,
-            other => panic!("--storage must be `sim` or `file`, got `{other}`"),
+            other => return Err(format!("--storage must be `sim` or `file`, got `{other}`")),
         };
         let (root, scratch) = match (file, dir) {
-            (true, Some(dir)) => (dir, None),
+            (true, Some(dir)) => {
+                ensure_writable_dir(&dir)?;
+                (dir, None)
+            }
             (true, None) => {
-                let scratch = ScratchDir::new("bench").expect("scratch dir for file backend");
+                let scratch = ScratchDir::new("bench")
+                    .map_err(|e| format!("cannot create a scratch directory: {e}"))?;
                 (scratch.path().to_path_buf(), Some(scratch))
             }
             (false, _) => (PathBuf::new(), None),
         };
-        Self {
+        Ok(Self {
             file,
             root,
             _scratch: scratch,
             contexts: AtomicU64::new(0),
             metrics_out,
-        }
+        })
     }
 
     /// Where `--metrics-out` points, if given.
@@ -170,6 +200,18 @@ impl StorageArgs {
     }
 }
 
+/// Create `dir` if needed and prove it is writable with a probe file
+/// (removed afterwards). Errors are one-line, operator-facing.
+fn ensure_writable_dir(dir: &std::path::Path) -> Result<(), String> {
+    std::fs::create_dir_all(dir)
+        .map_err(|e| format!("--dir {}: cannot create directory: {e}", dir.display()))?;
+    let probe = dir.join(".bftree-write-probe");
+    std::fs::write(&probe, b"probe")
+        .map_err(|e| format!("--dir {}: not writable: {e}", dir.display()))?;
+    let _ = std::fs::remove_file(&probe);
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -208,6 +250,44 @@ mod tests {
         ] {
             assert!(StorageArgs::parse(args).is_file());
         }
+    }
+
+    #[test]
+    fn operator_mistakes_come_back_as_one_line_errors() {
+        let err = StorageArgs::try_parse(vec!["--storage=tape".to_string()]).unwrap_err();
+        assert!(err.contains("--storage"), "{err}");
+
+        for flag in ["--storage", "--dir", "--metrics-out"] {
+            let err = StorageArgs::try_parse(vec![flag.to_string()]).unwrap_err();
+            assert!(err.contains("requires a value"), "{err}");
+        }
+
+        // A --dir whose parent is a regular file cannot be created.
+        let scratch = ScratchDir::new("bad-dir").unwrap();
+        let blocker = scratch.path().join("blocker");
+        std::fs::write(&blocker, b"not a directory").unwrap();
+        let err = StorageArgs::try_parse(vec![
+            "--storage=file".to_string(),
+            format!("--dir={}", blocker.join("sub").display()),
+        ])
+        .unwrap_err();
+        assert!(err.contains("cannot create"), "{err}");
+    }
+
+    #[test]
+    fn a_valid_dir_is_created_and_probed() {
+        let scratch = ScratchDir::new("good-dir").unwrap();
+        let dir = scratch.path().join("deep").join("run");
+        let s = StorageArgs::parse(vec![
+            "--storage=file".to_string(),
+            format!("--dir={}", dir.display()),
+        ]);
+        assert!(s.is_file());
+        assert!(dir.is_dir(), "--dir is created on demand");
+        assert!(
+            !dir.join(".bftree-write-probe").exists(),
+            "the write probe cleans up after itself"
+        );
     }
 
     #[test]

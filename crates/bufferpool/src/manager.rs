@@ -146,6 +146,12 @@ enum TraceOp {
     EvictPool {
         pool: u32,
     },
+    /// One page was force-dropped ([`BufferManager::invalidate`]) —
+    /// the fault path ejecting a quarantined page.
+    Invalidate {
+        pool: u32,
+        page: u64,
+    },
 }
 
 #[derive(Debug)]
@@ -557,6 +563,40 @@ impl BufferManager {
         }
     }
 
+    /// Force-drop one page if resident and unpinned. Returns whether a
+    /// frame was dropped. The fault path uses this to eject a
+    /// quarantined page so stale bytes are never served from memory
+    /// while the on-device image is known-corrupt. Not counted as an
+    /// eviction (nothing displaced it); recorded in the trace so
+    /// replay stays exact.
+    pub fn invalidate(&self, pool: PoolId, page: u64) -> bool {
+        let shard = self.shard_of(pool.0, page);
+        let mut state = self.lock_shard(shard);
+        if self.tracing.load(Ordering::Relaxed) {
+            state.trace.push(TraceOp::Invalidate { pool: pool.0, page });
+        }
+        Self::invalidate_locked(&mut state, pool.0, page)
+    }
+
+    fn invalidate_locked(state: &mut ShardState, pool: u32, page: u64) -> bool {
+        let Some(&slot) = state.map.get(&(pool, page)) else {
+            return false;
+        };
+        if state.frames[slot]
+            .as_ref()
+            .map(|f| f.pins > 0)
+            .unwrap_or(true)
+        {
+            return false; // pinned: the holder still owns the frame
+        }
+        let frame = state.frames[slot].take().expect("resident");
+        state.map.remove(&(frame.pool, frame.page));
+        state.used -= frame.bytes;
+        state.free.push(slot);
+        state.policy.on_remove(slot);
+        true
+    }
+
     fn evict_pool_locked(state: &mut ShardState, pool: u32) {
         let slots: Vec<usize> = state
             .map
@@ -660,6 +700,9 @@ impl BufferManager {
                     }
                     TraceOp::SetBudget { budget } => state.set_budget(budget),
                     TraceOp::EvictPool { pool } => Self::evict_pool_locked(&mut state, pool),
+                    TraceOp::Invalidate { pool, page } => {
+                        Self::invalidate_locked(&mut state, pool, page);
+                    }
                 }
             }
         }
@@ -1021,6 +1064,42 @@ mod tests {
             check.live, check.replayed
         );
         assert!(check.live.evictions > 0, "pressure was real");
+    }
+
+    #[test]
+    fn invalidate_drops_unpinned_but_not_pinned_frames() {
+        let (mgr, p) = single_shard(4, PolicyKind::Lru);
+        mgr.touch(p, 1, PAGE);
+        assert!(mgr.invalidate(p, 1));
+        assert!(!mgr.invalidate(p, 1), "already gone");
+        assert!(!mgr.contains(p, 1));
+        assert!(!mgr.invalidate(p, 99), "never resident");
+        let guard = mgr.pin(p, 2, PAGE);
+        assert!(!mgr.invalidate(p, 2), "pinned frames are immune");
+        assert!(mgr.contains(p, 2));
+        drop(guard);
+        assert!(mgr.invalidate(p, 2));
+        assert_eq!(mgr.stats().evictions, 0, "invalidation is not eviction");
+    }
+
+    #[test]
+    fn invalidate_is_replay_exact() {
+        let (mgr, p) = single_shard(4, PolicyKind::Lru);
+        mgr.set_tracing(true);
+        for page in 0..6 {
+            mgr.touch(p, page, PAGE);
+        }
+        mgr.invalidate(p, 4);
+        mgr.invalidate(p, 4); // no-op invalidations must replay too
+        for page in 0..6 {
+            mgr.touch(p, page, PAGE);
+        }
+        let check = mgr.verify_replay();
+        assert!(
+            check.exact,
+            "live {:?} != replay {:?}",
+            check.live, check.replayed
+        );
     }
 
     #[test]

@@ -35,6 +35,18 @@ pub enum SpanKind {
     Eviction,
     /// WAL replay during crash recovery.
     RecoveryReplay,
+    /// One retry wait after a transient device fault (`detail` =
+    /// attempt number).
+    FaultRetry,
+    /// A page entered quarantine after a permanent verification
+    /// failure (instantaneous event; `detail` = page id).
+    Quarantine,
+    /// One repair pass rewriting quarantined pages (`detail` = pages
+    /// repaired).
+    Repair,
+    /// One scrubber sweep verifying live page checksums (`detail` =
+    /// pages scanned).
+    Scrub,
 }
 
 impl SpanKind {
@@ -49,6 +61,10 @@ impl SpanKind {
             SpanKind::Fsync => "fsync",
             SpanKind::Eviction => "eviction",
             SpanKind::RecoveryReplay => "recovery-replay",
+            SpanKind::FaultRetry => "fault-retry",
+            SpanKind::Quarantine => "quarantine",
+            SpanKind::Repair => "repair",
+            SpanKind::Scrub => "scrub",
         }
     }
 }

@@ -27,7 +27,7 @@ use std::sync::Arc;
 use bftree_bufferpool::{BufferManager, PoolId};
 
 use crate::device::{DeviceKind, DeviceProfile};
-use crate::file::{DeviceError, FileStore, SyncPolicy, WallSnapshot};
+use crate::file::{DeviceError, FileStore, IoOutcome, SyncPolicy, WallSnapshot};
 use crate::io::IoSnapshot;
 use crate::page::PageId;
 use crate::sim::{CacheMode, SimDevice};
@@ -47,18 +47,12 @@ pub struct FileDevice {
 impl FileDevice {
     /// A cold file-backed device of the given kind.
     pub fn cold(kind: DeviceKind, store: Arc<FileStore>) -> Self {
-        Self {
-            sim: SimDevice::cold(kind),
-            store,
-        }
+        Self::wire(SimDevice::cold(kind), store)
     }
 
     /// A file-backed device with an explicit profile and cache mode.
     pub fn new(profile: DeviceProfile, cache: CacheMode, store: Arc<FileStore>) -> Self {
-        Self {
-            sim: SimDevice::new(profile, cache),
-            store,
-        }
+        Self::wire(SimDevice::new(profile, cache), store)
     }
 
     /// A file-backed device whose re-reads are absorbed by `pool` of
@@ -71,10 +65,16 @@ impl FileDevice {
         pool: PoolId,
         store: Arc<FileStore>,
     ) -> Self {
-        Self {
-            sim: SimDevice::with_shared_cache(profile, manager, pool),
-            store,
-        }
+        Self::wire(SimDevice::with_shared_cache(profile, manager, pool), store)
+    }
+
+    /// Couple the simulator's cache to the store's quarantine: a
+    /// quarantined page is never served from (or admitted to) the
+    /// cache, so every access re-verifies it against the file until
+    /// repaired.
+    fn wire(mut sim: SimDevice, store: Arc<FileStore>) -> Self {
+        sim.set_quarantine(Arc::clone(store.quarantine()));
+        Self { sim, store }
     }
 
     /// The inner simulated device (counters, cache, profile).
@@ -89,10 +89,23 @@ impl FileDevice {
 
     /// Charge a random read; if it reaches the device, perform a
     /// verified file read (materializing the page on first access).
+    /// A read that uncovers corruption quarantines the page and drops
+    /// any cached copy, so later reads keep hitting the (corrupt)
+    /// device image until a repair lands.
     #[inline]
     pub fn read_random(&self, page: PageId) {
         if self.sim.read_random(page) {
-            self.store.charged_read(page);
+            self.settle_read(page, self.store.charged_read(page));
+        }
+    }
+
+    /// Apply a charged read's outcome to the cache: a quarantined page
+    /// must not stay resident (the cached copy would mask the fault
+    /// from the repair path).
+    #[inline]
+    fn settle_read(&self, page: PageId, outcome: IoOutcome) {
+        if outcome != IoOutcome::Ok {
+            self.sim.invalidate(page);
         }
     }
 
@@ -109,7 +122,7 @@ impl FileDevice {
     #[inline]
     pub fn read_seq(&self, page: PageId) {
         if self.sim.read_seq(page) {
-            self.store.charged_read(page);
+            self.settle_read(page, self.store.charged_read(page));
         }
     }
 
@@ -129,29 +142,46 @@ impl FileDevice {
     }
 
     /// Charge a page write and stamp a fresh checksummed image into
-    /// the store.
+    /// the store. A write that fails even after retries drops the
+    /// page's cached copy — memory must never claim bytes the device
+    /// refused.
     #[inline]
     pub fn write(&self, page: PageId) {
         self.sim.write(page);
-        self.store.charged_write(page);
+        if self.store.charged_write(page) != IoOutcome::Ok {
+            self.sim.invalidate(page);
+        }
     }
 
     /// Charge a page write carrying real bytes (the WAL's path): the
     /// simulator books the same write it always did; the store
-    /// persists `bytes` as the page's payload.
-    pub fn write_bytes(&self, page: PageId, bytes: &[u8]) {
+    /// persists `bytes` as the page's payload, retrying transient
+    /// faults per the store's [`RetryPolicy`]. Returns whether the
+    /// bytes landed — `false` means the caller must not acknowledge
+    /// anything depending on them (the store's fault counters record
+    /// the escalation).
+    ///
+    /// [`RetryPolicy`]: crate::fault::RetryPolicy
+    pub fn write_bytes(&self, page: PageId, bytes: &[u8]) -> bool {
         self.sim.write(page);
-        self.store
-            .write_page(page, bytes)
-            .expect("writing log bytes to the page store");
+        match self.store.write_page_verified(page, bytes) {
+            Ok(_) => true,
+            Err(_) => {
+                self.sim.invalidate(page);
+                false
+            }
+        }
     }
 
     /// Charge a durability barrier; the store's [`SyncPolicy`] decides
-    /// whether a real `fdatasync` is issued.
+    /// whether a real `fdatasync` is issued. Returns whether the
+    /// barrier (if issued) succeeded — on `false` the dirty window
+    /// stays pending and the next successful barrier covers it, so
+    /// callers withhold acknowledgements rather than panic.
     #[inline]
-    pub fn fsync(&self) {
+    pub fn fsync(&self) -> bool {
         self.sim.fsync();
-        self.store.sync().expect("fsync on the page store");
+        self.store.sync_verified().is_ok()
     }
 
     /// Wall-clock counters of the backing store.
@@ -289,20 +319,31 @@ impl PageDevice {
 
     /// Charge a page write carrying real bytes. The simulated cost and
     /// counters are exactly those of [`PageDevice::write`]; only a
-    /// file backend persists the bytes.
-    pub fn write_bytes(&self, page: PageId, bytes: &[u8]) {
+    /// file backend persists the bytes. Returns whether the bytes are
+    /// safely down (always `true` on a simulated device, which loses
+    /// nothing by construction).
+    pub fn write_bytes(&self, page: PageId, bytes: &[u8]) -> bool {
         match self {
-            PageDevice::Sim(dev) => dev.write(page),
+            PageDevice::Sim(dev) => {
+                dev.write(page);
+                true
+            }
             PageDevice::File(dev) => dev.write_bytes(page, bytes),
         }
     }
 
-    /// Charge a durability barrier (see [`SimDevice::fsync`]).
+    /// Charge a durability barrier (see [`SimDevice::fsync`]). Returns
+    /// whether the barrier succeeded (always `true` on a simulated
+    /// device; see [`FileDevice::fsync`] for the file backend's
+    /// failed-barrier semantics).
     #[inline]
-    pub fn fsync(&self) {
+    pub fn fsync(&self) -> bool {
         let _span = bftree_obs::span(bftree_obs::SpanKind::Fsync);
         match self {
-            PageDevice::Sim(dev) => dev.fsync(),
+            PageDevice::Sim(dev) => {
+                dev.fsync();
+                true
+            }
             PageDevice::File(dev) => dev.fsync(),
         }
     }

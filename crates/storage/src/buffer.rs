@@ -152,6 +152,20 @@ impl BufferPool {
         self.map.contains_key(&page)
     }
 
+    /// Drop `page` from the pool if resident. Returns whether it was.
+    /// Used by the fault path: a quarantined page must not be served
+    /// from memory while its on-device image is known-corrupt.
+    pub fn invalidate(&mut self, page: u64) -> bool {
+        let Some(slot) = self.map.remove(&page) else {
+            return false;
+        };
+        let bytes = self.entries[slot].bytes;
+        self.unlink(slot);
+        self.free.push(slot);
+        self.used_bytes -= bytes;
+        true
+    }
+
     /// Drop everything (back to cold).
     pub fn clear(&mut self) {
         self.map.clear();
@@ -310,6 +324,44 @@ mod tests {
         for p in &model {
             assert!(pool.peek(*p));
         }
+    }
+
+    #[test]
+    fn invalidate_drops_only_the_target_page() {
+        let mut pool = pool(4);
+        hit(&mut pool, 1);
+        hit(&mut pool, 2);
+        hit(&mut pool, 3);
+        assert!(pool.invalidate(2));
+        assert!(!pool.invalidate(2), "already gone");
+        assert!(!pool.invalidate(99), "never resident");
+        assert!(pool.peek(1) && pool.peek(3));
+        assert!(!pool.peek(2));
+        assert_eq!(pool.used_bytes(), 2 * PAGE);
+        // The freed slot is reusable and the LRU list stays coherent.
+        assert!(!hit(&mut pool, 4));
+        assert!(hit(&mut pool, 1));
+        assert!(hit(&mut pool, 3));
+        assert_eq!(pool.len(), 3);
+    }
+
+    #[test]
+    fn invalidate_head_and_tail_keep_list_coherent() {
+        let mut pool = pool(4);
+        hit(&mut pool, 1); // tail after the next two
+        hit(&mut pool, 2);
+        hit(&mut pool, 3); // head
+        assert!(pool.invalidate(3));
+        assert!(pool.invalidate(1));
+        assert_eq!(pool.len(), 1);
+        assert!(hit(&mut pool, 2));
+        // Refill and evict through the repaired list.
+        hit(&mut pool, 5);
+        hit(&mut pool, 6);
+        hit(&mut pool, 7);
+        let access = pool.touch(8, PAGE);
+        assert_eq!(access.evicted, 1, "evicts LRU page 2");
+        assert!(!pool.peek(2));
     }
 
     #[test]

@@ -1,0 +1,798 @@
+//! Fault injection, retry policy, and page quarantine — the
+//! fault-tolerance substrate of the storage layer.
+//!
+//! Three cooperating pieces live here:
+//!
+//! * [`FaultInjector`] — a deterministic, seeded fault source the
+//!   [`FileStore`](crate::FileStore) consults on every read, write,
+//!   and sync. Faults fire either by per-operation probability or by
+//!   an explicit schedule (`inject fault kind K at operation N`), and
+//!   a given seed always produces the same fault sequence for the
+//!   same operation sequence — chaos runs replay bit-exactly.
+//! * [`RetryPolicy`] — bounded exponential backoff with deterministic
+//!   jitter (drawn from the vendored `bftree-rand` xoshiro stream).
+//!   Transient errors ([`crate::DeviceError::is_transient`]) are
+//!   retried under the policy; permanent ones escalate immediately.
+//! * [`Quarantine`] — the set of pages whose last verified read
+//!   failed permanently. Quarantined pages are barred from buffer
+//!   pools (every subsequent access reaches the device and is
+//!   re-verified) until a repair rewrites them and releases the entry.
+//!
+//! [`FaultStats`] aggregates what the whole plane observed —
+//! injections, retries, quarantines, repairs, scrub sweeps — and
+//! exports the `bftree_fault_*` metric families.
+
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::page::PageId;
+
+/// The fault modes the injector can fire. Each maps onto one concrete
+/// misbehaviour of the file path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// A read or write fails with a transient `EIO`-style error; the
+    /// medium itself is untouched, so a retry can succeed.
+    TransientIo,
+    /// A stored bit flips on the medium: the next verified read fails
+    /// its checksum and keeps failing until the page is repaired.
+    BitRot,
+    /// A write persists only a prefix of its frame — silently
+    /// "succeeding" now and surfacing as a checksum failure on the
+    /// next read of the page.
+    TornWrite,
+    /// A read returns fewer bytes than the slot holds (transient:
+    /// nothing on the medium changed).
+    ShortRead,
+    /// An `fdatasync` barrier fails; the pending window stays dirty so
+    /// a later barrier covers the same writes.
+    FsyncFail,
+}
+
+impl FaultKind {
+    /// Every kind, in presentation order.
+    pub const ALL: [FaultKind; 5] = [
+        FaultKind::TransientIo,
+        FaultKind::BitRot,
+        FaultKind::TornWrite,
+        FaultKind::ShortRead,
+        FaultKind::FsyncFail,
+    ];
+
+    /// Stable label (metrics and reports).
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::TransientIo => "transient-io",
+            FaultKind::BitRot => "bit-rot",
+            FaultKind::TornWrite => "torn-write",
+            FaultKind::ShortRead => "short-read",
+            FaultKind::FsyncFail => "fsync-fail",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            FaultKind::TransientIo => 0,
+            FaultKind::BitRot => 1,
+            FaultKind::TornWrite => 2,
+            FaultKind::ShortRead => 3,
+            FaultKind::FsyncFail => 4,
+        }
+    }
+}
+
+/// One scheduled fault: fire `kind` on the injector's `op`-th
+/// operation (a global 0-based count over reads, writes, and syncs).
+/// Scheduled faults make single-shot tests exact where probabilities
+/// would be flaky.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduledFault {
+    /// Operation ordinal the fault fires on.
+    pub op: u64,
+    /// Which fault fires.
+    pub kind: FaultKind,
+}
+
+/// Per-kind fault probabilities plus an explicit schedule, all driven
+/// by one seed. The zero config ([`FaultConfig::none`]) never fires.
+#[derive(Debug, Clone, Default)]
+pub struct FaultConfig {
+    /// Probability a read fails with a transient I/O error.
+    pub read_transient: f64,
+    /// Probability a read comes back short (transient).
+    pub short_read: f64,
+    /// Probability a read finds a freshly flipped bit (permanent until
+    /// repaired).
+    pub bit_rot: f64,
+    /// Probability a write fails with a transient I/O error.
+    pub write_transient: f64,
+    /// Probability a write is torn (persists a prefix only).
+    pub torn_write: f64,
+    /// Probability an issued `fdatasync` fails (transient).
+    pub fsync_fail: f64,
+    /// Faults fired at exact operation ordinals, on top of the
+    /// probabilistic ones.
+    pub schedule: Vec<ScheduledFault>,
+    /// Seed of the injector's RNG stream.
+    pub seed: u64,
+}
+
+impl FaultConfig {
+    /// A config that never fires (the injector becomes a no-op).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Every probabilistic knob at `rate`, seeded — the chaos sweep's
+    /// "uniform fault pressure" shape.
+    pub fn uniform(rate: f64, seed: u64) -> Self {
+        Self {
+            read_transient: rate,
+            short_read: rate,
+            bit_rot: rate,
+            write_transient: rate,
+            torn_write: rate,
+            fsync_fail: rate,
+            schedule: Vec::new(),
+            seed,
+        }
+    }
+
+    /// Only the scheduled faults, no probabilistic ones.
+    pub fn scheduled(schedule: Vec<ScheduledFault>) -> Self {
+        Self {
+            schedule,
+            ..Self::default()
+        }
+    }
+
+    fn fires_nothing(&self) -> bool {
+        self.read_transient == 0.0
+            && self.short_read == 0.0
+            && self.bit_rot == 0.0
+            && self.write_transient == 0.0
+            && self.torn_write == 0.0
+            && self.fsync_fail == 0.0
+            && self.schedule.is_empty()
+    }
+}
+
+#[derive(Debug)]
+struct InjectorState {
+    rng: StdRng,
+    /// Global operation ordinal (reads + writes + syncs), the clock
+    /// the schedule is expressed in.
+    op: u64,
+    /// Indices into the sorted schedule not yet fired.
+    schedule: Vec<ScheduledFault>,
+    next_scheduled: usize,
+}
+
+/// A deterministic, seeded source of injected device faults. Shared
+/// (via `Arc`) between a [`FileStore`](crate::FileStore) and the test
+/// or harness that configured it; all counters are exact under
+/// concurrency (the roll itself serializes on an internal mutex, like
+/// every other `FileStore` operation).
+#[derive(Debug)]
+pub struct FaultInjector {
+    config: FaultConfig,
+    state: Mutex<InjectorState>,
+    injected: [AtomicU64; 5],
+    inert: bool,
+}
+
+impl FaultInjector {
+    /// An injector driven by `config` (probabilities + schedule +
+    /// seed).
+    pub fn new(config: FaultConfig) -> Self {
+        let mut schedule = config.schedule.clone();
+        schedule.sort_by_key(|s| s.op);
+        let inert = config.fires_nothing();
+        let seed = config.seed;
+        Self {
+            config,
+            state: Mutex::new(InjectorState {
+                rng: StdRng::seed_from_u64(seed),
+                op: 0,
+                schedule,
+                next_scheduled: 0,
+            }),
+            injected: Default::default(),
+            inert,
+        }
+    }
+
+    /// An injector that never fires.
+    pub fn inert() -> Self {
+        Self::new(FaultConfig::none())
+    }
+
+    /// The configuration this injector rolls from.
+    pub fn config(&self) -> &FaultConfig {
+        &self.config
+    }
+
+    /// How many faults of `kind` have fired.
+    pub fn injected(&self, kind: FaultKind) -> u64 {
+        self.injected[kind.index()].load(Ordering::Relaxed)
+    }
+
+    /// Total faults fired across all kinds.
+    pub fn total_injected(&self) -> u64 {
+        self.injected
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, InjectorState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Advance the operation clock and roll the given candidate kinds
+    /// in order; scheduled faults (of any candidate kind) win over
+    /// probabilistic ones.
+    fn roll(&self, candidates: &[(FaultKind, f64)]) -> Option<FaultKind> {
+        if self.inert {
+            return None;
+        }
+        let mut st = self.lock();
+        let op = st.op;
+        st.op += 1;
+        if let Some(s) = st.schedule.get(st.next_scheduled).copied() {
+            if s.op <= op {
+                st.next_scheduled += 1;
+                drop(st);
+                self.injected[s.kind.index()].fetch_add(1, Ordering::Relaxed);
+                return Some(s.kind);
+            }
+        }
+        for &(kind, p) in candidates {
+            if p > 0.0 && st.rng.random_bool(p) {
+                drop(st);
+                self.injected[kind.index()].fetch_add(1, Ordering::Relaxed);
+                return Some(kind);
+            }
+        }
+        None
+    }
+
+    /// Roll the read-path faults (transient I/O, short read, bit rot).
+    pub fn roll_read(&self) -> Option<FaultKind> {
+        self.roll(&[
+            (FaultKind::TransientIo, self.config.read_transient),
+            (FaultKind::ShortRead, self.config.short_read),
+            (FaultKind::BitRot, self.config.bit_rot),
+        ])
+    }
+
+    /// Roll the write-path faults (transient I/O, torn write).
+    pub fn roll_write(&self) -> Option<FaultKind> {
+        self.roll(&[
+            (FaultKind::TransientIo, self.config.write_transient),
+            (FaultKind::TornWrite, self.config.torn_write),
+        ])
+    }
+
+    /// Roll the sync-path fault (fsync failure).
+    pub fn roll_fsync(&self) -> Option<FaultKind> {
+        self.roll(&[(FaultKind::FsyncFail, self.config.fsync_fail)])
+    }
+}
+
+/// How (and whether) transient device errors are retried: bounded
+/// attempts, exponential backoff, deterministic jitter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts (1 = no retries).
+    pub max_attempts: u32,
+    /// Backoff before the first retry, nanoseconds.
+    pub base_backoff_ns: u64,
+    /// Backoff cap, nanoseconds.
+    pub max_backoff_ns: u64,
+    /// Whether each wait is jittered uniformly into `[wait/2, wait]`
+    /// (decorrelates retry storms; the draw comes from the caller's
+    /// seeded RNG, so runs stay reproducible).
+    pub jitter: bool,
+}
+
+impl RetryPolicy {
+    /// No retries: the first error, transient or not, escalates.
+    pub fn none() -> Self {
+        Self {
+            max_attempts: 1,
+            base_backoff_ns: 0,
+            max_backoff_ns: 0,
+            jitter: false,
+        }
+    }
+
+    /// `attempts` tries with a fixed `backoff_ns` wait between them.
+    pub fn fixed(attempts: u32, backoff_ns: u64) -> Self {
+        Self {
+            max_attempts: attempts.max(1),
+            base_backoff_ns: backoff_ns,
+            max_backoff_ns: backoff_ns,
+            jitter: false,
+        }
+    }
+
+    /// The default production shape: 6 attempts, 10 µs doubling to a
+    /// 1 ms cap, jittered.
+    pub fn exponential() -> Self {
+        Self {
+            max_attempts: 6,
+            base_backoff_ns: 10_000,
+            max_backoff_ns: 1_000_000,
+            jitter: true,
+        }
+    }
+
+    /// Stable label (reports and the chaos sweep axis).
+    pub fn label(&self) -> String {
+        if self.max_attempts <= 1 {
+            "none".to_string()
+        } else if self.base_backoff_ns == self.max_backoff_ns && !self.jitter {
+            format!("fixed{}", self.max_attempts)
+        } else {
+            format!("exp{}", self.max_attempts)
+        }
+    }
+
+    /// The wait before retry number `attempt` (1-based: the wait after
+    /// the first failure is `backoff_ns(1, …)`). Exponential growth
+    /// from the base, capped, optionally jittered into `[w/2, w]`.
+    pub fn backoff_ns(&self, attempt: u32, rng: &mut StdRng) -> u64 {
+        if self.base_backoff_ns == 0 {
+            return 0;
+        }
+        let shift = attempt.saturating_sub(1).min(62);
+        let wait = self
+            .base_backoff_ns
+            .saturating_mul(1u64 << shift)
+            .min(self.max_backoff_ns.max(self.base_backoff_ns));
+        if self.jitter && wait > 1 {
+            rng.random_range(wait / 2..=wait)
+        } else {
+            wait
+        }
+    }
+}
+
+impl Default for RetryPolicy {
+    /// [`RetryPolicy::exponential`] — retrying transients is the
+    /// production default.
+    fn default() -> Self {
+        Self::exponential()
+    }
+}
+
+/// Counter snapshot of the fault plane (see [`FaultStats`]).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct FaultSnapshot {
+    /// Transient device errors observed (before retry).
+    pub transient_errors: u64,
+    /// Permanent device errors observed (escalated immediately).
+    pub permanent_errors: u64,
+    /// Retry attempts issued.
+    pub retries: u64,
+    /// Operations that succeeded on a retry (not the first attempt).
+    pub retry_successes: u64,
+    /// Operations that ran out of attempts while still failing
+    /// transiently.
+    pub retries_exhausted: u64,
+    /// Nanoseconds spent waiting in backoff.
+    pub backoff_ns: u64,
+    /// Pages that entered quarantine.
+    pub quarantined: u64,
+    /// Pages repaired (rewritten, verified, and released).
+    pub repaired: u64,
+    /// Scrubber sweeps completed.
+    pub scrub_passes: u64,
+    /// Pages the scrubber verified.
+    pub scrub_pages: u64,
+    /// Corrupt pages the scrubber caught.
+    pub scrub_corruptions: u64,
+}
+
+/// Shared, exact counters of everything the fault-tolerance plane did:
+/// errors seen, retries spent, pages quarantined/repaired, scrub
+/// sweeps. One instance per [`FileStore`](crate::FileStore); exported
+/// as the `bftree_fault_*` metric families.
+#[derive(Debug, Default)]
+pub struct FaultStats {
+    transient_errors: AtomicU64,
+    permanent_errors: AtomicU64,
+    retries: AtomicU64,
+    retry_successes: AtomicU64,
+    retries_exhausted: AtomicU64,
+    backoff_ns: AtomicU64,
+    quarantined: AtomicU64,
+    repaired: AtomicU64,
+    scrub_passes: AtomicU64,
+    scrub_pages: AtomicU64,
+    scrub_corruptions: AtomicU64,
+}
+
+impl FaultStats {
+    /// Record one observed transient error.
+    pub fn note_transient(&self) {
+        self.transient_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one observed permanent error.
+    pub fn note_permanent(&self) {
+        self.permanent_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one retry attempt and the backoff spent before it.
+    pub fn note_retry(&self, backoff_ns: u64) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+        self.backoff_ns.fetch_add(backoff_ns, Ordering::Relaxed);
+    }
+
+    /// Record an operation that succeeded on a retry.
+    pub fn note_retry_success(&self) {
+        self.retry_successes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record an operation that ran out of attempts.
+    pub fn note_exhausted(&self) {
+        self.retries_exhausted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one page entering quarantine.
+    pub fn note_quarantined(&self) {
+        self.quarantined.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one page repaired and released.
+    pub fn note_repaired(&self) {
+        self.repaired.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one scrubber sweep over `pages` pages that caught
+    /// `corruptions` corrupt ones.
+    pub fn note_scrub_pass(&self, pages: u64, corruptions: u64) {
+        self.scrub_passes.fetch_add(1, Ordering::Relaxed);
+        self.scrub_pages.fetch_add(pages, Ordering::Relaxed);
+        self.scrub_corruptions
+            .fetch_add(corruptions, Ordering::Relaxed);
+    }
+
+    /// Counter snapshot.
+    pub fn snapshot(&self) -> FaultSnapshot {
+        FaultSnapshot {
+            transient_errors: self.transient_errors.load(Ordering::Relaxed),
+            permanent_errors: self.permanent_errors.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            retry_successes: self.retry_successes.load(Ordering::Relaxed),
+            retries_exhausted: self.retries_exhausted.load(Ordering::Relaxed),
+            backoff_ns: self.backoff_ns.load(Ordering::Relaxed),
+            quarantined: self.quarantined.load(Ordering::Relaxed),
+            repaired: self.repaired.load(Ordering::Relaxed),
+            scrub_passes: self.scrub_passes.load(Ordering::Relaxed),
+            scrub_pages: self.scrub_pages.load(Ordering::Relaxed),
+            scrub_corruptions: self.scrub_corruptions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Register the `bftree_fault_*` families, labelled with the
+    /// store's role.
+    pub fn register_metrics(&self, reg: &mut bftree_obs::MetricsRegistry, store: &str) {
+        let s = self.snapshot();
+        let l = &[("store", store)];
+        reg.counter(
+            "bftree_fault_transient_errors_total",
+            "Transient device errors observed before retry",
+            l,
+            s.transient_errors,
+        );
+        reg.counter(
+            "bftree_fault_permanent_errors_total",
+            "Permanent device errors escalated",
+            l,
+            s.permanent_errors,
+        );
+        reg.counter(
+            "bftree_fault_retries_total",
+            "Retry attempts issued",
+            l,
+            s.retries,
+        );
+        reg.counter(
+            "bftree_fault_retry_successes_total",
+            "Operations that succeeded on a retry",
+            l,
+            s.retry_successes,
+        );
+        reg.counter(
+            "bftree_fault_retries_exhausted_total",
+            "Operations that ran out of retry attempts",
+            l,
+            s.retries_exhausted,
+        );
+        reg.counter(
+            "bftree_fault_backoff_ns_total",
+            "Nanoseconds spent waiting in retry backoff",
+            l,
+            s.backoff_ns,
+        );
+        reg.counter(
+            "bftree_fault_quarantined_total",
+            "Pages that entered quarantine",
+            l,
+            s.quarantined,
+        );
+        reg.counter(
+            "bftree_fault_repaired_total",
+            "Quarantined pages repaired and released",
+            l,
+            s.repaired,
+        );
+        reg.counter(
+            "bftree_fault_scrub_passes_total",
+            "Scrubber sweeps completed",
+            l,
+            s.scrub_passes,
+        );
+        reg.counter(
+            "bftree_fault_scrub_pages_total",
+            "Pages the scrubber verified",
+            l,
+            s.scrub_pages,
+        );
+        reg.counter(
+            "bftree_fault_scrub_corruptions_total",
+            "Corrupt pages the scrubber caught",
+            l,
+            s.scrub_corruptions,
+        );
+    }
+}
+
+/// The set of pages whose last verified read failed permanently.
+///
+/// Membership has three effects: buffer pools refuse to admit the
+/// page (every access reaches the device and is re-verified), the
+/// device front reports reads of it as degraded rather than
+/// panicking, and a repair pass drains [`Quarantine::drain_pending`]
+/// to find what to rewrite. `contains` is one relaxed atomic load on
+/// the (overwhelmingly common) empty-quarantine fast path.
+#[derive(Debug, Default)]
+pub struct Quarantine {
+    active: AtomicUsize,
+    set: Mutex<BTreeSet<PageId>>,
+    /// Pages quarantined since the last [`Quarantine::drain_pending`]
+    /// (repair work queue; survives release so a repairer can verify).
+    pending: Mutex<Vec<PageId>>,
+    /// Monotone count of quarantine admissions (degraded-read
+    /// detection takes deltas of this).
+    events: AtomicU64,
+}
+
+impl Quarantine {
+    /// An empty quarantine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Quarantine `page`. Returns whether it was newly admitted.
+    pub fn quarantine(&self, page: PageId) -> bool {
+        let mut set = self.set.lock().unwrap_or_else(|e| e.into_inner());
+        let newly = set.insert(page);
+        if newly {
+            self.active.store(set.len(), Ordering::Relaxed);
+            self.events.fetch_add(1, Ordering::Relaxed);
+            self.pending
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push(page);
+            bftree_obs::event(bftree_obs::SpanKind::Quarantine, page);
+        }
+        newly
+    }
+
+    /// Release `page` (after a verified repair). Returns whether it
+    /// was quarantined.
+    pub fn release(&self, page: PageId) -> bool {
+        let mut set = self.set.lock().unwrap_or_else(|e| e.into_inner());
+        let was = set.remove(&page);
+        self.active.store(set.len(), Ordering::Relaxed);
+        was
+    }
+
+    /// Whether `page` is quarantined. One relaxed load when the
+    /// quarantine is empty.
+    #[inline]
+    pub fn contains(&self, page: PageId) -> bool {
+        if self.active.load(Ordering::Relaxed) == 0 {
+            return false;
+        }
+        self.set
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .contains(&page)
+    }
+
+    /// Currently quarantined pages, sorted.
+    pub fn pages(&self) -> Vec<PageId> {
+        self.set
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .copied()
+            .collect()
+    }
+
+    /// Number of currently quarantined pages.
+    pub fn len(&self) -> usize {
+        self.active.load(Ordering::Relaxed)
+    }
+
+    /// Whether no page is quarantined.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total quarantine admissions ever (monotone).
+    pub fn event_count(&self) -> u64 {
+        self.events.load(Ordering::Relaxed)
+    }
+
+    /// Take the pages quarantined since the last drain — the repair
+    /// work queue.
+    pub fn drain_pending(&self) -> Vec<PageId> {
+        std::mem::take(&mut *self.pending.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn injector_is_deterministic_from_seed() {
+        let run = |seed: u64| {
+            let inj = FaultInjector::new(FaultConfig::uniform(0.05, seed));
+            let mut fired = Vec::new();
+            for i in 0..2_000u64 {
+                if let Some(k) = inj.roll_read() {
+                    fired.push((i, k));
+                }
+                if let Some(k) = inj.roll_write() {
+                    fired.push((i, k));
+                }
+            }
+            fired
+        };
+        assert_eq!(run(7), run(7), "same seed, same fault sequence");
+        assert_ne!(run(7), run(8), "different seed, different sequence");
+        assert!(!run(7).is_empty(), "5% over 4000 rolls fires");
+    }
+
+    #[test]
+    fn scheduled_faults_fire_at_exact_ops() {
+        let inj = FaultInjector::new(FaultConfig::scheduled(vec![
+            ScheduledFault {
+                op: 2,
+                kind: FaultKind::BitRot,
+            },
+            ScheduledFault {
+                op: 5,
+                kind: FaultKind::TransientIo,
+            },
+        ]));
+        let fired: Vec<_> = (0..8).map(|_| inj.roll_read()).collect();
+        assert_eq!(fired[2], Some(FaultKind::BitRot));
+        assert_eq!(fired[5], Some(FaultKind::TransientIo));
+        assert_eq!(
+            fired.iter().filter(|f| f.is_some()).count(),
+            2,
+            "nothing else fires"
+        );
+        assert_eq!(inj.injected(FaultKind::BitRot), 1);
+        assert_eq!(inj.total_injected(), 2);
+    }
+
+    #[test]
+    fn inert_injector_never_fires() {
+        let inj = FaultInjector::inert();
+        for _ in 0..1000 {
+            assert!(inj.roll_read().is_none());
+            assert!(inj.roll_write().is_none());
+            assert!(inj.roll_fsync().is_none());
+        }
+        assert_eq!(inj.total_injected(), 0);
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_and_caps() {
+        let p = RetryPolicy {
+            max_attempts: 8,
+            base_backoff_ns: 100,
+            max_backoff_ns: 1_000,
+            jitter: false,
+        };
+        let mut rng = StdRng::seed_from_u64(0);
+        let waits: Vec<u64> = (1..=6).map(|a| p.backoff_ns(a, &mut rng)).collect();
+        assert_eq!(waits, vec![100, 200, 400, 800, 1_000, 1_000]);
+        assert_eq!(RetryPolicy::none().backoff_ns(1, &mut rng), 0);
+    }
+
+    #[test]
+    fn jittered_backoff_is_deterministic_and_bounded() {
+        let p = RetryPolicy::exponential();
+        let draw = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (1..=5)
+                .map(|a| p.backoff_ns(a, &mut rng))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(draw(3), draw(3), "same RNG seed, same jitter");
+        let mut rng = StdRng::seed_from_u64(3);
+        for attempt in 1..=5u32 {
+            let w = p.backoff_ns(attempt, &mut rng);
+            let full = (p.base_backoff_ns << (attempt - 1)).min(p.max_backoff_ns);
+            assert!(w >= full / 2 && w <= full, "attempt {attempt}: {w}");
+        }
+    }
+
+    #[test]
+    fn policy_labels_cover_the_sweep_axis() {
+        assert_eq!(RetryPolicy::none().label(), "none");
+        assert_eq!(RetryPolicy::fixed(4, 50_000).label(), "fixed4");
+        assert_eq!(RetryPolicy::exponential().label(), "exp6");
+    }
+
+    #[test]
+    fn quarantine_tracks_membership_and_pending() {
+        let q = Quarantine::new();
+        assert!(q.is_empty() && !q.contains(9));
+        assert!(q.quarantine(9));
+        assert!(!q.quarantine(9), "double admission is idempotent");
+        assert!(q.quarantine(4));
+        assert!(q.contains(9) && q.contains(4));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pages(), vec![4, 9]);
+        assert_eq!(q.event_count(), 2);
+        assert_eq!(q.drain_pending(), vec![9, 4], "admission order");
+        assert!(q.drain_pending().is_empty());
+        assert!(q.release(9));
+        assert!(!q.release(9));
+        assert!(!q.contains(9) && q.contains(4));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.event_count(), 2, "release keeps the event count");
+    }
+
+    #[test]
+    fn fault_stats_snapshot_counts() {
+        let st = FaultStats::default();
+        st.note_transient();
+        st.note_transient();
+        st.note_permanent();
+        st.note_retry(500);
+        st.note_retry_success();
+        st.note_exhausted();
+        st.note_quarantined();
+        st.note_repaired();
+        st.note_scrub_pass(10, 2);
+        let s = st.snapshot();
+        assert_eq!(s.transient_errors, 2);
+        assert_eq!(s.permanent_errors, 1);
+        assert_eq!(s.retries, 1);
+        assert_eq!(s.backoff_ns, 500);
+        assert_eq!(s.retry_successes, 1);
+        assert_eq!(s.retries_exhausted, 1);
+        assert_eq!(s.quarantined, 1);
+        assert_eq!(s.repaired, 1);
+        assert_eq!(
+            (s.scrub_passes, s.scrub_pages, s.scrub_corruptions),
+            (1, 10, 2)
+        );
+    }
+}

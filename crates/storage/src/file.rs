@@ -48,8 +48,12 @@ use std::io;
 use std::os::unix::fs::FileExt;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::fault::{FaultInjector, FaultKind, FaultStats, Quarantine, RetryPolicy};
 use crate::page::{PageId, PAGE_SIZE};
 
 /// Superblock magic ("BFPS" little-endian).
@@ -163,6 +167,25 @@ pub enum DeviceError {
     },
     /// An underlying I/O error.
     Io(io::Error),
+}
+
+impl DeviceError {
+    /// Whether a retry can plausibly succeed without anyone fixing the
+    /// medium first.
+    ///
+    /// | variant | class | rationale |
+    /// |---|---|---|
+    /// | `Io` | transient | `EINTR`/`EIO` style conditions clear on retry |
+    /// | `ShortRead` | transient | the next read may see the full slot |
+    /// | `ChecksumMismatch` | permanent | stored bits are wrong until repaired |
+    /// | `BadHeader` | permanent | the slot content itself is corrupt |
+    /// | `BadSuperblock` | permanent | the store image is not openable |
+    /// | `UnknownPage` | permanent | retrying cannot invent the page |
+    /// | `FreedPage` | permanent | use-after-free is a logic error |
+    /// | `PayloadTooLarge` | permanent | the request itself is invalid |
+    pub fn is_transient(&self) -> bool {
+        matches!(self, DeviceError::Io(_) | DeviceError::ShortRead { .. })
+    }
 }
 
 impl std::fmt::Display for DeviceError {
@@ -369,6 +392,47 @@ struct Inner {
     pending_syncs: u64,
 }
 
+/// Outcome of a charging-path operation ([`FileStore::charged_read`]
+/// / [`FileStore::charged_write`]) once the retry policy has run its
+/// course. The charging API never panics on device faults; it reports
+/// what the fault plane concluded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoOutcome {
+    /// The operation completed and verified (possibly after retries).
+    Ok,
+    /// Transient failures persisted through every retry attempt; the
+    /// stored bytes are presumed intact, the op was simply not served.
+    Unavailable,
+    /// Permanent verification failure — the page is now quarantined
+    /// and must be repaired before a read of it can succeed.
+    Quarantined,
+}
+
+/// The fault-tolerance state of one store: optional injector, retry
+/// policy, jitter RNG, shared counters, and the page quarantine.
+#[derive(Debug)]
+struct FaultPlane {
+    injector: Mutex<Option<Arc<FaultInjector>>>,
+    retry: Mutex<RetryPolicy>,
+    /// Jitter stream for retry backoff — seeded at construction so
+    /// backoff sequences are reproducible run to run.
+    rng: Mutex<StdRng>,
+    stats: Arc<FaultStats>,
+    quarantine: Arc<Quarantine>,
+}
+
+impl Default for FaultPlane {
+    fn default() -> Self {
+        Self {
+            injector: Mutex::new(None),
+            retry: Mutex::new(RetryPolicy::exponential()),
+            rng: Mutex::new(StdRng::seed_from_u64(0xBF09)),
+            stats: Arc::new(FaultStats::default()),
+            quarantine: Arc::new(Quarantine::new()),
+        }
+    }
+}
+
 /// A page-granular file store: checksummed slots, a persistent free
 /// list, batched fsync, and wall-clock accounting. See the
 /// [module docs](self) for the layout.
@@ -381,6 +445,7 @@ pub struct FileStore {
     inner: Mutex<Inner>,
     policy: SyncPolicy,
     wall: WallStats,
+    faults: FaultPlane,
 }
 
 impl FileStore {
@@ -407,6 +472,7 @@ impl FileStore {
             }),
             policy,
             wall: WallStats::default(),
+            faults: FaultPlane::default(),
         };
         store.persist_superblock(&mut store.lock())?;
         Ok(store)
@@ -478,6 +544,7 @@ impl FileStore {
             }),
             policy,
             wall: WallStats::default(),
+            faults: FaultPlane::default(),
         })
     }
 
@@ -581,12 +648,23 @@ impl FileStore {
     /// Read and verify `page`, returning its payload. Every failure
     /// mode is a typed [`DeviceError`]; no bytes are returned unless
     /// the header parses, the id matches, and the checksum holds.
+    ///
+    /// This is one attempt, with fault injection armed when an
+    /// injector is installed; [`FileStore::read_page_verified`] wraps
+    /// it in the store's [`RetryPolicy`].
     pub fn read_page(&self, page: PageId) -> Result<Vec<u8>, DeviceError> {
+        self.read_page_attempt(page, true)
+    }
+
+    fn read_page_attempt(&self, page: PageId, inject: bool) -> Result<Vec<u8>, DeviceError> {
         let inner = self.lock();
         let slot = *inner
             .map
             .get(&page)
             .ok_or(DeviceError::UnknownPage { page })?;
+        if inject {
+            self.inject_read_fault(&inner, page, slot)?;
+        }
         let t = WallTimer::start();
         let mut buf = vec![0u8; SLOT_SIZE as usize];
         let got = read_full_at(&inner.file, &mut buf, slot_offset(slot))?;
@@ -650,6 +728,213 @@ impl FileStore {
         Ok(payload.to_vec())
     }
 
+    /// Roll the read-path injector; a fired fault either returns the
+    /// corresponding typed error (transient kinds) or actually flips a
+    /// stored bit (bit rot), letting the real verification catch it.
+    fn inject_read_fault(&self, inner: &Inner, page: PageId, slot: u64) -> Result<(), DeviceError> {
+        let injector = self
+            .faults
+            .injector
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        let Some(inj) = injector.as_ref() else {
+            return Ok(());
+        };
+        match inj.roll_read() {
+            None => Ok(()),
+            Some(FaultKind::TransientIo) => Err(DeviceError::Io(io::Error::other(
+                "injected transient I/O error",
+            ))),
+            Some(FaultKind::ShortRead) => Err(DeviceError::ShortRead {
+                page,
+                wanted: PAGE_HEADER,
+                got: 0,
+            }),
+            Some(_) => {
+                // Bit rot (or any scheduled corruption kind routed to a
+                // read): flip a real stored bit, then let the verified
+                // read below fail its checksum honestly.
+                self.corrupt_locked(inner, page, slot)?;
+                Ok(())
+            }
+        }
+    }
+
+    /// Flip one deterministic bit of `page`'s stored image **on the
+    /// medium** — the payload when there is one, the stored CRC field
+    /// otherwise — without updating the checksum. The next verified
+    /// read fails [`DeviceError::ChecksumMismatch`] until the page is
+    /// rewritten. Public so tests and the chaos harness can plant
+    /// corruption directly.
+    pub fn corrupt_page(&self, page: PageId) -> Result<(), DeviceError> {
+        let inner = self.lock();
+        let slot = *inner
+            .map
+            .get(&page)
+            .ok_or(DeviceError::UnknownPage { page })?;
+        self.corrupt_locked(&inner, page, slot)
+    }
+
+    fn corrupt_locked(&self, inner: &Inner, page: PageId, slot: u64) -> Result<(), DeviceError> {
+        let mut hb = [0u8; PAGE_HEADER];
+        let got = read_full_at(&inner.file, &mut hb, slot_offset(slot))?;
+        if got < PAGE_HEADER {
+            return Err(DeviceError::ShortRead {
+                page,
+                wanted: PAGE_HEADER,
+                got,
+            });
+        }
+        let h = SlotHeader::decode(&hb);
+        let len = (h.payload_len as usize).min(PAGE_SIZE);
+        let offset = if len > 0 {
+            slot_offset(slot) + PAGE_HEADER as u64 + (page.wrapping_mul(31) % len as u64)
+        } else {
+            slot_offset(slot) + 28 // the stored CRC field
+        };
+        let mut byte = [0u8; 1];
+        inner.file.read_exact_at(&mut byte, offset)?;
+        byte[0] ^= 1 << (page % 8) as u8;
+        inner.file.write_all_at(&byte, offset)?;
+        Ok(())
+    }
+
+    /// Install a fault injector; every subsequent read, write, and
+    /// issued sync rolls it.
+    pub fn set_fault_injector(&self, injector: Arc<FaultInjector>) {
+        *self
+            .faults
+            .injector
+            .lock()
+            .unwrap_or_else(|e| e.into_inner()) = Some(injector);
+    }
+
+    /// The installed fault injector, if any.
+    pub fn fault_injector(&self) -> Option<Arc<FaultInjector>> {
+        self.faults
+            .injector
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// Set how transient errors are retried (default:
+    /// [`RetryPolicy::exponential`]).
+    pub fn set_retry_policy(&self, policy: RetryPolicy) {
+        *self.faults.retry.lock().unwrap_or_else(|e| e.into_inner()) = policy;
+    }
+
+    /// The active retry policy.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        *self.faults.retry.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The store's fault-plane counters.
+    pub fn fault_stats(&self) -> &Arc<FaultStats> {
+        &self.faults.stats
+    }
+
+    /// The store's page quarantine.
+    pub fn quarantine(&self) -> &Arc<Quarantine> {
+        &self.faults.quarantine
+    }
+
+    /// Quarantine `page` after a permanent verification failure.
+    pub(crate) fn quarantine_page(&self, page: PageId) {
+        if self.faults.quarantine.quarantine(page) {
+            self.faults.stats.note_quarantined();
+        }
+    }
+
+    /// Run `op` under the store's [`RetryPolicy`]: transient errors
+    /// wait out a bounded, jittered exponential backoff and retry;
+    /// permanent errors (and exhaustion) escalate. `op` must not hold
+    /// the store lock — each attempt re-acquires it.
+    fn with_retries<T>(
+        &self,
+        mut op: impl FnMut() -> Result<T, DeviceError>,
+    ) -> Result<T, DeviceError> {
+        let policy = self.retry_policy();
+        let mut attempt = 1u32;
+        loop {
+            match op() {
+                Ok(v) => {
+                    if attempt > 1 {
+                        self.faults.stats.note_retry_success();
+                    }
+                    return Ok(v);
+                }
+                Err(e) if e.is_transient() => {
+                    self.faults.stats.note_transient();
+                    if attempt >= policy.max_attempts {
+                        self.faults.stats.note_exhausted();
+                        return Err(e);
+                    }
+                    let wait = {
+                        let mut rng = self.faults.rng.lock().unwrap_or_else(|e| e.into_inner());
+                        policy.backoff_ns(attempt, &mut rng)
+                    };
+                    {
+                        let mut span = bftree_obs::span(bftree_obs::SpanKind::FaultRetry);
+                        span.set_detail(attempt as u64);
+                        if wait > 0 {
+                            std::thread::sleep(std::time::Duration::from_nanos(wait));
+                        }
+                    }
+                    self.faults.stats.note_retry(wait);
+                    attempt += 1;
+                }
+                Err(e) => {
+                    self.faults.stats.note_permanent();
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    /// [`FileStore::read_page`] under the store's retry policy:
+    /// transient failures are retried with backoff, permanent ones
+    /// escalate untouched.
+    pub fn read_page_verified(&self, page: PageId) -> Result<Vec<u8>, DeviceError> {
+        self.with_retries(|| self.read_page(page))
+    }
+
+    /// [`FileStore::write_page`] under the store's retry policy.
+    pub fn write_page_verified(&self, page: PageId, payload: &[u8]) -> Result<u64, DeviceError> {
+        self.with_retries(|| self.write_page(page, payload))
+    }
+
+    /// Ids of every live page (the scrubber's sweep list), sorted.
+    pub fn live_page_ids(&self) -> Vec<PageId> {
+        let mut ids: Vec<PageId> = self.lock().map.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Rewrite `page` with a fresh LSN and checksum and release it
+    /// from quarantine once a read-back verifies. `payload` is the
+    /// authoritative bytes to restore; `None` re-stamps the
+    /// deterministic charged image (index / charged pages carry no
+    /// caller bytes). Repair runs on an injection-free path — it is
+    /// the verified-write primitive the healing story bottoms out on.
+    pub fn repair_page(&self, page: PageId, payload: Option<&[u8]>) -> Result<u64, DeviceError> {
+        let lsn = {
+            let mut inner = self.lock();
+            match payload {
+                Some(bytes) => self.write_locked_raw(&mut inner, page, bytes, false)?,
+                None => {
+                    let stamped = Self::stamped_payload(page, inner.next_lsn);
+                    self.write_locked_raw(&mut inner, page, &stamped, false)?
+                }
+            }
+        };
+        self.read_page_attempt(page, false)?;
+        if self.faults.quarantine.release(page) {
+            self.faults.stats.note_repaired();
+        }
+        Ok(lsn)
+    }
+
     /// The stored LSN of `page` (bumps on every write).
     pub fn page_lsn(&self, page: PageId) -> Result<u64, DeviceError> {
         let inner = self.lock();
@@ -672,17 +957,65 @@ impl FileStore {
     /// Write `payload` as the new contents of `page` (allocating a
     /// slot on first write — free list first, then growth), stamping
     /// a fresh LSN and checksum. Returns the page's new LSN.
+    ///
+    /// One attempt, fault injection armed;
+    /// [`FileStore::write_page_verified`] adds the retry policy.
     pub fn write_page(&self, page: PageId, payload: &[u8]) -> Result<u64, DeviceError> {
         let mut inner = self.lock();
         self.write_locked(&mut inner, page, payload, false)
     }
 
+    /// Injection-armed write: a transient fault fails before touching
+    /// the file; a torn write persists only a prefix of the frame —
+    /// reporting success now and failing the page's next verified
+    /// read, exactly like a real torn sector.
     fn write_locked(
         &self,
         inner: &mut Inner,
         page: PageId,
         payload: &[u8],
         materialize: bool,
+    ) -> Result<u64, DeviceError> {
+        let fault = {
+            let injector = self
+                .faults
+                .injector
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            injector.as_ref().and_then(|inj| inj.roll_write())
+        };
+        match fault {
+            Some(FaultKind::TransientIo) => {
+                return Err(DeviceError::Io(io::Error::other(
+                    "injected transient I/O error",
+                )))
+            }
+            Some(FaultKind::TornWrite) => {
+                return self.write_locked_impl(inner, page, payload, materialize, true)
+            }
+            _ => {}
+        }
+        self.write_locked_raw(inner, page, payload, materialize)
+    }
+
+    /// Injection-free write (the repair path's primitive).
+    fn write_locked_raw(
+        &self,
+        inner: &mut Inner,
+        page: PageId,
+        payload: &[u8],
+        materialize: bool,
+    ) -> Result<u64, DeviceError> {
+        self.write_locked_impl(inner, page, payload, materialize, false)
+    }
+
+    fn write_locked_impl(
+        &self,
+        inner: &mut Inner,
+        page: PageId,
+        payload: &[u8],
+        materialize: bool,
+        torn: bool,
     ) -> Result<u64, DeviceError> {
         if payload.len() > PAGE_SIZE {
             return Err(DeviceError::PayloadTooLarge {
@@ -731,6 +1064,15 @@ impl FileStore {
         let mut frame = Vec::with_capacity(PAGE_HEADER + payload.len());
         frame.extend_from_slice(&header.encode());
         frame.extend_from_slice(payload);
+        if torn {
+            // A torn write persists the header (with the full-payload
+            // CRC) and the first half of the payload; the tail holds
+            // garbage instead of the intended bytes, so the page's
+            // next verified read fails its checksum.
+            for b in &mut frame[PAGE_HEADER + payload.len() / 2..] {
+                *b ^= 0xFF;
+            }
+        }
         inner.file.write_all_at(&frame, slot_offset(slot))?;
         self.wall
             .write_ns
@@ -761,39 +1103,60 @@ impl FileStore {
     }
 
     /// Hot-path read for device charging: materialize the page on
-    /// first access, then read and verify it.
+    /// first access, then read and verify it under the retry policy.
     ///
-    /// # Panics
-    ///
-    /// On a verification failure — the charging API (`read_random`
-    /// and friends) is infallible by contract, so corruption found
-    /// under it is unrecoverable here. Fallible callers use
-    /// [`FileStore::read_page`], which returns the typed error.
-    pub fn charged_read(&self, page: PageId) {
-        {
+    /// Never panics on device faults. Transient failures that outlive
+    /// every retry report [`IoOutcome::Unavailable`]; a permanent
+    /// verification failure quarantines the page and reports
+    /// [`IoOutcome::Quarantined`] — the caller (the device front)
+    /// evicts it from any cache so no pool ever serves the bad image.
+    pub fn charged_read(&self, page: PageId) -> IoOutcome {
+        let materialized = self.with_retries(|| {
             let mut inner = self.lock();
             if !inner.map.contains_key(&page) {
                 let payload = Self::stamped_payload(page, inner.next_lsn);
-                self.write_locked(&mut inner, page, &payload, true)
-                    .expect("materializing a charged page");
+                self.write_locked(&mut inner, page, &payload, true)?;
             }
+            Ok(())
+        });
+        if materialized.is_err() {
+            return IoOutcome::Unavailable;
         }
-        if let Err(e) = self.read_page(page) {
-            panic!("verified read of charged page failed: {e}");
+        match self.with_retries(|| self.read_page(page)) {
+            Ok(_) => IoOutcome::Ok,
+            Err(e) if e.is_transient() => IoOutcome::Unavailable,
+            Err(_) => {
+                self.quarantine_page(page);
+                IoOutcome::Quarantined
+            }
         }
     }
 
     /// Hot-path write for device charging: stamp a fresh deterministic
-    /// image (the simulator carries no payload bytes).
-    pub fn charged_write(&self, page: PageId) {
-        let mut inner = self.lock();
-        let payload = Self::stamped_payload(page, inner.next_lsn);
-        self.write_locked(&mut inner, page, &payload, false)
-            .expect("writing a charged page");
+    /// image (the simulator carries no payload bytes) under the retry
+    /// policy. Transient exhaustion reports
+    /// [`IoOutcome::Unavailable`]; a torn write reports `Ok` — torn
+    /// writes are silent until the page's next verified read.
+    pub fn charged_write(&self, page: PageId) -> IoOutcome {
+        let wrote = self.with_retries(|| {
+            let mut inner = self.lock();
+            let payload = Self::stamped_payload(page, inner.next_lsn);
+            self.write_locked(&mut inner, page, &payload, false)?;
+            Ok(())
+        });
+        match wrote {
+            Ok(()) => IoOutcome::Ok,
+            Err(_) => IoOutcome::Unavailable,
+        }
     }
 
     /// Request a durability barrier; the [`SyncPolicy`] decides
     /// whether a real `fdatasync` is issued now.
+    ///
+    /// A failed barrier (injected or real) leaves the pending window
+    /// uncleared, so the next barrier on this store covers the same
+    /// writes — `fdatasync` barriers are cumulative, which is what
+    /// makes "retry on the next sync" a correct recovery.
     pub fn sync(&self) -> Result<(), DeviceError> {
         let mut inner = self.lock();
         self.wall.sync_requests.fetch_add(1, Ordering::Relaxed);
@@ -809,6 +1172,29 @@ impl FileStore {
         Ok(())
     }
 
+    /// [`FileStore::sync`] with the retry policy applied to the
+    /// barrier itself (the request is counted once; only the issued
+    /// `fdatasync` retries).
+    pub fn sync_verified(&self) -> Result<(), DeviceError> {
+        let issue = {
+            let mut inner = self.lock();
+            self.wall.sync_requests.fetch_add(1, Ordering::Relaxed);
+            inner.pending_syncs += 1;
+            match self.policy {
+                SyncPolicy::PerRequest => true,
+                SyncPolicy::Window { requests } => inner.pending_syncs >= requests.max(1) as u64,
+                SyncPolicy::Deferred => false,
+            }
+        };
+        if !issue {
+            return Ok(());
+        }
+        self.with_retries(|| {
+            let mut inner = self.lock();
+            self.issue_sync(&mut inner)
+        })
+    }
+
     /// Force a real barrier regardless of policy (and reset the
     /// batching window).
     pub fn flush(&self) -> Result<(), DeviceError> {
@@ -817,6 +1203,18 @@ impl FileStore {
     }
 
     fn issue_sync(&self, inner: &mut Inner) -> Result<(), DeviceError> {
+        let fault = {
+            let injector = self
+                .faults
+                .injector
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            injector.as_ref().and_then(|inj| inj.roll_fsync())
+        };
+        if fault.is_some() {
+            // Pending window stays dirty: the next barrier covers it.
+            return Err(DeviceError::Io(io::Error::other("injected fsync failure")));
+        }
         let t = WallTimer::start();
         inner.file.sync_data()?;
         self.wall
@@ -891,6 +1289,13 @@ impl FileStore {
             "Wall nanoseconds spent in issued syncs",
             l,
             w.sync_ns,
+        );
+        self.faults.stats.register_metrics(reg, store);
+        reg.gauge(
+            "bftree_fault_quarantine_pages",
+            "Pages currently quarantined",
+            l,
+            self.faults.quarantine.len() as f64,
         );
     }
 }
@@ -1073,12 +1478,92 @@ mod tests {
     fn charged_reads_materialize_then_verify() {
         let (_dir, path) = scratch("charged");
         let store = FileStore::create(&path, SyncPolicy::Deferred).unwrap();
-        store.charged_read(1234);
-        store.charged_read(1234);
+        assert_eq!(store.charged_read(1234), IoOutcome::Ok);
+        assert_eq!(store.charged_read(1234), IoOutcome::Ok);
         let w = store.wall();
         assert_eq!(w.materialized, 1, "second access reuses the slot");
         assert_eq!(w.reads, 2);
         assert!(store.contains(1234));
+    }
+
+    #[test]
+    fn transient_classification_pins_every_variant() {
+        // Satellite contract: Io and ShortRead are the only transient
+        // kinds; everything else requires a repair (or is a caller
+        // bug) and must escalate.
+        let transient: [DeviceError; 2] = [
+            DeviceError::Io(io::Error::other("eio")),
+            DeviceError::ShortRead {
+                page: 1,
+                wanted: 40,
+                got: 3,
+            },
+        ];
+        for e in &transient {
+            assert!(e.is_transient(), "{e} should be transient");
+        }
+        let permanent: [DeviceError; 6] = [
+            DeviceError::ChecksumMismatch {
+                page: 1,
+                expected: 1,
+                actual: 2,
+            },
+            DeviceError::BadHeader {
+                page: 1,
+                reason: "x",
+            },
+            DeviceError::BadSuperblock { reason: "x" },
+            DeviceError::UnknownPage { page: 1 },
+            DeviceError::FreedPage { page: 1 },
+            DeviceError::PayloadTooLarge { page: 1, len: 9999 },
+        ];
+        for e in &permanent {
+            assert!(!e.is_transient(), "{e} should be permanent");
+        }
+    }
+
+    #[test]
+    fn corrupt_page_fails_checksum_until_repaired() {
+        let (_dir, path) = scratch("corrupt");
+        let store = FileStore::create(&path, SyncPolicy::Deferred).unwrap();
+        store.write_page(3, b"precious bytes").unwrap();
+        store.corrupt_page(3).unwrap();
+        assert!(matches!(
+            store.read_page(3),
+            Err(DeviceError::ChecksumMismatch { .. })
+        ));
+        // Quarantine via the charging path, then repair restores both
+        // readability and the quarantine set.
+        assert_eq!(store.charged_read(3), IoOutcome::Quarantined);
+        assert!(store.quarantine().contains(3));
+        store.repair_page(3, Some(b"precious bytes")).unwrap();
+        assert!(!store.quarantine().contains(3));
+        assert_eq!(store.read_page(3).unwrap(), b"precious bytes");
+        assert_eq!(store.fault_stats().snapshot().repaired, 1);
+    }
+
+    #[test]
+    fn corrupting_an_empty_payload_page_still_fails_verification() {
+        let (_dir, path) = scratch("corrupt-empty");
+        let store = FileStore::create(&path, SyncPolicy::Deferred).unwrap();
+        let page = store.alloc().unwrap();
+        assert_eq!(store.read_page(page).unwrap(), b"");
+        store.corrupt_page(page).unwrap();
+        assert!(matches!(
+            store.read_page(page),
+            Err(DeviceError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn live_page_ids_lists_the_scrub_sweep() {
+        let (_dir, path) = scratch("livepages");
+        let store = FileStore::create(&path, SyncPolicy::Deferred).unwrap();
+        store.write_page(9, b"a").unwrap();
+        store.write_page(2, b"b").unwrap();
+        store.write_page(5, b"c").unwrap();
+        store.free(5).unwrap();
+        assert_eq!(store.live_page_ids(), vec![2, 9]);
     }
 
     #[test]

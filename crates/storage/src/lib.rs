@@ -34,6 +34,13 @@
 //! * [`mod@file`] — [`file::FileStore`]: the byte-hitting page store
 //!   (CRC-32 page headers, persistent free list, batched fsync,
 //!   wall-clock counters) behind the file backend.
+//! * [`fault`] — the fault plane: a deterministic seeded
+//!   [`fault::FaultInjector`], [`fault::RetryPolicy`] backoff,
+//!   [`fault::Quarantine`] for checksum-failed pages, and the
+//!   [`fault::FaultStats`] behind the `bftree_fault_*` metric
+//!   families.
+//! * [`scrub`] — [`scrub::Scrubber`]: sweeps live pages verifying
+//!   checksums, quarantining rot before a query trips over it.
 //!
 //! "Response times" reported by the benchmark harness are the simulated
 //! nanoseconds accumulated here, making every experiment reproducible
@@ -46,11 +53,13 @@ pub mod backend;
 pub mod buffer;
 pub mod context;
 pub mod device;
+pub mod fault;
 pub mod file;
 pub mod heap;
 pub mod io;
 pub mod page;
 pub mod relation;
+pub mod scrub;
 pub mod search;
 pub mod sim;
 pub mod tuple;
@@ -60,11 +69,18 @@ pub use bftree_bufferpool::{BufferManager, BufferStats, PolicyKind, PoolId};
 pub use buffer::{BufferPool, PoolAccess};
 pub use context::{IoContext, StorageConfig};
 pub use device::{DeviceKind, DeviceProfile};
-pub use file::{DeviceError, FileStore, ScratchDir, SyncPolicy, WallSnapshot, PAGE_HEADER};
+pub use fault::{
+    FaultConfig, FaultInjector, FaultKind, FaultSnapshot, FaultStats, Quarantine, RetryPolicy,
+    ScheduledFault,
+};
+pub use file::{
+    DeviceError, FileStore, IoOutcome, ScratchDir, SyncPolicy, WallSnapshot, PAGE_HEADER,
+};
 pub use heap::HeapFile;
 pub use io::{thread_sim_ns, IoSnapshot, IoStats};
 pub use page::{PageId, PAGE_SIZE};
 pub use relation::{Duplicates, Relation, RelationError, SharedRelation};
+pub use scrub::{ScrubReport, Scrubber};
 pub use search::{binary_search, interpolation_search, SearchResult};
 pub use sim::{CacheMode, SimDevice};
 pub use tuple::TupleLayout;

@@ -25,6 +25,7 @@ use bftree_bufferpool::{Access, BufferManager, PoolId};
 
 use crate::buffer::BufferPool;
 use crate::device::{DeviceKind, DeviceProfile};
+use crate::fault::Quarantine;
 use crate::io::{IoSnapshot, IoStats};
 use crate::page::{PageId, PAGE_SIZE};
 
@@ -64,6 +65,11 @@ pub struct SimDevice {
     profile: DeviceProfile,
     stats: Arc<IoStats>,
     cache: CacheBackend,
+    /// Pages in quarantine (shared with the file store's fault plane)
+    /// are barred from cache admission: serving a known-corrupt page
+    /// from memory would mask the corruption from its repair path.
+    /// `None` (the default) skips the check entirely.
+    quarantine: Option<Arc<Quarantine>>,
 }
 
 impl SimDevice {
@@ -84,6 +90,7 @@ impl SimDevice {
             profile,
             stats: Arc::new(IoStats::new()),
             cache,
+            quarantine: None,
         }
     }
 
@@ -100,6 +107,38 @@ impl SimDevice {
             profile,
             stats: Arc::new(IoStats::new()),
             cache: CacheBackend::Shared { manager, pool },
+            quarantine: None,
+        }
+    }
+
+    /// Bar `quarantine`'s pages from cache admission (and cache hits)
+    /// on this device and its clones made *after* this call. The file
+    /// backend wires its store's quarantine in here so a corrupt page
+    /// is always re-verified against the device until repaired.
+    pub fn set_quarantine(&mut self, quarantine: Arc<Quarantine>) {
+        self.quarantine = Some(quarantine);
+    }
+
+    fn quarantined(&self, page: PageId) -> bool {
+        self.quarantine
+            .as_ref()
+            .map(|q| q.contains(page))
+            .unwrap_or(false)
+    }
+
+    /// Drop `page` from this device's cache if resident (no-op on a
+    /// cold device). Returns whether a cached copy was dropped. Used
+    /// when a page enters quarantine: the in-memory copy may predate
+    /// the corruption, but serving it would mask the fault from the
+    /// repair path.
+    pub fn invalidate(&self, page: PageId) -> bool {
+        match &self.cache {
+            CacheBackend::None => false,
+            CacheBackend::Private(pool) => pool
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .invalidate(page),
+            CacheBackend::Shared { manager, pool } => manager.invalidate(*pool, page),
         }
     }
 
@@ -190,6 +229,9 @@ impl SimDevice {
     pub fn write(&self, page: PageId) {
         self.stats
             .record_write(self.profile.write_ns, PAGE_SIZE as u64);
+        if self.quarantined(page) {
+            return; // charged, but never installed while quarantined
+        }
         match &self.cache {
             CacheBackend::None => {}
             CacheBackend::Private(pool) => {
@@ -273,6 +315,12 @@ impl SimDevice {
 
     #[inline]
     fn cache_absorbs(&self, page: PageId) -> bool {
+        if self.quarantined(page) {
+            // Never serve (or admit) a quarantined page from memory:
+            // the access must reach the device so the corruption is
+            // re-detected until repaired.
+            return false;
+        }
         match &self.cache {
             CacheBackend::None => false,
             CacheBackend::Private(pool) => {
@@ -509,6 +557,43 @@ mod tests {
         index.drop_caches();
         data.read_random(7);
         assert_eq!(data.snapshot().cache_hits, 2, "data pool survived");
+    }
+
+    #[test]
+    fn quarantined_pages_bypass_the_cache_until_released() {
+        let mut dev = SimDevice::new(DeviceProfile::ssd(), CacheMode::Lru(8));
+        let q = Arc::new(crate::fault::Quarantine::new());
+        dev.set_quarantine(Arc::clone(&q));
+        dev.read_random(1);
+        assert!(!dev.read_random(1), "cached while healthy");
+        q.quarantine(1);
+        assert!(dev.invalidate(1), "cached copy dropped on quarantine");
+        assert!(dev.read_random(1), "quarantined reads reach the device");
+        dev.write(1); // install attempt must be refused
+        assert!(dev.read_random(1), "still uncached while quarantined");
+        q.release(1);
+        dev.read_random(1); // re-admitted ...
+        assert!(!dev.read_random(1), "... and cached again after release");
+    }
+
+    #[test]
+    fn invalidate_drops_shared_pool_residency() {
+        use bftree_bufferpool::{BufferManager, PolicyKind};
+
+        let mgr = Arc::new(BufferManager::with_shards(
+            4 * PAGE_SIZE as u64,
+            PolicyKind::Lru,
+            1,
+        ));
+        let dev = SimDevice::with_shared_cache(
+            DeviceProfile::ssd(),
+            Arc::clone(&mgr),
+            mgr.register_pool("data"),
+        );
+        dev.read_random(5);
+        assert!(dev.invalidate(5));
+        assert!(!dev.invalidate(5));
+        assert!(dev.read_random(5), "read reaches the device again");
     }
 
     #[test]

@@ -27,7 +27,7 @@
 pub mod log;
 pub mod record;
 
-pub use log::{DurabilityMode, TailState, Wal, WalReader};
+pub use log::{DurabilityMode, TailState, Wal, WalReader, WalRepairOutcome};
 pub use record::{crc32, WalRecord, FRAME_HEADER, MAX_PAYLOAD};
 
 #[cfg(test)]
@@ -210,6 +210,40 @@ mod tests {
         let (recs, tail) = WalReader::drain(&image);
         assert_eq!(recs.len(), 1);
         assert_eq!(tail, TailState::Torn { valid_len: end });
+    }
+
+    #[test]
+    fn drain_of_a_zero_length_log_is_empty_and_clean() {
+        let (recs, tail) = WalReader::drain(&[]);
+        assert!(recs.is_empty());
+        assert_eq!(tail, TailState::Clean);
+    }
+
+    #[test]
+    fn drain_of_exactly_one_frame_yields_it_and_ends_clean() {
+        let mut image = Vec::new();
+        genesis().encode_frame(&mut image);
+        let (recs, tail) = WalReader::drain(&image);
+        assert_eq!(recs, vec![(image.len(), genesis())]);
+        assert_eq!(tail, TailState::Clean);
+    }
+
+    #[test]
+    fn drain_with_one_trailing_garbage_byte_keeps_the_frame() {
+        let mut image = Vec::new();
+        genesis().encode_frame(&mut image);
+        let frame_end = image.len();
+        image.push(0xAB);
+        let (recs, tail) = WalReader::drain(&image);
+        assert_eq!(recs.len(), 1, "the valid frame survives");
+        assert_eq!(recs[0].0, frame_end);
+        assert_eq!(
+            tail,
+            TailState::Torn {
+                valid_len: frame_end
+            },
+            "a lone garbage byte is a torn tail, not a record"
+        );
     }
 
     #[test]

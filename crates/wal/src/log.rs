@@ -104,7 +104,9 @@ impl Wal {
         let _span = bftree_obs::span(bftree_obs::SpanKind::WalAppend);
         let lsn = self.push_record(rec);
         match self.mode {
-            DurabilityMode::PerRecord => self.sync(),
+            DurabilityMode::PerRecord => {
+                self.sync();
+            }
             DurabilityMode::GroupCommit {
                 max_records,
                 max_bytes,
@@ -121,10 +123,18 @@ impl Wal {
     }
 
     /// Force the whole log durable: write the dirty page range
-    /// sequentially, then fsync. No-op when nothing is pending.
-    pub fn sync(&mut self) {
+    /// sequentially, then fsync. No-op (returning `true`) when nothing
+    /// is pending.
+    ///
+    /// Returns whether the tail is now durable. On a fault-injected
+    /// file backend a page write or the barrier itself can fail even
+    /// after retries; the log then keeps its durable prefix where it
+    /// was — `false` tells the caller not to acknowledge the tail —
+    /// and the next sync rewrites the same dirty range, so a later
+    /// barrier heals the window.
+    pub fn sync(&mut self) -> bool {
         if self.buf.len() == self.synced_len {
-            return;
+            return true;
         }
         // Page-granular log file: the sync rewrites every page the
         // dirty byte range [synced_len, len) touches — including the
@@ -132,18 +142,23 @@ impl Wal {
         // wrote, exactly like an O_DIRECT log appending in place.
         let first = self.synced_len / PAGE_SIZE;
         let last = (self.buf.len() - 1) / PAGE_SIZE;
+        let mut landed = true;
         for page in first..=last {
             // Simulated devices book the write; a file backend also
             // persists the page's real bytes, so the on-disk image
             // tracks the durable prefix exactly.
             let lo = page * PAGE_SIZE;
             let hi = self.buf.len().min(lo + PAGE_SIZE);
-            self.device.write_bytes(page as PageId, &self.buf[lo..hi]);
+            landed &= self.device.write_bytes(page as PageId, &self.buf[lo..hi]);
         }
-        self.device.fsync();
+        landed &= self.device.fsync();
+        if !landed {
+            return false;
+        }
         self.synced_len = self.buf.len();
         self.pending_records = 0;
         self.syncs += 1;
+        true
     }
 
     /// The full log image (what survives a clean shutdown).
@@ -215,6 +230,78 @@ impl Wal {
         }
         Some(image)
     }
+
+    /// [`Wal::load_image`] with self-healing: read the log's page
+    /// chain with the store's retry policy, and when a page fails
+    /// verification (bit rot, a torn log write), **truncate the log at
+    /// the last good page** — the corrupt page and every live page
+    /// after it are rewritten empty (frames can span pages, so nothing
+    /// past a hole can be trusted), releasing them from quarantine.
+    /// The returned image is additionally cut at the last record
+    /// boundary, so it always drains [`TailState::Clean`].
+    ///
+    /// This is the WAL half of the repair story: log records protect
+    /// data pages, and the log itself is repaired by truncation to its
+    /// longest valid prefix — exactly the prefix a crash would have
+    /// left. Returns `None` on simulated devices.
+    pub fn repair_image(device: &PageDevice) -> Option<WalRepairOutcome> {
+        let file = device.file()?;
+        let store = file.store();
+        let mut image = Vec::new();
+        let mut page: PageId = 0;
+        let mut corrupt_from: Option<PageId> = None;
+        while store.contains(page) {
+            match store.read_page_verified(page) {
+                Ok(payload) => {
+                    image.extend_from_slice(&payload);
+                    page += 1;
+                }
+                Err(e) if e.is_transient() => break, // unavailable, not corrupt
+                Err(_) => {
+                    // Route the detection through the charged path so
+                    // the page lands in quarantine with its stats.
+                    let _ = store.charged_read(page);
+                    corrupt_from = Some(page);
+                    break;
+                }
+            }
+        }
+        let mut repaired_pages = 0u64;
+        if let Some(first_bad) = corrupt_from {
+            let mut span = bftree_obs::span(bftree_obs::SpanKind::Repair);
+            let mut p = first_bad;
+            while file.store().contains(p) {
+                if store.repair_page(p, Some(&[])).is_ok() {
+                    repaired_pages += 1;
+                }
+                p += 1;
+            }
+            span.set_detail(repaired_pages);
+        }
+        let valid_len = match WalReader::drain(&image).1 {
+            TailState::Clean => image.len(),
+            TailState::Torn { valid_len } => valid_len,
+        };
+        image.truncate(valid_len);
+        Some(WalRepairOutcome {
+            image,
+            repaired_pages,
+            valid_len,
+        })
+    }
+}
+
+/// What [`Wal::repair_image`] found and fixed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalRepairOutcome {
+    /// The longest valid log prefix, cut at a record boundary — feed
+    /// it to `DurableIndex::recover` as the surviving log.
+    pub image: Vec<u8>,
+    /// Log pages rewritten empty (the corrupt page and its
+    /// successors), each released from quarantine.
+    pub repaired_pages: u64,
+    /// Byte length of the returned image.
+    pub valid_len: usize,
 }
 
 impl bftree_obs::MetricSource for Wal {
