@@ -67,6 +67,9 @@ pub struct Continuation {
 }
 
 impl Continuation {
+    /// Wire size of [`Continuation::encode`]'s output.
+    pub const ENCODED_LEN: usize = 40;
+
     /// Assemble a token. For [`RangeCursor`] implementations; callers
     /// of the read API never need this.
     pub fn from_parts(lo: u64, hi: u64, key: u64, page: PageId, slot: usize) -> Self {

@@ -44,14 +44,17 @@ use std::collections::HashSet;
 use std::sync::Arc;
 use std::time::Instant;
 
+use bftree::BfTree;
 use bftree_access::{DurableConfig, DurableIndex};
 use bftree_bench::scale::{n_probes, relation_mb};
 use bftree_bench::{
     build_index, fmt_f, relation_r_pk, AccessMethod, IndexKind, IoContext, JsonObject, Relation,
     Report, StorageArgs, StorageConfig,
 };
+use bftree_shard::{ShardPlan, ShardedIndex, ShardedIo};
 use bftree_storage::{
-    DeviceKind, FaultConfig, FaultInjector, FaultSnapshot, FileStore, RetryPolicy, Scrubber,
+    DeviceKind, FaultConfig, FaultInjector, FaultSnapshot, FileStore, PolicyKind, RetryPolicy,
+    Scrubber,
 };
 use bftree_wal::DurabilityMode;
 use bftree_workloads::{mixed_stream, KeyPopularity, Op, OpMix};
@@ -320,6 +323,235 @@ fn run_cell(
     cell
 }
 
+/// The optional sharded chaos cell (`--shards=N`, N > 1): the whole
+/// serving fleet under fault injection. Every shard's index, data, and
+/// WAL store gets its own seeded injector; probes route to the owning
+/// shard's `probe_degraded`, repair + scrub sweeps walk every shard,
+/// and the cell ends with the same reckoning as its unsharded peers —
+/// quarantines drained, scrubs clean, and the merged view bit-exact
+/// against the oracle with zero lost acked writes.
+fn run_sharded_chaos(
+    shards: usize,
+    fault_rate: f64,
+    policy: RetryPolicy,
+    base: &Relation,
+    ops: &[Op],
+    storage: &StorageArgs,
+) -> JsonObject {
+    let mut rel = base.clone();
+    let n_keys = rel.heap().tuple_count();
+    // Quantile plan over probes and the fresh insert block, so every
+    // shard takes both reads and writes.
+    let mut sample: Vec<u64> = (0..n_keys).step_by(97).collect();
+    sample.extend(ops.iter().filter_map(|op| match *op {
+        Op::Insert(k) => Some(k),
+        _ => None,
+    }));
+    sample.sort_unstable();
+    let mut index = ShardedIndex::new(
+        ShardPlan::from_sample(&sample, shards),
+        &rel,
+        DurableConfig {
+            flush_batch: 256,
+            durability: DurabilityMode::GroupCommit {
+                max_records: 64,
+                max_bytes: 16 * 1024,
+            },
+        },
+        |_| {
+            Box::new(
+                BfTree::builder()
+                    .fpp(1e-4)
+                    .empty(&rel)
+                    .expect("valid config"),
+            )
+        },
+        |_| storage.log_device(DeviceKind::Ssd),
+    );
+    index.build(&rel).expect("sharded build");
+    let ios = ShardedIo::new(
+        &storage.backend(),
+        StorageConfig::SsdSsd,
+        64 << 20,
+        PolicyKind::Lru,
+        shards,
+    )
+    .expect("backend devices")
+    .into_ios();
+
+    // Arm every file-backed store in the fleet — per-shard index,
+    // data, and WAL — with distinct deterministic seeds and the cell's
+    // retry policy.
+    let mut stores: Vec<Arc<FileStore>> = Vec::new();
+    for (s, io) in ios.iter().enumerate() {
+        for dev in [&io.index, &io.data] {
+            let file = dev.file().expect("chaos requires the file backend");
+            stores.push(Arc::clone(file.store()));
+        }
+        stores.push(index.with_shard(s, |st| {
+            let file = st.wal().device().file().expect("file-backed WAL");
+            Arc::clone(file.store())
+        }));
+    }
+    let injectors: Vec<Arc<FaultInjector>> = stores
+        .iter()
+        .enumerate()
+        .map(|(i, store)| {
+            let injector = Arc::new(FaultInjector::new(FaultConfig::uniform(
+                fault_rate,
+                0xC4A0_6000 + i as u64,
+            )));
+            store.set_fault_injector(Arc::clone(&injector));
+            store.set_retry_policy(policy);
+            injector
+        })
+        .collect();
+    let scrubbers: Vec<Scrubber> = stores
+        .iter()
+        .map(|s| Scrubber::new(Arc::clone(s)))
+        .collect();
+
+    let mut oracle: HashSet<u64> = (0..n_keys).collect();
+    let mut acked_writes = 0u64;
+    let mut probes = 0u64;
+    let mut degraded_probes = 0u64;
+    let mut wrong_answers = 0u64;
+    let mut repairs = 0u64;
+    let repair_all = |index: &ShardedIndex| -> u64 {
+        (0..shards)
+            .map(|s| {
+                index
+                    .with_shard(s, |st| st.repair_quarantined(&ios[s]))
+                    .pages_repaired
+            })
+            .sum()
+    };
+    let start = Instant::now();
+    for (i, op) in ops.iter().enumerate() {
+        match *op {
+            Op::Probe(k) => {
+                let s = index.plan().shard_of(k);
+                let answer = index
+                    .with_shard(s, |st| st.probe_degraded(k, &rel, &ios[s]))
+                    .expect("valid relation");
+                probes += 1;
+                if answer.complete {
+                    if answer.probe.found() != oracle.contains(&k) {
+                        wrong_answers += 1;
+                    }
+                } else {
+                    degraded_probes += 1;
+                }
+            }
+            Op::Insert(k) => {
+                let loc = rel.append_tuple(k, k, &ios[index.plan().shard_of(k)]);
+                index.route_insert(k, loc, &rel).expect("valid relation");
+                oracle.insert(k);
+                acked_writes += 1;
+            }
+            Op::Delete(k) => {
+                index.route_delete(k, &rel).expect("valid relation");
+                oracle.remove(&k);
+                acked_writes += 1;
+            }
+        }
+        if (i + 1) % REPAIR_EVERY == 0 {
+            repairs += repair_all(&index);
+            for scrubber in &scrubbers {
+                scrubber.scrub_pass();
+            }
+        }
+    }
+    index.flush_all(&rel).expect("final drain");
+    let wall_seconds = start.elapsed().as_secs_f64();
+
+    // The reckoning runs with injection off, exactly like the
+    // unsharded cells.
+    let injected_faults: u64 = injectors.iter().map(|i| i.total_injected()).sum();
+    for store in &stores {
+        store.set_fault_injector(Arc::new(FaultInjector::inert()));
+    }
+    for round in 0.. {
+        repairs += repair_all(&index);
+        let quarantined: usize = stores.iter().map(|s| s.quarantine().len()).sum();
+        if quarantined == 0 {
+            break;
+        }
+        assert!(
+            round < 4,
+            "sharded quarantine not drained after {round} repairs"
+        );
+    }
+    for (store, scrubber) in stores.iter().zip(&scrubbers) {
+        if !scrubber.scrub_pass().clean() {
+            repairs += repair_all(&index);
+            assert!(
+                scrubber.scrub_pass().clean(),
+                "sharded store {} still dirty after final repair",
+                store.path().display()
+            );
+        }
+        assert!(store.quarantine().is_empty(), "quarantine drained");
+    }
+
+    // Bit-exactness of the merged view against the oracle.
+    let check = IoContext::unmetered();
+    let mut lost_acked_writes = 0u64;
+    for op in ops {
+        let k = match *op {
+            Op::Insert(k) | Op::Delete(k) => k,
+            Op::Probe(_) => continue,
+        };
+        let found = index.probe(k, &rel, &check).expect("probe").found();
+        if found != oracle.contains(&k) {
+            lost_acked_writes += 1;
+        }
+    }
+    for k in (0..n_keys).step_by(997) {
+        let found = index.probe(k, &rel, &check).expect("probe").found();
+        if found != oracle.contains(&k) {
+            wrong_answers += 1;
+        }
+    }
+    assert_eq!(
+        lost_acked_writes, 0,
+        "sharded: acked writes lost under faults"
+    );
+    assert_eq!(
+        wrong_answers, 0,
+        "sharded: authoritative answers disagreed with the oracle"
+    );
+
+    let availability = if probes == 0 {
+        1.0
+    } else {
+        (probes - degraded_probes) as f64 / probes as f64
+    };
+    println!(
+        "\nSharded cell ({shards} shards, rate {:.0e}, {}): {} faults injected across\n\
+         {} stores, {} pages repaired, availability {}%, zero lost acked writes,\n\
+         zero wrong answers through the merged serving view.",
+        fault_rate,
+        policy.label(),
+        injected_faults,
+        stores.len(),
+        repairs,
+        fmt_f(availability * 100.0),
+    );
+    JsonObject::new()
+        .field("shards", shards as u64)
+        .field("fault_rate", fault_rate)
+        .field("retry_policy", policy.label())
+        .field("ops", ops.len() as u64)
+        .field("wall_seconds", wall_seconds)
+        .field("availability", availability)
+        .field("acked_writes", acked_writes)
+        .field("injected_faults", injected_faults)
+        .field("pages_repaired", repairs)
+        .field("lost_acked_writes", lost_acked_writes)
+        .field("wrong_answers", wrong_answers)
+}
+
 fn main() {
     // Chaos always runs file-backed (appending last wins), but shares
     // every other storage flag and env knob with its siblings.
@@ -330,6 +562,9 @@ fn main() {
     }
     if let Ok(v) = std::env::var("BFTREE_METRICS_OUT") {
         raw.push(format!("--metrics-out={v}"));
+    }
+    if let Ok(v) = std::env::var("BFTREE_SHARDS") {
+        raw.push(format!("--shards={v}"));
     }
     raw.push("--storage=file".to_string());
     let storage = match StorageArgs::try_parse(raw) {
@@ -464,7 +699,18 @@ fn main() {
         fmt_f(max_inflation),
     );
 
-    let json = JsonObject::new()
+    let sharded = (storage.shards() > 1).then(|| {
+        run_sharded_chaos(
+            storage.shards(),
+            1e-3,
+            RetryPolicy::exponential(),
+            &ds.relation,
+            &ops,
+            &storage,
+        )
+    });
+
+    let mut json = JsonObject::new()
         .field("experiment", "chaos")
         .field(
             "workload",
@@ -522,6 +768,9 @@ fn main() {
                 .field("min_availability", min_avail)
                 .field("max_p99_inflation", max_inflation),
         );
+    if let Some(sharded) = sharded {
+        json = json.field("sharded", sharded);
+    }
     std::fs::write("BENCH_chaos.json", json.render()).expect("write perf baseline");
     println!("\nwrote BENCH_chaos.json ({} cells)", cells.len());
     storage.write_metrics(&registry);

@@ -1,0 +1,483 @@
+//! Sharded-serving scale experiment: closed-loop YCSB-B over real
+//! loopback sockets, sweeping shard count × client count.
+//!
+//! Each cell builds a fresh `ShardedIndex` (quantile partition from a
+//! sample of the same Zipfian workload, so hot low-rank keys spread
+//! across shards), serves it through the `bftree-net` wire protocol on
+//! `127.0.0.1:0`, and drives it with closed-loop client threads that
+//! pipeline probes in 16-key batches. Every probe reply is checked
+//! against heap ground truth, a sample of batches is re-answered by
+//! the in-process dispatch path and compared byte for byte, and every
+//! networked insert is probed back — `wrong_answers` must end at 0.
+//!
+//! The relation's PKs are the **even** integers so that YCSB-B's 5 %
+//! insert share — fresh keys, and by far the most expensive ops, since
+//! each pays the shard WAL's simulated write cost — can use odd keys
+//! spread uniformly across the key space. Sharding then parallelizes
+//! the write path (one WAL per shard), which is where the simulated
+//! makespan actually lives; with dense PKs every fresh key would land
+//! past the top boundary and serialize on the last shard's log.
+//!
+//! The headline is **simulated** throughput under the repo's
+//! one-device-channel-per-shard cost model: each shard accumulates the
+//! simulated nanoseconds of the work routed to it, the makespan is the
+//! bottleneck shard's clock, and throughput = ops / makespan. Wall
+//! throughput and wire RTT percentiles ride along (a 1-core container
+//! cannot show wall speedup; record `host_cores` so readers can tell).
+//!
+//! Flags: `--smoke` (2 shard counts × 2 client counts, capped ops).
+//! Env: `BFTREE_SERVE_OPS` (ops per cell, default 9600),
+//! `BFTREE_SCALE_MB` (relation size, default 64).
+//! Writes `BENCH_serve_scale.json`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use bftree::BfTree;
+use bftree_access::DurableConfig;
+use bftree_bench::scale::relation_mb;
+use bftree_bench::{fmt_f, JsonObject, Report, StorageArgs};
+use bftree_net::server::ServeState;
+use bftree_net::{Client, Request, Response, Server};
+use bftree_obs::LatencyHistogram;
+use bftree_shard::{ShardPlan, ShardedIndex, ShardedIo};
+use bftree_storage::tuple::PK_OFFSET;
+use bftree_storage::{
+    DeviceKind, Duplicates, HeapFile, PolicyKind, Relation, StorageConfig, TupleLayout,
+};
+use bftree_wal::DurabilityMode;
+use bftree_workloads::popularity::KeySampler;
+use bftree_workloads::{mixed_stream, KeyPopularity, Op, OpMix};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Probes per pipelined PROBE_BATCH frame.
+const BATCH: usize = 16;
+/// Zipfian skew (YCSB default).
+const THETA: f64 = 0.99;
+/// Fleet-wide buffer budget shared by all shards of a cell.
+const BUDGET_BYTES: u64 = 64 << 20;
+
+fn ops_per_cell(smoke: bool) -> usize {
+    let ops = std::env::var("BFTREE_SERVE_OPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(9_600);
+    if smoke {
+        ops.min(1_600)
+    } else {
+        ops
+    }
+}
+
+/// Relation R with even PKs 0, 2, 4, … — the odd half of the key
+/// space is left free for the workload's fresh inserts.
+fn sparse_relation() -> Relation {
+    let keys = (relation_mb() << 20) / 256;
+    let mut heap = HeapFile::new(TupleLayout::new(256));
+    for i in 0..keys {
+        heap.append_record(2 * i, i);
+    }
+    Relation::new(heap, PK_OFFSET, Duplicates::Unique).expect("conventional layout")
+}
+
+/// Quantile partition from a **cost-weighted** sample of the cell's
+/// own workload: probe keys drawn from the Zipfian, plus uniform
+/// insert keys over-represented by the measured insert/probe cost
+/// ratio times YCSB-B's write share. Quantile cuts over that sample
+/// split simulated *cost* (not op count) evenly, which is what the
+/// makespan rewards — an insert pays the shard WAL's write latency,
+/// two orders of magnitude above a cached probe.
+fn plan_for(domain: &[u64], shards: usize, seed: u64, cost_ratio: u64) -> ShardPlan {
+    if shards == 1 {
+        return ShardPlan::single();
+    }
+    const PROBE_DRAWS: u64 = 4096;
+    let n = domain.len() as u64;
+    let sampler = KeySampler::new(domain.len(), KeyPopularity::Zipfian { theta: THETA });
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut sample: Vec<u64> = (0..PROBE_DRAWS)
+        .map(|_| domain[sampler.sample(&mut rng)])
+        .collect();
+    let write_share = OpMix::YCSB_B.write_fraction() / OpMix::YCSB_B.read_fraction;
+    let write_draws = ((PROBE_DRAWS as f64 * write_share * cost_ratio as f64) as u64).min(1 << 20);
+    sample.extend((0..write_draws).map(|u| 2 * (u * n / write_draws.max(1)) + 1));
+    sample.sort_unstable();
+    ShardPlan::from_sample(&sample, shards)
+}
+
+/// Measure the simulated cost of a probe and of a durable insert on a
+/// throwaway single-shard stack, so the partitioner knows how much an
+/// insert really weighs under the active storage configuration.
+fn calibrate_cost_ratio(rel: &Relation, domain: &[u64], storage: &StorageArgs) -> u64 {
+    let state = build_state(rel, 1, ShardPlan::single(), storage);
+    let sampler = KeySampler::new(domain.len(), KeyPopularity::Zipfian { theta: THETA });
+    let mut rng = StdRng::seed_from_u64(0xCA1B);
+    let keys: Vec<u64> = (0..512).map(|_| domain[sampler.sample(&mut rng)]).collect();
+    // Warm pass first: the steady-state workload probes mostly hit the
+    // buffer cache, and it is that warm cost the ratio must reflect.
+    state.handle(Request::ProbeBatch { keys: keys.clone() });
+    state.index.reset_shard_clocks();
+    state.handle(Request::ProbeBatch { keys });
+    let probe_ns = (state.index.makespan_sim_ns() / 512).max(1);
+    state.index.reset_shard_clocks();
+    let n = domain.len() as u64;
+    for i in 0..64u64 {
+        state.handle(Request::Insert {
+            key: 2 * (i * n / 64) + 1,
+            attr: 0,
+        });
+    }
+    let insert_ns = (state.index.makespan_sim_ns() / 64).max(1);
+    (insert_ns / probe_ns).max(1)
+}
+
+fn build_state(
+    rel: &Relation,
+    shards: usize,
+    plan: ShardPlan,
+    storage: &StorageArgs,
+) -> ServeState {
+    let backend = storage.backend();
+    let mut index = ShardedIndex::new(
+        plan,
+        rel,
+        DurableConfig {
+            flush_batch: 256,
+            durability: DurabilityMode::GroupCommit {
+                max_records: 32,
+                max_bytes: 32 * 1024,
+            },
+        },
+        |_| {
+            Box::new(
+                BfTree::builder()
+                    .fpp(1e-4)
+                    .empty(rel)
+                    .expect("valid config"),
+            )
+        },
+        |s| {
+            backend
+                .device(DeviceKind::Ssd, &format!("wal-shard{s}"))
+                .expect("shard log device")
+        },
+    );
+    bftree_access::AccessMethod::build(&mut index, rel).expect("sharded build");
+    let fleet = ShardedIo::new(
+        &backend,
+        StorageConfig::SsdSsd,
+        BUDGET_BYTES,
+        PolicyKind::Lru,
+        shards,
+    )
+    .expect("shard I/O fleet");
+    ServeState::new(index, rel.clone(), fleet.into_ios())
+}
+
+/// One client's closed-loop run: probes pipelined in `BATCH`-key
+/// frames, inserts sent individually, every reply verified against
+/// `expected` (heap ground truth; `expected[pk]` is pk's location).
+struct ClientRun {
+    rtt: LatencyHistogram,
+    inserted: Vec<(u64, (u64, u64))>,
+    ops: u64,
+}
+
+fn run_client(
+    addr: std::net::SocketAddr,
+    ops: &[Op],
+    expected: &[(u64, u64)],
+    wrong: &AtomicU64,
+) -> ClientRun {
+    let mut client = Client::connect(addr).expect("client connects");
+    let mut rtt = LatencyHistogram::new();
+    let mut inserted = Vec::new();
+    let mut batch: Vec<u64> = Vec::with_capacity(BATCH);
+    let mut done = 0u64;
+
+    let flush = |client: &mut Client, batch: &mut Vec<u64>, rtt: &mut LatencyHistogram| {
+        if batch.is_empty() {
+            return 0u64;
+        }
+        let t = Instant::now();
+        let replies = client.probe_batch(batch).expect("probe batch");
+        rtt.record(t.elapsed().as_nanos() as u64);
+        let mut bad = 0;
+        for (key, got) in batch.iter().zip(&replies) {
+            let want = expected[*key as usize];
+            if got.len() != 1 || got[0] != want {
+                bad += 1;
+            }
+        }
+        let n = batch.len() as u64;
+        batch.clear();
+        wrong.fetch_add(bad, Ordering::Relaxed);
+        n
+    };
+
+    for op in ops {
+        match *op {
+            Op::Probe(key) => {
+                batch.push(key);
+                if batch.len() == BATCH {
+                    done += flush(&mut client, &mut batch, &mut rtt);
+                }
+            }
+            Op::Insert(key) => {
+                done += flush(&mut client, &mut batch, &mut rtt);
+                let t = Instant::now();
+                let loc = client.insert(key, key * 10).expect("insert");
+                rtt.record(t.elapsed().as_nanos() as u64);
+                inserted.push((key, loc));
+                done += 1;
+            }
+            Op::Delete(_) => unreachable!("YCSB-B schedules no deletes"),
+        }
+    }
+    done += flush(&mut client, &mut batch, &mut rtt);
+    ClientRun {
+        rtt,
+        inserted,
+        ops: done,
+    }
+}
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = raw.iter().any(|a| a == "--smoke");
+    let storage = StorageArgs::from_cli();
+    let total_ops = ops_per_cell(smoke);
+    let (shard_sweep, client_sweep): (&[usize], &[usize]) = if smoke {
+        (&[1, 2], &[1, 4])
+    } else {
+        (&[1, 2, 4, 8], &[1, 4, 16])
+    };
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let rel = sparse_relation();
+    let n = rel.heap().tuple_count();
+    let domain: Vec<u64> = (0..n).map(|i| 2 * i).collect();
+    // Ground truth: the unique PK's single location, key-indexed
+    // (even slots only; odd keys belong to the workload's inserts).
+    let mut expected = vec![(0u64, 0u64); 2 * n as usize];
+    for (pid, slot, pk) in rel.heap().iter_attr(rel.attr()) {
+        expected[pk as usize] = (pid, slot as u64);
+    }
+
+    println!(
+        "relation R: {} keys, YCSB-B Zipfian({THETA}) over loopback sockets ({} backend),\n\
+         {} ops per cell in {BATCH}-probe pipelined batches, host_cores={host_cores}{}\n",
+        n,
+        storage.label(),
+        total_ops,
+        if smoke { " [smoke]" } else { "" },
+    );
+
+    let mut report = Report::new(
+        "Sharded serving: closed-loop YCSB-B throughput, shards x clients",
+        &[
+            "shards",
+            "clients",
+            "ops",
+            "wall_s",
+            "wire_kops",
+            "sim_makespan_ms",
+            "sim_kops",
+            "speedup",
+            "rtt_p50_us",
+            "rtt_p99_us",
+            "rtt_p999_us",
+            "wrong",
+        ],
+    );
+
+    let mut registry = bftree_obs::MetricsRegistry::new();
+    let mut cells: Vec<JsonObject> = Vec::new();
+    let mut sim_kops_at = std::collections::BTreeMap::<(usize, usize), f64>::new();
+
+    let cost_ratio = calibrate_cost_ratio(&rel, &domain, &storage);
+    println!("calibrated insert/probe simulated cost ratio: {cost_ratio}x\n");
+
+    for &shards in shard_sweep {
+        let plan = plan_for(&domain, shards, 0x5EED ^ shards as u64, cost_ratio);
+        for &clients in client_sweep {
+            let state = build_state(&rel, shards, plan.clone(), &storage);
+            let mut server = Server::spawn(state).expect("server up");
+            let addr = server.addr();
+
+            // Disjoint fresh odd insert keys, interleaved per client
+            // and spread uniformly over the key space so the write
+            // load (the expensive ops) parallelizes across shard WALs.
+            let per_client = total_ops / clients;
+            let writes_cap = per_client.div_ceil(10);
+            let total_cap = (clients * writes_cap) as u64;
+            let streams: Vec<Vec<Op>> = (0..clients)
+                .map(|c| {
+                    let fresh: Vec<u64> = (0..writes_cap as u64)
+                        .map(|i| {
+                            let j = c as u64 + i * clients as u64;
+                            2 * (j * n / total_cap) + 1
+                        })
+                        .collect();
+                    mixed_stream(
+                        &domain,
+                        KeyPopularity::Zipfian { theta: THETA },
+                        OpMix::YCSB_B,
+                        &fresh,
+                        &[],
+                        per_client,
+                        0xC11E27 ^ ((shards * 31 + c) as u64),
+                    )
+                })
+                .collect();
+
+            let wrong = AtomicU64::new(0);
+            let wall = Instant::now();
+            let runs: Vec<ClientRun> = std::thread::scope(|s| {
+                let handles: Vec<_> = streams
+                    .iter()
+                    .map(|ops| {
+                        let (expected, wrong) = (&expected[..], &wrong);
+                        s.spawn(move || run_client(addr, ops, expected, wrong))
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+            let wall_s = wall.elapsed().as_secs_f64();
+            // Capture the simulated makespan before any verification
+            // traffic can pollute the shard clocks.
+            let makespan_ns = server.state().index.makespan_sim_ns();
+            let ops: u64 = runs.iter().map(|r| r.ops).sum();
+
+            // Verification pass (untimed): inserts read back, and a
+            // sample of batches re-answered by the in-process dispatch
+            // path must match the wire bit for bit.
+            let mut verify = Client::connect(addr).expect("verify client");
+            for run in &runs {
+                for &(key, loc) in &run.inserted {
+                    let got = verify.probe_batch(&[key]).expect("read back");
+                    if got[0] != vec![loc] {
+                        wrong.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            let sample: Vec<u64> = (0..256).map(|i| domain[(i * 37 % n) as usize]).collect();
+            let wire = verify.probe_batch(&sample).expect("sample batch");
+            let direct = match server.state().handle(Request::ProbeBatch {
+                keys: sample.clone(),
+            }) {
+                Response::ProbeBatch { probes } => probes,
+                other => panic!("in-process dispatch failed: {other:?}"),
+            };
+            if wire != direct {
+                wrong.fetch_add(1, Ordering::Relaxed);
+            }
+
+            let wrong_total = wrong.load(Ordering::Relaxed);
+            let mut rtt = LatencyHistogram::new();
+            for run in &runs {
+                rtt.merge(&run.rtt);
+            }
+            let sim_kops = ops as f64 / (makespan_ns as f64 / 1e9) / 1e3;
+            let speedup = sim_kops / *sim_kops_at.entry((1, clients)).or_insert(sim_kops);
+            sim_kops_at.insert((shards, clients), sim_kops);
+
+            report.row(&[
+                shards.to_string(),
+                clients.to_string(),
+                ops.to_string(),
+                fmt_f(wall_s),
+                fmt_f(ops as f64 / wall_s / 1e3),
+                fmt_f(makespan_ns as f64 / 1e6),
+                fmt_f(sim_kops),
+                fmt_f(speedup),
+                fmt_f(rtt.quantile_ns(0.5) as f64 / 1e3),
+                fmt_f(rtt.quantile_ns(0.99) as f64 / 1e3),
+                fmt_f(rtt.quantile_ns(0.999) as f64 / 1e3),
+                wrong_total.to_string(),
+            ]);
+            assert_eq!(
+                wrong_total, 0,
+                "{shards} shards / {clients} clients: networked answers diverged from the oracle"
+            );
+
+            cells.push(
+                JsonObject::new()
+                    .field("shards", shards as u64)
+                    .field("clients", clients as u64)
+                    .field("ops", ops)
+                    .field("wall_seconds", wall_s)
+                    .field("wire_kops_wall", ops as f64 / wall_s / 1e3)
+                    .field("sim_makespan_ms", makespan_ns as f64 / 1e6)
+                    .field("sim_kops", sim_kops)
+                    .field("speedup_vs_1_shard", speedup)
+                    .field("rtt_p50_us", rtt.quantile_ns(0.5) as f64 / 1e3)
+                    .field("rtt_p99_us", rtt.quantile_ns(0.99) as f64 / 1e3)
+                    .field("rtt_p999_us", rtt.quantile_ns(0.999) as f64 / 1e3)
+                    .field("wrong_answers", wrong_total),
+            );
+
+            // Keep the last (largest) cell's per-shard serving metrics
+            // for the --metrics-out snapshot.
+            if shards == *shard_sweep.last().unwrap() && clients == *client_sweep.last().unwrap() {
+                registry = bftree_obs::MetricsRegistry::new();
+                registry.collect_from(&server.state().index);
+            }
+            server.shutdown();
+        }
+    }
+    report.print();
+    storage.write_metrics(&registry);
+
+    let max_shards = *shard_sweep.last().unwrap();
+    let max_clients = *client_sweep.last().unwrap();
+    let headline = sim_kops_at[&(max_shards, max_clients)] / sim_kops_at[&(1, max_clients)];
+    println!(
+        "\n{max_shards} shards serve {}x the 1-shard simulated throughput at {max_clients} \
+         clients (ops/makespan,\none device channel per shard). Wall numbers are loopback-RTT \
+         bound on {host_cores} core(s).",
+        fmt_f(headline),
+    );
+
+    let json = JsonObject::new()
+        .field("experiment", "serve_scale")
+        .field(
+            "workload",
+            JsonObject::new()
+                .field("relation_keys", n)
+                .field("ops_per_cell", total_ops as u64)
+                .field("mix", "ycsb_b_zipfian_0.99")
+                .field("probe_batch", BATCH as u64)
+                .field("partition", "workload_quantiles")
+                .field(
+                    "storage",
+                    format!("{}_ssd_ssd_shared_budget", storage.label()),
+                )
+                .field("host_cores", host_cores as u64)
+                .field("smoke", smoke),
+        )
+        .field("cells", cells)
+        .field(
+            "summary",
+            JsonObject::new()
+                .field("max_shards", max_shards as u64)
+                .field("speedup_at_max_clients", headline)
+                .field("target", "sim throughput >= 3x at 8 shards vs 1")
+                .field(
+                    "oracle",
+                    "all networked replies identical to in-process dispatch",
+                ),
+        );
+    std::fs::write("BENCH_serve_scale.json", json.render()).expect("write serve baseline");
+    println!(
+        "wrote BENCH_serve_scale.json ({} cells)",
+        shard_sweep.len() * client_sweep.len()
+    );
+    if !smoke {
+        assert!(
+            headline >= 3.0,
+            "sharded serving must reach 3x simulated throughput at {max_shards} shards (got {headline:.2}x)"
+        );
+    }
+}

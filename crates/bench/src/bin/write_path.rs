@@ -25,17 +25,23 @@
 //! headline, and the group-commit durability cost per mode.
 //!
 //! Environment knobs: `BFTREE_SCALE_MB` (relation size, default 64),
-//! `BFTREE_PROBES` (ops = ×10, default 1000 → 10 000 ops).
+//! `BFTREE_PROBES` (ops = ×10, default 1000 → 10 000 ops). With
+//! `--shards=N` (or `BFTREE_SHARDS`), an extra sharded cell routes the
+//! same stream through an N-shard [`ShardedIndex`] fleet and reports
+//! the bottleneck shard's makespan against the summed single-channel
+//! cost.
 
 use std::time::Instant;
 
+use bftree::BfTree;
 use bftree_access::{DurableConfig, DurableIndex};
 use bftree_bench::scale::{n_probes, relation_mb};
 use bftree_bench::{
     build_index, fmt_f, relation_r_pk, AccessMethod, IndexKind, IoContext, JsonObject, Relation,
     Report, StorageArgs, StorageConfig,
 };
-use bftree_storage::DeviceKind;
+use bftree_shard::{ShardPlan, ShardedIndex, ShardedIo};
+use bftree_storage::{DeviceKind, PolicyKind};
 use bftree_wal::DurabilityMode;
 use bftree_workloads::{mixed_stream, KeyPopularity, Op, OpMix};
 
@@ -169,6 +175,118 @@ fn run_cell(
     }
 }
 
+/// The optional sharded cell (`--shards=N`, N > 1): the same op
+/// stream routed through a [`ShardedIndex`] fleet — BF-Tree shards
+/// under group commit, one shared buffer budget, one WAL per shard —
+/// with the same exactness reckoning as every other cell. The number
+/// that matters is the bottleneck shard's simulated makespan against
+/// the summed per-shard cost: how much ingest parallelism the
+/// partition actually buys under the one-device-channel-per-shard
+/// cost model.
+fn run_sharded(shards: usize, base: &Relation, ops: &[Op], storage: &StorageArgs) -> JsonObject {
+    let mut rel = base.clone();
+    let n_keys = rel.heap().tuple_count();
+    // Quantile plan over probes *and* the fresh insert block, so the
+    // write-dominant cost spreads across shards instead of piling onto
+    // whichever shard owns the top of the key space.
+    let mut sample: Vec<u64> = (0..n_keys).step_by(97).collect();
+    sample.extend(ops.iter().filter_map(|op| match *op {
+        Op::Insert(k) => Some(k),
+        _ => None,
+    }));
+    sample.sort_unstable();
+    let mut index = ShardedIndex::new(
+        ShardPlan::from_sample(&sample, shards),
+        &rel,
+        DurableConfig {
+            flush_batch: 256,
+            durability: DurabilityMode::GroupCommit {
+                max_records: 64,
+                max_bytes: 16 * 1024,
+            },
+        },
+        |_| {
+            Box::new(
+                BfTree::builder()
+                    .fpp(1e-4)
+                    .empty(&rel)
+                    .expect("valid config"),
+            )
+        },
+        |_| storage.log_device(DeviceKind::Ssd),
+    );
+    index.build(&rel).expect("sharded build");
+    let ios = ShardedIo::new(
+        &storage.backend(),
+        StorageConfig::SsdSsd,
+        64 << 20,
+        PolicyKind::Lru,
+        shards,
+    )
+    .expect("backend devices")
+    .into_ios();
+
+    let start = Instant::now();
+    for op in ops {
+        match *op {
+            Op::Probe(k) => {
+                let _ = index
+                    .probe_batch_sharded(&[k], &rel, &ios)
+                    .expect("valid relation");
+            }
+            Op::Insert(k) => {
+                let loc = rel.append_tuple(k, k, &ios[index.plan().shard_of(k)]);
+                index.route_insert(k, loc, &rel).expect("valid relation");
+            }
+            Op::Delete(k) => {
+                index.route_delete(k, &rel).expect("valid relation");
+            }
+        }
+    }
+    index.flush_all(&rel).expect("final drain");
+    let wall_seconds = start.elapsed().as_secs_f64();
+    let makespan_us = index.makespan_sim_ns() as f64 / 1e3;
+    let total_us = index.total_sim_ns() as f64 / 1e3;
+
+    // The same exactness reckoning as the unsharded cells, through the
+    // merged serving view.
+    let check = IoContext::unmetered();
+    let mut deleted = Vec::new();
+    for op in ops {
+        match *op {
+            Op::Insert(k) => assert!(
+                index.probe(k, &rel, &check).expect("probe").found(),
+                "sharded: inserted key {k} lost"
+            ),
+            Op::Delete(k) => deleted.push(k),
+            Op::Probe(_) => {}
+        }
+    }
+    for k in deleted {
+        assert!(
+            !index.probe(k, &rel, &check).expect("probe").found(),
+            "sharded: deleted key {k} still answers"
+        );
+    }
+
+    let parallel = total_us / makespan_us.max(f64::MIN_POSITIVE);
+    println!(
+        "\nSharded cell ({shards} shards, BF-Tree, group-commit/b256): bottleneck-shard makespan\n\
+         {} us/op vs {} us/op summed across shards -> {}x ingest parallelism from the partition.",
+        fmt_f(makespan_us / ops.len() as f64),
+        fmt_f(total_us / ops.len() as f64),
+        fmt_f(parallel),
+    );
+    JsonObject::new()
+        .field("shards", shards as u64)
+        .field("ops", ops.len() as u64)
+        .field("wall_seconds", wall_seconds)
+        .field("sim_makespan_us_per_op", makespan_us / ops.len() as f64)
+        .field("sim_total_us_per_op", total_us / ops.len() as f64)
+        .field("parallel_speedup", parallel)
+        .field("exactness", true)
+}
+
 fn main() {
     let storage = StorageArgs::from_cli();
     let n_ops = n_probes() * 10;
@@ -267,7 +385,10 @@ fn main() {
         cell("async", 4096).fsyncs,
     );
 
-    let json = JsonObject::new()
+    let sharded =
+        (storage.shards() > 1).then(|| run_sharded(storage.shards(), &ds.relation, &ops, &storage));
+
+    let mut json = JsonObject::new()
         .field("experiment", "write_path")
         .field(
             "workload",
@@ -321,6 +442,9 @@ fn main() {
                 )
                 .field("exactness", true),
         );
+    if let Some(sharded) = sharded {
+        json = json.field("sharded", sharded);
+    }
     std::fs::write("BENCH_write_path.json", json.render()).expect("write perf baseline");
     println!("\nwrote BENCH_write_path.json ({} cells)", cells.len());
     storage.write_metrics(&registry);

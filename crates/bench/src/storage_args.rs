@@ -1,7 +1,8 @@
 //! Backend selection for experiment binaries: `--storage=sim|file
-//! [--dir=<path>] [--metrics-out=<path>]` (or the
-//! `BFTREE_STORAGE`/`BFTREE_DIR`/`BFTREE_METRICS_OUT` environment
-//! variables, so harness scripts can flip a whole sweep at once).
+//! [--dir=<path>] [--metrics-out=<path>] [--shards=N]` (or the
+//! `BFTREE_STORAGE`/`BFTREE_DIR`/`BFTREE_METRICS_OUT`/`BFTREE_SHARDS`
+//! environment variables, so harness scripts can flip a whole sweep
+//! at once).
 //!
 //! Every experiment defaults to the simulator. With `--storage=file`
 //! each device the experiment creates is backed by its own page store
@@ -30,6 +31,10 @@ pub struct StorageArgs {
     /// Where to write the end-of-run Prometheus metrics snapshot
     /// (`--metrics-out=<path>` / `BFTREE_METRICS_OUT`).
     metrics_out: Option<PathBuf>,
+    /// How many shards experiments that support the sharded serving
+    /// layer should run (`--shards=N` / `BFTREE_SHARDS`, default 1 =
+    /// unsharded).
+    shards: usize,
 }
 
 impl StorageArgs {
@@ -49,6 +54,9 @@ impl StorageArgs {
         }
         if let Ok(v) = std::env::var("BFTREE_METRICS_OUT") {
             args.push(format!("--metrics-out={v}"));
+        }
+        if let Ok(v) = std::env::var("BFTREE_SHARDS") {
+            args.push(format!("--shards={v}"));
         }
         match Self::try_parse(args) {
             Ok(parsed) => parsed,
@@ -78,10 +86,11 @@ impl StorageArgs {
         let mut storage = String::from("sim");
         let mut dir: Option<PathBuf> = None;
         let mut metrics_out: Option<PathBuf> = None;
+        let mut shards = 1usize;
         let mut args = args.into_iter().peekable();
         while let Some(arg) = args.next() {
             let mut matched: Option<(&str, Option<String>)> = None;
-            for key in ["--storage", "--dir", "--metrics-out"] {
+            for key in ["--storage", "--dir", "--metrics-out", "--shards"] {
                 if let Some(v) = arg.strip_prefix(&format!("{key}=")) {
                     matched = Some((key, Some(v.to_string())));
                     break;
@@ -101,6 +110,16 @@ impl StorageArgs {
                 "--storage" => storage = value,
                 "--dir" => dir = Some(PathBuf::from(value)),
                 "--metrics-out" => metrics_out = Some(PathBuf::from(value)),
+                "--shards" => {
+                    shards = match value.parse() {
+                        Ok(n) if n >= 1 => n,
+                        _ => {
+                            return Err(format!(
+                                "--shards must be a positive integer, got `{value}`"
+                            ))
+                        }
+                    }
+                }
                 _ => unreachable!("keys above are exhaustive"),
             }
         }
@@ -127,7 +146,14 @@ impl StorageArgs {
             _scratch: scratch,
             contexts: AtomicU64::new(0),
             metrics_out,
+            shards,
         })
+    }
+
+    /// How many shards sharding-aware experiments should run
+    /// (`--shards=N` / `BFTREE_SHARDS`; 1 = unsharded, the default).
+    pub fn shards(&self) -> usize {
+        self.shards
     }
 
     /// Where `--metrics-out` points, if given.
@@ -253,11 +279,28 @@ mod tests {
     }
 
     #[test]
+    fn parses_shards_and_rejects_nonsense() {
+        assert_eq!(StorageArgs::parse(Vec::new()).shards(), 1);
+        assert_eq!(
+            StorageArgs::parse(vec!["--shards=4".to_string()]).shards(),
+            4
+        );
+        assert_eq!(
+            StorageArgs::parse(vec!["--shards".to_string(), "8".to_string()]).shards(),
+            8
+        );
+        for bad in ["--shards=0", "--shards=lots", "--shards=-2"] {
+            let err = StorageArgs::try_parse(vec![bad.to_string()]).unwrap_err();
+            assert!(err.contains("--shards"), "{err}");
+        }
+    }
+
+    #[test]
     fn operator_mistakes_come_back_as_one_line_errors() {
         let err = StorageArgs::try_parse(vec!["--storage=tape".to_string()]).unwrap_err();
         assert!(err.contains("--storage"), "{err}");
 
-        for flag in ["--storage", "--dir", "--metrics-out"] {
+        for flag in ["--storage", "--dir", "--metrics-out", "--shards"] {
             let err = StorageArgs::try_parse(vec![flag.to_string()]).unwrap_err();
             assert!(err.contains("requires a value"), "{err}");
         }

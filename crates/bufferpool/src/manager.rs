@@ -551,6 +551,39 @@ impl BufferManager {
         remaining
     }
 
+    /// Return `bytes` of a previous [`BufferManager::reserve`] to the
+    /// pool — the inverse carve-out, used when a reserved footprint
+    /// shrinks (a shard's memtable drains, an index is dropped) so
+    /// data pages get the budget back. Releasing more than is
+    /// currently reserved saturates at zero. Returns the budget
+    /// remaining for pages.
+    ///
+    /// Serialized against concurrent `reserve`/`release` calls by the
+    /// same lock, so shard budgets always sum to `budget - reserved`
+    /// once the call returns.
+    pub fn release(&self, bytes: u64) -> u64 {
+        let _serialize = self.reserve_lock.lock().unwrap_or_else(|e| e.into_inner());
+        let reserved = self
+            .reserved
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |r| {
+                Some(r.saturating_sub(bytes))
+            })
+            .expect("fetch_update closure always returns Some")
+            .saturating_sub(bytes);
+        let remaining = self.budget_bytes - reserved;
+        let n = self.shards.len();
+        let tracing = self.tracing.load(Ordering::Relaxed);
+        for i in 0..n {
+            let share = Self::shard_share(remaining, i, n);
+            let mut state = self.lock_shard(i);
+            if tracing {
+                state.trace.push(TraceOp::SetBudget { budget: share });
+            }
+            state.set_budget(share);
+        }
+        remaining
+    }
+
     /// Drop every unpinned resident page of `pool` (the per-device
     /// `drop_caches`). Not counted as evictions.
     pub fn evict_pool(&self, pool: PoolId) {
@@ -900,6 +933,51 @@ mod tests {
         // Reservations saturate at the total budget.
         assert_eq!(mgr.reserve(100 * PAGE), 0);
         assert_eq!(mgr.stats().resident_pages, 0);
+    }
+
+    #[test]
+    fn reserve_release_cycles_conserve_the_budget() {
+        let (mgr, p) = single_shard(8, PolicyKind::Lru);
+        // Every reserve/release leg must keep cache + carve-out equal
+        // to the configured budget — bytes move, they never leak.
+        let legs: &[(bool, u64)] = &[
+            (true, 3 * PAGE),
+            (true, 2 * PAGE),
+            (false, PAGE),
+            (true, 4 * PAGE), // saturates at the 8-page budget
+            (false, 6 * PAGE),
+            (false, 5 * PAGE), // releasing past zero saturates too
+            (true, PAGE),
+            (false, PAGE),
+        ];
+        let mut reserved = 0u64;
+        for &(grow, bytes) in legs {
+            let remaining = if grow {
+                reserved = (reserved + bytes).min(8 * PAGE);
+                mgr.reserve(bytes)
+            } else {
+                reserved = reserved.saturating_sub(bytes);
+                mgr.release(bytes)
+            };
+            let s = mgr.stats();
+            assert_eq!(s.reserved_bytes, reserved);
+            assert_eq!(
+                remaining + s.reserved_bytes,
+                s.budget_bytes,
+                "cache share + carve-out must always sum to the budget"
+            );
+        }
+        // The full cycle returned to zero carve-out: the cache admits
+        // its original capacity again.
+        assert_eq!(mgr.stats().reserved_bytes, 0);
+        for page in 0..8 {
+            mgr.touch(p, page, PAGE);
+        }
+        assert_eq!(
+            mgr.stats().resident_pages,
+            8,
+            "capacity re-expands once reservations are returned"
+        );
     }
 
     #[test]

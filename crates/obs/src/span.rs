@@ -47,6 +47,15 @@ pub enum SpanKind {
     /// One scrubber sweep verifying live page checksums (`detail` =
     /// pages scanned).
     Scrub,
+    /// One wire-protocol request handled by a server worker
+    /// (`detail` = opcode).
+    Rpc,
+    /// One fan-out of a batched operation across shards (`detail` =
+    /// shards involved).
+    Scatter,
+    /// One order-preserving merge of per-shard results (`detail` =
+    /// results merged).
+    Gather,
 }
 
 impl SpanKind {
@@ -65,6 +74,9 @@ impl SpanKind {
             SpanKind::Quarantine => "quarantine",
             SpanKind::Repair => "repair",
             SpanKind::Scrub => "scrub",
+            SpanKind::Rpc => "rpc",
+            SpanKind::Scatter => "scatter",
+            SpanKind::Gather => "gather",
         }
     }
 }

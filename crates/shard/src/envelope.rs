@@ -1,0 +1,195 @@
+//! Shard-aware pagination tokens.
+//!
+//! A [`ShardedContinuation`] wraps a single-shard
+//! [`Continuation`] in an envelope stamped with the shard layout it
+//! was minted under (shard count + partition-boundary fingerprint).
+//! Resuming validates the stamp first, so a token minted against a
+//! 4-shard deployment is rejected with a typed error by a 2-shard one
+//! instead of silently resuming in the wrong shard's key space.
+
+use bftree_access::Continuation;
+
+use crate::plan::ShardPlan;
+use crate::ShardError;
+
+/// Envelope magic: `b"SC"`.
+const MAGIC: [u8; 2] = *b"SC";
+/// Envelope format version.
+const VERSION: u8 = 1;
+
+/// A pagination token that can resume a range scan anywhere in a
+/// sharded deployment — including exactly on a shard boundary.
+///
+/// The inner [`Continuation`] frontier key identifies the shard to
+/// resume in ([`ShardPlan::shard_of`]); the envelope's layout stamp
+/// guarantees that the identification is made under the same plan the
+/// token was minted under.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardedContinuation {
+    shards: u16,
+    fingerprint: u64,
+    inner: Continuation,
+}
+
+impl ShardedContinuation {
+    /// Wire size of [`ShardedContinuation::encode`]'s output.
+    pub const ENCODED_LEN: usize = 16 + Continuation::ENCODED_LEN;
+
+    /// Stamp `inner` with `plan`'s layout identity.
+    pub fn new(plan: &ShardPlan, inner: Continuation) -> Self {
+        Self {
+            shards: plan.shards() as u16,
+            fingerprint: plan.fingerprint(),
+            inner,
+        }
+    }
+
+    /// Shard count of the layout this token was minted under.
+    pub fn shards(&self) -> u16 {
+        self.shards
+    }
+
+    /// The wrapped single-shard continuation.
+    pub fn inner(&self) -> &Continuation {
+        &self.inner
+    }
+
+    /// Check the token against the serving layout. `Ok` means the
+    /// inner frontier can be routed with `plan` exactly as it would
+    /// have been at mint time.
+    pub fn validate(&self, plan: &ShardPlan) -> Result<(), ShardError> {
+        if usize::from(self.shards) != plan.shards() {
+            return Err(ShardError::LayoutMismatch {
+                expected_shards: plan.shards(),
+                got_shards: usize::from(self.shards),
+            });
+        }
+        if self.fingerprint != plan.fingerprint() {
+            return Err(ShardError::BoundaryMismatch {
+                expected: plan.fingerprint(),
+                got: self.fingerprint,
+            });
+        }
+        Ok(())
+    }
+
+    /// Serialize: magic (2) ‖ version (1) ‖ reserved (1) ‖ shards
+    /// u16 LE (2) ‖ reserved (2) ‖ fingerprint u64 LE (8) ‖ inner
+    /// continuation (40). All little-endian, like the WAL.
+    pub fn encode(&self) -> [u8; Self::ENCODED_LEN] {
+        let mut out = [0u8; Self::ENCODED_LEN];
+        out[0..2].copy_from_slice(&MAGIC);
+        out[2] = VERSION;
+        out[4..6].copy_from_slice(&self.shards.to_le_bytes());
+        out[8..16].copy_from_slice(&self.fingerprint.to_le_bytes());
+        out[16..].copy_from_slice(&self.inner.encode());
+        out
+    }
+
+    /// Parse an envelope. Rejects wrong length, bad magic, unknown
+    /// version, and inner tokens that fail [`Continuation::decode`]'s
+    /// own invariants — all as [`ShardError::BadToken`].
+    pub fn decode(bytes: &[u8]) -> Result<Self, ShardError> {
+        let bad = |why: &'static str| ShardError::BadToken { why };
+        if bytes.len() != Self::ENCODED_LEN {
+            return Err(bad("wrong envelope length"));
+        }
+        if bytes[0..2] != MAGIC {
+            return Err(bad("bad envelope magic"));
+        }
+        if bytes[2] != VERSION {
+            return Err(bad("unknown envelope version"));
+        }
+        let shards = u16::from_le_bytes(bytes[4..6].try_into().unwrap());
+        if shards == 0 {
+            return Err(bad("zero shard count"));
+        }
+        let fingerprint = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+        let mut inner_bytes = [0u8; Continuation::ENCODED_LEN];
+        inner_bytes.copy_from_slice(&bytes[16..]);
+        let inner = Continuation::decode(&inner_bytes).ok_or(bad("inner continuation invalid"))?;
+        Ok(Self {
+            shards,
+            fingerprint,
+            inner,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn token() -> Continuation {
+        Continuation::from_parts(10, 500, 123, 4, 2)
+    }
+
+    #[test]
+    fn round_trips_through_bytes() {
+        let plan = ShardPlan::uniform(1000, 4);
+        let sc = ShardedContinuation::new(&plan, token());
+        let decoded = ShardedContinuation::decode(&sc.encode()).unwrap();
+        assert_eq!(decoded, sc);
+        assert!(decoded.validate(&plan).is_ok());
+    }
+
+    #[test]
+    fn wrong_shard_count_is_a_layout_mismatch() {
+        let four = ShardPlan::uniform(1000, 4);
+        let two = ShardPlan::uniform(1000, 2);
+        let sc = ShardedContinuation::new(&four, token());
+        match sc.validate(&two) {
+            Err(ShardError::LayoutMismatch {
+                expected_shards: 2,
+                got_shards: 4,
+            }) => {}
+            other => panic!("expected LayoutMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn same_count_different_boundaries_is_a_boundary_mismatch() {
+        let a = ShardPlan::uniform(1000, 4);
+        let b = ShardPlan::from_bounds(vec![100, 200, 300]);
+        let sc = ShardedContinuation::new(&a, token());
+        assert!(matches!(
+            sc.validate(&b),
+            Err(ShardError::BoundaryMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn corrupt_envelopes_are_bad_tokens() {
+        let plan = ShardPlan::uniform(1000, 4);
+        let good = ShardedContinuation::new(&plan, token()).encode();
+
+        let mut short = good.to_vec();
+        short.pop();
+        assert!(matches!(
+            ShardedContinuation::decode(&short),
+            Err(ShardError::BadToken { .. })
+        ));
+
+        let mut bad_magic = good;
+        bad_magic[0] = b'X';
+        assert!(matches!(
+            ShardedContinuation::decode(&bad_magic),
+            Err(ShardError::BadToken { .. })
+        ));
+
+        let mut bad_version = good;
+        bad_version[2] = 99;
+        assert!(matches!(
+            ShardedContinuation::decode(&bad_version),
+            Err(ShardError::BadToken { .. })
+        ));
+
+        // Corrupt the inner token: lo > hi fails Continuation::decode.
+        let mut bad_inner = good;
+        bad_inner[16..24].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(
+            ShardedContinuation::decode(&bad_inner),
+            Err(ShardError::BadToken { .. })
+        ));
+    }
+}

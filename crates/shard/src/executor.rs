@@ -1,0 +1,211 @@
+//! Thread-per-shard executor for scatter-gather fan-out.
+//!
+//! One long-lived worker thread per shard (named `shard-{i}`), fed
+//! over per-worker channels. The paper's serving argument is that each
+//! shard owns its own device channel; pinning each shard's work to its
+//! own thread keeps the per-thread simulated clocks
+//! ([`bftree_storage::thread_sim_ns`]) independent, so the router's
+//! makespan — the bottleneck shard's accumulated service time — is the
+//! honest parallel cost even on a small host.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::Mutex;
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A job paired with the channel its completion is reported on.
+type Submission = (Job, Sender<Done>);
+
+/// Outcome of one scattered job, reported back to the caller.
+enum Done {
+    Ok,
+    Panicked(Box<dyn std::any::Any + Send>),
+}
+
+struct Worker {
+    sender: Mutex<Option<Sender<Submission>>>,
+    handle: Mutex<Option<JoinHandle<()>>>,
+}
+
+/// A fixed pool of per-shard worker threads supporting scoped
+/// scatter: every `scatter` call blocks until all submitted jobs have
+/// completed, so jobs may borrow from the caller's stack frame.
+pub struct ShardExecutor {
+    workers: Vec<Worker>,
+}
+
+impl std::fmt::Debug for ShardExecutor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardExecutor")
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl ShardExecutor {
+    /// Spawn `shards` worker threads (named `shard-{i}`).
+    pub fn new(shards: usize) -> Self {
+        assert!(shards > 0, "executor needs at least one worker");
+        let workers = (0..shards)
+            .map(|i| {
+                let (tx, rx) = channel::<Submission>();
+                let handle = std::thread::Builder::new()
+                    .name(format!("shard-{i}"))
+                    .spawn(move || {
+                        while let Ok((job, done)) = rx.recv() {
+                            let outcome = match catch_unwind(AssertUnwindSafe(job)) {
+                                Ok(()) => Done::Ok,
+                                Err(payload) => Done::Panicked(payload),
+                            };
+                            // The scatter caller may itself have
+                            // panicked and dropped the receiver; a
+                            // worker must outlive that.
+                            let _ = done.send(outcome);
+                        }
+                    })
+                    .expect("spawning shard worker thread");
+                Worker {
+                    sender: Mutex::new(Some(tx)),
+                    handle: Mutex::new(Some(handle)),
+                }
+            })
+            .collect();
+        Self { workers }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Run each `(shard, job)` pair on its shard's worker thread and
+    /// block until every job has finished. Jobs may borrow from the
+    /// caller's frame (`'env`): the blocking collect below is what
+    /// makes the lifetime erasure sound.
+    ///
+    /// If any job panicked, the panic is re-raised here — after all
+    /// jobs have completed, so no borrow escapes.
+    ///
+    /// # Panics
+    /// If a `shard` index is out of range, or a job panicked.
+    pub fn scatter<'env>(&self, jobs: Vec<(usize, Box<dyn FnOnce() + Send + 'env>)>) {
+        let (done_tx, done_rx) = channel::<Done>();
+        let submitted = jobs.len();
+        for (shard, job) in jobs {
+            // SAFETY: the loop below receives exactly `submitted`
+            // completions before this function returns, and a worker
+            // only reports completion after the job has run (or
+            // panicked) to completion. Every borrow in `job` therefore
+            // strictly outlives its use — the 'env → 'static cast only
+            // erases a lifetime the blocking protocol already enforces.
+            let job: Job =
+                unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Job>(job) };
+            let sender = self.workers[shard]
+                .sender
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            sender
+                .as_ref()
+                .expect("executor already shut down")
+                .send((job, done_tx.clone()))
+                .expect("shard worker thread hung up");
+        }
+        drop(done_tx);
+        let mut first_panic = None;
+        for _ in 0..submitted {
+            match done_rx.recv().expect("shard worker thread hung up") {
+                Done::Ok => {}
+                Done::Panicked(payload) => {
+                    first_panic.get_or_insert(payload);
+                }
+            }
+        }
+        if let Some(payload) = first_panic {
+            resume_unwind(payload);
+        }
+    }
+}
+
+impl Drop for ShardExecutor {
+    fn drop(&mut self) {
+        for w in &self.workers {
+            // Dropping the sender ends the worker's recv loop.
+            w.sender.lock().unwrap_or_else(|e| e.into_inner()).take();
+        }
+        for w in &self.workers {
+            if let Some(handle) = w.handle.lock().unwrap_or_else(|e| e.into_inner()).take() {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scatter_runs_jobs_on_their_shard_threads() {
+        let ex = ShardExecutor::new(3);
+        let mut names = [None, None, None];
+        let jobs: Vec<(usize, Box<dyn FnOnce() + Send>)> = names
+            .iter_mut()
+            .enumerate()
+            .map(|(i, slot)| {
+                let job: Box<dyn FnOnce() + Send> = Box::new(move || {
+                    *slot = std::thread::current().name().map(String::from);
+                });
+                (i, job)
+            })
+            .collect();
+        ex.scatter(jobs);
+        for (i, name) in names.iter().enumerate() {
+            assert_eq!(name.as_deref(), Some(format!("shard-{i}").as_str()));
+        }
+    }
+
+    #[test]
+    fn scatter_blocks_until_all_borrows_are_done() {
+        let ex = ShardExecutor::new(4);
+        let counter = AtomicUsize::new(0);
+        for round in 0..50 {
+            let jobs: Vec<(usize, Box<dyn FnOnce() + Send>)> = (0..4)
+                .map(|i| {
+                    let counter = &counter;
+                    let job: Box<dyn FnOnce() + Send> = Box::new(move || {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                    });
+                    (i, job)
+                })
+                .collect();
+            ex.scatter(jobs);
+            assert_eq!(counter.load(Ordering::Relaxed), (round + 1) * 4);
+        }
+    }
+
+    #[test]
+    fn scatter_propagates_job_panics_after_draining() {
+        let ex = ShardExecutor::new(2);
+        let ran = AtomicUsize::new(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let jobs: Vec<(usize, Box<dyn FnOnce() + Send>)> = vec![
+                (0, Box::new(|| panic!("shard 0 exploded"))),
+                (1, {
+                    let ran = &ran;
+                    Box::new(move || {
+                        ran.fetch_add(1, Ordering::Relaxed);
+                    })
+                }),
+            ];
+            ex.scatter(jobs);
+        }));
+        assert!(result.is_err(), "panic must propagate to the caller");
+        assert_eq!(ran.load(Ordering::Relaxed), 1, "healthy job still ran");
+        // Executor survives a panicked job.
+        let jobs: Vec<(usize, Box<dyn FnOnce() + Send>)> = vec![(0, Box::new(|| {}))];
+        ex.scatter(jobs);
+    }
+}

@@ -1,0 +1,228 @@
+//! Range-partition map: which shard owns which key interval.
+//!
+//! A [`ShardPlan`] is a sorted list of split points. Shard `i` owns the
+//! half-open key range `[bounds[i-1], bounds[i])` (with the first shard
+//! starting at 0 and the last ending at `u64::MAX` inclusive). Plans
+//! are value types: a server and a client that hold equal plans route
+//! every key identically, and the plan's [`fingerprint`] travels inside
+//! continuation envelopes so a token minted under one layout is
+//! rejected — not silently mis-routed — under another.
+//!
+//! [`fingerprint`]: ShardPlan::fingerprint
+
+/// An immutable range-partition map over the `u64` key domain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPlan {
+    /// `bounds[i]` is the first key owned by shard `i + 1`. Strictly
+    /// increasing; empty means a single shard owns everything.
+    bounds: Vec<u64>,
+}
+
+impl ShardPlan {
+    /// The trivial plan: one shard owns the whole key domain.
+    pub fn single() -> Self {
+        Self { bounds: Vec::new() }
+    }
+
+    /// Equi-width split of `[0, domain)` into `shards` pieces. Fine for
+    /// uniform workloads; skewed ones want [`ShardPlan::from_sample`].
+    ///
+    /// # Panics
+    /// If `shards == 0` or `domain < shards as u64`.
+    pub fn uniform(domain: u64, shards: usize) -> Self {
+        assert!(shards > 0, "a plan needs at least one shard");
+        assert!(
+            domain >= shards as u64,
+            "domain {domain} too small for {shards} shards"
+        );
+        let width = domain / shards as u64;
+        Self {
+            bounds: (1..shards as u64).map(|i| i * width).collect(),
+        }
+    }
+
+    /// Load-aware split: pick quantile boundaries from a **sorted**
+    /// sample of the expected key traffic, so each shard receives an
+    /// equal share of the *sampled mass* rather than of the key space.
+    /// This is what keeps a Zipfian workload (hot keys clustered at the
+    /// low end of the domain) from landing ~all load on shard 0.
+    ///
+    /// Duplicate quantiles collapse; the resulting plan may have fewer
+    /// than `shards` shards if the sample lacks enough distinct keys.
+    ///
+    /// # Panics
+    /// If `shards == 0`, the sample is empty, or it is not sorted.
+    pub fn from_sample(sorted_sample: &[u64], shards: usize) -> Self {
+        assert!(shards > 0, "a plan needs at least one shard");
+        assert!(
+            !sorted_sample.is_empty(),
+            "cannot plan from an empty sample"
+        );
+        assert!(
+            sorted_sample.windows(2).all(|w| w[0] <= w[1]),
+            "sample must be sorted"
+        );
+        let mut bounds = Vec::with_capacity(shards - 1);
+        for i in 1..shards {
+            let cut = sorted_sample[i * sorted_sample.len() / shards];
+            // A boundary of 0 would leave shard 0 empty-by-construction;
+            // strictly-increasing dedup also drops quantile collisions.
+            if cut > 0 && bounds.last().is_none_or(|&b| cut > b) {
+                bounds.push(cut);
+            }
+        }
+        Self { bounds }
+    }
+
+    /// Build directly from split points (`bounds[i]` = first key of
+    /// shard `i + 1`). Used when a client reconstructs a server's plan.
+    ///
+    /// # Panics
+    /// If `bounds` is not strictly increasing.
+    pub fn from_bounds(bounds: Vec<u64>) -> Self {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "bounds must be strictly increasing"
+        );
+        Self { bounds }
+    }
+
+    /// Number of shards in the plan (≥ 1).
+    pub fn shards(&self) -> usize {
+        self.bounds.len() + 1
+    }
+
+    /// The split points (first key of each shard after the zeroth).
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    /// Which shard owns `key`.
+    pub fn shard_of(&self, key: u64) -> usize {
+        self.bounds.partition_point(|&b| b <= key)
+    }
+
+    /// Lowest key shard `s` owns.
+    pub fn lo_of(&self, s: usize) -> u64 {
+        if s == 0 {
+            0
+        } else {
+            self.bounds[s - 1]
+        }
+    }
+
+    /// Highest key shard `s` owns (inclusive).
+    pub fn hi_of(&self, s: usize) -> u64 {
+        if s == self.bounds.len() {
+            u64::MAX
+        } else {
+            // Bounds are strictly increasing and > 0, so no underflow.
+            self.bounds[s] - 1
+        }
+    }
+
+    /// FNV-1a over the shard count and every split point — the layout
+    /// identity carried by [`ShardedContinuation`] envelopes.
+    ///
+    /// [`ShardedContinuation`]: crate::ShardedContinuation
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut mix = |v: u64| {
+            for byte in v.to_le_bytes() {
+                h ^= byte as u64;
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        mix(self.shards() as u64);
+        for &b in &self.bounds {
+            mix(b);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_owns_everything() {
+        let p = ShardPlan::single();
+        assert_eq!(p.shards(), 1);
+        assert_eq!(p.shard_of(0), 0);
+        assert_eq!(p.shard_of(u64::MAX), 0);
+        assert_eq!(p.lo_of(0), 0);
+        assert_eq!(p.hi_of(0), u64::MAX);
+    }
+
+    #[test]
+    fn uniform_partitions_are_contiguous_and_exhaustive() {
+        let p = ShardPlan::uniform(1000, 4);
+        assert_eq!(p.shards(), 4);
+        assert_eq!(p.bounds(), &[250, 500, 750]);
+        for s in 0..4 {
+            assert_eq!(p.shard_of(p.lo_of(s)), s);
+            assert_eq!(p.shard_of(p.hi_of(s)), s);
+        }
+        // Adjacent shards meet with no gap and no overlap.
+        for s in 0..3 {
+            assert_eq!(p.hi_of(s) + 1, p.lo_of(s + 1));
+        }
+        assert_eq!(p.shard_of(249), 0);
+        assert_eq!(p.shard_of(250), 1);
+        assert_eq!(p.shard_of(999), 3);
+        assert_eq!(p.shard_of(u64::MAX), 3);
+    }
+
+    #[test]
+    fn from_sample_balances_mass_not_keyspace() {
+        // 90% of the sample sits in [0, 100): quantile cuts must land
+        // inside the hot region, not split the cold tail evenly.
+        let mut sample: Vec<u64> = (0..900u64).map(|i| i % 100).collect();
+        sample.extend((0..100u64).map(|i| 1000 + i * 90));
+        sample.sort_unstable();
+        let p = ShardPlan::from_sample(&sample, 4);
+        assert_eq!(p.shards(), 4);
+        // All cuts inside the hot region => each shard gets ~25% of mass.
+        assert!(
+            p.bounds().iter().all(|&b| b < 100),
+            "cuts {:?} should all land in the hot region",
+            p.bounds()
+        );
+        let mut mass = vec![0usize; p.shards()];
+        for &k in &sample {
+            mass[p.shard_of(k)] += 1;
+        }
+        for (s, &m) in mass.iter().enumerate() {
+            assert!(
+                m >= sample.len() / 8 && m <= sample.len() / 2,
+                "shard {s} got {m} of {} sampled keys",
+                sample.len()
+            );
+        }
+    }
+
+    #[test]
+    fn from_sample_collapses_duplicate_quantiles() {
+        // A constant sample yields one usable boundary, not eight
+        // copies of it: the plan collapses from 8 to 2 shards.
+        let sample = vec![7u64; 64];
+        let p = ShardPlan::from_sample(&sample, 8);
+        assert_eq!(p.shards(), 2);
+        assert_eq!(p.bounds(), &[7]);
+        // And a constant-zero sample cannot be split at all.
+        let zeros = vec![0u64; 64];
+        assert_eq!(ShardPlan::from_sample(&zeros, 8).shards(), 1);
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_layouts() {
+        let a = ShardPlan::uniform(1000, 4);
+        let b = ShardPlan::uniform(1000, 2);
+        let c = ShardPlan::from_bounds(vec![250, 500, 750]);
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.fingerprint(), c.fingerprint());
+    }
+}

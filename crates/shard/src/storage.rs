@@ -1,0 +1,117 @@
+//! Per-shard I/O contexts behind ONE global buffer budget.
+//!
+//! The serving layer's memory rule: every shard gets its own device
+//! channels (so per-shard I/O stays attributable and per-thread sim
+//! clocks stay independent), but all of them draw cache frames and
+//! index-footprint carve-outs from a single [`BufferManager`] budget —
+//! adding shards never adds memory.
+
+use std::sync::Arc;
+
+use bftree_storage::{
+    Backend, BufferManager, BufferStats, DeviceError, IoContext, PolicyKind, StorageConfig,
+};
+
+/// A fleet of [`IoContext`]s — one per shard — sharing one
+/// [`BufferManager`].
+///
+/// Construction registers pools `shard{i}-index` / `shard{i}-data`
+/// for each shard, so a Prometheus snapshot attributes residency and
+/// evictions per shard while the budget stays global. Footprint
+/// carve-outs ([`ShardedIo::reserve_for`]) are tracked per shard and
+/// can be returned ([`ShardedIo::release_for`]) when a shard is
+/// decommissioned — the other shards' cache shares re-expand
+/// automatically.
+#[derive(Debug)]
+pub struct ShardedIo {
+    manager: Arc<BufferManager>,
+    ios: Vec<IoContext>,
+    reserved: Vec<u64>,
+}
+
+impl ShardedIo {
+    /// Build `shards` contexts on `backend` under one `budget_bytes`
+    /// cache budget.
+    pub fn new(
+        backend: &Backend,
+        config: StorageConfig,
+        budget_bytes: u64,
+        policy: PolicyKind,
+        shards: usize,
+    ) -> Result<Self, DeviceError> {
+        assert!(shards > 0, "a fleet needs at least one shard");
+        let manager = Arc::new(BufferManager::new(budget_bytes, policy));
+        let ios = (0..shards)
+            .map(|i| {
+                IoContext::with_shared_manager_on(backend, config, &manager, &format!("shard{i}"))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self {
+            manager,
+            ios,
+            reserved: vec![0; shards],
+        })
+    }
+
+    /// All contexts, shard-indexed.
+    pub fn ios(&self) -> &[IoContext] {
+        &self.ios
+    }
+
+    /// Shard `s`'s context.
+    pub fn io(&self, s: usize) -> &IoContext {
+        &self.ios[s]
+    }
+
+    /// Dissolve the fleet into its owned contexts (shard-indexed) —
+    /// what a serving front end keeps once set-up is done. The
+    /// contexts still share the one budget arbiter; only the
+    /// carve-out bookkeeping is dropped.
+    pub fn into_ios(self) -> Vec<IoContext> {
+        self.ios
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.ios.len()
+    }
+
+    /// The shared budget arbiter.
+    pub fn manager(&self) -> &Arc<BufferManager> {
+        &self.manager
+    }
+
+    /// Carve `bytes` of shard `s`'s index/memtable footprint out of
+    /// the global budget (shrinking every shard's cache share).
+    /// Returns total bytes reserved fleet-wide.
+    pub fn reserve_for(&mut self, s: usize, bytes: u64) -> u64 {
+        self.reserved[s] += bytes;
+        self.manager.reserve(bytes);
+        self.manager.stats().reserved_bytes
+    }
+
+    /// Return `bytes` of shard `s`'s carve-out to the cache budget
+    /// (capped at what the shard actually holds). Returns total bytes
+    /// still reserved fleet-wide.
+    pub fn release_for(&mut self, s: usize, bytes: u64) -> u64 {
+        let give_back = bytes.min(self.reserved[s]);
+        self.reserved[s] -= give_back;
+        self.manager.release(give_back);
+        self.manager.stats().reserved_bytes
+    }
+
+    /// Return shard `s`'s entire carve-out (decommissioning).
+    pub fn release_all_for(&mut self, s: usize) -> u64 {
+        self.release_for(s, u64::MAX)
+    }
+
+    /// Bytes currently carved out for shard `s`.
+    pub fn reserved_for(&self, s: usize) -> u64 {
+        self.reserved[s]
+    }
+
+    /// Global buffer statistics.
+    pub fn buffer_stats(&self) -> BufferStats {
+        self.manager.stats()
+    }
+}

@@ -1,0 +1,240 @@
+//! End-to-end checks of the sharded serving data plane against a
+//! direct (unsharded) oracle: routing, scatter-gather batches,
+//! cross-shard range pagination, durable write routing, and the
+//! shared-budget I/O fleet.
+
+use bftree::BfTree;
+use bftree_access::{AccessMethod, DurableConfig};
+use bftree_btree::{BPlusTree, BTreeConfig};
+use bftree_shard::{ShardError, ShardPlan, ShardedContinuation, ShardedIndex, ShardedIo};
+use bftree_storage::tuple::PK_OFFSET;
+use bftree_storage::{
+    Backend, DeviceKind, Duplicates, HeapFile, IoContext, PageDevice, PageId, PolicyKind, Relation,
+    ScratchDir, StorageConfig, TupleLayout,
+};
+use bftree_wal::DurabilityMode;
+
+const N: u64 = 4_000;
+
+fn relation() -> Relation {
+    let mut heap = HeapFile::new(TupleLayout::new(128));
+    for pk in 0..N {
+        heap.append_record(pk, pk * 10);
+    }
+    Relation::new(heap, PK_OFFSET, Duplicates::Unique).expect("conventional layout")
+}
+
+fn durable() -> DurableConfig {
+    DurableConfig {
+        flush_batch: 8,
+        durability: DurabilityMode::GroupCommit {
+            max_records: 4,
+            max_bytes: 4 * 1024,
+        },
+    }
+}
+
+/// A built 4-shard index over BF-Trees, with sim WAL devices.
+fn sharded(rel: &Relation, shards: usize) -> ShardedIndex {
+    let plan = ShardPlan::uniform(N, shards);
+    let mut index = ShardedIndex::new(
+        plan,
+        rel,
+        durable(),
+        |_| {
+            Box::new(
+                BfTree::builder()
+                    .fpp(1e-4)
+                    .empty(rel)
+                    .expect("valid config"),
+            )
+        },
+        |_| PageDevice::cold(DeviceKind::Ssd),
+    );
+    index.build(rel).expect("sharded build");
+    index
+}
+
+fn brute_range(rel: &Relation, lo: u64, hi: u64) -> Vec<(PageId, usize)> {
+    let mut v: Vec<(PageId, usize)> = rel
+        .heap()
+        .iter_attr(rel.attr())
+        .filter(|&(_, _, k)| k >= lo && k <= hi)
+        .map(|(pid, slot, _)| (pid, slot))
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+#[test]
+fn probes_match_an_unsharded_oracle() {
+    let rel = relation();
+    let index = sharded(&rel, 4);
+    let mut oracle = BPlusTree::new(BTreeConfig::paper_default());
+    oracle.build(&rel).expect("oracle build");
+    let io = IoContext::unmetered();
+    for key in [0, 1, 999, 1000, 2999, 3000, N - 1, N, N + 500] {
+        let mut got = index.probe(key, &rel, &io).expect("probe").matches;
+        let mut want = oracle.probe(key, &rel, &io).expect("oracle").matches;
+        got.sort_unstable();
+        want.sort_unstable();
+        assert_eq!(got, want, "probe({key})");
+    }
+}
+
+#[test]
+fn scatter_gather_batch_preserves_input_order() {
+    let rel = relation();
+    let index = sharded(&rel, 4);
+    let io = IoContext::unmetered();
+    // Keys deliberately unsorted and crossing every shard boundary,
+    // with misses sprinkled in.
+    let keys: Vec<u64> = vec![3999, 0, 1000, 999, 2500, N + 7, 1, 3000, 42, 2999];
+    let batch = index.probe_batch(&keys, &rel, &io).expect("batch");
+    assert_eq!(batch.len(), keys.len());
+    for (i, &key) in keys.iter().enumerate() {
+        let single = index.probe(key, &rel, &io).expect("probe");
+        assert_eq!(
+            batch[i].matches, single.matches,
+            "batch[{i}] (key {key}) must equal the per-key probe"
+        );
+    }
+}
+
+#[test]
+fn range_scan_stitches_across_shard_boundaries() {
+    let rel = relation();
+    let index = sharded(&rel, 4);
+    let io = IoContext::unmetered();
+    // Spans all four shards.
+    let (lo, hi) = (500, 3500);
+    let mut got = index.range_scan(lo, hi, &rel, &io).expect("scan").matches;
+    got.sort_unstable();
+    assert_eq!(got, brute_range(&rel, lo, hi));
+}
+
+#[test]
+fn pagination_is_lossless_across_shard_boundaries() {
+    let rel = relation();
+    let index = sharded(&rel, 4);
+    let io = IoContext::unmetered();
+    let ios: Vec<IoContext> = (0..4).map(|_| IoContext::unmetered()).collect();
+    let (lo, hi) = (500, 3500);
+    let expect = brute_range(&rel, lo, hi);
+
+    // Several page sizes, including 1 and sizes straddling heap pages.
+    for limit in [1u64, 7, 64, 1000] {
+        let mut delivered: Vec<(PageId, usize)> = Vec::new();
+        let mut token: Option<ShardedContinuation> = None;
+        let mut pages = 0;
+        loop {
+            let (page, next, _io) = index
+                .range_page(lo, hi, limit, token.as_ref(), &rel, &ios)
+                .expect("range page");
+            assert!(
+                page.len() as u64 <= limit,
+                "limit {limit}: page of {} matches",
+                page.len()
+            );
+            delivered.extend(page);
+            pages += 1;
+            assert!(
+                pages <= expect.len() + 8,
+                "limit {limit}: pagination does not terminate"
+            );
+            match next {
+                Some(t) => {
+                    // Round-trip the token through its wire form, as a
+                    // real client would.
+                    token = Some(ShardedContinuation::decode(&t.encode()).expect("token survives"));
+                }
+                None => break,
+            }
+        }
+        let mut got = delivered.clone();
+        got.sort_unstable();
+        assert_eq!(got, expect, "limit {limit}: lost or duplicated matches");
+        assert_eq!(
+            delivered.len(),
+            expect.len(),
+            "limit {limit}: re-delivered a consumed page"
+        );
+        let _ = io;
+    }
+}
+
+#[test]
+fn foreign_layout_tokens_are_rejected_typed() {
+    let rel = relation();
+    let four = sharded(&rel, 4);
+    let two = sharded(&rel, 2);
+    let ios2: Vec<IoContext> = (0..2).map(|_| IoContext::unmetered()).collect();
+    let ios4: Vec<IoContext> = (0..4).map(|_| IoContext::unmetered()).collect();
+
+    let (_, token, _) = four
+        .range_page(0, N - 1, 5, None, &rel, &ios4)
+        .expect("first page");
+    let token = token.expect("mid-scan token");
+    match two.range_page(0, N - 1, 5, Some(&token), &rel, &ios2) {
+        Err(ShardError::LayoutMismatch {
+            expected_shards: 2,
+            got_shards: 4,
+        }) => {}
+        other => panic!("expected LayoutMismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn writes_route_to_their_owning_shard_and_read_back() {
+    let mut rel = relation();
+    let mut index = sharded(&rel, 4);
+    let io = IoContext::unmetered();
+
+    // Fresh keys, one per shard.
+    for key in [N + 1, N + 401, N + 801, N + 1201] {
+        let loc = rel.append_tuple(key, key * 10, &io);
+        index.insert(key, loc, &rel).expect("insert");
+        let got = index.probe(key, &rel, &io).expect("probe").matches;
+        assert_eq!(got, vec![loc], "inserted key {key} reads back");
+    }
+
+    // Deletes land on the right shard too.
+    for key in [3, 1003, 2003, 3003] {
+        assert_eq!(index.delete(key, &rel).expect("delete"), 1);
+        assert!(
+            !index.probe(key, &rel, &io).expect("probe").found(),
+            "deleted key {key} still visible"
+        );
+    }
+}
+
+#[test]
+fn shard_clocks_accumulate_and_reset() {
+    let rel = relation();
+    let index = sharded(&rel, 4);
+    // Metered I/O so probes cost simulated time.
+    let io = IoContext::cold(StorageConfig::SsdHdd);
+    let keys: Vec<u64> = (0..200).map(|i| (i * 97) % N).collect();
+    index.probe_batch(&keys, &rel, &io).expect("batch");
+    assert!(index.makespan_sim_ns() > 0, "probes must cost sim time");
+    assert!(index.total_sim_ns() >= index.makespan_sim_ns());
+    index.reset_shard_clocks();
+    assert_eq!(index.makespan_sim_ns(), 0);
+}
+
+#[test]
+fn sharded_io_fleet_shares_one_budget() {
+    let tmp = ScratchDir::new("sharded-io").expect("scratch dir");
+    let backend = Backend::file(tmp.path());
+    let mut fleet = ShardedIo::new(&backend, StorageConfig::SsdHdd, 1 << 20, PolicyKind::Lru, 4)
+        .expect("fleet materializes");
+    assert_eq!(fleet.shards(), 4);
+    assert_eq!(fleet.buffer_stats().reserved_bytes, 0);
+    fleet.reserve_for(1, 4096);
+    fleet.reserve_for(2, 8192);
+    assert_eq!(fleet.buffer_stats().reserved_bytes, 12_288);
+    assert_eq!(fleet.reserved_for(1), 4096);
+    // Decommission shard 2: its carve-out returns to the cache.
+    assert_eq!(fleet.release_all_for(2), 4096);
+    assert_eq!(fleet.buffer_stats().reserved_bytes, 4096);
+}

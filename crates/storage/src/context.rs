@@ -205,6 +205,46 @@ impl IoContext {
         })
     }
 
+    /// Devices for `config` whose caches live in an **existing**
+    /// shared [`BufferManager`] — how a sharded deployment gives every
+    /// shard its own device channels while ONE global byte budget
+    /// arbitrates all of their pages. Each call registers two fresh
+    /// pools (`{label}-index`, `{label}-data`), so eviction and
+    /// residency stay attributable per shard even though the budget is
+    /// fleet-wide. (Dashes, not slashes: on file backends the pool
+    /// label also names the backing store file.)
+    ///
+    /// Memory-kind devices stay uncached, exactly as in
+    /// [`IoContext::with_shared_budget_on`].
+    pub fn with_shared_manager_on(
+        backend: &Backend,
+        config: StorageConfig,
+        manager: &Arc<BufferManager>,
+        label: &str,
+    ) -> Result<Self, DeviceError> {
+        let device = |kind: DeviceKind, name: &str| -> Result<PageDevice, DeviceError> {
+            if kind == DeviceKind::Memory {
+                return Ok(PageDevice::cold(kind));
+            }
+            let profile = DeviceProfile::of(kind);
+            let pool = manager.register_pool(name);
+            Ok(match backend.store_for(name)? {
+                None => PageDevice::with_shared_cache(profile, Arc::clone(manager), pool),
+                Some(store) => PageDevice::File(FileDevice::with_shared_cache(
+                    profile,
+                    Arc::clone(manager),
+                    pool,
+                    store,
+                )),
+            })
+        };
+        Ok(Self {
+            index: device(config.index_kind(), &format!("{label}-index"))?,
+            data: device(config.data_kind(), &format!("{label}-data"))?,
+            manager: Some(Arc::clone(manager)),
+        })
+    }
+
     /// The shared buffer manager, when this context was built with
     /// [`IoContext::with_shared_budget`].
     pub fn buffer_manager(&self) -> Option<&Arc<BufferManager>> {
@@ -217,6 +257,15 @@ impl IoContext {
     /// manager.
     pub fn reserve_index_footprint(&self, bytes: u64) -> u64 {
         self.manager.as_ref().map_or(0, |m| m.reserve(bytes))
+    }
+
+    /// Return `bytes` of a previous
+    /// [`IoContext::reserve_index_footprint`] to the shared budget —
+    /// the inverse carve-out for a footprint that shrank (a memtable
+    /// drained, a shard retired). Returns the remaining page budget;
+    /// no-op returning 0 on contexts without a shared manager.
+    pub fn release_index_footprint(&self, bytes: u64) -> u64 {
+        self.manager.as_ref().map_or(0, |m| m.release(bytes))
     }
 
     /// Counters and residency of the shared manager, if any.

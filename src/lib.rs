@@ -23,6 +23,16 @@
 //!   [`bftree_access::DurableIndex`]).
 //! * [`model`](bftree_model) — Section-5 analytical model.
 //! * [`workloads`](bftree_workloads) — synthetic R / TPCH / SHD.
+//! * [`obs`](bftree_obs) — structured observability: spans, metrics
+//!   registry, exportable traces.
+//! * [`shard`](bftree_shard) — the sharded serving layer:
+//!   [`bftree_shard::ShardedIndex`] range-partitions a relation across
+//!   N durable shards behind a scatter-gather router, with
+//!   [`bftree_shard::ShardedContinuation`] tokens resuming paginated
+//!   scans across shard boundaries.
+//! * [`net`](bftree_net) — the wire-protocol front end: a
+//!   length-prefixed, CRC-framed binary protocol over TCP, a blocking
+//!   [`bftree_net::Server`] and a pipelining [`bftree_net::Client`].
 //!
 //! ## Quickstart
 //!
@@ -55,6 +65,9 @@ pub use bftree_bufferpool;
 pub use bftree_fdtree;
 pub use bftree_hashindex;
 pub use bftree_model;
+pub use bftree_net;
+pub use bftree_obs;
+pub use bftree_shard;
 pub use bftree_storage;
 pub use bftree_wal;
 pub use bftree_workloads;

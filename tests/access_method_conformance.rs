@@ -14,6 +14,7 @@ use bftree_access::{
 use bftree_btree::{BPlusTree, BTreeConfig};
 use bftree_fdtree::FdTree;
 use bftree_hashindex::HashIndex;
+use bftree_shard::{ShardPlan, ShardedIndex};
 use bftree_storage::tuple::{ATT1_OFFSET, PK_OFFSET};
 use bftree_storage::{
     Backend, DeviceKind, Duplicates, HeapFile, IoContext, IoSnapshot, PageDevice, Relation,
@@ -65,8 +66,48 @@ fn all_indexes_on(rel: &Relation, backend: &Backend) -> (Vec<Box<dyn AccessMetho
                 },
             },
         )),
+        Box::new(sharded_index(rel, backend)),
     ];
     (indexes, log)
+}
+
+/// The sharded serving layer as the sixth implementation: three
+/// range-partitioned shards (quantiles of the attribute domain), each
+/// a durable BF-Tree stack with its own WAL device from `backend`,
+/// behind the scatter-gather router. It is an `AccessMethod` like any
+/// other and must pass the identical battery.
+fn sharded_index(rel: &Relation, backend: &Backend) -> ShardedIndex {
+    let domain = rel
+        .heap()
+        .iter_attr(rel.attr())
+        .map(|(_, _, v)| v)
+        .max()
+        .unwrap_or(0)
+        + 1;
+    ShardedIndex::new(
+        ShardPlan::uniform(domain.max(3), 3),
+        rel,
+        DurableConfig {
+            flush_batch: 3,
+            durability: DurabilityMode::GroupCommit {
+                max_records: 4,
+                max_bytes: 4 * 1024,
+            },
+        },
+        |_| {
+            Box::new(
+                BfTree::builder()
+                    .fpp(1e-4)
+                    .empty(rel)
+                    .expect("valid config"),
+            )
+        },
+        |s| {
+            backend
+                .device(DeviceKind::Ssd, &format!("wal-shard{s}"))
+                .expect("shard log device materializes")
+        },
+    )
 }
 
 /// A relation with a unique ordered PK and a contiguous-duplicate ATT1.

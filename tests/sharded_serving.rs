@@ -1,0 +1,156 @@
+//! End-to-end pagination contract for the sharded serving layer: a
+//! client walking a range page by page through the loopback server —
+//! opaque continuation tokens and all — must see exactly the one-shot
+//! answer, in order, for every page size around the shard-slice size
+//! (1, slice−1, slice, slice+1), across at least three shard
+//! boundaries; and a token minted under one partition layout must be
+//! rejected, typed, by a server with another.
+
+use bftree::BfTree;
+use bftree_access::{AccessMethod, DurableConfig};
+use bftree_net::server::ServeState;
+use bftree_net::{Client, NetError, RemoteError, Server};
+use bftree_shard::{ShardPlan, ShardedIndex};
+use bftree_storage::tuple::PK_OFFSET;
+use bftree_storage::{
+    DeviceKind, Duplicates, HeapFile, IoContext, PageDevice, Relation, TupleLayout,
+};
+use bftree_wal::DurabilityMode;
+
+/// Dense keys 0..N over 4 uniform shards: each shard owns SLICE keys,
+/// and a full-range scan crosses the 3 interior boundaries.
+const N: u64 = 400;
+const SLICE: u64 = 100;
+
+fn serve_state(shards: usize) -> ServeState {
+    let mut heap = HeapFile::new(TupleLayout::new(128));
+    for pk in 0..N {
+        heap.append_record(pk, pk * 7);
+    }
+    let rel = Relation::new(heap, PK_OFFSET, Duplicates::Unique).expect("conventional layout");
+    let mut index = ShardedIndex::new(
+        ShardPlan::uniform(N, shards),
+        &rel,
+        DurableConfig {
+            flush_batch: 8,
+            durability: DurabilityMode::GroupCommit {
+                max_records: 4,
+                max_bytes: 4 * 1024,
+            },
+        },
+        |_| {
+            Box::new(
+                BfTree::builder()
+                    .fpp(1e-4)
+                    .empty(&rel)
+                    .expect("valid config"),
+            )
+        },
+        |_| PageDevice::cold(DeviceKind::Ssd),
+    );
+    index.build(&rel).expect("sharded build");
+    let ios = (0..shards).map(|_| IoContext::unmetered()).collect();
+    ServeState::new(index, rel, ios)
+}
+
+/// Walk `[lo, hi]` through the wire at `limit` per page; return the
+/// concatenated matches in arrival order plus the page count.
+fn paginate(client: &mut Client, lo: u64, hi: u64, limit: u64) -> (Vec<(u64, u64)>, usize) {
+    let mut all = Vec::new();
+    let mut pages = 0usize;
+    let mut token: Option<Vec<u8>> = None;
+    loop {
+        let (page, next) = client
+            .range_page(lo, hi, limit, token.as_deref())
+            .expect("range page");
+        assert!(
+            page.len() as u64 <= limit,
+            "a page must never exceed its limit"
+        );
+        pages += 1;
+        all.extend(page);
+        match next {
+            Some(t) => token = Some(t),
+            None => break,
+        }
+        assert!(
+            pages as u64 <= 2 * (hi - lo + 1) + 8,
+            "pagination must terminate"
+        );
+    }
+    (all, pages)
+}
+
+#[test]
+fn every_page_size_around_the_shard_slice_paginates_losslessly() {
+    let mut server = Server::spawn(serve_state(4)).expect("server up");
+    let mut client = Client::connect(server.addr()).expect("connect");
+
+    // Two ranges, both crossing all 3 interior boundaries: the full
+    // domain (pages align with shard edges at limit == SLICE) and an
+    // offset window (every page straddles an edge off-phase).
+    for (lo, hi) in [(0, N - 1), (50, 349)] {
+        // The one-shot answer is the oracle: a single page big enough
+        // to hold the whole range.
+        let (oracle, one) = paginate(&mut client, lo, hi, hi - lo + 2);
+        assert_eq!(one, 1, "the oracle fits in a single page");
+        assert_eq!(oracle.len() as u64, hi - lo + 1, "dense range, unique keys");
+
+        for limit in [1, SLICE - 1, SLICE, SLICE + 1] {
+            let (walked, pages) = paginate(&mut client, lo, hi, limit);
+            assert_eq!(
+                walked, oracle,
+                "[{lo}, {hi}] at limit {limit}: paginated matches must \
+                 equal the one-shot answer, in order — nothing lost, \
+                 nothing redelivered",
+            );
+            assert!(
+                pages as u64 >= (hi - lo + 1).div_ceil(limit),
+                "[{lo}, {hi}] at limit {limit}: too few pages for the limit",
+            );
+        }
+    }
+    server.shutdown();
+}
+
+#[test]
+fn a_token_minted_under_another_layout_is_rejected_typed() {
+    let mut four = Server::spawn(serve_state(4)).expect("4-shard server");
+    let mut two = Server::spawn(serve_state(2)).expect("2-shard server");
+    let mut c4 = Client::connect(four.addr()).expect("connect 4");
+    let mut c2 = Client::connect(two.addr()).expect("connect 2");
+
+    let (_, token) = c4
+        .range_page(0, N - 1, 5, None)
+        .expect("first page mints a continuation");
+    let token = token.expect("mid-scan token");
+    match c2.range_page(0, N - 1, 5, Some(&token)) {
+        Err(NetError::Remote(RemoteError::LayoutMismatch {
+            expected_shards: 2,
+            got_shards: 4,
+        })) => {}
+        other => panic!("expected a typed LayoutMismatch, got {other:?}"),
+    }
+    // The token is still good where it was minted: the scan resumes.
+    let (rest, _) = paginate_from(&mut c4, token);
+    assert_eq!(rest.len() as u64, N - 5, "the 4-shard scan finishes");
+
+    four.shutdown();
+    two.shutdown();
+}
+
+/// Resume a full-domain scan from an existing token and drain it.
+fn paginate_from(client: &mut Client, token: Vec<u8>) -> (Vec<(u64, u64)>, usize) {
+    let mut all = Vec::new();
+    let mut pages = 0usize;
+    let mut token = Some(token);
+    while let Some(t) = token {
+        let (page, next) = client
+            .range_page(0, N - 1, 64, Some(&t))
+            .expect("resumed page");
+        pages += 1;
+        all.extend(page);
+        token = next;
+    }
+    (all, pages)
+}

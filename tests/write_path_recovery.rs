@@ -16,6 +16,7 @@ use bftree_access::{AccessMethod, DurableConfig, DurableIndex, RecoverError};
 use bftree_btree::{BPlusTree, BTreeConfig};
 use bftree_fdtree::FdTree;
 use bftree_hashindex::HashIndex;
+use bftree_shard::{ShardPlan, ShardedIndex};
 use bftree_storage::tuple::PK_OFFSET;
 use bftree_storage::{
     Backend, DeviceKind, Duplicates, HeapFile, IoContext, PageDevice, PageId, Relation, ScratchDir,
@@ -432,6 +433,228 @@ fn scripted_run_is_backend_invariant_and_recovers_from_disk() {
             "probe({k}) diverged when recovering from the on-disk log",
         );
     }
+}
+
+// ------------------------------------------------------------------
+// Sharded recovery: a fleet of independent WALs, each cut elsewhere.
+// ------------------------------------------------------------------
+
+const SHARD_DOMAIN: u64 = 6_000;
+const SHARD_BASE: u64 = 3_000;
+
+/// Even primary keys only, so every odd key is free for fresh inserts
+/// anywhere in the domain — each shard can take writes to its own
+/// slice without colliding with the base relation.
+fn sharded_relation() -> Relation {
+    let mut heap = HeapFile::new(TupleLayout::new(256));
+    for i in 0..SHARD_BASE {
+        heap.append_record(2 * i, i);
+    }
+    Relation::new(heap, PK_OFFSET, Duplicates::Unique).expect("conventional layout")
+}
+
+/// The routed script: shard `s` (keys `[2000s, 2000(s+1))`) receives
+/// `3(s+1)` fresh odd-key inserts and `s+1` deletes of even base keys
+/// it owns (stride 148 — never reinserted), so the three WALs end at
+/// genuinely different positions.
+fn sharded_script() -> Vec<WalRecord> {
+    let mut ops = Vec::new();
+    for s in 0..3u64 {
+        let lo = 2_000 * s;
+        for i in 0..3 * (s + 1) {
+            ops.push(WalRecord::Insert {
+                key: lo + 2 * i + 1,
+                page: 0,
+                slot: 0,
+            });
+        }
+        for d in 0..=s {
+            ops.push(WalRecord::Delete {
+                key: lo + 1_000 + 148 * d,
+            });
+        }
+    }
+    ops
+}
+
+fn sharded_factory(rel: &Relation) -> impl FnMut(usize) -> Box<dyn AccessMethod> + '_ {
+    |_| {
+        Box::new(
+            BfTree::builder()
+                .fpp(1e-4)
+                .empty(rel)
+                .expect("valid config"),
+        )
+    }
+}
+
+fn sharded_probe(index: &ShardedIndex, keys: &[u64], rel: &Relation) -> Vec<Vec<(PageId, usize)>> {
+    let ios: Vec<IoContext> = (0..index.shard_count())
+        .map(|_| IoContext::unmetered())
+        .collect();
+    index
+        .probe_batch_sharded(keys, rel, &ios)
+        .expect("scatter-gather probe")
+        .into_iter()
+        .map(|p| {
+            let mut m = p.matches;
+            m.sort_unstable();
+            m
+        })
+        .collect()
+}
+
+/// Drain a full paginated range scan — every page, token to token —
+/// so the comparison also walks continuations across shard boundaries.
+fn sharded_drain(index: &ShardedIndex, rel: &Relation) -> Vec<(PageId, usize)> {
+    let ios: Vec<IoContext> = (0..index.shard_count())
+        .map(|_| IoContext::unmetered())
+        .collect();
+    let mut all = Vec::new();
+    let mut token = None;
+    loop {
+        let (matches, next, _) = index
+            .range_page(0, SHARD_DOMAIN * 2, 61, token.as_ref(), rel, &ios)
+            .expect("paginated scan");
+        all.extend(matches);
+        match next {
+            Some(t) => token = Some(t),
+            None => break,
+        }
+    }
+    all.sort_unstable();
+    all
+}
+
+/// The multi-shard kill-test: three shards run routed writes to
+/// different WAL positions, the crash leaves each shard's log cut at a
+/// *different* record boundary (one loses nothing, one loses half, one
+/// loses everything past genesis), and [`ShardedIndex::recover_all`]
+/// must reassemble a fleet whose merged answers — scatter-gather
+/// probes and token-paginated range scans alike — match a sharded
+/// oracle with exactly the surviving per-shard prefixes applied
+/// directly.
+#[test]
+fn shards_cut_at_different_wal_positions_recover_to_the_merged_view() {
+    let mut rel = sharded_relation();
+    let mut index = ShardedIndex::new(
+        ShardPlan::uniform(SHARD_DOMAIN, 3),
+        &rel,
+        config(),
+        sharded_factory(&sharded_relation()),
+        |_| PageDevice::cold(DeviceKind::Ssd),
+    );
+    index.build(&rel).expect("base build");
+    let io = IoContext::unmetered();
+    for op in sharded_script() {
+        match op {
+            WalRecord::Insert { key, .. } => {
+                let loc = rel.append_tuple(key, key, &io);
+                index.route_insert(key, loc, &rel).expect("routed insert");
+            }
+            WalRecord::Delete { key } => {
+                index.route_delete(key, &rel).expect("routed delete");
+            }
+            WalRecord::Checkpoint { .. } => unreachable!("script has no checkpoints"),
+        }
+    }
+
+    // The crash: capture each shard's log image and cut shard `s` at
+    // its own boundary — shard 0 keeps everything, shard 1 half its
+    // operations, shard 2 only the genesis checkpoint.
+    let mut images = Vec::new();
+    let mut surviving: Vec<Vec<(usize, WalRecord)>> = Vec::new();
+    for s in 0..3 {
+        let image = index.with_shard(s, |st| st.wal().bytes().to_vec());
+        let (records, tail) = WalReader::drain(&image);
+        assert_eq!(tail, TailState::Clean, "shard {s}: uncrashed log parses");
+        let cut = match s {
+            0 => records.len() - 1,
+            1 => records.len() / 2,
+            _ => 0,
+        };
+        // `records[i].0` is the boundary where record `i` ends, so
+        // truncating there keeps records `0..=i`.
+        let boundary = records[cut].0;
+        assert!(
+            s == 0 || boundary < image.len(),
+            "shard {s}'s cut must actually lose records"
+        );
+        images.push(image[..boundary].to_vec());
+        surviving.push(records[1..=cut].to_vec());
+    }
+
+    let (recovered, reports) = ShardedIndex::recover_all(
+        ShardPlan::uniform(SHARD_DOMAIN, 3),
+        &rel,
+        config(),
+        sharded_factory(&sharded_relation()),
+        &images,
+        |_| PageDevice::cold(DeviceKind::Ssd),
+    )
+    .expect("every shard recovers from its own cut");
+    for (s, report) in reports.iter().enumerate() {
+        assert_eq!(report.tail, TailState::Clean, "shard {s}");
+        assert_eq!(report.base_tuples, SHARD_BASE, "shard {s}");
+        let (wants_i, wants_d) = surviving[s].iter().fold((0, 0), |(i, d), &(_, r)| match r {
+            WalRecord::Insert { .. } => (i + 1, d),
+            WalRecord::Delete { .. } => (i, d + 1),
+            WalRecord::Checkpoint { .. } => (i, d),
+        });
+        assert_eq!(report.replayed_inserts, wants_i, "shard {s}");
+        assert_eq!(report.replayed_deletes, wants_d, "shard {s}");
+    }
+
+    // The oracle: a fresh fleet over the base heap prefix with each
+    // shard's surviving records routed in directly — never from log
+    // bytes.
+    let base_rel = Relation::new(
+        rel.heap().truncated(SHARD_BASE),
+        rel.attr(),
+        rel.duplicates(),
+    )
+    .expect("base prefix is a valid relation");
+    let mut oracle = ShardedIndex::new(
+        ShardPlan::uniform(SHARD_DOMAIN, 3),
+        &base_rel,
+        config(),
+        sharded_factory(&sharded_relation()),
+        |_| PageDevice::cold(DeviceKind::Ssd),
+    );
+    oracle.build(&base_rel).expect("oracle build");
+    for per_shard in &surviving {
+        for &(_, rec) in per_shard {
+            match rec {
+                WalRecord::Insert { key, page, slot } => oracle
+                    .route_insert(key, (page, slot as usize), &rel)
+                    .expect("oracle insert"),
+                WalRecord::Delete { key } => {
+                    oracle.route_delete(key, &rel).expect("oracle delete");
+                }
+                WalRecord::Checkpoint { .. } => {}
+            }
+        }
+    }
+
+    let mut keys: Vec<u64> = sharded_script()
+        .iter()
+        .map(|r| match *r {
+            WalRecord::Insert { key, .. } | WalRecord::Delete { key } => key,
+            WalRecord::Checkpoint { .. } => unreachable!("script has no checkpoints"),
+        })
+        .collect();
+    keys.extend((0..SHARD_DOMAIN).step_by(607));
+    keys.push(SHARD_DOMAIN * 3);
+    assert_eq!(
+        sharded_probe(&recovered, &keys, &rel),
+        sharded_probe(&oracle, &keys, &rel),
+        "merged probe answers diverged from the direct-apply oracle",
+    );
+    assert_eq!(
+        sharded_drain(&recovered, &rel),
+        sharded_drain(&oracle, &rel),
+        "merged paginated scan diverged from the direct-apply oracle",
+    );
 }
 
 #[test]
